@@ -1,0 +1,60 @@
+// Ablation E: approximation ratios against the exact minimum CDS on small
+// networks (exhaustive optimum, n <= 14). How much larger than optimal are
+// the distributed rules and the centralized heuristics?
+
+#include <iostream>
+
+#include "baselines/exact_mcds.hpp"
+#include "baselines/greedy_mcds.hpp"
+#include "baselines/mis_cds.hpp"
+#include "baselines/tree_cds.hpp"
+#include "core/cds.hpp"
+#include "io/table.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "sim/experiment.hpp"
+#include "sim/stats.hpp"
+
+int main() {
+  using namespace pacds;
+  const std::size_t trials = env_size_t("PACDS_TRIALS", 40);
+  std::cout << "== Ablation E: approximation ratio vs exact optimum ==\n"
+            << "size / optimum on small connected unit-disk networks; "
+            << trials << " networks per point\n\n";
+
+  TextTable table({"n", "radius", "opt", "ID", "ND", "greedy", "tree", "MIS",
+                   "cluster"});
+  for (const auto& [n, radius] :
+       {std::pair{10, 25.0}, {10, 40.0}, {13, 25.0}, {13, 40.0}}) {
+    Welford opt, id, nd, greedy, tree, mis, cluster;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      Xoshiro256 rng(derive_seed(0xa99a, trial * 577 +
+                                            static_cast<std::uint64_t>(
+                                                n * 100 + radius)));
+      const auto placed = random_connected_placement(n, Field::paper_field(),
+                                                     radius, rng, 5000);
+      if (!placed) continue;
+      const Graph& g = placed->graph;
+      const auto exact = exact_min_cds(g, 14);
+      if (!exact || exact->count() == 0) continue;
+      const auto optimum = static_cast<double>(exact->count());
+      opt.add(optimum);
+      id.add(static_cast<double>(compute_cds(g, RuleSet::kID).gateway_count) /
+             optimum);
+      nd.add(static_cast<double>(compute_cds(g, RuleSet::kND).gateway_count) /
+             optimum);
+      greedy.add(static_cast<double>(greedy_mcds(g).count()) / optimum);
+      tree.add(static_cast<double>(bfs_tree_cds(g).count()) / optimum);
+      mis.add(static_cast<double>(mis_cds(g).count()) / optimum);
+      cluster.add(static_cast<double>(cluster_cds(g).count()) / optimum);
+    }
+    table.add_row({TextTable::fmt(n), TextTable::fmt(radius, 0),
+                   TextTable::fmt(opt.mean()), TextTable::fmt(id.mean()),
+                   TextTable::fmt(nd.mean()), TextTable::fmt(greedy.mean()),
+                   TextTable::fmt(tree.mean()), TextTable::fmt(mis.mean()),
+                   TextTable::fmt(cluster.mean())});
+  }
+  table.print(std::cout);
+  std::cout << "\n(values are mean size/optimum; 1.00 = optimal)\n";
+  return 0;
+}

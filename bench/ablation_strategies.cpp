@@ -1,0 +1,83 @@
+// Ablation A: how the rule-application strategy affects CDS size and — for
+// the paper's synchronous (simultaneous) semantics — how often the published
+// rules break the connected-dominating-set property (the Dai-Wu 2004 gap).
+// Reported per scheme over random connected unit-disk networks.
+
+#include <iostream>
+#include <vector>
+
+#include "core/cds.hpp"
+#include "core/verify.hpp"
+#include "io/table.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "sim/experiment.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace pacds;
+
+struct StrategyStats {
+  Welford size;
+  std::size_t violations = 0;
+  std::size_t cases = 0;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t trials = env_size_t("PACDS_TRIALS", 60);
+  constexpr Strategy kStrategies[] = {Strategy::kSimultaneous,
+                                      Strategy::kSequential,
+                                      Strategy::kVerified};
+
+  std::cout << "== Ablation A: rule-application strategy ==\n"
+            << "CDS size and validity-violation rate per strategy; "
+            << trials << " random connected networks per point\n"
+            << "(violations come from the published rules' unguarded "
+               "simultaneous removals, see DESIGN.md)\n\n";
+
+  for (const int n : {20, 50, 80}) {
+    TextTable table({"scheme", "simultaneous", "viol%", "sequential",
+                     "viol%", "verified", "viol%"});
+    for (const RuleSet rs : kAllRuleSets) {
+      StrategyStats stats[3];
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        Xoshiro256 rng(derive_seed(0xab1a7e, trial * 131 +
+                                               static_cast<std::uint64_t>(n)));
+        const auto placed = random_connected_placement(
+            n, Field::paper_field(), kPaperRadius, rng, 2000);
+        if (!placed) continue;
+        std::vector<double> energy;
+        for (int i = 0; i < n; ++i) {
+          energy.push_back(static_cast<double>(rng.uniform_int(1, 5)));
+        }
+        for (std::size_t s = 0; s < 3; ++s) {
+          CdsOptions options;
+          options.strategy = kStrategies[s];
+          const CdsResult r = compute_cds(placed->graph, rs, energy, options);
+          stats[s].size.add(static_cast<double>(r.gateway_count));
+          ++stats[s].cases;
+          if (!check_cds(placed->graph, r.gateways).ok()) {
+            ++stats[s].violations;
+          }
+        }
+      }
+      std::vector<std::string> row{to_string(rs)};
+      for (const StrategyStats& s : stats) {
+        row.push_back(TextTable::fmt(s.size.mean()));
+        row.push_back(TextTable::fmt(
+            s.cases == 0 ? 0.0
+                         : 100.0 * static_cast<double>(s.violations) /
+                               static_cast<double>(s.cases),
+            1));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "n = " << n << " hosts\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

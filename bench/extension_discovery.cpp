@@ -1,0 +1,67 @@
+// Extension experiment: the paper's *motivating* claim quantified — route
+// discovery over the dominating-set backbone vs plain flooding. For random
+// (src, dst) pairs we count RREQ broadcasts and receptions per discovery.
+
+#include <iostream>
+
+#include "core/cds.hpp"
+#include "io/table.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "routing/discovery.hpp"
+#include "sim/experiment.hpp"
+#include "sim/stats.hpp"
+
+int main() {
+  using namespace pacds;
+  const std::size_t trials = env_size_t("PACDS_TRIALS", 30);
+  std::cout << "== Extension: route-discovery cost (RREQ flooding) ==\n"
+            << "plain flooding vs gateway-only rebroadcast; " << trials
+            << " networks per point, 20 random pairs each\n\n";
+
+  TextTable table({"n", "scheme", "tx plain", "tx CDS", "saving%",
+                   "rx plain", "rx CDS", "extra hops"});
+  table.set_align(1, Align::kLeft);
+  for (const int n : {20, 40, 60, 80, 100}) {
+    for (const RuleSet rs : {RuleSet::kNR, RuleSet::kID, RuleSet::kND}) {
+      Welford tx_plain, tx_cds, rx_plain, rx_cds, extra;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        Xoshiro256 rng(derive_seed(0xd15c, trial * 389 +
+                                              static_cast<std::uint64_t>(n)));
+        const auto placed = random_connected_placement(
+            n, Field::paper_field(), kPaperRadius, rng, 2000);
+        if (!placed) continue;
+        const Graph& g = placed->graph;
+        const DynBitset gateways = compute_cds(g, rs).gateways;
+        for (int pair = 0; pair < 20; ++pair) {
+          const auto src = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+          auto dst = src;
+          while (dst == src) {
+            dst = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+          }
+          const DiscoveryComparison cmp =
+              compare_discovery(g, src, dst, gateways);
+          if (!cmp.plain.found || !cmp.cds.found) continue;
+          tx_plain.add(static_cast<double>(cmp.plain.transmissions));
+          tx_cds.add(static_cast<double>(cmp.cds.transmissions));
+          rx_plain.add(static_cast<double>(cmp.plain.receptions));
+          rx_cds.add(static_cast<double>(cmp.cds.receptions));
+          extra.add(static_cast<double>(cmp.cds.hops - cmp.plain.hops));
+        }
+      }
+      table.add_row(
+          {TextTable::fmt(n), to_string(rs), TextTable::fmt(tx_plain.mean(), 1),
+           TextTable::fmt(tx_cds.mean(), 1),
+           TextTable::fmt(tx_plain.mean() > 0
+                              ? 100.0 * (1.0 - tx_cds.mean() / tx_plain.mean())
+                              : 0.0,
+                          1),
+           TextTable::fmt(rx_plain.mean(), 1), TextTable::fmt(rx_cds.mean(), 1),
+           TextTable::fmt(extra.mean(), 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nNR saves transmissions with zero hop penalty (Property 3); "
+               "the reduced backbones\nsave more at a small hop cost.\n";
+  return 0;
+}

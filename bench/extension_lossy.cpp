@@ -1,0 +1,64 @@
+// Extension experiment: robustness of the distributed protocol to message
+// loss. Every broadcast reaches each neighbor independently with
+// probability 1 - loss; periodic beaconing (repeated HELLO / neighbor-list
+// rounds) is the standard mitigation. Reports how often hosts decide a
+// different gateway status than the reliable execution, and whether the
+// resulting set is still a valid CDS.
+
+#include <iostream>
+
+#include "dist/protocol.hpp"
+#include "io/table.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "sim/experiment.hpp"
+#include "sim/stats.hpp"
+
+int main() {
+  using namespace pacds;
+  const std::size_t trials = env_size_t("PACDS_TRIALS", 25);
+  std::cout << "== Extension: protocol robustness to message loss ==\n"
+            << "n = 40, ND scheme; " << trials
+            << " networks per point; disagreements vs reliable execution\n\n";
+
+  TextTable table({"loss", "beacons", "wrong hosts", "still valid CDS %",
+                   "msgs/host"});
+  for (const double loss : {0.05, 0.15, 0.30}) {
+    for (const int repeats : {1, 3, 8}) {
+      Welford wrong, msgs;
+      std::size_t valid = 0;
+      std::size_t cases = 0;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        Xoshiro256 rng(derive_seed(0x105e, trial * 131 +
+                                              static_cast<std::uint64_t>(
+                                                  loss * 1000 + repeats)));
+        const auto placed = random_connected_placement(
+            40, Field::paper_field(), kPaperRadius, rng, 2000);
+        if (!placed) continue;
+        const dist::LossyProtocolResult r = dist::run_lossy_protocol(
+            placed->graph, RuleSet::kND, loss, repeats,
+            derive_seed(0x105f, trial));
+        wrong.add(static_cast<double>(r.status_disagreements));
+        msgs.add(static_cast<double>(r.protocol.total_msgs()) / 40.0);
+        if (r.valid_cds) ++valid;
+        ++cases;
+      }
+      table.add_row(
+          {TextTable::fmt(loss, 2), TextTable::fmt(repeats),
+           TextTable::fmt(wrong.mean()),
+           TextTable::fmt(cases == 0 ? 0.0
+                                     : 100.0 * static_cast<double>(valid) /
+                                           static_cast<double>(cases),
+                          1),
+           TextTable::fmt(msgs.mean(), 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(beaconing buys correctness with messages: the classic "
+               "reliability/overhead trade.\nNote the \"valid CDS\" column is "
+               "depressed even at low loss because the distributed\nprotocol "
+               "realizes the paper's SYNCHRONOUS semantics, whose refined "
+               "Rule 2 is itself\nunsafe on ~half of these instances — see "
+               "ablation_strategies.)\n";
+  return 0;
+}

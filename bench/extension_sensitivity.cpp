@@ -1,0 +1,126 @@
+// Extension experiment: sensitivity of the headline result (EL1 vs ID
+// lifetime under d = N/|G'|) to the simulation knobs the paper fixed —
+// transmission radius, mobility intensity, mobility model, energy-key
+// quantization, and boundary policy. The paper's own future work:
+// "more in-depth simulation under different settings".
+
+#include <iostream>
+
+#include "io/table.hpp"
+#include "sim/montecarlo.hpp"
+#include "sim/threadpool.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace pacds;
+
+struct Ratio {
+  double id;
+  double el1;
+};
+
+Ratio lifetimes(const SimConfig& base, std::size_t trials, ThreadPool& pool,
+                std::uint64_t seed) {
+  SimConfig config = base;
+  config.rule_set = RuleSet::kID;
+  const double id = run_lifetime_trials(config, trials, seed, &pool)
+                        .intervals.mean;
+  config.rule_set = RuleSet::kEL1;
+  const double el1 = run_lifetime_trials(config, trials, seed, &pool)
+                         .intervals.mean;
+  return {id, el1};
+}
+
+void emit(TextTable& table, const std::string& label, const Ratio& r) {
+  table.add_row({label, TextTable::fmt(r.id), TextTable::fmt(r.el1),
+                 TextTable::fmt(r.id > 0 ? r.el1 / r.id : 0.0, 2)});
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t trials = env_size_t("PACDS_TRIALS", 25);
+  ThreadPool pool;
+  std::cout << "== Extension: sensitivity of the EL1-vs-ID lifetime result ==\n"
+            << "n = 50, d = N/|G'|; " << trials << " paired trials per row\n\n";
+
+  SimConfig base;
+  base.n_hosts = 50;
+  base.drain_model = DrainModel::kLinearTotal;
+
+  {
+    TextTable table({"radius", "ID", "EL1", "EL1/ID"});
+    for (const double radius : {15.0, 20.0, 25.0, 35.0, 50.0}) {
+      SimConfig config = base;
+      config.radius = radius;
+      emit(table, TextTable::fmt(radius, 0),
+           lifetimes(config, trials, pool, 0x5e51));
+    }
+    std::cout << "(a) transmission radius (paper: 25):\n";
+    table.print(std::cout);
+  }
+  {
+    TextTable table({"stay prob c", "ID", "EL1", "EL1/ID"});
+    for (const double c : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      SimConfig config = base;
+      config.stay_probability = c;
+      emit(table, TextTable::fmt(c, 2),
+           lifetimes(config, trials, pool, 0x5e52));
+    }
+    std::cout << "\n(b) mobility intensity (paper: c = 0.5):\n";
+    table.print(std::cout);
+  }
+  {
+    TextTable table({"mobility", "ID", "EL1", "EL1/ID"});
+    table.set_align(0, Align::kLeft);
+    for (const MobilityKind kind :
+         {MobilityKind::kPaperJump, MobilityKind::kRandomWalk,
+          MobilityKind::kRandomWaypoint, MobilityKind::kGaussMarkov,
+          MobilityKind::kStatic}) {
+      SimConfig config = base;
+      config.mobility_kind = kind;
+      emit(table, to_string(kind), lifetimes(config, trials, pool, 0x5e53));
+    }
+    std::cout << "\n(c) mobility model (paper: 8-direction jump):\n";
+    table.print(std::cout);
+  }
+  {
+    TextTable table({"EL quantum", "ID", "EL1", "EL1/ID"});
+    for (const double quantum : {0.0, 0.5, 1.0, 5.0, 20.0}) {
+      SimConfig config = base;
+      config.energy_key_quantum = quantum;
+      emit(table, TextTable::fmt(quantum, 1),
+           lifetimes(config, trials, pool, 0x5e54));
+    }
+    std::cout << "\n(d) energy-key quantization (0 = raw levels):\n";
+    table.print(std::cout);
+  }
+  {
+    TextTable table({"link model", "ID", "EL1", "EL1/ID"});
+    table.set_align(0, Align::kLeft);
+    for (const LinkModel model :
+         {LinkModel::kUnitDisk, LinkModel::kGabriel, LinkModel::kRng}) {
+      SimConfig config = base;
+      config.link_model = model;
+      emit(table, to_string(model), lifetimes(config, trials, pool, 0x5e56));
+    }
+    std::cout << "\n(e) proximity-graph link model (paper: unit disk):\n";
+    table.print(std::cout);
+  }
+  {
+    TextTable table({"boundary", "ID", "EL1", "EL1/ID"});
+    table.set_align(0, Align::kLeft);
+    for (const BoundaryPolicy policy :
+         {BoundaryPolicy::kClamp, BoundaryPolicy::kReflect,
+          BoundaryPolicy::kWrap}) {
+      SimConfig config = base;
+      config.boundary = policy;
+      emit(table, to_string(policy), lifetimes(config, trials, pool, 0x5e55));
+    }
+    std::cout << "\n(f) field boundary policy (paper: unspecified, we default "
+                 "to clamp):\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces paper Figure 10: average number of gateway hosts vs. network
+// size for NR / ID / ND / EL1 / EL2.
+//
+// Interpretation note (see EXPERIMENTS.md): sizes are measured on fresh
+// random connected placements with the paper's uniform initial energy
+// level, where the EL keys are fully tied — EL1 degenerates to id-keyed
+// refined rules and EL2 to the ND rules, which is exactly how the paper's
+// Figure 10 can rank "ND and EL2 the best". A second table reports sizes
+// averaged over the energy-evolving lifetime runs (d = N/|G'|), where the
+// EL schemes actively rotate.
+//
+// Knobs: PACDS_TRIALS (default 60), PACDS_SEED, PACDS_QUICK.
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/cds.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "sim/experiment.hpp"
+#include "sim/stats.hpp"
+#include "sim/threadpool.hpp"
+
+int main() {
+  using namespace pacds;
+  const std::size_t trials = env_size_t("PACDS_TRIALS", 60);
+  const auto seed =
+      static_cast<std::uint64_t>(env_size_t("PACDS_SEED", 0x5eed2001ULL));
+  const char* quick = std::getenv("PACDS_QUICK");
+  const bool use_quick =
+      quick != nullptr && *quick != '\0' && std::string(quick) != "0";
+  const std::vector<int> hosts =
+      use_quick ? quick_host_counts() : paper_host_counts();
+
+  std::cout << "== Figure 10: average number of gateway hosts vs. number of "
+               "hosts ==\n"
+            << "paper expectation: NR far above all rules; ND and EL2 the "
+               "best (smallest)\n"
+            << "trials/point: " << trials << "\n\n"
+            << "(a) static snapshots, uniform initial energy (the paper's "
+               "initial condition):\n";
+
+  TextTable table({"n", "NR", "ID", "ND", "EL1", "EL2"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const int n : hosts) {
+    Welford acc[5];
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      Xoshiro256 rng(derive_seed(seed, trial * 1009 +
+                                           static_cast<std::uint64_t>(n)));
+      const auto placed = random_connected_placement(
+          n, Field::paper_field(), kPaperRadius, rng, 2000);
+      if (!placed) continue;
+      const std::vector<double> uniform(static_cast<std::size_t>(n), 100.0);
+      std::size_t i = 0;
+      for (const RuleSet rs : kAllRuleSets) {
+        acc[i++].add(static_cast<double>(
+            compute_cds(placed->graph, rs, uniform).gateway_count));
+      }
+    }
+    std::vector<std::string> row{TextTable::fmt(n)};
+    for (const Welford& a : acc) row.push_back(TextTable::fmt(a.mean()));
+    csv_rows.push_back(row);
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  if (write_csv_file("fig10_gateway_count.csv",
+                     {"n", "NR", "ID", "ND", "EL1", "EL2"}, csv_rows)) {
+    std::cout << "wrote fig10_gateway_count.csv\n";
+  }
+
+  std::cout << "\n(b) per-interval averages inside the energy-evolving "
+               "lifetime runs (d = N/|G'|):\n";
+  SweepConfig sweep;
+  sweep.host_counts = hosts;
+  sweep.schemes = {RuleSet::kNR, RuleSet::kID, RuleSet::kND, RuleSet::kEL1,
+                   RuleSet::kEL2};
+  sweep.trials = trials / 3 + 1;
+  sweep.base_seed = seed;
+  sweep.base.drain_model = DrainModel::kLinearTotal;
+  ThreadPool pool;
+  sweep_table(run_sweep(sweep, &pool), SweepMetric::kGatewayCount)
+      .print(std::cout);
+  return 0;
+}

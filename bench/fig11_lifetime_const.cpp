@@ -1,0 +1,16 @@
+// Reproduces paper Figure 11: average number of update intervals until the
+// first host dies, with constant total bypass traffic (d = 2/|G'|).
+
+#include "fig_common.hpp"
+
+int main() {
+  const pacds::bench::FigureSpec spec{
+      "Figure 11",
+      "network lifetime (intervals to first death) vs. number of hosts",
+      "ND, EL1 and EL2 stay very close; ID clearly the worst",
+      pacds::DrainModel::kConstantTotal,
+      pacds::SweepMetric::kLifetime,
+      "fig11_lifetime_const.csv",
+  };
+  return pacds::bench::run_figure(spec);
+}

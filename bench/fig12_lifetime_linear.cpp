@@ -1,0 +1,17 @@
+// Reproduces paper Figure 12: network lifetime with total bypass traffic
+// proportional to the number of hosts (d = N/|G'|).
+
+#include "fig_common.hpp"
+
+int main() {
+  const pacds::bench::FigureSpec spec{
+      "Figure 12",
+      "network lifetime (intervals to first death) vs. number of hosts",
+      "EL1 clearly the winner even though its dominating set is not the "
+      "smallest",
+      pacds::DrainModel::kLinearTotal,
+      pacds::SweepMetric::kLifetime,
+      "fig12_lifetime_linear.csv",
+  };
+  return pacds::bench::run_figure(spec);
+}

@@ -1,0 +1,16 @@
+// Reproduces paper Figure 13: network lifetime with total bypass traffic
+// proportional to the number of host pairs (d = N(N-1)/2 / (10 |G'|)).
+
+#include "fig_common.hpp"
+
+int main() {
+  const pacds::bench::FigureSpec spec{
+      "Figure 13",
+      "network lifetime (intervals to first death) vs. number of hosts",
+      "EL1 clearly the winner; gap over ID grows with network size",
+      pacds::DrainModel::kQuadraticTotal,
+      pacds::SweepMetric::kLifetime,
+      "fig13_lifetime_quadratic.csv",
+  };
+  return pacds::bench::run_figure(spec);
+}

@@ -1,0 +1,37 @@
+#pragma once
+// Shared driver for the paper-figure reproductions (Figures 10-13). Each
+// figure binary declares a FigureSpec and calls run_figure(); the driver
+// sweeps host counts x schemes with the paper's simulation parameters,
+// prints the table the figure plots, and writes a CSV next to the binary's
+// working directory.
+//
+// Environment knobs:
+//   PACDS_TRIALS       trials per (n, scheme) point   (default 20)
+//   PACDS_SEED         base RNG seed                   (default 0x5eed2001)
+//   PACDS_QUICK        if set (non-zero), use a 4-point host grid
+//   PACDS_STRATEGY     rule strategy: "sequential" (default, safe),
+//                      "simultaneous" (paper's synchronous semantics),
+//                      or "verified"
+
+#include <string>
+
+#include "energy/traffic.hpp"
+#include "sim/experiment.hpp"
+
+namespace pacds::bench {
+
+/// Declarative description of one figure reproduction.
+struct FigureSpec {
+  const char* id;           ///< e.g. "Figure 11"
+  const char* title;        ///< what the paper plots
+  const char* expectation;  ///< the qualitative claim to check against
+  DrainModel model;         ///< gateway drain model for this figure
+  SweepMetric metric;       ///< lifetime vs gateway count
+  const char* csv_name;     ///< output CSV file name
+};
+
+/// Runs the sweep, prints the table (means with 95% CIs), writes the CSV.
+/// Returns a process exit code.
+int run_figure(const FigureSpec& spec);
+
+}  // namespace pacds::bench

@@ -1,0 +1,97 @@
+// Microbenchmarks of the CDS pipeline: marking process, rule passes, and
+// the full compute_cds per scheme, across network sizes. Host density is
+// held constant (the field scales with n) so per-node neighborhood sizes
+// stay realistic as n grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/cds.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace pacds;
+
+struct Instance {
+  Graph graph;
+  std::vector<double> energy;
+};
+
+/// Constant-density random unit-disk network with ~12 expected neighbors.
+Instance make_instance(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const double side = std::sqrt(static_cast<double>(n) / 50.0) * 100.0;
+  const Field field(side, side);
+  Instance inst;
+  inst.graph = build_udg(random_placement(n, field, rng), kPaperRadius);
+  for (int i = 0; i < n; ++i) {
+    inst.energy.push_back(static_cast<double>(rng.uniform_int(1, 5)));
+  }
+  return inst;
+}
+
+void BM_MarkingProcess(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(marking_process(inst.graph));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MarkingProcess)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
+
+void BM_Rule1Pass(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<int>(state.range(0)), 2);
+  const DynBitset marked = marking_process(inst.graph);
+  const PriorityKey key(KeyKind::kId, inst.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simultaneous_rule1_pass(inst.graph, key, marked));
+  }
+}
+BENCHMARK(BM_Rule1Pass)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_Rule2RefinedPass(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<int>(state.range(0)), 3);
+  const DynBitset marked = marking_process(inst.graph);
+  const PriorityKey key(KeyKind::kDegreeId, inst.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simultaneous_rule2_pass(
+        inst.graph, key, Rule2Form::kRefined, marked));
+  }
+}
+BENCHMARK(BM_Rule2RefinedPass)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+template <RuleSet kScheme>
+void BM_ComputeCds(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_cds(inst.graph, kScheme, inst.energy));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComputeCds<RuleSet::kNR>)->Arg(100)->Arg(400);
+BENCHMARK(BM_ComputeCds<RuleSet::kID>)->Arg(100)->Arg(400);
+BENCHMARK(BM_ComputeCds<RuleSet::kND>)->Arg(100)->Arg(400);
+BENCHMARK(BM_ComputeCds<RuleSet::kEL1>)->Arg(100)->Arg(400);
+BENCHMARK(BM_ComputeCds<RuleSet::kEL2>)->Arg(100)->Arg(400);
+
+void BM_SequentialVsSimultaneous(benchmark::State& state) {
+  const auto inst = make_instance(200, 5);
+  CdsOptions options;
+  options.strategy = static_cast<Strategy>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compute_cds(inst.graph, RuleSet::kND, {}, options));
+  }
+}
+BENCHMARK(BM_SequentialVsSimultaneous)
+    ->Arg(static_cast<int>(static_cast<std::uint8_t>(Strategy::kSimultaneous)))
+    ->Arg(static_cast<int>(static_cast<std::uint8_t>(Strategy::kSequential)))
+    ->Arg(static_cast<int>(static_cast<std::uint8_t>(Strategy::kVerified)));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Microbenchmarks of unit-disk graph construction: the naive O(n^2) builder
+// vs. the grid spatial hash, at constant host density.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "net/udg.hpp"
+
+namespace {
+
+using namespace pacds;
+
+std::vector<Vec2> make_points(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const double side = std::sqrt(static_cast<double>(n) / 50.0) * 100.0;
+  const Field field(side, side);
+  return random_placement(n, field, rng);
+}
+
+void BM_BuildNaive(benchmark::State& state) {
+  const auto pts = make_points(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_udg(pts, kPaperRadius, UdgMethod::kNaive));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildNaive)->Arg(100)->Arg(400)->Arg(1000)->Arg(2000);
+
+void BM_BuildGrid(benchmark::State& state) {
+  const auto pts = make_points(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_udg(pts, kPaperRadius, UdgMethod::kGrid));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildGrid)->Arg(100)->Arg(400)->Arg(1000)->Arg(2000)->Arg(5000);
+
+void BM_GridIndexConstruction(benchmark::State& state) {
+  const auto pts = make_points(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    SpatialGrid grid(pts, kPaperRadius);
+    benchmark::DoNotOptimize(grid);
+  }
+}
+BENCHMARK(BM_GridIndexConstruction)->Arg(400)->Arg(2000);
+
+void BM_GridQuery(benchmark::State& state) {
+  const auto pts = make_points(2000, 3);
+  const SpatialGrid grid(pts, kPaperRadius);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grid.query(pts[i % pts.size()], kPaperRadius,
+                   static_cast<NodeId>(i % pts.size())));
+    ++i;
+  }
+}
+BENCHMARK(BM_GridQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

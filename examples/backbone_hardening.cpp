@@ -1,0 +1,67 @@
+// Hardening walk-through: take a power-aware backbone and make it survive
+// gateway failures — 2-domination (every host keeps a backup gateway) plus
+// best-effort biconnectivity (no single backbone cut vertex) — and measure
+// what each step costs and buys.
+//
+//   $ ./backbone_hardening [n_hosts] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/articulation.hpp"
+#include "core/cds.hpp"
+#include "core/redundancy.hpp"
+#include "io/table.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pacds;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 40;
+  const auto seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 17u;
+
+  Xoshiro256 rng(seed);
+  const auto placed = random_connected_placement(n, Field::paper_field(),
+                                                 kPaperRadius, rng, 2000);
+  if (!placed) {
+    std::cerr << "no connected placement found\n";
+    return 1;
+  }
+  const Graph& g = placed->graph;
+
+  std::vector<double> energy;
+  for (int i = 0; i < n; ++i) {
+    energy.push_back(static_cast<double>(rng.uniform_int(40, 100)));
+  }
+  const PriorityKey key(KeyKind::kEnergyId, g, &energy);
+
+  std::cout << "Backbone hardening on " << n << " hosts ("
+            << articulation_points(g).count()
+            << " articulation hosts in the radio graph itself)\n\n";
+
+  const CdsResult cds = compute_cds(g, RuleSet::kEL1, energy);
+  const DynBitset two_dom = augment_m_domination(g, cds.gateways, 2, key);
+  const DynBitset hardened = augment_biconnectivity(g, two_dom, key);
+
+  TextTable table({"stage", "gateways", "backbone cuts", "2-dominating",
+                   "deliv@1-failure%"});
+  table.set_align(0, Align::kLeft);
+  const auto add_stage = [&](const char* label, const DynBitset& set) {
+    table.add_row(
+        {label, TextTable::fmt(set.count()),
+         TextTable::fmt(backbone_cut_vertices(g, set).count()),
+         is_m_dominating(g, set, 2) ? "yes" : "no",
+         TextTable::fmt(100.0 * single_failure_delivery(g, set), 1)});
+  };
+  add_stage("EL1 backbone", cds.gateways);
+  add_stage("+ 2-domination", two_dom);
+  add_stage("+ biconnectivity", hardened);
+  table.print(std::cout);
+
+  std::cout << "\nPromotions pick the energy-richest hosts (the EL key), so "
+               "hardening spends the\nbatteries that can afford it. "
+               "Biconnectivity is best-effort: cuts that need\nmulti-host "
+               "detours are left in place.\n";
+  return 0;
+}

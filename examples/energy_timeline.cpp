@@ -1,0 +1,54 @@
+// Visualize how each scheme spends the network's energy: runs one paired
+// lifetime trial per scheme with tracing enabled and prints sparklines of
+// the minimum battery level and the gateway count over time, plus the final
+// trace as CSV for external plotting.
+//
+//   $ ./energy_timeline [n_hosts] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "io/csv.hpp"
+#include "sim/lifetime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pacds;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 40;
+  const auto seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 99u;
+
+  std::cout << "Energy timeline: " << n
+            << " hosts, d = N/|G'| (paper Figure 12 setting), one paired "
+               "trial per scheme\n\n";
+
+  for (const RuleSet rs : kAllRuleSets) {
+    SimConfig config;
+    config.n_hosts = n;
+    config.drain_model = DrainModel::kLinearTotal;
+    config.rule_set = rs;
+
+    SimTrace trace;
+    const TrialResult result = run_lifetime_trial(config, seed, &trace);
+
+    std::cout << to_string(rs) << ": died after " << result.intervals
+              << " intervals (avg " << trace.records.size() << " records)\n"
+              << "  min energy "
+              << sparkline(trace.min_energy_series(), 0.0,
+                           config.initial_energy)
+              << "\n"
+              << "  gateways   "
+              << sparkline(trace.gateway_series(), 0.0,
+                           static_cast<double>(n))
+              << "\n";
+
+    const std::string csv = "timeline_" + to_string(rs) + ".csv";
+    if (write_csv_file(csv, SimTrace::csv_header(), trace.csv_rows())) {
+      std::cout << "  wrote " << csv << "\n";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "Read the sparklines left to right: the energy-aware schemes "
+               "hold the minimum\nbattery level up longer by rotating "
+               "gateway duty.\n";
+  return 0;
+}

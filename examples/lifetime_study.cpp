@@ -1,0 +1,56 @@
+// Miniature version of the paper's headline experiment: how long does the
+// network live under each gateway-selection scheme? Runs the Figure 12
+// setting (d = N/|G'|) at a single network size with per-trial pairing, and
+// prints lifetimes plus the energy balance at death.
+//
+//   $ ./lifetime_study [n_hosts] [trials]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "energy/battery.hpp"
+#include "io/table.hpp"
+#include "sim/montecarlo.hpp"
+#include "sim/threadpool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pacds;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 50;
+  const std::size_t trials =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 40;
+
+  std::cout << "Lifetime study: " << n << " hosts, " << trials
+            << " trials per scheme, d = N/|G'| (paper Figure 12 setting)\n\n";
+
+  SimConfig config;
+  config.n_hosts = n;
+  config.drain_model = DrainModel::kLinearTotal;
+
+  ThreadPool pool;
+  TextTable table({"scheme", "lifetime (intervals)", "±95%", "avg |G'|"});
+  table.set_align(0, Align::kLeft);
+  double id_lifetime = 0.0;
+  double el1_lifetime = 0.0;
+  for (const RuleSet rs : kAllRuleSets) {
+    config.rule_set = rs;
+    const LifetimeSummary s = run_lifetime_trials(config, trials, 777, &pool);
+    table.add_row({to_string(rs), TextTable::fmt(s.intervals.mean),
+                   TextTable::fmt(s.intervals.ci95),
+                   TextTable::fmt(s.avg_gateways.mean)});
+    if (rs == RuleSet::kID) id_lifetime = s.intervals.mean;
+    if (rs == RuleSet::kEL1) el1_lifetime = s.intervals.mean;
+  }
+  table.print(std::cout);
+
+  if (id_lifetime > 0.0) {
+    std::cout << "\nEL1 vs ID lifetime: "
+              << TextTable::fmt(el1_lifetime / id_lifetime, 2)
+              << "x  (the paper's claim: rotating gateway duty by energy "
+                 "level extends network life)\n";
+  }
+  std::cout << "\nAll schemes saw identical placements and host trajectories "
+               "(paired seeds);\ndifferences are due to the selection rules "
+               "alone. Scale with PACDS_TRIALS-style\narguments: "
+               "./lifetime_study 80 200\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "baselines/exact_mcds.hpp"
+
+#include "core/verify.hpp"
+
+namespace pacds {
+
+namespace {
+
+/// Converts a mask over n <= 64 nodes into a DynBitset.
+DynBitset to_bitset(std::uint64_t mask, std::size_t n) {
+  DynBitset set(n);
+  while (mask != 0) {
+    const auto bit = static_cast<std::size_t>(__builtin_ctzll(mask));
+    set.set(bit);
+    mask &= mask - 1;
+  }
+  return set;
+}
+
+/// Next mask with the same popcount (Gosper's hack); 0 when exhausted
+/// within `limit` bits.
+std::uint64_t next_same_popcount(std::uint64_t mask, std::uint64_t limit) {
+  const std::uint64_t c = mask & (~mask + 1);
+  const std::uint64_t r = mask + c;
+  if (r >= limit) return 0;
+  return (((r ^ mask) >> 2) / c) | r;
+}
+
+}  // namespace
+
+std::optional<DynBitset> exact_min_cds(const Graph& g, int max_nodes) {
+  const NodeId n = g.num_nodes();
+  if (n > max_nodes || n > 62) return std::nullopt;
+  const auto nn = static_cast<std::size_t>(n);
+  const std::uint64_t limit = n == 0 ? 1 : (std::uint64_t{1} << n);
+
+  // The empty set first (valid iff every component is an exempt clique).
+  {
+    const DynBitset empty(nn);
+    if (check_cds(g, empty).ok()) return empty;
+  }
+  for (int k = 1; k <= n; ++k) {
+    std::uint64_t mask = (std::uint64_t{1} << k) - 1;
+    while (mask != 0) {
+      const DynBitset candidate = to_bitset(mask, nn);
+      if (check_cds(g, candidate).ok()) return candidate;
+      mask = next_same_popcount(mask, limit);
+    }
+  }
+  return std::nullopt;  // unreachable: the full set always dominates
+}
+
+}  // namespace pacds

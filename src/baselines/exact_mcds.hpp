@@ -1,0 +1,25 @@
+#pragma once
+// Exact minimum connected dominating set by exhaustive bitmask search —
+// exponential, intended for n <= ~20. Gives the optimum the heuristics are
+// measured against (approximation ratios in bench/ablation_approx and the
+// property tests).
+
+#include <cstdint>
+#include <optional>
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+
+namespace pacds {
+
+/// Smallest set that dominates g and induces a connected subgraph within
+/// every component holding at least one member (same component-wise
+/// semantics as check_cds, complete components exempt). Returns nullopt if
+/// n exceeds `max_nodes` (guard against accidental blow-ups).
+///
+/// Enumerates subsets in increasing popcount via Gosper's hack, so the
+/// first valid subset found is optimal.
+[[nodiscard]] std::optional<DynBitset> exact_min_cds(const Graph& g,
+                                                     int max_nodes = 20);
+
+}  // namespace pacds

@@ -1,0 +1,18 @@
+#pragma once
+// Centralized greedy minimum-CDS approximation (Guha & Khuller, Algorithm I):
+// grow a black (dominator) tree from a max-degree seed, always blackening the
+// gray node that covers the most still-white nodes. Serves as the
+// quality-of-size yardstick the distributed rules are compared against
+// (bench/baseline_comparison) — it is not distributed and not power-aware.
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+
+namespace pacds {
+
+/// Returns a connected dominating set per connected component of `g`
+/// (singleton components contribute no dominator; a complete component
+/// contributes its seed node).
+[[nodiscard]] DynBitset greedy_mcds(const Graph& g);
+
+}  // namespace pacds

@@ -1,0 +1,33 @@
+#pragma once
+// MIS-based CDS baseline: a maximal independent set dominates the graph;
+// connecting its members with shortest connector paths yields a CDS. This is
+// the family behind Das-Bhargavan/spine-style backbones and the classic
+// UDG approximation schemes.
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+
+namespace pacds {
+
+/// Greedy maximal independent set (descending degree, then ascending id).
+[[nodiscard]] DynBitset greedy_mis(const Graph& g);
+
+/// Lowest-ID clusterheads (Lin-Gerla style clustering): greedy MIS taken in
+/// ascending id order — every host joins the lowest-id head that reaches
+/// it. The cluster-based-routing baseline from the paper's introduction.
+[[nodiscard]] DynBitset lowest_id_clusterheads(const Graph& g);
+
+/// Stitches any dominating seed set into a CDS per component by repeatedly
+/// adding the interior vertices of shortest connector paths between the
+/// seed's clusters. Isolated nodes are dropped from the seed.
+[[nodiscard]] DynBitset connect_dominating_seed(const Graph& g,
+                                                DynBitset seed);
+
+/// CDS per component: greedy MIS plus connectors. Singleton components
+/// contribute nothing.
+[[nodiscard]] DynBitset mis_cds(const Graph& g);
+
+/// CDS per component: lowest-ID clusterheads plus connector gateways.
+[[nodiscard]] DynBitset cluster_cds(const Graph& g);
+
+}  // namespace pacds

@@ -1,0 +1,17 @@
+#pragma once
+// Spanning-tree CDS baseline: the internal (non-leaf) vertices of any
+// spanning tree form a connected dominating set. We root a BFS tree at each
+// component's max-degree node and optionally prune redundant internal nodes
+// greedily (highest-degree-last) while the set stays a valid CDS.
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+
+namespace pacds {
+
+/// Internal nodes of a max-degree-rooted BFS spanning tree, per component.
+/// With `prune`, nodes are then removed greedily (ascending degree) whenever
+/// removal keeps the set dominating and connected.
+[[nodiscard]] DynBitset bfs_tree_cds(const Graph& g, bool prune = true);
+
+}  // namespace pacds

@@ -1,0 +1,112 @@
+#include "cli/args.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace pacds {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  specs_.emplace_back(name, Spec{help, /*is_flag=*/true, ""});
+  flags_[name] = false;
+}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  specs_.emplace_back(name, Spec{help, /*is_flag=*/false, default_value});
+  values_[name] = default_value;
+}
+
+const ArgParser::Spec* ArgParser::find(const std::string& name) const {
+  for (const auto& [spec_name, spec] : specs_) {
+    if (spec_name == name) return &spec;
+  }
+  return nullptr;
+}
+
+bool ArgParser::parse(const std::vector<std::string>& tokens) {
+  error_.clear();
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.rfind("--", 0) != 0) {
+      positionals_.push_back(token);
+      continue;
+    }
+    std::string name = token.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const Spec* spec = find(name);
+    if (spec == nullptr) {
+      error_ = "unknown option --" + name;
+      return false;
+    }
+    if (spec->is_flag) {
+      if (inline_value) {
+        error_ = "flag --" + name + " does not take a value";
+        return false;
+      }
+      flags_[name] = true;
+      continue;
+    }
+    if (inline_value) {
+      values_[name] = *inline_value;
+    } else if (i + 1 < tokens.size()) {
+      values_[name] = tokens[++i];
+    } else {
+      error_ = "option --" + name + " needs a value";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second;
+}
+
+std::string ArgParser::option(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::string{} : it->second;
+}
+
+std::optional<std::int64_t> ArgParser::option_int(
+    const std::string& name) const {
+  const std::string raw = option(name);
+  if (raw.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') return std::nullopt;
+  return value;
+}
+
+std::optional<double> ArgParser::option_double(const std::string& name) const {
+  const std::string raw = option(name);
+  if (raw.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') return std::nullopt;
+  return value;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.is_flag) os << " <value>";
+    os << "\n      " << spec.help;
+    if (!spec.is_flag && !spec.default_value.empty()) {
+      os << " (default: " << spec.default_value << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pacds

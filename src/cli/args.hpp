@@ -1,0 +1,64 @@
+#pragma once
+// Tiny dependency-free command-line parser for the pacds CLI: long options
+// with values (--seed 42 or --seed=42), boolean flags (--dot), positional
+// arguments, typed accessors with defaults, and generated usage text.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pacds {
+
+/// Declarative option set + parser. Unknown options are errors; every
+/// option must be declared before parse().
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declares a boolean flag (present/absent).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Declares a value option with a default (shown in usage).
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parses tokens (argv without the program name). Returns false and sets
+  /// error() on unknown options, missing values, or bad syntax.
+  bool parse(const std::vector<std::string>& tokens);
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::string option(const std::string& name) const;
+  [[nodiscard]] std::optional<std::int64_t> option_int(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<double> option_double(
+      const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::string default_value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Spec>> specs_;  // declaration order
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+  std::vector<std::string> positionals_;
+  std::string error_;
+
+  [[nodiscard]] const Spec* find(const std::string& name) const;
+};
+
+}  // namespace pacds

@@ -1,0 +1,420 @@
+#include "cli/commands.hpp"
+
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "cli/args.hpp"
+#include "core/articulation.hpp"
+#include "core/cds.hpp"
+#include "core/metrics.hpp"
+#include "core/rule_k.hpp"
+#include "core/verify.hpp"
+#include "io/dot.hpp"
+#include "io/edgelist.hpp"
+#include "io/json.hpp"
+#include "io/scenario.hpp"
+#include "io/table.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "routing/routing.hpp"
+#include "sim/montecarlo.hpp"
+
+namespace pacds::cli {
+
+namespace {
+
+/// Graph source options shared by several subcommands.
+void add_graph_options(ArgParser& parser) {
+  parser.add_option("input", "edge-list file ('n m' header, 'u v' lines)", "");
+  parser.add_option("scenario", "scenario file (radius / hosts / 'x y "
+                                "energy' lines)", "");
+  parser.add_option("random", "generate a random connected unit-disk "
+                              "network with this many hosts", "30");
+  parser.add_option("seed", "RNG seed for generation", "2001");
+  parser.add_option("radius", "transmission radius for --random", "25");
+}
+
+struct LoadedGraph {
+  Graph graph;
+  std::vector<Vec2> positions;    // empty for edge-list input
+  std::vector<double> energies;   // empty unless a scenario provided them
+  double radius = kPaperRadius;
+};
+
+std::optional<LoadedGraph> load_graph(const ArgParser& parser,
+                                      std::ostream& err) {
+  const std::string input = parser.option("input");
+  if (!input.empty()) {
+    std::ifstream file(input);
+    if (!file) {
+      err << "error: cannot open " << input << "\n";
+      return std::nullopt;
+    }
+    try {
+      return LoadedGraph{read_edgelist(file), {}, {}, kPaperRadius};
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return std::nullopt;
+    }
+  }
+  const std::string scenario_path = parser.option("scenario");
+  if (!scenario_path.empty()) {
+    try {
+      Scenario scenario = load_scenario_file(scenario_path);
+      return LoadedGraph{scenario.graph(), std::move(scenario.positions),
+                         std::move(scenario.energies), scenario.radius};
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return std::nullopt;
+    }
+  }
+  const auto n = parser.option_int("random");
+  const auto seed = parser.option_int("seed");
+  const auto radius = parser.option_double("radius");
+  if (!n || *n < 1 || !seed || !radius || *radius < 0.0) {
+    err << "error: bad --random/--seed/--radius values\n";
+    return std::nullopt;
+  }
+  Xoshiro256 rng(static_cast<std::uint64_t>(*seed));
+  if (auto placed = random_connected_placement(
+          static_cast<int>(*n), Field::paper_field(), *radius, rng, 2000)) {
+    return LoadedGraph{std::move(placed->graph), std::move(placed->positions),
+                       {}, *radius};
+  }
+  err << "error: no connected placement found for n=" << *n
+      << " r=" << *radius << " (try a larger radius)\n";
+  return std::nullopt;
+}
+
+/// Energy levels for the EL schemes: the scenario's when provided, random
+/// otherwise.
+std::vector<double> energies_for(const LoadedGraph& loaded,
+                                 std::uint64_t seed) {
+  if (!loaded.energies.empty()) return loaded.energies;
+  Xoshiro256 rng(seed ^ 0xe1e1e1);
+  std::vector<double> energy;
+  for (NodeId v = 0; v < loaded.graph.num_nodes(); ++v) {
+    energy.push_back(static_cast<double>(rng.uniform_int(1, 100)));
+  }
+  return energy;
+}
+
+std::optional<RuleSet> parse_scheme(const std::string& name) {
+  if (name == "NR") return RuleSet::kNR;
+  if (name == "ID") return RuleSet::kID;
+  if (name == "ND") return RuleSet::kND;
+  if (name == "EL1") return RuleSet::kEL1;
+  if (name == "EL2") return RuleSet::kEL2;
+  return std::nullopt;
+}
+
+std::optional<Strategy> parse_strategy(const std::string& name) {
+  if (name == "simultaneous") return Strategy::kSimultaneous;
+  if (name == "sequential") return Strategy::kSequential;
+  if (name == "verified") return Strategy::kVerified;
+  return std::nullopt;
+}
+
+std::optional<KeyKind> parse_key(const std::string& name) {
+  if (name == "ID") return KeyKind::kId;
+  if (name == "ND") return KeyKind::kDegreeId;
+  if (name == "EL1") return KeyKind::kEnergyId;
+  if (name == "EL2") return KeyKind::kEnergyDegreeId;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int cmd_cds(const std::vector<std::string>& tokens, std::ostream& out,
+            std::ostream& err) {
+  ArgParser parser("pacds cds", "compute a connected dominating set");
+  add_graph_options(parser);
+  parser.add_option("scheme", "NR | ID | ND | EL1 | EL2 | RULEK", "ID");
+  parser.add_option("key", "priority key for --scheme RULEK "
+                           "(ID | ND | EL1 | EL2)", "ND");
+  parser.add_option("strategy", "sequential | simultaneous | verified",
+                    "sequential");
+  parser.add_flag("dot", "emit Graphviz instead of a summary");
+  parser.add_flag("json", "emit a JSON summary instead of text");
+  parser.add_option("save-scenario",
+                    "write the network (positions + energies) to this file",
+                    "");
+  parser.add_flag("help", "show usage");
+  if (!parser.parse(tokens)) {
+    err << "error: " << parser.error() << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.flag("help")) {
+    out << parser.usage();
+    return 0;
+  }
+  const auto loaded = load_graph(parser, err);
+  if (!loaded) return 1;
+  const Graph& g = loaded->graph;
+  const auto seed =
+      static_cast<std::uint64_t>(parser.option_int("seed").value_or(2001));
+  const auto strategy = parse_strategy(parser.option("strategy"));
+  if (!strategy) {
+    err << "error: unknown strategy '" << parser.option("strategy") << "'\n";
+    return 2;
+  }
+  const std::vector<double> energy = energies_for(*loaded, seed);
+
+  const std::string save_path = parser.option("save-scenario");
+  if (!save_path.empty()) {
+    if (loaded->positions.empty()) {
+      err << "error: --save-scenario needs a positional network "
+             "(--random or --scenario input)\n";
+      return 2;
+    }
+    Scenario scenario;
+    scenario.radius = loaded->radius;
+    scenario.positions = loaded->positions;
+    scenario.energies = energy;
+    if (!save_scenario_file(save_path, scenario)) {
+      err << "error: cannot write " << save_path << "\n";
+      return 1;
+    }
+    out << "saved scenario to " << save_path << "\n";
+  }
+
+  CdsResult result;
+  const std::string scheme = parser.option("scheme");
+  if (scheme == "RULEK") {
+    const auto key = parse_key(parser.option("key"));
+    if (!key) {
+      err << "error: unknown key '" << parser.option("key") << "'\n";
+      return 2;
+    }
+    result = compute_cds_rule_k(g, *key, energy, *strategy);
+  } else {
+    const auto rs = parse_scheme(scheme);
+    if (!rs) {
+      err << "error: unknown scheme '" << scheme << "'\n";
+      return 2;
+    }
+    CdsOptions options;
+    options.strategy = *strategy;
+    result = compute_cds(g, *rs, energy, options);
+  }
+
+  if (parser.flag("dot")) {
+    out << to_dot(g, &result.gateways,
+                  loaded->positions.empty() ? nullptr : &loaded->positions);
+    return 0;
+  }
+  const CdsCheck check = check_cds(g, result.gateways);
+  if (parser.flag("json")) {
+    JsonWriter json(out);
+    json.begin_object();
+    json.key("hosts").value(g.num_nodes());
+    json.key("links").value(g.num_edges());
+    json.key("scheme").value(scheme);
+    json.key("strategy").value(parser.option("strategy"));
+    json.key("marked").value(result.marked_count);
+    json.key("gateway_count").value(result.gateway_count);
+    json.key("valid").value(check.ok());
+    json.key("gateways").begin_array();
+    result.gateways.for_each_set(
+        [&json](std::size_t v) { json.value(v); });
+    json.end_array();
+    json.end_object();
+    out << "\n";
+    return check.ok() ? 0 : 1;
+  }
+  out << "hosts:     " << g.num_nodes() << "\n"
+      << "links:     " << g.num_edges() << "\n"
+      << "marked:    " << result.marked_count << " (marking process)\n"
+      << "gateways:  " << result.gateway_count << " " << scheme << "/"
+      << parser.option("strategy") << "\n"
+      << "valid CDS: " << (check.ok() ? "yes" : "NO — " + check.message)
+      << "\n"
+      << "set:       " << result.gateways.to_string() << "\n";
+  return check.ok() ? 0 : 1;
+}
+
+int cmd_info(const std::vector<std::string>& tokens, std::ostream& out,
+             std::ostream& err) {
+  ArgParser parser("pacds info", "structural statistics of a network");
+  add_graph_options(parser);
+  parser.add_flag("help", "show usage");
+  if (!parser.parse(tokens)) {
+    err << "error: " << parser.error() << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.flag("help")) {
+    out << parser.usage();
+    return 0;
+  }
+  const auto loaded = load_graph(parser, err);
+  if (!loaded) return 1;
+  const Graph& g = loaded->graph;
+
+  const DegreeStats degrees = degree_stats(g);
+  const DynBitset cuts = articulation_points(g);
+  out << "hosts:        " << g.num_nodes() << "\n"
+      << "links:        " << g.num_edges() << "\n"
+      << "degree:       min " << degrees.min << ", avg "
+      << TextTable::fmt(degrees.mean) << ", max " << degrees.max << "\n"
+      << "density:      " << TextTable::fmt(edge_density(g), 3) << "\n"
+      << "clustering:   " << TextTable::fmt(average_clustering(g), 3) << "\n"
+      << "triangles:    " << triangle_count(g) << "\n"
+      << "components:   " << g.num_components() << "\n"
+      << "connected:    " << (g.is_connected() ? "yes" : "no") << "\n"
+      << "complete:     " << (g.is_complete() ? "yes" : "no") << "\n";
+  if (const auto diam = g.diameter()) {
+    out << "diameter:     " << *diam << "\n";
+  }
+  out << "cut vertices: " << cuts.count() << " " << cuts.to_string() << "\n"
+      << "bridges:      " << bridges(g).size() << "\n"
+      << "marked (NR):  " << marking_process(g).count() << "\n";
+  return 0;
+}
+
+int cmd_route(const std::vector<std::string>& tokens, std::ostream& out,
+              std::ostream& err) {
+  ArgParser parser("pacds route",
+                   "route a packet through the gateway backbone");
+  add_graph_options(parser);
+  parser.add_option("scheme", "NR | ID | ND | EL1 | EL2", "ID");
+  parser.add_option("src", "source host id", "0");
+  parser.add_option("dst", "destination host id", "1");
+  parser.add_flag("help", "show usage");
+  if (!parser.parse(tokens)) {
+    err << "error: " << parser.error() << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.flag("help")) {
+    out << parser.usage();
+    return 0;
+  }
+  const auto loaded = load_graph(parser, err);
+  if (!loaded) return 1;
+  const Graph& g = loaded->graph;
+  const auto rs = parse_scheme(parser.option("scheme"));
+  if (!rs) {
+    err << "error: unknown scheme '" << parser.option("scheme") << "'\n";
+    return 2;
+  }
+  const auto src = parser.option_int("src");
+  const auto dst = parser.option_int("dst");
+  if (!src || !dst || *src < 0 || *dst < 0 || *src >= g.num_nodes() ||
+      *dst >= g.num_nodes()) {
+    err << "error: --src/--dst out of range [0, " << g.num_nodes() << ")\n";
+    return 2;
+  }
+  const auto seed =
+      static_cast<std::uint64_t>(parser.option_int("seed").value_or(2001));
+  const CdsResult cds = compute_cds(g, *rs, energies_for(*loaded, seed));
+  const DominatingSetRouter router(g, cds.gateways);
+  const RouteResult route = router.route(static_cast<NodeId>(*src),
+                                         static_cast<NodeId>(*dst));
+  out << "gateways (" << cds.gateway_count
+      << "): " << cds.gateways.to_string() << "\n";
+  if (!route.delivered) {
+    out << "route " << *src << " -> " << *dst
+        << ": UNDELIVERABLE (" << route.failure << ")\n";
+    return 1;
+  }
+  out << "route " << *src << " -> " << *dst << " (" << route.path.size() - 1
+      << " hops):";
+  for (const NodeId hop : route.path) out << " " << hop;
+  out << "\n";
+  return 0;
+}
+
+int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
+            std::ostream& err) {
+  ArgParser parser("pacds sim", "run the paper's lifetime simulation");
+  parser.add_option("n", "number of hosts", "50");
+  parser.add_option("trials", "Monte-Carlo trials", "30");
+  parser.add_option("model", "gateway drain model: 1 (d=2/|G'|), "
+                             "2 (d=N/|G'|), 3 (d=N(N-1)/2/(10|G'|))", "2");
+  parser.add_option("scheme", "NR | ID | ND | EL1 | EL2 | all", "all");
+  parser.add_option("seed", "base RNG seed", "2001");
+  parser.add_option("quantum", "energy-key quantization (0 = off)", "1");
+  parser.add_flag("help", "show usage");
+  if (!parser.parse(tokens)) {
+    err << "error: " << parser.error() << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.flag("help")) {
+    out << parser.usage();
+    return 0;
+  }
+  const auto n = parser.option_int("n");
+  const auto trials = parser.option_int("trials");
+  const auto model = parser.option_int("model");
+  const auto seed = parser.option_int("seed");
+  const auto quantum = parser.option_double("quantum");
+  if (!n || *n < 1 || !trials || *trials < 1 || !model || *model < 1 ||
+      *model > 3 || !seed || !quantum) {
+    err << "error: bad numeric option\n" << parser.usage();
+    return 2;
+  }
+  SimConfig config;
+  config.n_hosts = static_cast<int>(*n);
+  config.drain_model = *model == 1   ? DrainModel::kConstantTotal
+                       : *model == 2 ? DrainModel::kLinearTotal
+                                     : DrainModel::kQuadraticTotal;
+  config.energy_key_quantum = *quantum;
+
+  std::vector<RuleSet> schemes;
+  const std::string scheme = parser.option("scheme");
+  if (scheme == "all") {
+    schemes.assign(std::begin(kAllRuleSets), std::end(kAllRuleSets));
+  } else if (const auto rs = parse_scheme(scheme)) {
+    schemes.push_back(*rs);
+  } else {
+    err << "error: unknown scheme '" << scheme << "'\n";
+    return 2;
+  }
+
+  out << "lifetime simulation: n=" << *n << ", "
+      << to_string(config.drain_model) << ", " << *trials << " trials\n";
+  TextTable table({"scheme", "lifetime", "±95%", "avg |G'|"});
+  table.set_align(0, Align::kLeft);
+  for (const RuleSet rs : schemes) {
+    config.rule_set = rs;
+    const LifetimeSummary s = run_lifetime_trials(
+        config, static_cast<std::size_t>(*trials),
+        static_cast<std::uint64_t>(*seed));
+    table.add_row({to_string(rs), TextTable::fmt(s.intervals.mean),
+                   TextTable::fmt(s.intervals.ci95),
+                   TextTable::fmt(s.avg_gateways.mean)});
+  }
+  table.print(out);
+  return 0;
+}
+
+std::string main_usage() {
+  return "pacds — power-aware connected dominating sets "
+         "(Wu-Gao-Stojmenovic, ICPP 2001)\n\n"
+         "usage: pacds <command> [options]\n\n"
+         "commands:\n"
+         "  cds     compute a gateway set (schemes NR/ID/ND/EL1/EL2/RULEK)\n"
+         "  info    structural statistics of a network\n"
+         "  route   route a packet through the gateway backbone\n"
+         "  sim     run the paper's lifetime simulation\n\n"
+         "run 'pacds <command> --help' for command options\n";
+}
+
+int run(const std::vector<std::string>& tokens, std::ostream& out,
+        std::ostream& err) {
+  if (tokens.empty() || tokens[0] == "--help" || tokens[0] == "help") {
+    out << main_usage();
+    return tokens.empty() ? 2 : 0;
+  }
+  const std::string command = tokens[0];
+  const std::vector<std::string> rest(tokens.begin() + 1, tokens.end());
+  if (command == "cds") return cmd_cds(rest, out, err);
+  if (command == "info") return cmd_info(rest, out, err);
+  if (command == "route") return cmd_route(rest, out, err);
+  if (command == "sim") return cmd_sim(rest, out, err);
+  err << "error: unknown command '" << command << "'\n\n" << main_usage();
+  return 2;
+}
+
+}  // namespace pacds::cli

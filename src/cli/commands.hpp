@@ -1,0 +1,34 @@
+#pragma once
+// The pacds command-line tool's subcommands, exposed as functions over an
+// explicit output stream so tests can drive them without a process.
+//
+//   pacds cds    — compute a gateway set for a graph (file or random)
+//   pacds info   — structural stats of a graph (components, cuts, ...)
+//   pacds route  — route a packet through the backbone
+//   pacds sim    — run the paper's lifetime simulation
+//
+// Each command returns a process exit code (0 = success).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pacds::cli {
+
+/// Dispatches to a subcommand; tokens[0] is the subcommand name.
+int run(const std::vector<std::string>& tokens, std::ostream& out,
+        std::ostream& err);
+
+int cmd_cds(const std::vector<std::string>& tokens, std::ostream& out,
+            std::ostream& err);
+int cmd_info(const std::vector<std::string>& tokens, std::ostream& out,
+             std::ostream& err);
+int cmd_route(const std::vector<std::string>& tokens, std::ostream& out,
+              std::ostream& err);
+int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
+            std::ostream& err);
+
+/// Top-level usage text.
+[[nodiscard]] std::string main_usage();
+
+}  // namespace pacds::cli

@@ -1,0 +1,12 @@
+// Entry point of the pacds command-line tool.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> tokens(argv + 1, argv + argc);
+  return pacds::cli::run(tokens, std::cout, std::cerr);
+}

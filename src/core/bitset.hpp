@@ -1,0 +1,118 @@
+#pragma once
+// Dynamic, word-packed bitset tuned for the set-algebra the CDS rules need:
+// subset tests, unions, and covered-by-union-of-two tests over node
+// neighborhoods. Unlike std::vector<bool>, the word representation makes a
+// subset test a handful of AND/CMP instructions per 64 nodes.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pacds {
+
+/// Fixed-size-at-construction bitset over indices [0, size()).
+///
+/// All binary operations require equal sizes; violations throw
+/// std::invalid_argument so misuse is caught in tests rather than silently
+/// truncating.
+class DynBitset {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  DynBitset() = default;
+
+  /// Constructs a bitset holding `nbits` bits, all clear.
+  explicit DynBitset(std::size_t nbits);
+
+  /// Number of bits this set ranges over (not the number of set bits).
+  [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
+
+  /// Sets bit `i` to `value`. Throws std::out_of_range on bad index.
+  void set(std::size_t i, bool value = true);
+
+  /// Clears bit `i`.
+  void reset(std::size_t i) { set(i, false); }
+
+  /// Clears every bit.
+  void reset_all() noexcept;
+
+  /// Sets every bit in [0, size()).
+  void set_all() noexcept;
+
+  /// Returns bit `i`. Throws std::out_of_range on bad index.
+  [[nodiscard]] bool test(std::size_t i) const;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// True iff no bit is set.
+  [[nodiscard]] bool none() const noexcept;
+
+  /// True iff at least one bit is set.
+  [[nodiscard]] bool any() const noexcept { return !none(); }
+
+  /// True iff every bit of *this is also set in `other`.
+  [[nodiscard]] bool is_subset_of(const DynBitset& other) const;
+
+  /// True iff every bit of *this is set in `a` or in `b`
+  /// (i.e. *this ⊆ a ∪ b) without materializing the union.
+  [[nodiscard]] bool is_subset_of_union(const DynBitset& a,
+                                        const DynBitset& b) const;
+
+  /// True iff *this and `other` share at least one set bit.
+  [[nodiscard]] bool intersects(const DynBitset& other) const;
+
+  DynBitset& operator|=(const DynBitset& other);
+  DynBitset& operator&=(const DynBitset& other);
+  DynBitset& operator^=(const DynBitset& other);
+
+  /// Removes from *this every bit set in `other`.
+  DynBitset& subtract(const DynBitset& other);
+
+  friend DynBitset operator|(DynBitset lhs, const DynBitset& rhs) {
+    lhs |= rhs;
+    return lhs;
+  }
+  friend DynBitset operator&(DynBitset lhs, const DynBitset& rhs) {
+    lhs &= rhs;
+    return lhs;
+  }
+
+  bool operator==(const DynBitset& other) const = default;
+
+  /// Index of the lowest set bit, or size() if none.
+  [[nodiscard]] std::size_t find_first() const noexcept;
+
+  /// Index of the lowest set bit strictly greater than `i`, or size() if none.
+  [[nodiscard]] std::size_t find_next(std::size_t i) const noexcept;
+
+  /// Calls `fn(index)` for every set bit in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      Word bits = words_[w];
+      while (bits != 0) {
+        const auto bit = static_cast<std::size_t>(__builtin_ctzll(bits));
+        fn(w * kWordBits + bit);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> to_indices() const;
+
+  /// "{1, 4, 7}"-style rendering, useful in test failure messages.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void check_same_size(const DynBitset& other) const;
+  void clear_padding() noexcept;
+
+  std::size_t nbits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace pacds

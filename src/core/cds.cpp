@@ -1,0 +1,83 @@
+#include "core/cds.hpp"
+
+#include <stdexcept>
+
+namespace pacds {
+
+std::string to_string(RuleSet rs) {
+  switch (rs) {
+    case RuleSet::kNR:
+      return "NR";
+    case RuleSet::kID:
+      return "ID";
+    case RuleSet::kND:
+      return "ND";
+    case RuleSet::kEL1:
+      return "EL1";
+    case RuleSet::kEL2:
+      return "EL2";
+  }
+  return "?";
+}
+
+bool uses_energy(RuleSet rs) {
+  return rs == RuleSet::kEL1 || rs == RuleSet::kEL2;
+}
+
+KeyKind key_kind_of(RuleSet rs) {
+  switch (rs) {
+    case RuleSet::kNR:
+    case RuleSet::kID:
+      return KeyKind::kId;
+    case RuleSet::kND:
+      return KeyKind::kDegreeId;
+    case RuleSet::kEL1:
+      return KeyKind::kEnergyId;
+    case RuleSet::kEL2:
+      return KeyKind::kEnergyDegreeId;
+  }
+  return KeyKind::kId;
+}
+
+Rule2Form rule2_form_of(RuleSet rs) {
+  // The original ID rules use the min-of-three Rule 2; the extensions
+  // (Sections 3.1-3.2) all use the coverage-symmetry case analysis.
+  return rs == RuleSet::kID ? Rule2Form::kSimple : Rule2Form::kRefined;
+}
+
+CdsResult compute_cds_custom(const Graph& g, KeyKind kind,
+                             const RuleConfig& config,
+                             const std::vector<double>& energy,
+                             CliquePolicy clique_policy) {
+  const bool needs_energy =
+      kind == KeyKind::kEnergyId || kind == KeyKind::kEnergyDegreeId;
+  if (needs_energy &&
+      energy.size() != static_cast<std::size_t>(g.num_nodes())) {
+    throw std::invalid_argument(
+        "compute_cds: energy-based scheme needs one level per node");
+  }
+  const PriorityKey key(kind, g, needs_energy ? &energy : nullptr);
+
+  CdsResult result;
+  result.marked_only = marking_process(g);
+  result.marked_count = result.marked_only.count();
+  result.gateways = result.marked_only;
+  apply_rules(g, key, config, result.gateways);
+  apply_clique_policy(g, key, clique_policy, result.gateways);
+  result.gateway_count = result.gateways.count();
+  return result;
+}
+
+CdsResult compute_cds(const Graph& g, RuleSet rs,
+                      const std::vector<double>& energy,
+                      const CdsOptions& options) {
+  RuleConfig config;
+  config.use_rule1 = rs != RuleSet::kNR;
+  config.use_rule2 = rs != RuleSet::kNR;
+  config.rule2_form = rule2_form_of(rs);
+  config.strategy = options.strategy;
+  return compute_cds_custom(g, key_kind_of(rs), config, energy,
+                            options.clique_policy);
+}
+
+}  // namespace pacds

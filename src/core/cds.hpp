@@ -1,0 +1,77 @@
+#pragma once
+// Top-level API: compute a (power-aware) connected dominating set of a
+// network snapshot with one of the paper's five schemes, or a fully custom
+// configuration. This is the entry point the simulator, examples and
+// benchmarks use.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+#include "core/keys.hpp"
+#include "core/marking.hpp"
+#include "core/rules.hpp"
+
+namespace pacds {
+
+/// The five schemes compared in the paper's evaluation (Figures 10-13).
+enum class RuleSet : std::uint8_t {
+  kNR,   ///< marking process only, no reduction rules
+  kID,   ///< Rules 1 + 2 (node-id keys) — Wu & Li
+  kND,   ///< Rules 1a + 2a (degree keys)
+  kEL1,  ///< Rules 1b + 2b (energy keys, id tie-break) — paper's proposal
+  kEL2,  ///< Rules 1b' + 2b' (energy keys, degree then id tie-break)
+};
+
+/// All five schemes in paper order, for sweeps.
+inline constexpr RuleSet kAllRuleSets[] = {RuleSet::kNR, RuleSet::kID,
+                                           RuleSet::kND, RuleSet::kEL1,
+                                           RuleSet::kEL2};
+
+[[nodiscard]] std::string to_string(RuleSet rs);
+
+/// True iff the scheme's priority key reads node energy levels.
+[[nodiscard]] bool uses_energy(RuleSet rs);
+
+/// Key kind used by a scheme (meaningless for kNR, which applies no rules;
+/// returns kId there so clique election still has a total order).
+[[nodiscard]] KeyKind key_kind_of(RuleSet rs);
+
+/// Rule 2 formulation used by a scheme: kSimple for the original ID rules,
+/// kRefined for the a/b/b' families.
+[[nodiscard]] Rule2Form rule2_form_of(RuleSet rs);
+
+/// Options for compute_cds beyond the scheme itself.
+struct CdsOptions {
+  /// kSequential is the safe default (see Strategy docs); kSimultaneous is
+  /// the paper's synchronous semantics, which can violate connectivity.
+  Strategy strategy = Strategy::kSequential;
+  CliquePolicy clique_policy = CliquePolicy::kNone;
+};
+
+/// Result of a CDS computation.
+struct CdsResult {
+  DynBitset gateways;        ///< final marked set
+  DynBitset marked_only;     ///< marking-process output before rules
+  std::size_t marked_count = 0;   ///< |marking output|
+  std::size_t gateway_count = 0;  ///< |final set|
+};
+
+/// Computes the gateway set of `g` under scheme `rs`.
+///
+/// `energy` must have one level per node for the energy-based schemes
+/// (kEL1/kEL2); it is ignored otherwise and may be empty. With all-equal
+/// levels kEL1 behaves like id-keyed refined rules and kEL2 like kND.
+[[nodiscard]] CdsResult compute_cds(const Graph& g, RuleSet rs,
+                                    const std::vector<double>& energy = {},
+                                    const CdsOptions& options = {});
+
+/// Fully custom variant: any key kind + rule configuration.
+[[nodiscard]] CdsResult compute_cds_custom(
+    const Graph& g, KeyKind kind, const RuleConfig& config,
+    const std::vector<double>& energy = {},
+    CliquePolicy clique_policy = CliquePolicy::kNone);
+
+}  // namespace pacds

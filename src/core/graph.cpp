@@ -1,0 +1,276 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+namespace pacds {
+
+Graph::Graph(NodeId n) {
+  if (n < 0) throw std::invalid_argument("Graph: negative vertex count");
+  n_ = n;
+  adj_.resize(static_cast<std::size_t>(n));
+  rows_.assign(static_cast<std::size_t>(n),
+               DynBitset(static_cast<std::size_t>(n)));
+}
+
+Graph Graph::from_edges(NodeId n,
+                        const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+void Graph::check_node(NodeId v, const char* what) const {
+  if (v < 0 || v >= n_) {
+    throw std::invalid_argument(std::string("Graph::") + what + ": vertex " +
+                                std::to_string(v) + " out of range [0, " +
+                                std::to_string(n_) + ")");
+  }
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  check_node(u, "add_edge");
+  check_node(v, "add_edge");
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (has_edge(u, v)) return false;
+  auto& au = adj_[static_cast<std::size_t>(u)];
+  auto& av = adj_[static_cast<std::size_t>(v)];
+  au.insert(std::lower_bound(au.begin(), au.end(), v), v);
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+  rows_[static_cast<std::size_t>(u)].set(static_cast<std::size_t>(v));
+  rows_[static_cast<std::size_t>(v)].set(static_cast<std::size_t>(u));
+  ++m_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  check_node(u, "remove_edge");
+  check_node(v, "remove_edge");
+  if (u == v || !has_edge(u, v)) return false;
+  auto& au = adj_[static_cast<std::size_t>(u)];
+  auto& av = adj_[static_cast<std::size_t>(v)];
+  au.erase(std::lower_bound(au.begin(), au.end(), v));
+  av.erase(std::lower_bound(av.begin(), av.end(), u));
+  rows_[static_cast<std::size_t>(u)].reset(static_cast<std::size_t>(v));
+  rows_[static_cast<std::size_t>(v)].reset(static_cast<std::size_t>(u));
+  --m_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u, "has_edge");
+  check_node(v, "has_edge");
+  if (u == v) return false;
+  return rows_[static_cast<std::size_t>(u)].test(static_cast<std::size_t>(v));
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  check_node(v, "neighbors");
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+NodeId Graph::degree(NodeId v) const {
+  check_node(v, "degree");
+  return static_cast<NodeId>(adj_[static_cast<std::size_t>(v)].size());
+}
+
+const DynBitset& Graph::open_row(NodeId v) const {
+  check_node(v, "open_row");
+  return rows_[static_cast<std::size_t>(v)];
+}
+
+DynBitset Graph::closed_row(NodeId v) const {
+  check_node(v, "closed_row");
+  DynBitset row = rows_[static_cast<std::size_t>(v)];
+  row.set(static_cast<std::size_t>(v));
+  return row;
+}
+
+bool Graph::closed_covered_by(NodeId v, NodeId u) const {
+  check_node(v, "closed_covered_by");
+  check_node(u, "closed_covered_by");
+  // N[v] ⊆ N[u]  ⇔  v ∈ N[u]  ∧  (N(v) \ {u}) ⊆ N(u).
+  if (v == u) return true;
+  if (!has_edge(u, v)) return false;  // v ∈ N[u] requires adjacency
+  const DynBitset& nu = rows_[static_cast<std::size_t>(u)];
+  for (const NodeId x : neighbors(v)) {
+    if (x == u) continue;  // u ∈ N[u] trivially
+    if (!nu.test(static_cast<std::size_t>(x))) return false;
+  }
+  return true;
+}
+
+bool Graph::open_covered_by_pair(NodeId v, NodeId u, NodeId w) const {
+  check_node(v, "open_covered_by_pair");
+  check_node(u, "open_covered_by_pair");
+  check_node(w, "open_covered_by_pair");
+  // N(v) ⊆ N(u) ∪ N(w). Note u, w themselves may appear in N(v); they are
+  // covered iff the edge {u, w} exists (u ∈ N(w)) — the rule's implicit
+  // "u and w are connected" consequence falls out of the raw set test.
+  const DynBitset& nu = rows_[static_cast<std::size_t>(u)];
+  const DynBitset& nw = rows_[static_cast<std::size_t>(w)];
+  for (const NodeId x : neighbors(v)) {
+    const auto xi = static_cast<std::size_t>(x);
+    if (!nu.test(xi) && !nw.test(xi)) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> Graph::bfs_distances(NodeId src,
+                                         const DynBitset* allowed) const {
+  check_node(src, "bfs_distances");
+  std::vector<NodeId> dist(static_cast<std::size_t>(n_), -1);
+  dist[static_cast<std::size_t>(src)] = 0;
+  std::deque<NodeId> queue{src};
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    // Only allowed vertices (or the source) may relay further hops.
+    const bool can_relay =
+        cur == src || allowed == nullptr ||
+        allowed->test(static_cast<std::size_t>(cur));
+    if (!can_relay) continue;
+    for (const NodeId nxt : neighbors(cur)) {
+      auto& d = dist[static_cast<std::size_t>(nxt)];
+      if (d < 0) {
+        d = static_cast<NodeId>(dist[static_cast<std::size_t>(cur)] + 1);
+        queue.push_back(nxt);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> Graph::components() const {
+  std::vector<NodeId> comp(static_cast<std::size_t>(n_), -1);
+  NodeId next = 0;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < n_; ++s) {
+    if (comp[static_cast<std::size_t>(s)] >= 0) continue;
+    comp[static_cast<std::size_t>(s)] = next;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const NodeId cur = queue.front();
+      queue.pop_front();
+      for (const NodeId nxt : neighbors(cur)) {
+        if (comp[static_cast<std::size_t>(nxt)] < 0) {
+          comp[static_cast<std::size_t>(nxt)] = next;
+          queue.push_back(nxt);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+NodeId Graph::num_components() const {
+  const auto comp = components();
+  NodeId max_id = -1;
+  for (const NodeId c : comp) max_id = std::max(max_id, c);
+  return static_cast<NodeId>(max_id + 1);
+}
+
+bool Graph::is_connected() const { return n_ <= 1 || num_components() == 1; }
+
+bool Graph::is_complete() const {
+  if (n_ <= 1) return true;
+  return m_ == static_cast<std::size_t>(n_) * (static_cast<std::size_t>(n_) - 1) / 2;
+}
+
+DynBitset Graph::component_of(NodeId v) const {
+  check_node(v, "component_of");
+  DynBitset in_comp(static_cast<std::size_t>(n_));
+  const auto dist = bfs_distances(v);
+  for (NodeId i = 0; i < n_; ++i) {
+    if (dist[static_cast<std::size_t>(i)] >= 0) {
+      in_comp.set(static_cast<std::size_t>(i));
+    }
+  }
+  return in_comp;
+}
+
+Graph Graph::induced(const DynBitset& keep, std::vector<NodeId>* mapping) const {
+  if (keep.size() != static_cast<std::size_t>(n_)) {
+    throw std::invalid_argument("Graph::induced: mask size mismatch");
+  }
+  std::vector<NodeId> old_of_new;
+  std::vector<NodeId> new_of_old(static_cast<std::size_t>(n_), -1);
+  keep.for_each_set([&](std::size_t i) {
+    new_of_old[i] = static_cast<NodeId>(old_of_new.size());
+    old_of_new.push_back(static_cast<NodeId>(i));
+  });
+  Graph sub(static_cast<NodeId>(old_of_new.size()));
+  for (const NodeId old_u : old_of_new) {
+    for (const NodeId old_v : neighbors(old_u)) {
+      if (old_v > old_u && keep.test(static_cast<std::size_t>(old_v))) {
+        sub.add_edge(new_of_old[static_cast<std::size_t>(old_u)],
+                     new_of_old[static_cast<std::size_t>(old_v)]);
+      }
+    }
+  }
+  if (mapping != nullptr) *mapping = std::move(old_of_new);
+  return sub;
+}
+
+std::vector<NodeId> Graph::shortest_path(NodeId src, NodeId dst,
+                                         const DynBitset* allowed) const {
+  check_node(src, "shortest_path");
+  check_node(dst, "shortest_path");
+  if (src == dst) return {src};
+  std::vector<NodeId> parent(static_cast<std::size_t>(n_), -1);
+  std::vector<char> seen(static_cast<std::size_t>(n_), 0);
+  seen[static_cast<std::size_t>(src)] = 1;
+  std::deque<NodeId> queue{src};
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    const bool can_relay =
+        cur == src || allowed == nullptr ||
+        allowed->test(static_cast<std::size_t>(cur));
+    if (!can_relay) continue;
+    for (const NodeId nxt : neighbors(cur)) {
+      if (seen[static_cast<std::size_t>(nxt)]) continue;
+      seen[static_cast<std::size_t>(nxt)] = 1;
+      parent[static_cast<std::size_t>(nxt)] = cur;
+      if (nxt == dst) {
+        std::vector<NodeId> path{dst};
+        for (NodeId p = cur; p != -1; p = parent[static_cast<std::size_t>(p)]) {
+          path.push_back(p);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(nxt);
+    }
+  }
+  return {};
+}
+
+std::optional<NodeId> Graph::diameter() const {
+  if (n_ == 0 || !is_connected()) return std::nullopt;
+  NodeId diam = 0;
+  for (NodeId s = 0; s < n_; ++s) {
+    for (const NodeId d : bfs_distances(s)) diam = std::max(diam, d);
+  }
+  return diam;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(m_);
+  for (NodeId u = 0; u < n_; ++u) {
+    for (const NodeId v : neighbors(u)) {
+      if (v > u) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+bool Graph::operator==(const Graph& other) const {
+  return n_ == other.n_ && adj_ == other.adj_;
+}
+
+}  // namespace pacds

@@ -1,0 +1,123 @@
+#pragma once
+// Undirected simple graph substrate used to model an ad hoc wireless network:
+// vertices are mobile hosts, an edge {u, v} means u and v are inside each
+// other's transmission range (the paper's unit-disk model, Section 1).
+//
+// The representation keeps both sorted adjacency vectors (cheap iteration)
+// and one DynBitset row per vertex (O(n/64) neighborhood subset tests, the
+// inner loop of every reduction rule).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/bitset.hpp"
+
+namespace pacds {
+
+/// Vertex index; the paper's node "ID" is exactly this index (distinct per
+/// node, totally ordered).
+using NodeId = std::int32_t;
+
+/// Undirected simple graph with a fixed vertex count.
+///
+/// Mutations (add_edge/remove_edge) keep both representations coherent;
+/// self-loops and duplicate edges are rejected/ignored respectively.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates an edgeless graph on `n` vertices.
+  explicit Graph(NodeId n);
+
+  /// Builds a graph from an explicit edge list. Throws on out-of-range
+  /// endpoints or self-loops; duplicate edges are collapsed.
+  static Graph from_edges(NodeId n,
+                          const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return m_; }
+
+  /// Adds undirected edge {u, v}. Returns false (no-op) if already present.
+  /// Throws std::invalid_argument for self-loops or out-of-range vertices.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes undirected edge {u, v}. Returns false if absent.
+  bool remove_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Open neighbor set N(v) as a sorted span.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const;
+
+  /// Degree |N(v)| — the paper's nd(v).
+  [[nodiscard]] NodeId degree(NodeId v) const;
+
+  /// Open neighborhood N(v) as a bitset row.
+  [[nodiscard]] const DynBitset& open_row(NodeId v) const;
+
+  /// Closed neighborhood N[v] = N(v) ∪ {v} (materialized copy).
+  [[nodiscard]] DynBitset closed_row(NodeId v) const;
+
+  /// True iff N[v] ⊆ N[u] — the coverage condition of Rule 1.
+  [[nodiscard]] bool closed_covered_by(NodeId v, NodeId u) const;
+
+  /// True iff N(v) ⊆ N(u) ∪ N(w) — the coverage condition of Rule 2.
+  [[nodiscard]] bool open_covered_by_pair(NodeId v, NodeId u, NodeId w) const;
+
+  // ---- Traversal / structure -------------------------------------------
+
+  /// BFS hop distances from `src`; unreachable nodes get -1. If `allowed` is
+  /// non-null, intermediate hops are restricted to nodes in `allowed`
+  /// (src itself is always expanded; a target outside `allowed` still gets a
+  /// distance when adjacent to an allowed/last-hop node — i.e. `allowed`
+  /// constrains *interior* vertices of paths, matching gateway routing).
+  [[nodiscard]] std::vector<NodeId> bfs_distances(
+      NodeId src, const DynBitset* allowed = nullptr) const;
+
+  /// Component id per node (0-based, components numbered by discovery).
+  [[nodiscard]] std::vector<NodeId> components() const;
+
+  /// Number of connected components (0 for the empty graph).
+  [[nodiscard]] NodeId num_components() const;
+
+  [[nodiscard]] bool is_connected() const;
+
+  /// True iff every pair of distinct vertices is adjacent (K_n); vacuously
+  /// true for n <= 1.
+  [[nodiscard]] bool is_complete() const;
+
+  /// Nodes of the component containing `v`, as a bitset.
+  [[nodiscard]] DynBitset component_of(NodeId v) const;
+
+  /// Induced subgraph G[keep]; `mapping` (if non-null) receives the original
+  /// id of each new vertex, in order.
+  [[nodiscard]] Graph induced(const DynBitset& keep,
+                              std::vector<NodeId>* mapping = nullptr) const;
+
+  /// One shortest path src→dst (inclusive), empty if unreachable. `allowed`
+  /// restricts interior vertices as in bfs_distances.
+  [[nodiscard]] std::vector<NodeId> shortest_path(
+      NodeId src, NodeId dst, const DynBitset* allowed = nullptr) const;
+
+  /// Longest shortest-path distance over all reachable pairs; nullopt for
+  /// disconnected or empty graphs.
+  [[nodiscard]] std::optional<NodeId> diameter() const;
+
+  /// All edges (u < v), sorted lexicographically.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  bool operator==(const Graph& other) const;
+
+ private:
+  void check_node(NodeId v, const char* what) const;
+
+  NodeId n_ = 0;
+  std::size_t m_ = 0;
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<DynBitset> rows_;
+};
+
+}  // namespace pacds

@@ -1,0 +1,166 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace pacds {
+
+namespace {
+constexpr int kAffectedRadius = 4;
+}
+
+IncrementalCds::IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy,
+                               CdsOptions options)
+    : graph_(std::move(g)),
+      rule_set_(rs),
+      energy_(std::move(energy)),
+      options_(options),
+      marked_only_(static_cast<std::size_t>(graph_.num_nodes())),
+      after_rule1_(static_cast<std::size_t>(graph_.num_nodes())),
+      final_(static_cast<std::size_t>(graph_.num_nodes())),
+      gateways_(static_cast<std::size_t>(graph_.num_nodes())) {
+  // Localized maintenance only works for the synchronous semantics; pin it
+  // regardless of what the caller's options say.
+  options_.strategy = Strategy::kSimultaneous;
+  if (uses_energy(rule_set_) &&
+      energy_.size() != static_cast<std::size_t>(graph_.num_nodes())) {
+    throw std::invalid_argument(
+        "IncrementalCds: energy-based scheme needs one level per node");
+  }
+  full_refresh();
+}
+
+DynBitset IncrementalCds::ball(const std::vector<NodeId>& centers,
+                               int radius) const {
+  const auto n = static_cast<std::size_t>(graph_.num_nodes());
+  DynBitset in_ball(n);
+  std::vector<int> depth(n, -1);
+  std::deque<NodeId> queue;
+  for (const NodeId c : centers) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (!in_ball.test(ci)) {
+      in_ball.set(ci);
+      depth[ci] = 0;
+      queue.push_back(c);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    const int d = depth[static_cast<std::size_t>(cur)];
+    if (d >= radius) continue;
+    for (const NodeId nxt : graph_.neighbors(cur)) {
+      const auto ni = static_cast<std::size_t>(nxt);
+      if (depth[ni] < 0) {
+        depth[ni] = d + 1;
+        in_ball.set(ni);
+        queue.push_back(nxt);
+      }
+    }
+  }
+  return in_ball;
+}
+
+void IncrementalCds::recompute_region(const DynBitset& region) {
+  const bool needs_energy = uses_energy(rule_set_);
+  const PriorityKey key(key_kind_of(rule_set_), graph_,
+                        needs_energy ? &energy_ : nullptr);
+  // Stage 1: marking process over the region.
+  region.for_each_set([&](std::size_t i) {
+    const auto v = static_cast<NodeId>(i);
+    marked_only_.set(i, marks_itself(graph_, v));
+  });
+  if (rule_set_ == RuleSet::kNR) {
+    region.for_each_set(
+        [&](std::size_t i) { after_rule1_.set(i, marked_only_.test(i)); });
+    region.for_each_set(
+        [&](std::size_t i) { final_.set(i, marked_only_.test(i)); });
+  } else {
+    const Rule2Form form = rule2_form_of(rule_set_);
+    // Stage 2: Rule 1 decisions against the (fresh) marking output.
+    region.for_each_set([&](std::size_t i) {
+      const auto v = static_cast<NodeId>(i);
+      const bool stays = marked_only_.test(i) &&
+                         !rule1_would_unmark(graph_, marked_only_, key, v);
+      after_rule1_.set(i, stays);
+    });
+    // Stage 3: Rule 2 decisions against the post-Rule-1 marks.
+    region.for_each_set([&](std::size_t i) {
+      const auto v = static_cast<NodeId>(i);
+      const bool stays =
+          after_rule1_.test(i) &&
+          !rule2_would_unmark(graph_, after_rule1_, key, form, v);
+      final_.set(i, stays);
+    });
+  }
+  // The clique policy is component-global but O(n); reapply it wholesale.
+  gateways_ = final_;
+  apply_clique_policy(graph_, key, options_.clique_policy, gateways_);
+}
+
+void IncrementalCds::full_refresh() {
+  const auto n = static_cast<std::size_t>(graph_.num_nodes());
+  DynBitset all(n);
+  all.set_all();
+  recompute_region(all);
+  last_touched_ = n;
+}
+
+void IncrementalCds::apply_delta(const EdgeDelta& delta) {
+  if (delta.empty()) {
+    last_touched_ = 0;
+    return;
+  }
+  std::vector<NodeId> centers;
+  for (const auto& [u, v] : delta.added) {
+    if (!graph_.add_edge(u, v)) {
+      throw std::invalid_argument("IncrementalCds::apply_delta: edge {" +
+                                  std::to_string(u) + "," + std::to_string(v) +
+                                  "} already present");
+    }
+    centers.push_back(u);
+    centers.push_back(v);
+  }
+  for (const auto& [u, v] : delta.removed) {
+    if (!graph_.remove_edge(u, v)) {
+      throw std::invalid_argument("IncrementalCds::apply_delta: edge {" +
+                                  std::to_string(u) + "," + std::to_string(v) +
+                                  "} not present");
+    }
+    centers.push_back(u);
+    centers.push_back(v);
+  }
+  const DynBitset region = ball(centers, kAffectedRadius);
+  recompute_region(region);
+  last_touched_ = region.count();
+}
+
+void IncrementalCds::move_node(NodeId v,
+                               const std::vector<NodeId>& new_neighbors) {
+  EdgeDelta delta;
+  const auto old_nbrs = graph_.neighbors(v);
+  std::vector<NodeId> sorted_new = new_neighbors;
+  std::sort(sorted_new.begin(), sorted_new.end());
+  for (const NodeId u : old_nbrs) {
+    if (!std::binary_search(sorted_new.begin(), sorted_new.end(), u)) {
+      delta.removed.emplace_back(v, u);
+    }
+  }
+  for (const NodeId u : sorted_new) {
+    if (!graph_.has_edge(v, u)) delta.added.emplace_back(v, u);
+  }
+  apply_delta(delta);
+}
+
+void IncrementalCds::set_energy(std::vector<double> energy) {
+  if (uses_energy(rule_set_) &&
+      energy.size() != static_cast<std::size_t>(graph_.num_nodes())) {
+    throw std::invalid_argument(
+        "IncrementalCds::set_energy: need one level per node");
+  }
+  energy_ = std::move(energy);
+  full_refresh();
+}
+
+}  // namespace pacds

@@ -1,0 +1,90 @@
+#pragma once
+// Localized gateway-status maintenance (the paper's Section 2.2 locality
+// feature): when the topology changes — hosts move, switch on or off — only
+// hosts near the change need to re-decide their gateway status. Status under
+// the simultaneous strategy is a function of each node's 4-hop ball
+// (marking: 2 hops; Rule 1 adds neighbor marks: +1; Rule 2 adds neighbor
+// post-Rule-1 status: +1), so re-evaluating a radius-4 ball around every
+// changed edge reproduces the full recomputation exactly. Property tests
+// assert that equivalence on random dynamic topologies.
+//
+// Energy drain changes priority keys *globally*, so energy updates trigger a
+// full refresh (the paper's locality claim concerns topology only).
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/bitset.hpp"
+#include "core/cds.hpp"
+#include "core/graph.hpp"
+
+namespace pacds {
+
+/// A batch of topology changes.
+struct EdgeDelta {
+  std::vector<std::pair<NodeId, NodeId>> added;
+  std::vector<std::pair<NodeId, NodeId>> removed;
+
+  [[nodiscard]] bool empty() const { return added.empty() && removed.empty(); }
+};
+
+/// Maintains the gateway set of an evolving graph with localized updates.
+///
+/// Always uses Strategy::kSimultaneous internally (the `strategy` field of
+/// `options` is ignored): the sequential strategies cascade removals
+/// arbitrarily far, which defeats locality — only the synchronous semantics
+/// has the 4-hop guarantee. Gateways therefore match
+/// compute_cds(..., {.strategy = kSimultaneous, ...}).
+class IncrementalCds {
+ public:
+  IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy = {},
+                 CdsOptions options = {});
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const DynBitset& gateways() const noexcept { return gateways_; }
+  [[nodiscard]] const DynBitset& marked_only() const noexcept {
+    return marked_only_;
+  }
+  [[nodiscard]] RuleSet rule_set() const noexcept { return rule_set_; }
+
+  /// Number of nodes re-evaluated by the most recent apply_delta — the
+  /// locality metric (n for a full refresh).
+  [[nodiscard]] std::size_t last_touched() const noexcept {
+    return last_touched_;
+  }
+
+  /// Applies edge insertions/removals and re-evaluates only the radius-4
+  /// balls around the changed edges. Throws std::invalid_argument if an
+  /// added edge already exists or a removed edge is absent (callers must
+  /// pass a consistent delta).
+  void apply_delta(const EdgeDelta& delta);
+
+  /// Convenience: replace node v's neighborhood (host moved); computes the
+  /// delta internally and applies it.
+  void move_node(NodeId v, const std::vector<NodeId>& new_neighbors);
+
+  /// Replaces all energy levels and fully recomputes statuses.
+  void set_energy(std::vector<double> energy);
+
+  /// Full recomputation from scratch (also used internally).
+  void full_refresh();
+
+ private:
+  void recompute_region(const DynBitset& region);
+  [[nodiscard]] DynBitset ball(const std::vector<NodeId>& centers,
+                               int radius) const;
+
+  Graph graph_;
+  RuleSet rule_set_;
+  std::vector<double> energy_;
+  CdsOptions options_;
+
+  DynBitset marked_only_;  ///< marking-process output
+  DynBitset after_rule1_;  ///< after the simultaneous Rule 1 pass
+  DynBitset final_;        ///< after the simultaneous Rule 2 pass
+  DynBitset gateways_;     ///< final_ plus clique policy
+  std::size_t last_touched_ = 0;
+};
+
+}  // namespace pacds

@@ -1,0 +1,86 @@
+#include "core/keys.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pacds {
+
+std::string to_string(KeyKind kind) {
+  switch (kind) {
+    case KeyKind::kId:
+      return "ID";
+    case KeyKind::kDegreeId:
+      return "ND";
+    case KeyKind::kEnergyId:
+      return "EL1";
+    case KeyKind::kEnergyDegreeId:
+      return "EL2";
+  }
+  return "?";
+}
+
+PriorityKey::PriorityKey(KeyKind kind, const Graph& graph,
+                         const std::vector<double>* energy)
+    : kind_(kind), graph_(&graph), energy_(energy) {
+  const bool needs_energy =
+      kind == KeyKind::kEnergyId || kind == KeyKind::kEnergyDegreeId;
+  if (needs_energy) {
+    if (energy_ == nullptr) {
+      throw std::invalid_argument(
+          "PriorityKey: energy vector required for energy-based keys");
+    }
+    if (energy_->size() != static_cast<std::size_t>(graph.num_nodes())) {
+      throw std::invalid_argument(
+          "PriorityKey: energy vector size does not match node count");
+    }
+  }
+}
+
+double PriorityKey::energy_of(NodeId v) const {
+  return (*energy_)[static_cast<std::size_t>(v)];
+}
+
+bool PriorityKey::less(NodeId v, NodeId u) const {
+  if (v == u) return false;
+  switch (kind_) {
+    case KeyKind::kId:
+      return v < u;
+    case KeyKind::kDegreeId: {
+      const NodeId dv = graph_->degree(v);
+      const NodeId du = graph_->degree(u);
+      if (dv != du) return dv < du;
+      return v < u;
+    }
+    case KeyKind::kEnergyId: {
+      const double ev = energy_of(v);
+      const double eu = energy_of(u);
+      if (ev != eu) return ev < eu;
+      return v < u;
+    }
+    case KeyKind::kEnergyDegreeId: {
+      const double ev = energy_of(v);
+      const double eu = energy_of(u);
+      if (ev != eu) return ev < eu;
+      const NodeId dv = graph_->degree(v);
+      const NodeId du = graph_->degree(u);
+      if (dv != du) return dv < du;
+      return v < u;
+    }
+  }
+  return false;
+}
+
+bool PriorityKey::is_min_of_three(NodeId v, NodeId u, NodeId w) const {
+  return less(v, u) && less(v, w);
+}
+
+std::vector<NodeId> PriorityKey::ascending_order() const {
+  std::vector<NodeId> order(static_cast<std::size_t>(graph_->num_nodes()));
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(),
+            [this](NodeId a, NodeId b) { return less(a, b); });
+  return order;
+}
+
+}  // namespace pacds

@@ -1,0 +1,68 @@
+#pragma once
+// Priority keys: the single abstraction that unifies the paper's four rule
+// families. Every reduction rule removes a marked node whose neighborhood is
+// covered by higher-priority marked nodes; the families differ only in how
+// "higher priority" is decided:
+//
+//   ID   (Rules 1,  2 )  — node id only                     (Wu & Li)
+//   ND   (Rules 1a, 2a)  — (degree, id)                     lexicographic
+//   EL1  (Rules 1b, 2b)  — (energy level, id)               lexicographic
+//   EL2  (Rules 1b',2b') — (energy level, degree, id)       lexicographic
+//
+// A *smaller* key means the node is the one that yields (unmarks itself);
+// i.e. the paper's "el(v) < el(u)" style conditions translate to
+// less(v, u) == true. Ids are distinct, so every comparator below is a
+// strict total order.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace pacds {
+
+/// Which node attribute chain decides yielding priority.
+enum class KeyKind : std::uint8_t {
+  kId,              ///< id — Rules 1/2
+  kDegreeId,        ///< (degree, id) — Rules 1a/2a
+  kEnergyId,        ///< (energy, id) — Rules 1b/2b
+  kEnergyDegreeId,  ///< (energy, degree, id) — Rules 1b'/2b'
+};
+
+[[nodiscard]] std::string to_string(KeyKind kind);
+
+/// Strict-total-order comparator over the nodes of one graph snapshot.
+///
+/// Holds non-owning views of the graph (for degrees) and the energy vector;
+/// both must outlive the comparator. Energy levels are compared exactly
+/// (==/<): ties are *meaningful* in the paper (all nodes start at the same
+/// level and drain in lockstep groups), so no epsilon is applied.
+class PriorityKey {
+ public:
+  /// `energy` may be null for kId / kDegreeId; it is required (and must have
+  /// one entry per node) for the energy-based kinds.
+  PriorityKey(KeyKind kind, const Graph& graph,
+              const std::vector<double>* energy = nullptr);
+
+  [[nodiscard]] KeyKind kind() const noexcept { return kind_; }
+
+  /// True iff v has strictly lower priority than u (v is the one removed
+  /// when coverage conditions hold).
+  [[nodiscard]] bool less(NodeId v, NodeId u) const;
+
+  /// True iff v is the strict minimum of {v, u, w}.
+  [[nodiscard]] bool is_min_of_three(NodeId v, NodeId u, NodeId w) const;
+
+  /// Nodes of the graph sorted by ascending priority.
+  [[nodiscard]] std::vector<NodeId> ascending_order() const;
+
+ private:
+  [[nodiscard]] double energy_of(NodeId v) const;
+
+  KeyKind kind_;
+  const Graph* graph_;
+  const std::vector<double>* energy_;
+};
+
+}  // namespace pacds

@@ -1,0 +1,52 @@
+#include "core/marking.hpp"
+
+#include <vector>
+
+namespace pacds {
+
+bool marks_itself(const Graph& g, NodeId v) {
+  const auto nbrs = g.neighbors(v);
+  // v marks itself iff some pair of its neighbors is non-adjacent. Checking
+  // |N(u) ∩ N(v)| per neighbor u via bitsets: u's row restricted to N(v)
+  // must cover all *other* neighbors of v for v to stay unmarked.
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const DynBitset& row_i = g.open_row(nbrs[i]);
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (!row_i.test(static_cast<std::size_t>(nbrs[j]))) return true;
+    }
+  }
+  return false;
+}
+
+DynBitset marking_process(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  DynBitset marked(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (marks_itself(g, v)) marked.set(static_cast<std::size_t>(v));
+  }
+  return marked;
+}
+
+void apply_clique_policy(const Graph& g, const PriorityKey& key,
+                         CliquePolicy policy, DynBitset& marked) {
+  if (policy == CliquePolicy::kNone) return;
+  const auto comp = g.components();
+  const NodeId ncomp = g.num_components();
+  // Track, per component, whether any node is marked and its key-max node.
+  std::vector<char> has_marked(static_cast<std::size_t>(ncomp), 0);
+  std::vector<NodeId> best(static_cast<std::size_t>(ncomp), -1);
+  std::vector<NodeId> size(static_cast<std::size_t>(ncomp), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto c = static_cast<std::size_t>(comp[static_cast<std::size_t>(v)]);
+    ++size[c];
+    if (marked.test(static_cast<std::size_t>(v))) has_marked[c] = 1;
+    if (best[c] < 0 || key.less(best[c], v)) best[c] = v;
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(ncomp); ++c) {
+    if (!has_marked[c] && size[c] >= 2) {
+      marked.set(static_cast<std::size_t>(best[c]));
+    }
+  }
+}
+
+}  // namespace pacds

@@ -1,0 +1,70 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace pacds {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  const NodeId n = g.num_nodes();
+  if (n == 0) return stats;
+  stats.min = g.degree(0);
+  double sum = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId d = g.degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    sum += static_cast<double>(d);
+  }
+  stats.mean = sum / static_cast<double>(n);
+  stats.histogram.assign(static_cast<std::size_t>(stats.max) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    ++stats.histogram[static_cast<std::size_t>(g.degree(v))];
+  }
+  return stats;
+}
+
+double edge_density(const Graph& g) {
+  const auto n = static_cast<double>(g.num_nodes());
+  if (g.num_nodes() < 2) return 0.0;
+  return static_cast<double>(g.num_edges()) / (n * (n - 1.0) / 2.0);
+}
+
+double local_clustering(const Graph& g, NodeId v) {
+  const auto nbrs = g.neighbors(v);
+  if (nbrs.size() < 2) return 0.0;
+  std::size_t closed = 0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const DynBitset& row = g.open_row(nbrs[i]);
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (row.test(static_cast<std::size_t>(nbrs[j]))) ++closed;
+    }
+  }
+  const double pairs =
+      static_cast<double>(nbrs.size()) * (static_cast<double>(nbrs.size()) - 1.0) /
+      2.0;
+  return static_cast<double>(closed) / pairs;
+}
+
+double average_clustering(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  double sum = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) sum += local_clustering(g, v);
+  return sum / static_cast<double>(g.num_nodes());
+}
+
+std::size_t triangle_count(const Graph& g) {
+  std::size_t triple_counted = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const DynBitset& row = g.open_row(nbrs[i]);
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (row.test(static_cast<std::size_t>(nbrs[j]))) ++triple_counted;
+      }
+    }
+  }
+  return triple_counted / 3;  // each triangle seen from all three corners
+}
+
+}  // namespace pacds

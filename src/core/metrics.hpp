@@ -1,0 +1,39 @@
+#pragma once
+// Structural metrics of a network snapshot: degree statistics, density,
+// clustering. Used by the CLI's `info` subcommand and by experiment
+// write-ups to characterize the random-topology regimes (the rules'
+// effectiveness depends heavily on neighborhood redundancy).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace pacds {
+
+/// Degree distribution and summary stats.
+struct DegreeStats {
+  NodeId min = 0;
+  NodeId max = 0;
+  double mean = 0.0;
+  std::vector<std::size_t> histogram;  ///< histogram[d] = #nodes of degree d
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// |E| / C(n, 2); 0 for n < 2.
+[[nodiscard]] double edge_density(const Graph& g);
+
+/// Local clustering coefficient of v: closed triangles among N(v) over
+/// C(deg, 2); 0 for degree < 2.
+[[nodiscard]] double local_clustering(const Graph& g, NodeId v);
+
+/// Mean local clustering over all nodes (0 for the empty graph). Unit-disk
+/// graphs cluster heavily (~0.59 asymptotically), which is exactly why the
+/// coverage rules find so much redundancy to prune.
+[[nodiscard]] double average_clustering(const Graph& g);
+
+/// Number of triangles in g.
+[[nodiscard]] std::size_t triangle_count(const Graph& g);
+
+}  // namespace pacds

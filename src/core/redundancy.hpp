@@ -1,0 +1,57 @@
+#pragma once
+// Fault-tolerance extension: backbone redundancy. A single-dominating
+// backbone loses service the moment a gateway dies or walks away; the
+// classical hardening is m-domination — every non-gateway host keeps at
+// least m gateway neighbors. This module augments any gateway set to
+// m-domination (promoting highest-priority neighbors first) and measures
+// how much single-gateway failures actually cost in deliverability.
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+#include "core/keys.hpp"
+
+namespace pacds {
+
+/// Returns `gateways` plus the promotions needed so that every non-gateway
+/// host with degree >= m has at least m gateway neighbors (hosts with
+/// degree < m get all their neighbors promoted — the best achievable).
+/// Promotion picks the highest-key eligible neighbors, so with energy keys
+/// the backup gateways are the energy-richest hosts. The result is a
+/// superset of `gateways`; connectivity of the induced backbone is
+/// preserved (adding vertices adjacent to existing members never splits
+/// it, and a promoted host is always adjacent to its promoter's
+/// neighborhood... verified by tests rather than assumed).
+[[nodiscard]] DynBitset augment_m_domination(const Graph& g,
+                                             const DynBitset& gateways, int m,
+                                             const PriorityKey& key);
+
+/// True iff every node outside `set` has >= min(m, degree) neighbors in
+/// `set`.
+[[nodiscard]] bool is_m_dominating(const Graph& g, const DynBitset& set,
+                                   int m);
+
+/// Best-effort backbone biconnectivity: while the induced backbone has an
+/// articulation vertex `a` and some non-backbone host is adjacent to two
+/// different components of (backbone − a), promote the highest-key such
+/// host — each promotion merges two blocks around `a`. Stops when no
+/// single-host patch exists (some topologies need multi-host detours, which
+/// this heuristic does not attempt). Result is always a superset.
+[[nodiscard]] DynBitset augment_biconnectivity(const Graph& g,
+                                               const DynBitset& gateways,
+                                               const PriorityKey& key,
+                                               int max_rounds = 256);
+
+/// Articulation vertices of the *induced backbone* (as original node ids).
+[[nodiscard]] DynBitset backbone_cut_vertices(const Graph& g,
+                                              const DynBitset& gateways);
+
+/// Single-failure robustness: for each gateway in turn, demote it (it stays
+/// a host) and measure the fraction of connected host pairs the router can
+/// still serve; returns the mean over all single failures. 1.0 = fully
+/// robust. `baseline` (if non-null) receives the no-failure delivery
+/// fraction for comparison.
+[[nodiscard]] double single_failure_delivery(const Graph& g,
+                                             const DynBitset& gateways,
+                                             double* baseline = nullptr);
+
+}  // namespace pacds

@@ -1,0 +1,123 @@
+#include "core/rule_k.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace pacds {
+
+bool rule_k_would_unmark(const Graph& g, const DynBitset& marked,
+                         const PriorityKey& key, NodeId v) {
+  if (!marked.test(static_cast<std::size_t>(v))) return false;
+  // Candidate covers: marked neighbors with strictly higher priority.
+  std::vector<NodeId> cands;
+  for (const NodeId u : g.neighbors(v)) {
+    if (marked.test(static_cast<std::size_t>(u)) && key.less(v, u)) {
+      cands.push_back(u);
+    }
+  }
+  if (cands.empty()) return false;
+
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  // Union-find over the candidate list: candidates are connected iff
+  // adjacent in G (edges among N(v) are exactly what v's 2-hop info holds).
+  std::vector<std::size_t> parent(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) parent[i] = i;
+  const auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const DynBitset& row = g.open_row(cands[i]);
+    for (std::size_t j = i + 1; j < cands.size(); ++j) {
+      if (row.test(static_cast<std::size_t>(cands[j]))) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  // Per component, union the CLOSED neighborhoods and test coverage of
+  // N(v). Closed unions make the |S| = 1 case equal Rule 1 (N[v] ⊆ N[u]);
+  // for |S| >= 2 they coincide with the open unions because a connected S
+  // has every member inside some other member's neighborhood.
+  std::vector<DynBitset> unions(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const std::size_t root = find(i);
+    if (unions[root].size() == 0) unions[root] = DynBitset(n);
+    unions[root] |= g.open_row(cands[i]);
+    unions[root].set(static_cast<std::size_t>(cands[i]));
+  }
+  const DynBitset& nv = g.open_row(v);
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (find(i) != i) continue;  // not a component root
+    if (nv.is_subset_of(unions[i])) return true;
+  }
+  return false;
+}
+
+DynBitset simultaneous_rule_k_pass(const Graph& g, const PriorityKey& key,
+                                   const DynBitset& marked) {
+  DynBitset next = marked;
+  marked.for_each_set([&](std::size_t i) {
+    if (rule_k_would_unmark(g, marked, key, static_cast<NodeId>(i))) {
+      next.reset(i);
+    }
+  });
+  return next;
+}
+
+void apply_rule_k(const Graph& g, const PriorityKey& key, Strategy strategy,
+                  DynBitset& marked) {
+  switch (strategy) {
+    case Strategy::kSimultaneous: {
+      // One pass is the distributed semantics; iterating to a fixpoint only
+      // removes nodes whose covers shrank, which the safety argument also
+      // permits. We run a single pass for fidelity with the distributed
+      // algorithm.
+      marked = simultaneous_rule_k_pass(g, key, marked);
+      return;
+    }
+    case Strategy::kSequential:
+    case Strategy::kVerified: {
+      // Sequential sweeps to a fixpoint in ascending key order. Rule k
+      // removals are provably safe, so kVerified needs no extra checking.
+      const auto order = key.ascending_order();
+      for (int sweep = 0; sweep < 64; ++sweep) {
+        bool changed = false;
+        for (const NodeId v : order) {
+          if (!marked.test(static_cast<std::size_t>(v))) continue;
+          if (rule_k_would_unmark(g, marked, key, v)) {
+            marked.reset(static_cast<std::size_t>(v));
+            changed = true;
+          }
+        }
+        if (!changed) break;
+      }
+      return;
+    }
+  }
+}
+
+CdsResult compute_cds_rule_k(const Graph& g, KeyKind kind,
+                             const std::vector<double>& energy,
+                             Strategy strategy, CliquePolicy clique_policy) {
+  const bool needs_energy =
+      kind == KeyKind::kEnergyId || kind == KeyKind::kEnergyDegreeId;
+  if (needs_energy &&
+      energy.size() != static_cast<std::size_t>(g.num_nodes())) {
+    throw std::invalid_argument(
+        "compute_cds_rule_k: energy-based key needs one level per node");
+  }
+  const PriorityKey key(kind, g, needs_energy ? &energy : nullptr);
+  CdsResult result;
+  result.marked_only = marking_process(g);
+  result.marked_count = result.marked_only.count();
+  result.gateways = result.marked_only;
+  apply_rule_k(g, key, strategy, result.gateways);
+  apply_clique_policy(g, key, clique_policy, result.gateways);
+  result.gateway_count = result.gateways.count();
+  return result;
+}
+
+}  // namespace pacds

@@ -1,0 +1,49 @@
+#pragma once
+// Generalized coverage rule ("Rule k", Dai & Wu 2004) — the follow-up that
+// fixes the pairwise rules' unsafe simultaneous case and subsumes Rules 1
+// and 2: a marked node v unmarks itself when its open neighborhood is
+// covered by the union of neighborhoods of a CONNECTED set of neighbors
+// that all have strictly HIGHER priority. Because every remover defers to
+// strictly higher-priority covers, synchronous (simultaneous) application
+// is provably safe — the priority-maximal cover chain always survives.
+//
+// Plugging the energy-based keys into Rule k yields the power-aware variant
+// this library adds as an extension experiment (bench/extension_rule_k):
+// the paper's "future work" of deeper power-aware selection.
+
+#include "core/bitset.hpp"
+#include "core/cds.hpp"
+#include "core/graph.hpp"
+#include "core/keys.hpp"
+#include "core/marking.hpp"
+#include "core/rules.hpp"
+
+namespace pacds {
+
+/// True iff marked node v is covered by a connected set of higher-priority
+/// marked neighbors. Checks each connected component of the induced
+/// subgraph on {u ∈ N(v) : marked(u), key(v) < key(u)} — taking a whole
+/// component is the maximal connected candidate, so no subset search is
+/// needed.
+[[nodiscard]] bool rule_k_would_unmark(const Graph& g, const DynBitset& marked,
+                                       const PriorityKey& key, NodeId v);
+
+/// One synchronous Rule-k pass (decisions against `marked`, committed
+/// together). Safe by the priority argument above.
+[[nodiscard]] DynBitset simultaneous_rule_k_pass(const Graph& g,
+                                                 const PriorityKey& key,
+                                                 const DynBitset& marked);
+
+/// Applies Rule k to `marked` in place with the chosen strategy
+/// (simultaneous passes iterate to a fixpoint; sequential sweeps in
+/// ascending key order).
+void apply_rule_k(const Graph& g, const PriorityKey& key, Strategy strategy,
+                  DynBitset& marked);
+
+/// Marking process + Rule k in one call, mirroring compute_cds.
+[[nodiscard]] CdsResult compute_cds_rule_k(
+    const Graph& g, KeyKind kind, const std::vector<double>& energy = {},
+    Strategy strategy = Strategy::kSimultaneous,
+    CliquePolicy clique_policy = CliquePolicy::kNone);
+
+}  // namespace pacds

@@ -1,0 +1,175 @@
+#include "core/rules.hpp"
+
+#include <vector>
+
+#include "core/verify.hpp"
+
+namespace pacds {
+
+std::string to_string(Rule2Form form) {
+  switch (form) {
+    case Rule2Form::kSimple:
+      return "simple";
+    case Rule2Form::kRefined:
+      return "refined";
+  }
+  return "?";
+}
+
+std::string to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kSimultaneous:
+      return "simultaneous";
+    case Strategy::kSequential:
+      return "sequential";
+    case Strategy::kVerified:
+      return "verified";
+  }
+  return "?";
+}
+
+bool rule1_would_unmark(const Graph& g, const DynBitset& marked,
+                        const PriorityKey& key, NodeId v) {
+  if (!marked.test(static_cast<std::size_t>(v))) return false;
+  for (const NodeId u : g.neighbors(v)) {
+    if (!marked.test(static_cast<std::size_t>(u))) continue;
+    if (key.less(v, u) && g.closed_covered_by(v, u)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Collects the currently-marked neighbors of v.
+std::vector<NodeId> marked_neighbors(const Graph& g, const DynBitset& marked,
+                                     NodeId v) {
+  std::vector<NodeId> out;
+  for (const NodeId u : g.neighbors(v)) {
+    if (marked.test(static_cast<std::size_t>(u))) out.push_back(u);
+  }
+  return out;
+}
+
+/// The refined case analysis for one ordered arrangement (u, w) of a pair of
+/// marked neighbors, given that v is covered by {u, w}.
+///   cov_u: N(u) ⊆ N(v) ∪ N(w),  cov_w: N(w) ⊆ N(u) ∪ N(v).
+/// Case 1: neither competitor covered        -> v yields unconditionally.
+/// Case 2: exactly u covered                  -> v yields iff key(v) < key(u).
+/// Case 3: both covered                       -> v yields iff strict key-min.
+bool refined_cases(const PriorityKey& key, NodeId v, NodeId u, NodeId w,
+                   bool cov_u, bool cov_w) {
+  if (!cov_u && !cov_w) return true;
+  if (cov_u && !cov_w) return key.less(v, u);
+  if (cov_w && !cov_u) return key.less(v, w);
+  return key.less(v, u) && key.less(v, w);
+}
+
+}  // namespace
+
+bool rule2_simple_would_unmark(const Graph& g, const DynBitset& marked,
+                               const PriorityKey& key, NodeId v) {
+  if (!marked.test(static_cast<std::size_t>(v))) return false;
+  const auto mnbrs = marked_neighbors(g, marked, v);
+  for (std::size_t i = 0; i < mnbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < mnbrs.size(); ++j) {
+      const NodeId u = mnbrs[i];
+      const NodeId w = mnbrs[j];
+      if (!key.is_min_of_three(v, u, w)) continue;
+      if (g.open_covered_by_pair(v, u, w)) return true;
+    }
+  }
+  return false;
+}
+
+bool rule2_refined_would_unmark(const Graph& g, const DynBitset& marked,
+                                const PriorityKey& key, NodeId v) {
+  if (!marked.test(static_cast<std::size_t>(v))) return false;
+  const auto mnbrs = marked_neighbors(g, marked, v);
+  for (std::size_t i = 0; i < mnbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < mnbrs.size(); ++j) {
+      const NodeId u = mnbrs[i];
+      const NodeId w = mnbrs[j];
+      if (!g.open_covered_by_pair(v, u, w)) continue;
+      const bool cov_u = g.open_covered_by_pair(u, v, w);
+      const bool cov_w = g.open_covered_by_pair(w, u, v);
+      if (refined_cases(key, v, u, w, cov_u, cov_w)) return true;
+    }
+  }
+  return false;
+}
+
+bool rule2_would_unmark(const Graph& g, const DynBitset& marked,
+                        const PriorityKey& key, Rule2Form form, NodeId v) {
+  return form == Rule2Form::kSimple
+             ? rule2_simple_would_unmark(g, marked, key, v)
+             : rule2_refined_would_unmark(g, marked, key, v);
+}
+
+DynBitset simultaneous_rule1_pass(const Graph& g, const PriorityKey& key,
+                                  const DynBitset& marked) {
+  DynBitset next = marked;
+  marked.for_each_set([&](std::size_t i) {
+    if (rule1_would_unmark(g, marked, key, static_cast<NodeId>(i))) {
+      next.reset(i);
+    }
+  });
+  return next;
+}
+
+DynBitset simultaneous_rule2_pass(const Graph& g, const PriorityKey& key,
+                                  Rule2Form form, const DynBitset& marked) {
+  DynBitset next = marked;
+  marked.for_each_set([&](std::size_t i) {
+    if (rule2_would_unmark(g, marked, key, form, static_cast<NodeId>(i))) {
+      next.reset(i);
+    }
+  });
+  return next;
+}
+
+namespace {
+
+void apply_sequential(const Graph& g, const PriorityKey& key,
+                      const RuleConfig& config, bool verified,
+                      DynBitset& marked) {
+  const auto order = key.ascending_order();
+  for (int sweep = 0; sweep < config.max_sweeps; ++sweep) {
+    bool changed = false;
+    for (const NodeId v : order) {
+      if (!marked.test(static_cast<std::size_t>(v))) continue;
+      const bool fires =
+          (config.use_rule1 && rule1_would_unmark(g, marked, key, v)) ||
+          (config.use_rule2 &&
+           rule2_would_unmark(g, marked, key, config.rule2_form, v));
+      if (!fires) continue;
+      if (verified && !removal_is_safe(g, marked, v)) continue;
+      marked.reset(static_cast<std::size_t>(v));
+      changed = true;
+    }
+    if (!changed) break;
+  }
+}
+
+}  // namespace
+
+void apply_rules(const Graph& g, const PriorityKey& key,
+                 const RuleConfig& config, DynBitset& marked) {
+  switch (config.strategy) {
+    case Strategy::kSimultaneous:
+      if (config.use_rule1) {
+        marked = simultaneous_rule1_pass(g, key, marked);
+      }
+      if (config.use_rule2) {
+        marked = simultaneous_rule2_pass(g, key, config.rule2_form, marked);
+      }
+      return;
+    case Strategy::kSequential:
+      apply_sequential(g, key, config, /*verified=*/false, marked);
+      return;
+    case Strategy::kVerified:
+      apply_sequential(g, key, config, /*verified=*/true, marked);
+      return;
+  }
+}
+
+}  // namespace pacds

@@ -1,0 +1,113 @@
+#pragma once
+// The selective-removal rules (paper Sections 2.2 and 3). A marked node
+// unmarks itself when its neighborhood is covered by one (Rule 1) or two
+// connected (Rule 2) *marked* neighbors and it loses the priority
+// comparison. The four families (ID / ND / EL1 / EL2) are obtained by
+// plugging the corresponding PriorityKey into the generic rules:
+//
+//   Rule 1 (all families): N[v] ⊆ N[u], u marked, key(v) < key(u).
+//   Rule 2, simple form (ID family, paper Rule 2):
+//       N(v) ⊆ N(u) ∪ N(w), u,w marked neighbors, key(v) = min of three.
+//   Rule 2, refined form (a/b/b' families, paper Rules 2a/2b/2b'):
+//       three-way case analysis on which of {v,u,w} are covered by the
+//       other two; only covered nodes compete, and v yields iff it loses
+//       the key comparison against every *covered* competitor.
+//
+// The paper's case enumeration is asymmetric in u and w (its case 2 assumes
+// the covered competitor is u); we evaluate both orderings of the pair,
+// which is exactly what a distributed node iterating over all its
+// marked-neighbor pairs would do, and matches the paper's worked example.
+
+#include <cstdint>
+#include <string>
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+#include "core/keys.hpp"
+#include "core/marking.hpp"
+
+namespace pacds {
+
+/// Which formulation of Rule 2 to apply.
+enum class Rule2Form : std::uint8_t {
+  kSimple,   ///< paper Rule 2: unmark iff key-min of the covered triple
+  kRefined,  ///< paper Rules 2a/2b/2b': coverage-symmetry case analysis
+};
+
+/// How rule decisions are committed.
+enum class Strategy : std::uint8_t {
+  /// Synchronous distributed semantics: one simultaneous Rule 1 pass
+  /// evaluated against the marking-process output, then one simultaneous
+  /// Rule 2 pass evaluated against the post-Rule-1 marks. NOTE: with the
+  /// refined Rule 2 as published, simultaneous commits are NOT always safe —
+  /// two nodes can each be removed relying on the other as cover (measured
+  /// at roughly 30% of dense random unit-disk instances by
+  /// bench/ablation_strategies; Dai & Wu 2004 later added the missing
+  /// priority guard). Provided for fidelity studies.
+  kSimultaneous,
+  /// Asynchronous distributed semantics and the library default: nodes
+  /// yield one at a time in ascending key order (removals take effect
+  /// immediately, sweeps repeat to a fixpoint). Each single removal is
+  /// covered by the paper's G' - {v} correctness argument, so the result is
+  /// always a valid CDS.
+  kSequential,
+  /// kSequential plus a per-removal safety check: a node is only unmarked
+  /// if the remaining set still dominates and stays connected inside its
+  /// component. Guaranteed-valid output even where the raw rules are not.
+  kVerified,
+};
+
+[[nodiscard]] std::string to_string(Rule2Form form);
+[[nodiscard]] std::string to_string(Strategy strategy);
+
+/// Full rule-application configuration.
+struct RuleConfig {
+  bool use_rule1 = true;
+  bool use_rule2 = true;
+  Rule2Form rule2_form = Rule2Form::kRefined;
+  Strategy strategy = Strategy::kSequential;
+  /// Bound on sequential fixpoint sweeps (safety net; convergence is
+  /// normally immediate).
+  int max_sweeps = 64;
+};
+
+// ---- Single-node decisions (distributed view) ---------------------------
+// Each predicate answers: "given the current marks, would node v unmark
+// itself by this rule?" They are the building blocks of every strategy and
+// are exposed for tests and for the incremental/localized updater.
+
+[[nodiscard]] bool rule1_would_unmark(const Graph& g, const DynBitset& marked,
+                                      const PriorityKey& key, NodeId v);
+
+[[nodiscard]] bool rule2_simple_would_unmark(const Graph& g,
+                                             const DynBitset& marked,
+                                             const PriorityKey& key, NodeId v);
+
+[[nodiscard]] bool rule2_refined_would_unmark(const Graph& g,
+                                              const DynBitset& marked,
+                                              const PriorityKey& key,
+                                              NodeId v);
+
+[[nodiscard]] bool rule2_would_unmark(const Graph& g, const DynBitset& marked,
+                                      const PriorityKey& key, Rule2Form form,
+                                      NodeId v);
+
+// ---- Whole-graph passes --------------------------------------------------
+
+/// One simultaneous Rule 1 pass: decisions are evaluated against `marked`
+/// and committed together. Returns the new mark set.
+[[nodiscard]] DynBitset simultaneous_rule1_pass(const Graph& g,
+                                                const PriorityKey& key,
+                                                const DynBitset& marked);
+
+/// One simultaneous Rule 2 pass (either form).
+[[nodiscard]] DynBitset simultaneous_rule2_pass(const Graph& g,
+                                                const PriorityKey& key,
+                                                Rule2Form form,
+                                                const DynBitset& marked);
+
+/// Applies the configured rules to `marked` in place.
+void apply_rules(const Graph& g, const PriorityKey& key,
+                 const RuleConfig& config, DynBitset& marked);
+
+}  // namespace pacds

@@ -1,0 +1,39 @@
+#include "des/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pacds::des {
+
+void EventQueue::schedule(SimTime when, std::function<void()> action) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time in the past");
+  }
+  heap_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast idiom avoided —
+  // copy the small wrapper instead (std::function copy).
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.when;
+  ++fired_;
+  entry.action();
+  return true;
+}
+
+void EventQueue::run_until(SimTime until) {
+  while (!heap_.empty() && heap_.top().when <= until) {
+    run_one();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::run_all() {
+  while (run_one()) {
+  }
+}
+
+}  // namespace pacds::des

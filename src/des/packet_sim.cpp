@@ -1,0 +1,214 @@
+#include "des/packet_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "des/event_queue.hpp"
+#include "net/mobility.hpp"
+#include "net/udg.hpp"
+#include "routing/routing.hpp"
+
+namespace pacds::des {
+
+namespace {
+
+struct Packet {
+  std::vector<NodeId> route;  ///< full host sequence src..dst
+  std::size_t at = 0;         ///< index of the host currently holding it
+  SimTime injected_at = 0.0;
+  int hops = 0;
+  int retries = 0;            ///< retransmissions of the current hop
+};
+
+/// The whole simulation state; event thunks call back into this.
+class Sim {
+ public:
+  Sim(const PacketSimConfig& config, std::uint64_t seed)
+      : config_(config),
+        rng_(seed),
+        field_(Field::paper_field()),
+        mobility_(config.stay_probability, config.jump_min, config.jump_max),
+        queues_(static_cast<std::size_t>(config.n_hosts)),
+        busy_(static_cast<std::size_t>(config.n_hosts), 0) {
+    if (config.n_hosts < 2 || config.sim_time <= 0.0 ||
+        config.injection_gap <= 0.0 || config.tx_time <= 0.0 ||
+        config.update_interval <= 0.0) {
+      throw std::invalid_argument("run_packet_sim: bad configuration");
+    }
+    if (auto placed = random_connected_placement(config.n_hosts, field_,
+                                                 config.radius, rng_,
+                                                 config.connect_retries)) {
+      positions_ = std::move(placed->positions);
+    } else {
+      positions_ = random_placement(config.n_hosts, field_, rng_);
+    }
+    rebuild_backbone();
+  }
+
+  PacketSimResult run() {
+    for (SimTime t = 0.0; t < config_.sim_time; t += config_.injection_gap) {
+      events_.schedule(t, [this] { inject(); });
+    }
+    for (SimTime t = config_.update_interval; t < config_.sim_time;
+         t += config_.update_interval) {
+      events_.schedule(t, [this] { refresh_topology(); });
+    }
+    events_.run_until(config_.sim_time);
+
+    // Whatever is still queued or mid-flight never arrived.
+    result_.drops.in_flight =
+        result_.injected - result_.delivered - result_.drops.no_route -
+        result_.drops.queue_full - result_.drops.route_break -
+        result_.drops.ttl - result_.drops.loss;
+    result_.latency = Summary::of(latency_);
+    result_.hops = Summary::of(hops_);
+    result_.avg_gateways =
+        backbone_samples_ == 0
+            ? 0.0
+            : gateway_sum_ / static_cast<double>(backbone_samples_);
+    return result_;
+  }
+
+ private:
+  void rebuild_backbone() {
+    graph_ = build_udg(positions_, config_.radius);
+    const std::vector<double> uniform(
+        static_cast<std::size_t>(config_.n_hosts), 1.0);
+    cds_ = compute_cds(graph_, config_.rule_set, uniform,
+                       config_.cds_options);
+    router_.emplace(graph_, cds_.gateways);
+    gateway_sum_ += static_cast<double>(cds_.gateway_count);
+    ++backbone_samples_;
+  }
+
+  void refresh_topology() {
+    mobility_.step(positions_, field_, rng_);
+    rebuild_backbone();
+  }
+
+  void inject() {
+    ++result_.injected;
+    const auto n = static_cast<std::int64_t>(config_.n_hosts);
+    const auto src = static_cast<NodeId>(rng_.uniform_int(0, n - 1));
+    auto dst = src;
+    while (dst == src) dst = static_cast<NodeId>(rng_.uniform_int(0, n - 1));
+    const RouteResult route = router_->route(src, dst);
+    if (!route.delivered) {
+      ++result_.drops.no_route;
+      return;
+    }
+    if (route.path.size() == 1) {  // src == dst cannot happen; guard anyway
+      ++result_.delivered;
+      return;
+    }
+    Packet packet;
+    packet.route = route.path;
+    packet.injected_at = events_.now();
+    enqueue(src, std::move(packet));
+  }
+
+  void enqueue(NodeId host, Packet packet) {
+    auto& queue = queues_[static_cast<std::size_t>(host)];
+    if (queue.size() >= config_.queue_capacity) {
+      ++result_.drops.queue_full;
+      return;
+    }
+    queue.push_back(std::move(packet));
+    result_.max_queue =
+        std::max(result_.max_queue, static_cast<double>(queue.size()));
+    try_transmit(host);
+  }
+
+  void try_transmit(NodeId host) {
+    const auto hi = static_cast<std::size_t>(host);
+    if (busy_[hi] || queues_[hi].empty()) return;
+    Packet packet = std::move(queues_[hi].front());
+    queues_[hi].pop_front();
+    const NodeId next = packet.route[packet.at + 1];
+    if (!graph_.has_edge(host, next)) {
+      // The next hop moved out of range since the route was computed.
+      ++result_.drops.route_break;
+      try_transmit(host);  // serve the next packet immediately
+      return;
+    }
+    busy_[hi] = 1;
+    events_.schedule(events_.now() + config_.tx_time,
+                     [this, host, p = std::move(packet), next]() mutable {
+                       busy_[static_cast<std::size_t>(host)] = 0;
+                       if (config_.loss_probability > 0.0 &&
+                           rng_.bernoulli(config_.loss_probability)) {
+                         // Frame lost in the air: retransmit or give up.
+                         if (p.retries < config_.max_retries) {
+                           ++p.retries;
+                           retransmit(host, std::move(p));
+                         } else {
+                           ++result_.drops.loss;
+                           try_transmit(host);
+                         }
+                         return;
+                       }
+                       p.retries = 0;
+                       arrive(next, std::move(p));
+                       try_transmit(host);
+                     });
+  }
+
+  /// Re-sends a lost frame at the head of the line (the host stays busy for
+  /// another service time).
+  void retransmit(NodeId host, Packet packet) {
+    auto& queue = queues_[static_cast<std::size_t>(host)];
+    queue.push_front(std::move(packet));
+    try_transmit(host);
+  }
+
+  void arrive(NodeId host, Packet packet) {
+    ++packet.at;
+    ++packet.hops;
+    if (packet.route[packet.at] != host) {
+      // Defensive: routes are positional, this cannot diverge.
+      ++result_.drops.route_break;
+      return;
+    }
+    if (packet.at + 1 == packet.route.size()) {
+      ++result_.delivered;
+      latency_.add(events_.now() - packet.injected_at);
+      hops_.add(static_cast<double>(packet.hops));
+      return;
+    }
+    if (packet.hops >= config_.max_hops) {
+      ++result_.drops.ttl;
+      return;
+    }
+    enqueue(host, std::move(packet));
+  }
+
+  PacketSimConfig config_;
+  Xoshiro256 rng_;
+  Field field_;
+  PaperJumpMobility mobility_;
+  std::vector<Vec2> positions_;
+  Graph graph_;
+  CdsResult cds_;
+  std::optional<DominatingSetRouter> router_;
+
+  EventQueue events_;
+  std::vector<std::deque<Packet>> queues_;
+  std::vector<char> busy_;
+
+  PacketSimResult result_;
+  Welford latency_;
+  Welford hops_;
+  double gateway_sum_ = 0.0;
+  std::size_t backbone_samples_ = 0;
+};
+
+}  // namespace
+
+PacketSimResult run_packet_sim(const PacketSimConfig& config,
+                               std::uint64_t seed) {
+  Sim sim(config, seed);
+  return sim.run();
+}
+
+}  // namespace pacds::des

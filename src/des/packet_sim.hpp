@@ -1,0 +1,83 @@
+#pragma once
+// Discrete-event packet-level simulation of dominating-set routing with
+// queueing. Each host owns a FIFO transmit queue and serves one packet per
+// `tx_time`; packets follow source routes computed on the current backbone.
+// Every `update_interval` the hosts move, the unit-disk graph and gateway
+// set are recomputed, and in-flight packets whose next hop walked out of
+// range are dropped (route breakage). The experiment this enables: smaller
+// backbones concentrate forwarding on fewer hosts, so schemes trade
+// backbone size against queueing delay — a dimension the paper's interval
+// model cannot see.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cds.hpp"
+#include "net/space.hpp"
+#include "net/topology.hpp"
+#include "sim/stats.hpp"
+
+namespace pacds::des {
+
+struct PacketSimConfig {
+  int n_hosts = 40;
+  double radius = kPaperRadius;
+
+  pacds::RuleSet rule_set = RuleSet::kND;
+  CdsOptions cds_options{};
+
+  double sim_time = 400.0;         ///< total simulated time
+  double update_interval = 20.0;   ///< mobility + backbone refresh period
+  double stay_probability = 0.5;   ///< paper mobility inside each refresh
+  int jump_min = 1;
+  int jump_max = 6;
+
+  double injection_gap = 0.5;      ///< one new packet every gap
+  double tx_time = 1.0;            ///< service time per hop
+  std::size_t queue_capacity = 16; ///< per-host FIFO depth
+  int max_hops = 64;               ///< TTL safety net
+
+  /// Per-transmission loss probability (lossy radio); lost frames are
+  /// retransmitted up to max_retries, then the packet is dropped.
+  double loss_probability = 0.0;
+  int max_retries = 3;
+
+  int connect_retries = 500;
+};
+
+/// Why a packet never reached its destination.
+struct DropCounts {
+  std::size_t no_route = 0;     ///< router had no path at injection
+  std::size_t queue_full = 0;   ///< FIFO overflow at some hop
+  std::size_t route_break = 0;  ///< next hop out of range after an update
+  std::size_t ttl = 0;          ///< exceeded max_hops
+  std::size_t loss = 0;         ///< radio loss exhausted the retry budget
+  std::size_t in_flight = 0;    ///< still queued when the simulation ended
+
+  [[nodiscard]] std::size_t total() const {
+    return no_route + queue_full + route_break + ttl + loss + in_flight;
+  }
+};
+
+struct PacketSimResult {
+  std::size_t injected = 0;
+  std::size_t delivered = 0;
+  DropCounts drops;
+  Summary latency;          ///< end-to-end delay of delivered packets
+  Summary hops;             ///< path length of delivered packets
+  double max_queue = 0.0;   ///< deepest FIFO observed (congestion)
+  double avg_gateways = 0.0;
+
+  [[nodiscard]] double delivery_ratio() const {
+    return injected == 0
+               ? 1.0
+               : static_cast<double>(delivered) /
+                     static_cast<double>(injected);
+  }
+};
+
+/// Runs one packet-level simulation, fully determined by (config, seed).
+[[nodiscard]] PacketSimResult run_packet_sim(const PacketSimConfig& config,
+                                             std::uint64_t seed);
+
+}  // namespace pacds::des

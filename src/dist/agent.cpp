@@ -1,0 +1,210 @@
+#include "dist/agent.hpp"
+
+#include <algorithm>
+
+namespace pacds::dist {
+
+void HostAgent::receive(const Message& message) {
+  if (message.from == id_) return;  // own broadcast echoes are ignored
+  auto& info = knowledge_[message.from];
+  switch (message.type) {
+    case Message::Type::kHello:
+      if (!std::binary_search(neighbors_.begin(), neighbors_.end(),
+                              message.from)) {
+        neighbors_.insert(std::lower_bound(neighbors_.begin(),
+                                           neighbors_.end(), message.from),
+                          message.from);
+      }
+      info.energy = message.energy;
+      break;
+    case Message::Type::kNeighborList:
+      info.open_neighbors = message.neighbor_list;
+      std::sort(info.open_neighbors.begin(), info.open_neighbors.end());
+      info.has_list = true;
+      break;
+    case Message::Type::kStatus:
+      info.is_gateway = message.is_gateway;
+      break;
+  }
+}
+
+Message HostAgent::make_hello() const {
+  Message msg;
+  msg.type = Message::Type::kHello;
+  msg.from = id_;
+  msg.energy = energy_;
+  return msg;
+}
+
+Message HostAgent::make_neighbor_list() const {
+  Message msg;
+  msg.type = Message::Type::kNeighborList;
+  msg.from = id_;
+  msg.neighbor_list = neighbors_;
+  return msg;
+}
+
+Message HostAgent::make_status() const {
+  Message msg;
+  msg.type = Message::Type::kStatus;
+  msg.from = id_;
+  msg.is_gateway = marked_;
+  return msg;
+}
+
+bool HostAgent::knows_edge(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  const auto in_list = [this](NodeId owner, NodeId member) {
+    if (owner == id_) {
+      return std::binary_search(neighbors_.begin(), neighbors_.end(), member);
+    }
+    const auto it = knowledge_.find(owner);
+    if (it == knowledge_.end() || !it->second.has_list) return false;
+    return std::binary_search(it->second.open_neighbors.begin(),
+                              it->second.open_neighbors.end(), member);
+  };
+  return in_list(a, b) || in_list(b, a);
+}
+
+int HostAgent::degree_of(NodeId v) const {
+  if (v == id_) return static_cast<int>(neighbors_.size());
+  const auto it = knowledge_.find(v);
+  return it == knowledge_.end()
+             ? 0
+             : static_cast<int>(it->second.open_neighbors.size());
+}
+
+double HostAgent::energy_of(NodeId v) const {
+  if (v == id_) return energy_;
+  const auto it = knowledge_.find(v);
+  return it == knowledge_.end() ? 0.0 : it->second.energy;
+}
+
+bool HostAgent::less(KeyKind kind, NodeId a, NodeId b) const {
+  if (a == b) return false;
+  switch (kind) {
+    case KeyKind::kId:
+      return a < b;
+    case KeyKind::kDegreeId: {
+      const int da = degree_of(a);
+      const int db = degree_of(b);
+      if (da != db) return da < db;
+      return a < b;
+    }
+    case KeyKind::kEnergyId: {
+      const double ea = energy_of(a);
+      const double eb = energy_of(b);
+      if (ea != eb) return ea < eb;
+      return a < b;
+    }
+    case KeyKind::kEnergyDegreeId: {
+      const double ea = energy_of(a);
+      const double eb = energy_of(b);
+      if (ea != eb) return ea < eb;
+      const int da = degree_of(a);
+      const int db = degree_of(b);
+      if (da != db) return da < db;
+      return a < b;
+    }
+  }
+  return false;
+}
+
+void HostAgent::run_marking() {
+  marked_ = false;
+  for (std::size_t i = 0; i < neighbors_.size() && !marked_; ++i) {
+    for (std::size_t j = i + 1; j < neighbors_.size(); ++j) {
+      if (!knows_edge(neighbors_[i], neighbors_[j])) {
+        marked_ = true;
+        break;
+      }
+    }
+  }
+}
+
+bool HostAgent::closed_covered_by(NodeId u) const {
+  // N[self] ⊆ N[u]: u must be a neighbor (true by construction of callers)
+  // and every other neighbor of self must be adjacent to u.
+  for (const NodeId x : neighbors_) {
+    if (x == u) continue;
+    if (!knows_edge(u, x)) return false;
+  }
+  return true;
+}
+
+bool HostAgent::open_covered_by(NodeId u, NodeId w) const {
+  // N(self) ⊆ N(u) ∪ N(w), evaluated edge-by-edge from 2-hop knowledge.
+  for (const NodeId x : neighbors_) {
+    const bool in_nu = x != u && knows_edge(u, x);
+    const bool in_nw = x != w && knows_edge(w, x);
+    if (!in_nu && !in_nw) return false;
+  }
+  return true;
+}
+
+bool HostAgent::neighbor_covered_by(NodeId x, NodeId a, NodeId b) const {
+  // N(x) ⊆ N(a) ∪ N(b) for a neighbor x whose list we hold.
+  const auto it = knowledge_.find(x);
+  if (it == knowledge_.end() || !it->second.has_list) return false;
+  for (const NodeId y : it->second.open_neighbors) {
+    const bool in_na =
+        y != a && (a == id_ ? std::binary_search(neighbors_.begin(),
+                                                 neighbors_.end(), y)
+                            : knows_edge(a, y));
+    const bool in_nb =
+        y != b && (b == id_ ? std::binary_search(neighbors_.begin(),
+                                                 neighbors_.end(), y)
+                            : knows_edge(b, y));
+    if (!in_na && !in_nb) return false;
+  }
+  return true;
+}
+
+bool HostAgent::run_rule1(KeyKind kind) {
+  if (!marked_) return false;
+  for (const NodeId u : neighbors_) {
+    const auto it = knowledge_.find(u);
+    if (it == knowledge_.end() || !it->second.is_gateway) continue;
+    if (less(kind, id_, u) && closed_covered_by(u)) {
+      marked_ = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HostAgent::run_rule2(KeyKind kind, Rule2Form form) {
+  if (!marked_) return false;
+  std::vector<NodeId> marked_neighbors;
+  for (const NodeId u : neighbors_) {
+    const auto it = knowledge_.find(u);
+    if (it != knowledge_.end() && it->second.is_gateway) {
+      marked_neighbors.push_back(u);
+    }
+  }
+  for (std::size_t i = 0; i < marked_neighbors.size(); ++i) {
+    for (std::size_t j = i + 1; j < marked_neighbors.size(); ++j) {
+      const NodeId u = marked_neighbors[i];
+      const NodeId w = marked_neighbors[j];
+      if (!open_covered_by(u, w)) continue;
+      bool fires = false;
+      if (form == Rule2Form::kSimple) {
+        fires = less(kind, id_, u) && less(kind, id_, w);
+      } else {
+        const bool cov_u = neighbor_covered_by(u, id_, w);
+        const bool cov_w = neighbor_covered_by(w, u, id_);
+        if (!cov_u && !cov_w) fires = true;
+        else if (cov_u && !cov_w) fires = less(kind, id_, u);
+        else if (cov_w && !cov_u) fires = less(kind, id_, w);
+        else fires = less(kind, id_, u) && less(kind, id_, w);
+      }
+      if (fires) {
+        marked_ = false;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace pacds::dist

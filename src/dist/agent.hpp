@@ -1,0 +1,90 @@
+#pragma once
+// A host agent executing the distributed marking + pruning protocol using
+// ONLY what arrives in its inbox — the fidelity check that the library's
+// centralized implementation really is a distributed algorithm. An agent
+// never touches the global Graph; the ProtocolDriver (protocol.hpp) only
+// delivers each broadcast to the sender's radio neighbors.
+//
+// Protocol rounds (synchronous):
+//   1. HELLO          — announce (id, energy); receivers learn N(v) and
+//                       neighbor energies.
+//   2. NEIGHBOR_LIST  — broadcast N(v); receivers learn their 2-hop
+//                       topology and neighbor degrees.
+//   3. local marking  — mark iff two neighbors are non-adjacent; broadcast
+//                       STATUS.
+//   4. Rule 1 pass    — decide against the round-3 statuses; hosts whose
+//                       status flipped broadcast STATUS again.
+//   5. Rule 2 pass    — decide against the round-4 statuses; flips
+//                       broadcast once more.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/keys.hpp"
+#include "core/rules.hpp"
+
+namespace pacds::dist {
+
+/// Wire format of every protocol broadcast.
+struct Message {
+  enum class Type : std::uint8_t { kHello, kNeighborList, kStatus };
+  Type type = Type::kHello;
+  NodeId from = -1;
+  double energy = 0.0;                ///< kHello
+  std::vector<NodeId> neighbor_list;  ///< kNeighborList
+  bool is_gateway = false;            ///< kStatus
+};
+
+/// One host's protocol state machine.
+class HostAgent {
+ public:
+  HostAgent(NodeId id, double energy) : id_(id), energy_(energy) {}
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] bool is_gateway() const noexcept { return marked_; }
+
+  /// Feeds one received broadcast into local state.
+  void receive(const Message& message);
+
+  // ---- Round outputs (what this host broadcasts) -------------------------
+  [[nodiscard]] Message make_hello() const;
+  [[nodiscard]] Message make_neighbor_list() const;
+  [[nodiscard]] Message make_status() const;
+
+  /// Round 3: the marking decision from 2-hop knowledge.
+  void run_marking();
+
+  /// Round 4/5: one pruning decision against the *currently known* neighbor
+  /// statuses. Returns true iff the host just unmarked itself (and so must
+  /// re-broadcast its status).
+  bool run_rule1(KeyKind kind);
+  bool run_rule2(KeyKind kind, Rule2Form form);
+
+ private:
+  struct NeighborInfo {
+    double energy = 0.0;
+    std::vector<NodeId> open_neighbors;  ///< sorted
+    bool is_gateway = false;
+    bool has_list = false;
+  };
+
+  [[nodiscard]] bool knows_edge(NodeId a, NodeId b) const;
+  [[nodiscard]] int degree_of(NodeId v) const;
+  [[nodiscard]] double energy_of(NodeId v) const;
+  /// Strict priority comparison from locally known attributes.
+  [[nodiscard]] bool less(KeyKind kind, NodeId a, NodeId b) const;
+  [[nodiscard]] bool closed_covered_by(NodeId u) const;
+  [[nodiscard]] bool open_covered_by(NodeId u, NodeId w) const;
+  [[nodiscard]] bool neighbor_covered_by(NodeId x, NodeId a, NodeId b) const;
+
+  NodeId id_;
+  double energy_;
+  bool marked_ = false;
+  std::vector<NodeId> neighbors_;            ///< sorted, from hellos
+  std::map<NodeId, NeighborInfo> knowledge_; ///< per-neighbor state
+};
+
+}  // namespace pacds::dist

@@ -1,0 +1,178 @@
+#include "dist/protocol.hpp"
+
+#include <stdexcept>
+
+#include "core/verify.hpp"
+#include "net/rng.hpp"
+
+namespace pacds::dist {
+
+namespace {
+
+/// Delivers one broadcast to every radio neighbor of the sender.
+void broadcast(const Graph& g, std::vector<HostAgent>& agents,
+               const Message& msg) {
+  for (const NodeId u : g.neighbors(msg.from)) {
+    agents[static_cast<std::size_t>(u)].receive(msg);
+  }
+}
+
+/// Lossy delivery: each neighbor independently misses the frame.
+void broadcast_lossy(const Graph& g, std::vector<HostAgent>& agents,
+                     const Message& msg, double loss, Xoshiro256& rng) {
+  for (const NodeId u : g.neighbors(msg.from)) {
+    if (!rng.bernoulli(loss)) {
+      agents[static_cast<std::size_t>(u)].receive(msg);
+    }
+  }
+}
+
+}  // namespace
+
+ProtocolResult run_protocol(const Graph& g, KeyKind kind, Rule2Form form,
+                            const std::vector<double>& energy,
+                            bool use_rules) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (!energy.empty() && energy.size() != n) {
+    throw std::invalid_argument("run_protocol: energy size mismatch");
+  }
+  std::vector<HostAgent> agents;
+  agents.reserve(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    agents.emplace_back(
+        v, energy.empty() ? 0.0 : energy[static_cast<std::size_t>(v)]);
+  }
+  ProtocolResult result;
+  result.gateways = DynBitset(n);
+
+  // Round 1: HELLO.
+  for (const HostAgent& agent : agents) {
+    broadcast(g, agents, agent.make_hello());
+    ++result.hello_msgs;
+  }
+  // Round 2: neighbor lists (2-hop knowledge).
+  for (const HostAgent& agent : agents) {
+    broadcast(g, agents, agent.make_neighbor_list());
+    ++result.list_msgs;
+  }
+  // Round 3: marking + initial status announcements.
+  for (HostAgent& agent : agents) agent.run_marking();
+  for (const HostAgent& agent : agents) {
+    broadcast(g, agents, agent.make_status());
+    ++result.status_msgs;
+  }
+  if (use_rules) {
+    // Round 4: Rule 1, decided simultaneously against round-3 statuses.
+    // Decisions are collected first; flips are announced only afterwards so
+    // every agent saw the same snapshot.
+    std::vector<NodeId> flipped;
+    for (HostAgent& agent : agents) {
+      if (agent.run_rule1(kind)) flipped.push_back(agent.id());
+    }
+    for (const NodeId v : flipped) {
+      broadcast(g, agents, agents[static_cast<std::size_t>(v)].make_status());
+      ++result.status_msgs;
+    }
+    // Round 5: Rule 2 against round-4 statuses.
+    flipped.clear();
+    for (HostAgent& agent : agents) {
+      if (agent.run_rule2(kind, form)) flipped.push_back(agent.id());
+    }
+    for (const NodeId v : flipped) {
+      broadcast(g, agents, agents[static_cast<std::size_t>(v)].make_status());
+      ++result.status_msgs;
+    }
+  }
+  for (const HostAgent& agent : agents) {
+    if (agent.is_gateway()) {
+      result.gateways.set(static_cast<std::size_t>(agent.id()));
+    }
+  }
+  return result;
+}
+
+ProtocolResult run_protocol_scheme(const Graph& g, RuleSet rs,
+                                   const std::vector<double>& energy) {
+  return run_protocol(g, key_kind_of(rs), rule2_form_of(rs), energy,
+                      rs != RuleSet::kNR);
+}
+
+LossyProtocolResult run_lossy_protocol(const Graph& g, RuleSet rs,
+                                       double loss, int repeats,
+                                       std::uint64_t seed,
+                                       const std::vector<double>& energy) {
+  if (loss < 0.0 || loss >= 1.0 || repeats < 1) {
+    throw std::invalid_argument("run_lossy_protocol: bad loss/repeats");
+  }
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (!energy.empty() && energy.size() != n) {
+    throw std::invalid_argument("run_lossy_protocol: energy size mismatch");
+  }
+  Xoshiro256 rng(seed);
+  std::vector<HostAgent> agents;
+  agents.reserve(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    agents.emplace_back(
+        v, energy.empty() ? 0.0 : energy[static_cast<std::size_t>(v)]);
+  }
+  LossyProtocolResult result;
+  result.protocol.gateways = DynBitset(n);
+
+  const KeyKind kind = key_kind_of(rs);
+  const Rule2Form form = rule2_form_of(rs);
+  // Beaconing: HELLO and neighbor-list rounds repeat `repeats` times; a
+  // neighbor missed every time stays unknown.
+  for (int round = 0; round < repeats; ++round) {
+    for (const HostAgent& agent : agents) {
+      broadcast_lossy(g, agents, agent.make_hello(), loss, rng);
+      ++result.protocol.hello_msgs;
+    }
+  }
+  for (int round = 0; round < repeats; ++round) {
+    for (const HostAgent& agent : agents) {
+      broadcast_lossy(g, agents, agent.make_neighbor_list(), loss, rng);
+      ++result.protocol.list_msgs;
+    }
+  }
+  for (HostAgent& agent : agents) agent.run_marking();
+  for (const HostAgent& agent : agents) {
+    broadcast_lossy(g, agents, agent.make_status(), loss, rng);
+    ++result.protocol.status_msgs;
+  }
+  if (rs != RuleSet::kNR) {
+    std::vector<NodeId> flipped;
+    for (HostAgent& agent : agents) {
+      if (agent.run_rule1(kind)) flipped.push_back(agent.id());
+    }
+    for (const NodeId v : flipped) {
+      broadcast_lossy(g, agents,
+                      agents[static_cast<std::size_t>(v)].make_status(), loss,
+                      rng);
+      ++result.protocol.status_msgs;
+    }
+    flipped.clear();
+    for (HostAgent& agent : agents) {
+      if (agent.run_rule2(kind, form)) flipped.push_back(agent.id());
+    }
+    for (const NodeId v : flipped) {
+      broadcast_lossy(g, agents,
+                      agents[static_cast<std::size_t>(v)].make_status(), loss,
+                      rng);
+      ++result.protocol.status_msgs;
+    }
+  }
+  for (const HostAgent& agent : agents) {
+    if (agent.is_gateway()) {
+      result.protocol.gateways.set(static_cast<std::size_t>(agent.id()));
+    }
+  }
+  // Compare with the reliable execution and validate.
+  const ProtocolResult reliable = run_protocol_scheme(g, rs, energy);
+  DynBitset diff = result.protocol.gateways;
+  diff ^= reliable.gateways;
+  result.status_disagreements = diff.count();
+  result.valid_cds = check_cds(g, result.protocol.gateways).ok();
+  return result;
+}
+
+}  // namespace pacds::dist

@@ -1,0 +1,63 @@
+#pragma once
+// Synchronous round driver for the distributed protocol: the only component
+// that sees the global Graph, and it uses it exclusively as the radio
+// medium — each broadcast is delivered verbatim to the sender's unit-disk
+// neighbors. Running the protocol and comparing against the centralized
+// compute_cds (simultaneous strategy) is the library's proof that the
+// algorithms are genuinely 2-hop-local.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/bitset.hpp"
+#include "core/cds.hpp"
+#include "core/graph.hpp"
+#include "dist/agent.hpp"
+
+namespace pacds::dist {
+
+/// Message tallies per round plus the final gateway set.
+struct ProtocolResult {
+  DynBitset gateways;
+  std::size_t hello_msgs = 0;
+  std::size_t list_msgs = 0;
+  std::size_t status_msgs = 0;  ///< initial statuses + per-pass flips
+
+  [[nodiscard]] std::size_t total_msgs() const {
+    return hello_msgs + list_msgs + status_msgs;
+  }
+};
+
+/// Executes the full protocol on one network snapshot. `energy` may be
+/// empty for the non-energy key kinds (agents then exchange energy 0).
+/// With `use_rules` false, stops after the marking round (the NR scheme).
+[[nodiscard]] ProtocolResult run_protocol(const Graph& g, KeyKind kind,
+                                          Rule2Form form,
+                                          const std::vector<double>& energy = {},
+                                          bool use_rules = true);
+
+/// Convenience: runs the protocol with the configuration of scheme `rs` and
+/// returns the result (must equal compute_cds(g, rs, energy,
+/// {.strategy = kSimultaneous}) — property-tested).
+[[nodiscard]] ProtocolResult run_protocol_scheme(const Graph& g, RuleSet rs,
+                                                 const std::vector<double>&
+                                                     energy = {});
+
+/// Lossy-radio study: every broadcast reaches each neighbor independently
+/// with probability (1 - loss). `repeats` re-broadcasts of the HELLO and
+/// neighbor-list rounds model periodic beaconing. The result's gateway set
+/// may be WRONG (that is the point); compare against the reliable run.
+struct LossyProtocolResult {
+  ProtocolResult protocol;
+  std::size_t status_disagreements = 0;  ///< hosts deciding differently from
+                                         ///< the reliable execution
+  bool valid_cds = false;                ///< does the lossy result still pass
+                                         ///< check_cds?
+};
+
+[[nodiscard]] LossyProtocolResult run_lossy_protocol(
+    const Graph& g, RuleSet rs, double loss, int repeats, std::uint64_t seed,
+    const std::vector<double>& energy = {});
+
+}  // namespace pacds::dist

@@ -1,0 +1,38 @@
+#include "energy/traffic.hpp"
+
+namespace pacds {
+
+std::string to_string(DrainModel model) {
+  switch (model) {
+    case DrainModel::kConstantTotal:
+      return "d=2/|G'|";
+    case DrainModel::kLinearTotal:
+      return "d=N/|G'|";
+    case DrainModel::kQuadraticTotal:
+      return "d=N(N-1)/2/(10|G'|)";
+  }
+  return "?";
+}
+
+double total_bypass_traffic(DrainModel model, std::size_t n_hosts,
+                            const DrainParams& params) {
+  const auto n = static_cast<double>(n_hosts);
+  switch (model) {
+    case DrainModel::kConstantTotal:
+      return params.constant_base;
+    case DrainModel::kLinearTotal:
+      return n;
+    case DrainModel::kQuadraticTotal:
+      return n * (n - 1.0) / 2.0 / params.quadratic_divisor;
+  }
+  return 0.0;
+}
+
+double gateway_drain(DrainModel model, std::size_t n_hosts,
+                     std::size_t cds_size, const DrainParams& params) {
+  if (cds_size == 0) return 0.0;
+  return total_bypass_traffic(model, n_hosts, params) /
+         static_cast<double>(cds_size);
+}
+
+}  // namespace pacds

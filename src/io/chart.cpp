@@ -1,0 +1,133 @@
+#include "io/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/table.hpp"
+
+namespace pacds {
+
+namespace {
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+}
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(std::max(16, width)), height_(std::max(6, height)) {}
+
+void AsciiChart::add_series(const std::string& name, std::vector<double> xs,
+                            std::vector<double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("AsciiChart::add_series: xs/ys mismatch");
+  }
+  if (series_.size() >= std::size(kGlyphs)) {
+    throw std::invalid_argument("AsciiChart::add_series: too many series");
+  }
+  series_.push_back({name, std::move(xs), std::move(ys)});
+}
+
+void AsciiChart::set_labels(std::string x_label, std::string y_label) {
+  x_label_ = std::move(x_label);
+  y_label_ = std::move(y_label);
+}
+
+std::string AsciiChart::render() const {
+  std::ostringstream os;
+  double xmin = 0.0;
+  double xmax = 0.0;
+  double ymin = 0.0;
+  double ymax = 0.0;
+  bool any = false;
+  for (const ChartSeries& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!any) {
+        xmin = xmax = s.xs[i];
+        ymin = ymax = s.ys[i];
+        any = true;
+      } else {
+        xmin = std::min(xmin, s.xs[i]);
+        xmax = std::max(xmax, s.xs[i]);
+        ymin = std::min(ymin, s.ys[i]);
+        ymax = std::max(ymax, s.ys[i]);
+      }
+    }
+  }
+  if (!any) return "(empty chart)\n";
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+  // A little headroom so extreme points do not sit on the frame.
+  const double ypad = (ymax - ymin) * 0.05;
+  ymax += ypad;
+  ymin = std::max(0.0, ymin - ypad);
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height_),
+                                  std::string(static_cast<std::size_t>(width_),
+                                              ' '));
+  const auto col_of = [&](double x) {
+    return std::clamp(
+        static_cast<int>(std::lround((x - xmin) / (xmax - xmin) *
+                                     (width_ - 1))),
+        0, width_ - 1);
+  };
+  const auto row_of = [&](double y) {
+    return std::clamp(
+        height_ - 1 -
+            static_cast<int>(std::lround((y - ymin) / (ymax - ymin) *
+                                         (height_ - 1))),
+        0, height_ - 1);
+  };
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const ChartSeries& s = series_[si];
+    const char glyph = kGlyphs[si];
+    // Connect consecutive points with interpolated samples, then overdraw
+    // the data points themselves.
+    for (std::size_t i = 0; i + 1 < s.xs.size(); ++i) {
+      const int steps = width_;
+      for (int t = 0; t <= steps; ++t) {
+        const double f = static_cast<double>(t) / steps;
+        const double x = s.xs[i] + f * (s.xs[i + 1] - s.xs[i]);
+        const double y = s.ys[i] + f * (s.ys[i + 1] - s.ys[i]);
+        auto& cell = canvas[static_cast<std::size_t>(row_of(y))]
+                           [static_cast<std::size_t>(col_of(x))];
+        if (cell == ' ') cell = '.';
+      }
+    }
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      canvas[static_cast<std::size_t>(row_of(s.ys[i]))]
+            [static_cast<std::size_t>(col_of(s.xs[i]))] = glyph;
+    }
+  }
+
+  if (!y_label_.empty()) os << y_label_ << "\n";
+  const std::string top = TextTable::fmt(ymax);
+  const std::string bottom = TextTable::fmt(ymin);
+  const std::size_t margin = std::max(top.size(), bottom.size());
+  for (int row = 0; row < height_; ++row) {
+    std::string prefix(margin, ' ');
+    if (row == 0) prefix = std::string(margin - top.size(), ' ') + top;
+    if (row == height_ - 1) {
+      prefix = std::string(margin - bottom.size(), ' ') + bottom;
+    }
+    os << prefix << " |" << canvas[static_cast<std::size_t>(row)] << "\n";
+  }
+  os << std::string(margin + 1, ' ') << '+'
+     << std::string(static_cast<std::size_t>(width_), '-') << "\n";
+  const std::string xlo = TextTable::fmt(xmin);
+  const std::string xhi = TextTable::fmt(xmax);
+  os << std::string(margin + 2, ' ') << xlo
+     << std::string(static_cast<std::size_t>(std::max(
+                        1, width_ - static_cast<int>(xlo.size()) -
+                               static_cast<int>(xhi.size()))),
+                    ' ')
+     << xhi;
+  if (!x_label_.empty()) os << "  " << x_label_;
+  os << "\nlegend:";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "  " << kGlyphs[si] << " " << series_[si].name;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace pacds

@@ -1,0 +1,43 @@
+#pragma once
+// Terminal line charts: the figure binaries don't just print tables, they
+// draw the paper's figures. Multiple named series share one canvas; each
+// series gets a distinct glyph, axes are scaled and labelled, and a legend
+// is appended.
+
+#include <string>
+#include <vector>
+
+namespace pacds {
+
+/// One plotted series.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;  ///< parallel to xs
+};
+
+/// Character-cell line chart.
+class AsciiChart {
+ public:
+  AsciiChart(int width = 72, int height = 20);
+
+  /// Adds a series; throws std::invalid_argument on xs/ys size mismatch or
+  /// after more than 8 series (glyphs run out).
+  void add_series(const std::string& name, std::vector<double> xs,
+                  std::vector<double> ys);
+
+  /// Optional axis titles.
+  void set_labels(std::string x_label, std::string y_label);
+
+  /// Renders the chart; empty charts render a placeholder note.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  int width_;
+  int height_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace pacds

@@ -1,0 +1,40 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace pacds {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) *os_ << ',';
+    *os_ << escape(cells[i]);
+  }
+  *os_ << '\n';
+}
+
+bool write_csv_file(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream file(path);
+  if (!file) return false;
+  CsvWriter writer(file);
+  writer.write_row(header);
+  for (const auto& row : rows) writer.write_row(row);
+  return static_cast<bool>(file);
+}
+
+}  // namespace pacds

@@ -1,0 +1,31 @@
+#pragma once
+// Minimal CSV emission (RFC-4180-style quoting) so experiment output can be
+// replotted outside the harness.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pacds {
+
+/// Streams rows as CSV. Fields containing commas, quotes or newlines are
+/// quoted; embedded quotes are doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ostream* os_;
+};
+
+/// Convenience: write a header + data rows to a file. Returns false (and
+/// writes nothing) if the file cannot be opened.
+bool write_csv_file(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace pacds

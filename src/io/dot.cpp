@@ -1,0 +1,41 @@
+#include "io/dot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pacds {
+
+std::string to_dot(const Graph& g, const DynBitset* gateways,
+                   const std::vector<Vec2>* positions,
+                   const DotOptions& options) {
+  if (gateways != nullptr &&
+      gateways->size() != static_cast<std::size_t>(g.num_nodes())) {
+    throw std::invalid_argument("to_dot: gateway mask size mismatch");
+  }
+  if (positions != nullptr &&
+      positions->size() != static_cast<std::size_t>(g.num_nodes())) {
+    throw std::invalid_argument("to_dot: positions size mismatch");
+  }
+  std::ostringstream os;
+  os << "graph " << options.graph_name << " {\n";
+  os << "  node [style=filled];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const bool is_gateway =
+        gateways != nullptr && gateways->test(static_cast<std::size_t>(v));
+    os << "  " << v << " [fillcolor="
+       << (is_gateway ? options.gateway_color : options.node_color);
+    if (positions != nullptr) {
+      const Vec2 p = (*positions)[static_cast<std::size_t>(v)];
+      os << ", pos=\"" << p.x * options.pos_scale << ','
+         << p.y * options.pos_scale << "!\"";
+    }
+    os << "];\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    os << "  " << u << " -- " << v << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pacds

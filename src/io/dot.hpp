@@ -1,0 +1,32 @@
+#pragma once
+// Graphviz export: render a network snapshot with gateways highlighted —
+// handy for eyeballing CDS structure on small examples.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+#include "net/vec2.hpp"
+
+namespace pacds {
+
+/// Options for DOT rendering.
+struct DotOptions {
+  std::string graph_name = "pacds";
+  std::string gateway_color = "lightcoral";
+  std::string node_color = "lightgray";
+  /// Scale factor applied to positions when emitting pos attributes.
+  double pos_scale = 0.1;
+};
+
+/// Serializes `g` as an undirected Graphviz graph. `gateways` (if provided)
+/// colors gateway nodes; `positions` (if provided) pins node coordinates
+/// (neato-compatible `pos` attributes).
+[[nodiscard]] std::string to_dot(
+    const Graph& g, const DynBitset* gateways = nullptr,
+    const std::vector<Vec2>* positions = nullptr,
+    const DotOptions& options = {});
+
+}  // namespace pacds

@@ -1,0 +1,24 @@
+#pragma once
+// Edge-list (de)serialization: "n m" header line followed by m "u v" lines.
+// Lines starting with '#' are comments. Round-trips exactly with Graph.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/graph.hpp"
+
+namespace pacds {
+
+/// Writes `g` as an edge list.
+void write_edgelist(std::ostream& os, const Graph& g);
+
+[[nodiscard]] std::string edgelist_to_string(const Graph& g);
+
+/// Parses an edge list. Throws std::runtime_error with a line-numbered
+/// message on malformed input (bad header, wrong edge count, out-of-range
+/// endpoints, self-loops).
+[[nodiscard]] Graph read_edgelist(std::istream& is);
+
+[[nodiscard]] Graph edgelist_from_string(const std::string& text);
+
+}  // namespace pacds

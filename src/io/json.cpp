@@ -1,0 +1,153 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pacds {
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (top_level_done_) {
+    throw std::logic_error("JsonWriter: document already complete");
+  }
+  if (stack_.empty()) return;  // the single top-level value
+  if (stack_.back() == Scope::kObject && !key_pending_) {
+    throw std::logic_error("JsonWriter: value without key inside object");
+  }
+  if (stack_.back() == Scope::kArray) {
+    if (!first_in_scope_.back()) *os_ << ',';
+    first_in_scope_.back() = false;
+  }
+  key_pending_ = false;
+}
+
+void JsonWriter::raw(const std::string& text) {
+  before_value();
+  *os_ << text;
+  if (stack_.empty()) top_level_done_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  *os_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject || key_pending_) {
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  }
+  *os_ << '}';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  *os_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray) {
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  }
+  *os_ << ']';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (stack_.empty()) top_level_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != Scope::kObject || key_pending_) {
+    throw std::logic_error("JsonWriter: key outside object");
+  }
+  if (!first_in_scope_.back()) *os_ << ',';
+  first_in_scope_.back() = false;
+  *os_ << '"' << escape(name) << "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  raw('"' + escape(text) + '"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) {
+    null();  // JSON has no NaN/Inf
+    return *this;
+  }
+  std::ostringstream tmp;
+  tmp << number;
+  raw(tmp.str());
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  raw(std::to_string(number));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t number) {
+  raw(std::to_string(number));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int number) {
+  raw(std::to_string(number));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  raw(flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  raw("null");
+  return *this;
+}
+
+bool JsonWriter::complete() const { return top_level_done_ && stack_.empty(); }
+
+}  // namespace pacds

@@ -1,0 +1,60 @@
+#pragma once
+// Minimal streaming JSON writer (no DOM): nesting tracked on a stack,
+// commas inserted automatically, strings escaped per RFC 8259. Lets the
+// CLI emit machine-readable output (--json) without a dependency.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pacds {
+
+/// Streaming JSON emitter. Usage:
+///   JsonWriter json(os);
+///   json.begin_object();
+///   json.key("n").value(42);
+///   json.key("tags").begin_array().value("a").value("b").end_array();
+///   json.end_object();
+/// Misuse (value without key inside an object, unbalanced end_*) throws
+/// std::logic_error.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be directly inside an object.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::size_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// True once the single top-level value is complete and balanced.
+  [[nodiscard]] bool complete() const;
+
+  [[nodiscard]] static std::string escape(const std::string& text);
+
+ private:
+  enum class Scope : char { kObject, kArray };
+
+  void before_value();
+  void raw(const std::string& text);
+
+  std::ostream* os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool key_pending_ = false;
+  bool top_level_done_ = false;
+};
+
+}  // namespace pacds

@@ -1,0 +1,116 @@
+#include "io/scenario.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pacds {
+
+void write_scenario(std::ostream& os, const Scenario& scenario) {
+  if (scenario.energies.size() != scenario.positions.size()) {
+    throw std::invalid_argument(
+        "write_scenario: positions/energies size mismatch");
+  }
+  os << "# pacds scenario\n";
+  os << std::setprecision(17);
+  os << "radius " << scenario.radius << '\n';
+  os << "hosts " << scenario.positions.size() << '\n';
+  for (std::size_t i = 0; i < scenario.positions.size(); ++i) {
+    os << scenario.positions[i].x << ' ' << scenario.positions[i].y << ' '
+       << scenario.energies[i] << '\n';
+  }
+}
+
+std::string scenario_to_string(const Scenario& scenario) {
+  std::ostringstream os;
+  write_scenario(os, scenario);
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& why) {
+  throw std::runtime_error("scenario parse error at line " +
+                           std::to_string(line_no) + ": " + why);
+}
+
+bool next_content_line(std::istream& is, std::string& line, int& line_no) {
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i == line.size() || line[i] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Scenario read_scenario(std::istream& is) {
+  Scenario scenario;
+  std::string line;
+  int line_no = 0;
+  std::string keyword;
+  std::string trailing;
+
+  if (!next_content_line(is, line, line_no)) fail(line_no, "missing radius");
+  {
+    std::istringstream ls(line);
+    if (!(ls >> keyword >> scenario.radius) || keyword != "radius" ||
+        scenario.radius < 0.0) {
+      fail(line_no, "expected 'radius <non-negative number>'");
+    }
+    if (ls >> trailing) fail(line_no, "trailing tokens");
+  }
+  long long hosts = 0;
+  if (!next_content_line(is, line, line_no)) fail(line_no, "missing hosts");
+  {
+    std::istringstream ls(line);
+    if (!(ls >> keyword >> hosts) || keyword != "hosts" || hosts < 0) {
+      fail(line_no, "expected 'hosts <non-negative integer>'");
+    }
+    if (ls >> trailing) fail(line_no, "trailing tokens");
+  }
+  for (long long i = 0; i < hosts; ++i) {
+    if (!next_content_line(is, line, line_no)) {
+      fail(line_no, "expected " + std::to_string(hosts) + " host lines, got " +
+                        std::to_string(i));
+    }
+    std::istringstream ls(line);
+    Vec2 pos;
+    double energy = 0.0;
+    if (!(ls >> pos.x >> pos.y >> energy)) {
+      fail(line_no, "host line must be 'x y energy'");
+    }
+    if (ls >> trailing) fail(line_no, "trailing tokens");
+    scenario.positions.push_back(pos);
+    scenario.energies.push_back(energy);
+  }
+  return scenario;
+}
+
+Scenario scenario_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_scenario(is);
+}
+
+bool save_scenario_file(const std::string& path, const Scenario& scenario) {
+  std::ofstream file(path);
+  if (!file) return false;
+  write_scenario(file, scenario);
+  return static_cast<bool>(file);
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot open scenario file: " + path);
+  }
+  return read_scenario(file);
+}
+
+}  // namespace pacds

@@ -1,0 +1,49 @@
+#pragma once
+// Scenario (de)serialization: a complete, reproducible network snapshot —
+// transmission radius, host positions and battery levels — in a small text
+// format, so experiments can be saved, shared and replayed:
+//
+//   # comment lines allowed anywhere
+//   radius 25
+//   hosts 3
+//   1.5 2.5 100
+//   10  20  87.5
+//   30  40  100
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "net/udg.hpp"
+#include "net/vec2.hpp"
+
+namespace pacds {
+
+/// One saved network snapshot.
+struct Scenario {
+  double radius = 0.0;
+  std::vector<Vec2> positions;
+  std::vector<double> energies;  ///< parallel to positions
+
+  [[nodiscard]] std::size_t size() const noexcept { return positions.size(); }
+
+  /// Builds the unit-disk graph of this snapshot.
+  [[nodiscard]] Graph graph(UdgMethod method = UdgMethod::kGrid) const {
+    return build_udg(positions, radius, method);
+  }
+};
+
+void write_scenario(std::ostream& os, const Scenario& scenario);
+[[nodiscard]] std::string scenario_to_string(const Scenario& scenario);
+
+/// Parses a scenario; throws std::runtime_error with a line-numbered
+/// message on malformed input.
+[[nodiscard]] Scenario read_scenario(std::istream& is);
+[[nodiscard]] Scenario scenario_from_string(const std::string& text);
+
+/// File helpers; save returns false if the file cannot be written.
+bool save_scenario_file(const std::string& path, const Scenario& scenario);
+[[nodiscard]] Scenario load_scenario_file(const std::string& path);
+
+}  // namespace pacds

@@ -1,0 +1,82 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pacds {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable: need at least one column");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable::add_row: expected " +
+                                std::to_string(headers_.size()) +
+                                " cells, got " + std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  if (column >= aligns_.size()) {
+    throw std::out_of_range("TextTable::set_align: bad column");
+  }
+  aligns_[column] = align;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit_cell = [&](const std::string& text, std::size_t c) {
+    const auto pad = widths[c] - text.size();
+    if (aligns_[c] == Align::kRight) os << std::string(pad, ' ') << text;
+    else os << text << std::string(pad, ' ');
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << "  ";
+    emit_cell(headers_[c], c);
+  }
+  os << '\n';
+  std::size_t total = 2 * (headers_.size() - 1);
+  for (const auto w : widths) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      emit_cell(row[c], c);
+    }
+    os << '\n';
+  }
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string TextTable::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::fmt(std::size_t value) { return std::to_string(value); }
+
+std::string TextTable::fmt(int value) { return std::to_string(value); }
+
+}  // namespace pacds

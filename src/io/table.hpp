@@ -1,0 +1,52 @@
+#pragma once
+// Aligned plain-text tables, used by every experiment harness to print the
+// rows the paper's figures plot.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pacds {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// A simple fixed-header text table. Cells are strings; numeric helpers are
+/// provided for common formats.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  [[nodiscard]] std::size_t num_columns() const noexcept {
+    return headers_.size();
+  }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Adds a full row; throws std::invalid_argument if the arity is wrong.
+  void add_row(std::vector<std::string> cells);
+
+  /// Sets alignment for one column (default right).
+  void set_align(std::size_t column, Align align);
+
+  /// Renders with single-space-padded columns and a dashed header rule.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  // Formatting helpers.
+  [[nodiscard]] static std::string fmt(double value, int precision = 2);
+  [[nodiscard]] static std::string fmt(std::size_t value);
+  [[nodiscard]] static std::string fmt(int value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pacds

@@ -1,0 +1,64 @@
+#include "net/rng.hpp"
+
+#include <stdexcept>
+
+namespace pacds {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  SplitMix64 mixer(base ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  mixer.next();
+  return mixer.next();
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 mixer(seed);
+  for (auto& s : s_) s = mixer.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  if (!(lo <= hi)) {
+    throw std::invalid_argument("Xoshiro256::uniform: lo > hi");
+  }
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Xoshiro256::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Xoshiro256::uniform_int: lo > hi");
+  }
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection sampling for an unbiased draw.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw;
+  do {
+    draw = next();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+bool Xoshiro256::bernoulli(double p) { return uniform01() < p; }
+
+}  // namespace pacds

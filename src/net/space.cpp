@@ -1,0 +1,59 @@
+#include "net/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pacds {
+
+std::string to_string(BoundaryPolicy policy) {
+  switch (policy) {
+    case BoundaryPolicy::kClamp:
+      return "clamp";
+    case BoundaryPolicy::kReflect:
+      return "reflect";
+    case BoundaryPolicy::kWrap:
+      return "wrap";
+  }
+  return "?";
+}
+
+Field::Field(double width, double height, BoundaryPolicy policy)
+    : width_(width), height_(height), policy_(policy) {
+  if (!(width > 0.0) || !(height > 0.0)) {
+    throw std::invalid_argument("Field: dimensions must be positive");
+  }
+}
+
+bool Field::contains(Vec2 p) const noexcept {
+  return p.x >= 0.0 && p.x <= width_ && p.y >= 0.0 && p.y <= height_;
+}
+
+double Field::fold(double v, double limit, BoundaryPolicy policy) {
+  switch (policy) {
+    case BoundaryPolicy::kClamp:
+      return std::clamp(v, 0.0, limit);
+    case BoundaryPolicy::kReflect: {
+      // Reflect off both walls as many times as needed: the position follows
+      // a triangle wave of period 2*limit.
+      const double period = 2.0 * limit;
+      double m = std::fmod(v, period);
+      if (m < 0.0) m += period;
+      return m <= limit ? m : period - m;
+    }
+    case BoundaryPolicy::kWrap: {
+      double m = std::fmod(v, limit);
+      if (m < 0.0) m += limit;
+      return m;
+    }
+  }
+  return v;
+}
+
+Vec2 Field::confine(Vec2 p) const {
+  return {fold(p.x, width_, policy_), fold(p.y, height_, policy_)};
+}
+
+Vec2 Field::move(Vec2 pos, Vec2 delta) const { return confine(pos + delta); }
+
+}  // namespace pacds

@@ -1,0 +1,50 @@
+#pragma once
+// The bounded 2-D free-space the hosts roam (the paper's 100 x 100 field),
+// plus the policy for what happens when a movement step would leave it.
+
+#include <cstdint>
+#include <string>
+
+#include "net/vec2.hpp"
+
+namespace pacds {
+
+/// What to do when a displacement would exit the field. The paper does not
+/// specify; kClamp keeps the host at the wall (our default), kReflect
+/// bounces it, kWrap makes the field a torus.
+enum class BoundaryPolicy : std::uint8_t { kClamp, kReflect, kWrap };
+
+[[nodiscard]] std::string to_string(BoundaryPolicy policy);
+
+/// Axis-aligned rectangular field [0, width] x [0, height].
+class Field {
+ public:
+  Field(double width, double height,
+        BoundaryPolicy policy = BoundaryPolicy::kClamp);
+
+  [[nodiscard]] double width() const noexcept { return width_; }
+  [[nodiscard]] double height() const noexcept { return height_; }
+  [[nodiscard]] BoundaryPolicy policy() const noexcept { return policy_; }
+
+  [[nodiscard]] bool contains(Vec2 p) const noexcept;
+
+  /// Applies displacement `delta` to `pos` and folds the result back into
+  /// the field per the boundary policy.
+  [[nodiscard]] Vec2 move(Vec2 pos, Vec2 delta) const;
+
+  /// Folds an arbitrary point into the field per the boundary policy.
+  [[nodiscard]] Vec2 confine(Vec2 p) const;
+
+  /// The paper's standard field: 100 x 100, clamping walls.
+  static Field paper_field() { return {100.0, 100.0, BoundaryPolicy::kClamp}; }
+
+ private:
+  [[nodiscard]] static double fold(double v, double limit,
+                                   BoundaryPolicy policy);
+
+  double width_;
+  double height_;
+  BoundaryPolicy policy_;
+};
+
+}  // namespace pacds

@@ -1,0 +1,35 @@
+#include "net/topology.hpp"
+
+#include <stdexcept>
+
+namespace pacds {
+
+std::vector<Vec2> random_placement(int n, const Field& field,
+                                   Xoshiro256& rng) {
+  if (n < 0) throw std::invalid_argument("random_placement: negative n");
+  std::vector<Vec2> positions;
+  positions.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    positions.push_back(
+        {rng.uniform(0.0, field.width()), rng.uniform(0.0, field.height())});
+  }
+  return positions;
+}
+
+std::optional<ConnectedPlacement> random_connected_placement(
+    int n, const Field& field, double radius, Xoshiro256& rng, int max_retries,
+    UdgMethod method) {
+  if (max_retries < 1) {
+    throw std::invalid_argument("random_connected_placement: max_retries < 1");
+  }
+  for (int attempt = 1; attempt <= max_retries; ++attempt) {
+    auto positions = random_placement(n, field, rng);
+    Graph g = build_udg(positions, radius, method);
+    if (g.is_connected()) {
+      return ConnectedPlacement{std::move(positions), std::move(g), attempt};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pacds

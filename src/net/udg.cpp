@@ -1,0 +1,108 @@
+#include "net/udg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pacds {
+
+SpatialGrid::SpatialGrid(const std::vector<Vec2>& positions, double cell_size)
+    : positions_(&positions), cell_size_(cell_size) {
+  if (!(cell_size > 0.0)) {
+    throw std::invalid_argument("SpatialGrid: cell_size must be positive");
+  }
+  // Load factor ~1 entry per bucket; power-of-two table for cheap masking.
+  std::size_t n_buckets = 16;
+  while (n_buckets < positions.size() * 2) n_buckets *= 2;
+  buckets_.resize(n_buckets);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const CellKey key = cell_of(positions[i]);
+    buckets_[bucket_of(key)].push_back({key, static_cast<NodeId>(i)});
+  }
+}
+
+SpatialGrid::CellKey SpatialGrid::cell_of(Vec2 p) const {
+  return {static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
+          static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
+}
+
+std::size_t SpatialGrid::bucket_of(CellKey key) const {
+  // 2-D -> 1-D mix (large odd constants, then avalanche).
+  auto h = static_cast<std::uint64_t>(key.cx) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(key.cy) * 0xc2b2ae3d27d4eb4fULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h) & (buckets_.size() - 1);
+}
+
+std::vector<NodeId> SpatialGrid::query(Vec2 center, double radius,
+                                       NodeId exclude) const {
+  if (radius > cell_size_) {
+    throw std::invalid_argument(
+        "SpatialGrid::query: radius exceeds cell size (needs a wider ring)");
+  }
+  const double r2 = radius * radius;
+  const CellKey c = cell_of(center);
+  std::vector<NodeId> out;
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const CellKey probe{c.cx + dx, c.cy + dy};
+      for (const Entry& e : buckets_[bucket_of(probe)]) {
+        if (!(e.cell == probe)) continue;  // hash collision with other cell
+        if (e.node == exclude) continue;
+        if (distance2((*positions_)[static_cast<std::size_t>(e.node)],
+                      center) <= r2) {
+          out.push_back(e.node);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+Graph build_naive(const std::vector<Vec2>& positions, double radius) {
+  const auto n = static_cast<NodeId>(positions.size());
+  Graph g(n);
+  const double r2 = radius * radius;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) {
+      if (distance2(positions[static_cast<std::size_t>(u)],
+                    positions[static_cast<std::size_t>(v)]) <= r2) {
+        g.add_edge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+Graph build_grid(const std::vector<Vec2>& positions, double radius) {
+  const auto n = static_cast<NodeId>(positions.size());
+  Graph g(n);
+  // Cells must have positive extent even for radius 0 (coincident points
+  // still form edges under the closed-ball convention).
+  const SpatialGrid grid(positions, radius > 0.0 ? radius : 1.0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v :
+         grid.query(positions[static_cast<std::size_t>(u)], radius, u)) {
+      if (v > u) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+Graph build_udg(const std::vector<Vec2>& positions, double radius,
+                UdgMethod method) {
+  if (!(radius >= 0.0)) {
+    throw std::invalid_argument("build_udg: radius must be non-negative");
+  }
+  return method == UdgMethod::kNaive ? build_naive(positions, radius)
+                                     : build_grid(positions, radius);
+}
+
+}  // namespace pacds

@@ -1,0 +1,58 @@
+#pragma once
+// Unit-disk graph construction: hosts u, v are linked iff their Euclidean
+// distance is at most the (homogeneous) transmission radius — the paper's
+// connectivity model. Two builders: a naive O(n²) reference and a uniform
+// grid spatial hash that only tests nearby cells; they must agree exactly
+// (property-tested) and the grid version is what the simulator uses.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "net/vec2.hpp"
+
+namespace pacds {
+
+/// Which edge-enumeration algorithm to use.
+enum class UdgMethod : std::uint8_t { kNaive, kGrid };
+
+/// Builds the unit-disk graph of `positions` with transmission radius
+/// `radius` (edge iff distance <= radius, closed ball).
+[[nodiscard]] Graph build_udg(const std::vector<Vec2>& positions,
+                              double radius,
+                              UdgMethod method = UdgMethod::kGrid);
+
+/// Uniform-grid spatial index over a point set; cells are radius-sized so a
+/// disk query only inspects the 3x3 cell neighborhood. Cells hash into a
+/// fixed bucket table; each entry keeps its exact cell key so hash
+/// collisions never produce duplicate or missing candidates.
+class SpatialGrid {
+ public:
+  SpatialGrid(const std::vector<Vec2>& positions, double cell_size);
+
+  /// Indices of all points within `radius` of `center` (inclusive, closed
+  /// ball), excluding `exclude` (pass -1 to keep all), in ascending order.
+  /// Requires radius <= cell_size (one cell ring); throws otherwise.
+  [[nodiscard]] std::vector<NodeId> query(Vec2 center, double radius,
+                                          NodeId exclude = -1) const;
+
+ private:
+  struct CellKey {
+    std::int64_t cx = 0;
+    std::int64_t cy = 0;
+    bool operator==(const CellKey&) const = default;
+  };
+  struct Entry {
+    CellKey cell;
+    NodeId node;
+  };
+
+  [[nodiscard]] CellKey cell_of(Vec2 p) const;
+  [[nodiscard]] std::size_t bucket_of(CellKey key) const;
+
+  const std::vector<Vec2>* positions_;
+  double cell_size_;
+  std::vector<std::vector<Entry>> buckets_;
+};
+
+}  // namespace pacds

@@ -1,0 +1,36 @@
+#pragma once
+// Plain 2-D point/vector type for host positions in the simulation field.
+
+#include <cmath>
+
+namespace pacds {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+};
+
+/// Squared Euclidean distance — the unit-disk test compares this against
+/// radius² to avoid the sqrt.
+[[nodiscard]] constexpr double distance2(Vec2 a, Vec2 b) {
+  return (a - b).norm2();
+}
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) {
+  return std::sqrt(distance2(a, b));
+}
+
+}  // namespace pacds

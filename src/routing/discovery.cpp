@@ -1,0 +1,64 @@
+#include "routing/discovery.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace pacds {
+
+DiscoveryResult flood_discovery(const Graph& g, NodeId src, NodeId dst,
+                                const DynBitset* relays) {
+  if (src < 0 || src >= g.num_nodes() || dst < 0 || dst >= g.num_nodes()) {
+    throw std::invalid_argument("flood_discovery: host out of range");
+  }
+  if (relays != nullptr &&
+      relays->size() != static_cast<std::size_t>(g.num_nodes())) {
+    throw std::invalid_argument("flood_discovery: relay mask size mismatch");
+  }
+  DiscoveryResult result;
+  if (src == dst) {
+    result.found = true;
+    result.hops = 0;
+    return result;
+  }
+  std::vector<char> reached(static_cast<std::size_t>(g.num_nodes()), 0);
+  reached[static_cast<std::size_t>(src)] = 1;
+  std::vector<NodeId> transmitters{src};
+  NodeId level = 0;
+  while (!transmitters.empty()) {
+    ++level;
+    std::vector<NodeId> newly_reached;
+    for (const NodeId t : transmitters) {
+      ++result.transmissions;
+      result.receptions += static_cast<std::size_t>(g.degree(t));
+      for (const NodeId u : g.neighbors(t)) {
+        auto& r = reached[static_cast<std::size_t>(u)];
+        if (!r) {
+          r = 1;
+          newly_reached.push_back(u);
+        }
+      }
+    }
+    for (const NodeId u : newly_reached) {
+      if (u == dst) {
+        result.found = true;
+        result.hops = level;
+        return result;  // expanding ring: stop at the discovering ring
+      }
+    }
+    transmitters.clear();
+    for (const NodeId u : newly_reached) {
+      if (relays == nullptr || relays->test(static_cast<std::size_t>(u))) {
+        transmitters.push_back(u);
+      }
+    }
+  }
+  return result;
+}
+
+DiscoveryComparison compare_discovery(const Graph& g, NodeId src, NodeId dst,
+                                      const DynBitset& gateways) {
+  return {flood_discovery(g, src, dst, nullptr),
+          flood_discovery(g, src, dst, &gateways)};
+}
+
+}  // namespace pacds

@@ -1,0 +1,50 @@
+#pragma once
+// Route discovery cost — the paper's motivation for dominating-set-based
+// routing: "the searching space for a route is reduced to nodes in the
+// set". This module simulates on-demand route discovery by flooding a
+// route request (RREQ) and counts transmissions:
+//
+//   plain flooding      — every host that first hears the RREQ rebroadcasts;
+//   CDS flooding        — only gateway hosts rebroadcast (non-gateways still
+//                         receive and can be discovered).
+//
+// Both are breadth-first, so they find minimum-hop routes within their
+// allowed relay set; the metric of interest is how many broadcasts the
+// network pays per discovery.
+
+#include <cstddef>
+#include <optional>
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+
+namespace pacds {
+
+/// Outcome of one route discovery.
+struct DiscoveryResult {
+  bool found = false;
+  NodeId hops = -1;                 ///< route length when found
+  std::size_t transmissions = 0;    ///< RREQ broadcasts sent
+  std::size_t receptions = 0;       ///< RREQ copies received (radio cost)
+};
+
+/// Floods a route request from `src` toward `dst`. Hosts in `relays` (plus
+/// src itself) rebroadcast the first copy they receive; everyone in range
+/// receives. Pass nullptr for plain flooding (all hosts relay). The flood
+/// stops expanding at the ring where dst is first reached (expanding-ring
+/// semantics: deeper rings are never transmitted).
+[[nodiscard]] DiscoveryResult flood_discovery(const Graph& g, NodeId src,
+                                              NodeId dst,
+                                              const DynBitset* relays);
+
+/// Convenience comparison for one (src, dst) pair.
+struct DiscoveryComparison {
+  DiscoveryResult plain;
+  DiscoveryResult cds;
+};
+
+[[nodiscard]] DiscoveryComparison compare_discovery(const Graph& g,
+                                                    NodeId src, NodeId dst,
+                                                    const DynBitset& gateways);
+
+}  // namespace pacds

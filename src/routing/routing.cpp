@@ -1,0 +1,182 @@
+#include "routing/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace pacds {
+
+DominatingSetRouter::DominatingSetRouter(const Graph& g, DynBitset gateways)
+    : graph_(&g), gateways_(std::move(gateways)) {
+  if (gateways_.size() != static_cast<std::size_t>(g.num_nodes())) {
+    throw std::invalid_argument(
+        "DominatingSetRouter: gateway mask size mismatch");
+  }
+  members_.resize(static_cast<std::size_t>(g.num_nodes()));
+  gateways_.for_each_set([&](std::size_t gw) {
+    for (const NodeId u : g.neighbors(static_cast<NodeId>(gw))) {
+      if (!gateways_.test(static_cast<std::size_t>(u))) {
+        members_[gw].push_back(u);
+      }
+    }
+  });
+}
+
+bool DominatingSetRouter::is_gateway(NodeId v) const {
+  return gateways_.test(static_cast<std::size_t>(v));
+}
+
+std::vector<NodeId> DominatingSetRouter::gateways_of(NodeId host) const {
+  std::vector<NodeId> out;
+  if (is_gateway(host)) return out;
+  for (const NodeId u : graph_->neighbors(host)) {
+    if (is_gateway(u)) out.push_back(u);
+  }
+  return out;
+}
+
+const std::vector<NodeId>& DominatingSetRouter::domain_members(
+    NodeId gw) const {
+  if (!is_gateway(gw)) {
+    throw std::invalid_argument("domain_members: node " + std::to_string(gw) +
+                                " is not a gateway");
+  }
+  return members_[static_cast<std::size_t>(gw)];
+}
+
+DominatingSetRouter::BackboneView DominatingSetRouter::backbone_bfs(
+    NodeId gw) const {
+  const auto n = static_cast<std::size_t>(graph_->num_nodes());
+  BackboneView view{std::vector<NodeId>(n, -1), std::vector<NodeId>(n, -1)};
+  if (!is_gateway(gw)) return view;
+  view.dist[static_cast<std::size_t>(gw)] = 0;
+  std::deque<NodeId> queue{gw};
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    for (const NodeId nxt : graph_->neighbors(cur)) {
+      const auto ni = static_cast<std::size_t>(nxt);
+      if (!gateways_.test(ni) || view.dist[ni] >= 0) continue;
+      view.dist[ni] =
+          static_cast<NodeId>(view.dist[static_cast<std::size_t>(cur)] + 1);
+      view.parent[ni] = cur;
+      queue.push_back(nxt);
+    }
+  }
+  return view;
+}
+
+std::vector<GatewayTableEntry> DominatingSetRouter::routing_table(
+    NodeId gw) const {
+  if (!is_gateway(gw)) {
+    throw std::invalid_argument("routing_table: node " + std::to_string(gw) +
+                                " is not a gateway");
+  }
+  const BackboneView view = backbone_bfs(gw);
+  std::vector<GatewayTableEntry> table;
+  gateways_.for_each_set([&](std::size_t peer_idx) {
+    const auto peer = static_cast<NodeId>(peer_idx);
+    if (peer == gw || view.dist[peer_idx] < 0) return;
+    GatewayTableEntry entry;
+    entry.gateway = peer;
+    entry.members = members_[peer_idx];
+    entry.distance = view.dist[peer_idx];
+    // First hop on the backbone path gw -> peer: walk parents back from peer.
+    NodeId hop = peer;
+    while (view.parent[static_cast<std::size_t>(hop)] != gw) {
+      hop = view.parent[static_cast<std::size_t>(hop)];
+    }
+    entry.next_hop = hop;
+    table.push_back(entry);
+  });
+  return table;
+}
+
+RouteResult DominatingSetRouter::route(NodeId src, NodeId dst) const {
+  RouteResult result;
+  if (src == dst) {
+    result.delivered = true;
+    result.path = {src};
+    return result;
+  }
+  if (graph_->has_edge(src, dst)) {
+    // Hosts know their neighbors; one-hop delivery needs no gateway.
+    result.delivered = true;
+    result.path = {src, dst};
+    return result;
+  }
+  const std::vector<NodeId> src_gws =
+      is_gateway(src) ? std::vector<NodeId>{src} : gateways_of(src);
+  const std::vector<NodeId> dst_gws =
+      is_gateway(dst) ? std::vector<NodeId>{dst} : gateways_of(dst);
+  if (src_gws.empty()) {
+    result.failure = "source host is not dominated by any gateway";
+    return result;
+  }
+  if (dst_gws.empty()) {
+    result.failure = "destination host is not dominated by any gateway";
+    return result;
+  }
+  NodeId best_total = -1;
+  NodeId best_sg = -1;
+  NodeId best_dg = -1;
+  BackboneView best_view;
+  for (const NodeId sg : src_gws) {
+    BackboneView view = backbone_bfs(sg);
+    for (const NodeId dg : dst_gws) {
+      const NodeId d = view.dist[static_cast<std::size_t>(dg)];
+      if (d < 0) continue;
+      const NodeId total = static_cast<NodeId>(
+          d + (src == sg ? 0 : 1) + (dst == dg ? 0 : 1));
+      if (best_total < 0 || total < best_total) {
+        best_total = total;
+        best_sg = sg;
+        best_dg = dg;
+        best_view = view;
+      }
+    }
+  }
+  if (best_total < 0) {
+    result.failure = "no backbone route between source and destination "
+                     "gateways";
+    return result;
+  }
+  std::vector<NodeId> backbone;
+  for (NodeId p = best_dg; p != -1;
+       p = best_view.parent[static_cast<std::size_t>(p)]) {
+    backbone.push_back(p);
+  }
+  std::reverse(backbone.begin(), backbone.end());  // now best_sg .. best_dg
+  result.delivered = true;
+  if (src != best_sg) result.path.push_back(src);
+  result.path.insert(result.path.end(), backbone.begin(), backbone.end());
+  if (dst != best_dg) result.path.push_back(dst);
+  return result;
+}
+
+std::optional<NodeId> DominatingSetRouter::route_hops(NodeId src,
+                                                      NodeId dst) const {
+  const RouteResult r = route(src, dst);
+  if (!r.delivered) return std::nullopt;
+  return static_cast<NodeId>(r.path.size() - 1);
+}
+
+std::optional<NodeId> DominatingSetRouter::pick_source_gateway(
+    NodeId host, NodeId dst_gw) const {
+  const auto candidates =
+      is_gateway(host) ? std::vector<NodeId>{host} : gateways_of(host);
+  std::optional<NodeId> best;
+  NodeId best_dist = -1;
+  for (const NodeId sg : candidates) {
+    const BackboneView view = backbone_bfs(sg);
+    const NodeId d = view.dist[static_cast<std::size_t>(dst_gw)];
+    if (d < 0) continue;
+    if (!best || d < best_dist) {
+      best = sg;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace pacds

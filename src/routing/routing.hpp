@@ -1,0 +1,90 @@
+#pragma once
+// Dominating-set-based routing (paper Section 2.1): only gateway hosts keep
+// routing state. Each gateway stores its *domain membership list* (adjacent
+// non-gateway hosts) and a *gateway routing table* with one entry per
+// gateway carrying that gateway's membership list, hop distance and next
+// hop within the induced gateway subgraph (paper Figure 2).
+//
+// Routing a packet src -> dst:
+//   1. a non-gateway source forwards to an adjacent gateway (its source
+//      gateway);
+//   2. the packet travels through the induced gateway subgraph toward the
+//      destination gateway (the gateway whose domain contains dst, or dst
+//      itself if dst is a gateway);
+//   3. the destination gateway delivers directly to dst.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+
+namespace pacds {
+
+/// One gateway's routing-table entry for a peer gateway (paper Fig. 2(c)).
+struct GatewayTableEntry {
+  NodeId gateway = -1;              ///< the peer gateway this entry describes
+  std::vector<NodeId> members;      ///< peer's domain membership list
+  NodeId distance = -1;             ///< hops to the peer inside the backbone
+  NodeId next_hop = -1;             ///< neighbor gateway toward the peer
+};
+
+/// Outcome of routing one packet.
+struct RouteResult {
+  bool delivered = false;
+  std::vector<NodeId> path;  ///< full host sequence src..dst when delivered
+  std::string failure;       ///< reason when not delivered
+};
+
+/// Routing state for one network snapshot + gateway set.
+class DominatingSetRouter {
+ public:
+  /// Builds membership lists and per-gateway routing tables. `gateways`
+  /// must be a valid (connected, dominating) set for useful routing, but
+  /// construction itself accepts any subset.
+  DominatingSetRouter(const Graph& g, DynBitset gateways);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const DynBitset& gateways() const noexcept { return gateways_; }
+  [[nodiscard]] bool is_gateway(NodeId v) const;
+
+  /// Adjacent gateways of a non-gateway host (its candidate source
+  /// gateways), ascending. Empty for gateways themselves.
+  [[nodiscard]] std::vector<NodeId> gateways_of(NodeId host) const;
+
+  /// The gateway domain membership list (paper Fig. 2(b)): non-gateway
+  /// neighbors of gateway `gw`. Throws if `gw` is not a gateway.
+  [[nodiscard]] const std::vector<NodeId>& domain_members(NodeId gw) const;
+
+  /// Full routing table of gateway `gw`, one entry per reachable gateway,
+  /// ascending by gateway id (paper Fig. 2(c)).
+  [[nodiscard]] std::vector<GatewayTableEntry> routing_table(NodeId gw) const;
+
+  /// Routes a packet with the 3-step process. The returned path is the
+  /// complete host sequence, e.g. [src, srcGw, ..., dstGw, dst].
+  [[nodiscard]] RouteResult route(NodeId src, NodeId dst) const;
+
+  /// Hop count of route(src, dst), or nullopt when undeliverable.
+  [[nodiscard]] std::optional<NodeId> route_hops(NodeId src, NodeId dst) const;
+
+ private:
+  /// Backbone BFS from gateway `gw`: distances and parents over gateway-only
+  /// paths. Rows are cached lazily per source gateway.
+  struct BackboneView {
+    std::vector<NodeId> dist;
+    std::vector<NodeId> parent;
+  };
+  [[nodiscard]] BackboneView backbone_bfs(NodeId gw) const;
+
+  /// Picks the source gateway for a host: the adjacent gateway closest to
+  /// the destination gateway, ties to smaller id.
+  [[nodiscard]] std::optional<NodeId> pick_source_gateway(NodeId host,
+                                                          NodeId dst_gw) const;
+
+  const Graph* graph_;
+  DynBitset gateways_;
+  std::vector<std::vector<NodeId>> members_;  ///< per node: domain members
+};
+
+}  // namespace pacds

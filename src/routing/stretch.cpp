@@ -1,0 +1,35 @@
+#include "routing/stretch.hpp"
+
+#include <algorithm>
+
+#include "routing/routing.hpp"
+
+namespace pacds {
+
+StretchStats measure_stretch(const Graph& g, const DynBitset& gateways) {
+  StretchStats stats;
+  const DominatingSetRouter router(g, gateways);
+  double sum = 0.0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const auto dist = g.bfs_distances(s);
+    for (NodeId t = static_cast<NodeId>(s + 1); t < g.num_nodes(); ++t) {
+      const NodeId true_hops = dist[static_cast<std::size_t>(t)];
+      if (true_hops <= 0) continue;  // disconnected pair
+      const auto routed = router.route_hops(s, t);
+      if (!routed) {
+        ++stats.undeliverable;
+        continue;
+      }
+      const double ratio =
+          static_cast<double>(*routed) / static_cast<double>(true_hops);
+      sum += ratio;
+      stats.max_stretch = std::max(stats.max_stretch, ratio);
+      ++stats.pairs;
+    }
+  }
+  stats.mean_stretch =
+      stats.pairs == 0 ? 1.0 : sum / static_cast<double>(stats.pairs);
+  return stats;
+}
+
+}  // namespace pacds

@@ -1,0 +1,28 @@
+#pragma once
+// Path-quality measurement: how much longer dominating-set-backbone routes
+// are than true shortest paths. Property 3 of the paper guarantees stretch
+// 1.0 for the raw marking-process output; the reduction rules trade that
+// away for a smaller backbone — this module quantifies the trade.
+
+#include <cstddef>
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+
+namespace pacds {
+
+/// Aggregate stretch statistics over all connected host pairs.
+struct StretchStats {
+  double mean_stretch = 1.0;   ///< avg (route hops / shortest hops)
+  double max_stretch = 1.0;
+  std::size_t pairs = 0;           ///< connected pairs measured
+  std::size_t undeliverable = 0;   ///< pairs the router could not serve
+};
+
+/// Routes every ordered pair (s < t) that is connected in `g` through the
+/// DominatingSetRouter built on `gateways` and compares hop counts against
+/// BFS shortest paths.
+[[nodiscard]] StretchStats measure_stretch(const Graph& g,
+                                           const DynBitset& gateways);
+
+}  // namespace pacds

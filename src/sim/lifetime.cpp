@@ -1,0 +1,126 @@
+#include "sim/lifetime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rule_k.hpp"
+#include "energy/battery.hpp"
+#include "net/mobility.hpp"
+#include "net/udg.hpp"
+
+namespace pacds {
+
+namespace {
+
+/// Quantized view of the battery levels for EL-key comparisons.
+std::vector<double> key_levels(const std::vector<double>& levels,
+                               double quantum) {
+  if (quantum <= 0.0) return levels;
+  std::vector<double> out;
+  out.reserve(levels.size());
+  for (const double level : levels) {
+    out.push_back(std::floor(level / quantum));
+  }
+  return out;
+}
+
+}  // namespace
+
+TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
+                               SimTrace* trace) {
+  if (config.n_hosts < 1) {
+    throw std::invalid_argument("run_lifetime_trial: need at least one host");
+  }
+  Xoshiro256 rng(seed);
+  const Field field(config.field_width, config.field_height, config.boundary);
+
+  TrialResult result;
+  std::vector<Vec2> positions;
+  if (auto placed = random_connected_placement(
+          config.n_hosts, field, config.radius, rng, config.connect_retries)) {
+    positions = std::move(placed->positions);
+    result.placement_attempts = placed->attempts;
+  } else {
+    // No connected placement found (tiny n or sparse density): proceed with
+    // a plain placement; the marking/rules handle components independently.
+    positions = random_placement(config.n_hosts, field, rng);
+    result.initial_connected = false;
+    result.placement_attempts = config.connect_retries;
+  }
+
+  BatteryBank batteries(static_cast<std::size_t>(config.n_hosts),
+                        config.initial_energy);
+  MobilityParams mobility_params = config.mobility_params;
+  if (config.mobility_kind == MobilityKind::kPaperJump) {
+    mobility_params.stay_probability = config.stay_probability;
+    mobility_params.jump_min = config.jump_min;
+    mobility_params.jump_max = config.jump_max;
+  }
+  const std::unique_ptr<MobilityModel> mobility =
+      make_mobility(config.mobility_kind, mobility_params);
+
+  double gateway_sum = 0.0;
+  double marked_sum = 0.0;
+  while (result.intervals < config.max_intervals) {
+    const Graph g = build_links(positions, config.radius, config.link_model);
+    const auto keys = key_levels(batteries.levels(), config.energy_key_quantum);
+    CdsResult cds;
+    if (config.custom_key && config.use_rule_k) {
+      cds = compute_cds_rule_k(g, *config.custom_key, keys,
+                               config.cds_options.strategy,
+                               config.cds_options.clique_policy);
+    } else if (config.custom_key) {
+      RuleConfig rule_config;
+      rule_config.rule2_form = config.custom_rule2_form;
+      rule_config.strategy = config.cds_options.strategy;
+      cds = compute_cds_custom(g, *config.custom_key, rule_config, keys,
+                               config.cds_options.clique_policy);
+    } else {
+      cds = compute_cds(g, config.rule_set, keys, config.cds_options);
+    }
+    gateway_sum += static_cast<double>(cds.gateway_count);
+    marked_sum += static_cast<double>(cds.marked_count);
+
+    const double d =
+        gateway_drain(config.drain_model, batteries.size(), cds.gateway_count,
+                      config.drain_params);
+    const double d_prime = config.drain_params.nongateway_drain;
+    bool someone_died = false;
+    for (std::size_t host = 0; host < batteries.size(); ++host) {
+      const bool is_gateway = cds.gateways.test(host);
+      someone_died |= batteries.drain(host, is_gateway ? d : d_prime);
+    }
+    ++result.intervals;
+    if (trace != nullptr) {
+      IntervalRecord record;
+      record.interval = result.intervals;
+      record.marked = cds.marked_count;
+      record.gateways = cds.gateway_count;
+      record.alive = batteries.alive_count();
+      record.min_energy = batteries.min_level();
+      double sum = 0.0;
+      double max_level = 0.0;
+      for (const double level : batteries.levels()) {
+        sum += level;
+        max_level = std::max(max_level, level);
+      }
+      record.mean_energy = sum / static_cast<double>(batteries.size());
+      record.max_energy = max_level;
+      trace->records.push_back(record);
+    }
+    if (someone_died) break;
+    mobility->step(positions, field, rng);
+  }
+  result.hit_cap =
+      !batteries.any_dead() && result.intervals >= config.max_intervals;
+  if (result.intervals > 0) {
+    gateway_sum /= static_cast<double>(result.intervals);
+    marked_sum /= static_cast<double>(result.intervals);
+  }
+  result.avg_gateways = gateway_sum;
+  result.avg_marked = marked_sum;
+  return result;
+}
+
+}  // namespace pacds

@@ -1,0 +1,94 @@
+#pragma once
+// The paper's Section 4 simulation loop:
+//   1. place hosts uniformly in the field (retry until the unit-disk graph
+//      is connected);
+//   2. each update interval, recompute the gateway set with the configured
+//      rule family, using current battery levels as the EL keys;
+//   3. drain each gateway by d (drain model / |G'|) and each non-gateway by
+//      d' = 1; stop when the first host dies;
+//   4. otherwise every host roams per the movement model and the next
+//      interval begins.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/cds.hpp"
+#include "energy/traffic.hpp"
+#include "net/geometric.hpp"
+#include "net/mobility.hpp"
+#include "net/space.hpp"
+#include "net/topology.hpp"
+#include "sim/trace.hpp"
+
+namespace pacds {
+
+/// All knobs of one lifetime simulation; defaults are the paper's settings.
+struct SimConfig {
+  int n_hosts = 50;
+  double field_width = 100.0;
+  double field_height = 100.0;
+  BoundaryPolicy boundary = BoundaryPolicy::kClamp;
+  double radius = kPaperRadius;
+
+  /// Which proximity graph links the hosts (paper: unit disk). The sparser
+  /// Gabriel/RNG models keep the same connectivity with far fewer links.
+  LinkModel link_model = LinkModel::kUnitDisk;
+
+  double initial_energy = 100.0;
+  DrainModel drain_model = DrainModel::kLinearTotal;
+  DrainParams drain_params{};
+
+  double stay_probability = 0.5;  ///< the paper's c
+  int jump_min = 1;               ///< the paper's l range
+  int jump_max = 6;
+
+  /// Mobility model; kPaperJump (default) is driven by the three fields
+  /// above, the other kinds read `mobility_params` (sensitivity studies).
+  MobilityKind mobility_kind = MobilityKind::kPaperJump;
+  MobilityParams mobility_params{};
+
+  RuleSet rule_set = RuleSet::kEL1;
+  CdsOptions cds_options{};
+
+  /// When set, overrides the scheme with a fully custom (key, Rule 2 form)
+  /// pair via compute_cds_custom — used by ablations that hold the rule
+  /// machinery fixed while swapping only the priority key (e.g. id-keyed
+  /// refined rules vs. EL1, isolating the rotation effect).
+  std::optional<KeyKind> custom_key;
+  Rule2Form custom_rule2_form = Rule2Form::kRefined;
+  /// With custom_key set, use the generalized Rule k (Dai-Wu) instead of
+  /// the pairwise rules (custom_rule2_form is then ignored).
+  bool use_rule_k = false;
+
+  /// The paper treats energy as "multiple discrete levels": EL keys compare
+  /// quantized levels (floor(level / quantum) buckets) so ties — and the
+  /// ND/ID tie-break chains — actually occur. 0 disables quantization
+  /// (raw battery readings as keys). Battery accounting itself is always
+  /// exact; only the priority keys see the quantized view.
+  double energy_key_quantum = 1.0;
+
+  /// Placement retries before accepting a disconnected initial graph.
+  int connect_retries = 500;
+  /// Hard interval cap so degenerate configurations terminate.
+  long max_intervals = 200000;
+};
+
+/// Outcome of one simulated network lifetime.
+struct TrialResult {
+  long intervals = 0;        ///< completed update intervals at first death
+  double avg_gateways = 0.0; ///< mean |G'| per interval (Figure 10's metric)
+  double avg_marked = 0.0;   ///< mean marking-process set size (NR size)
+  bool hit_cap = false;      ///< stopped by max_intervals, not by a death
+  bool initial_connected = true;  ///< whether placement retries succeeded
+  int placement_attempts = 1;
+};
+
+/// Runs one trial, fully determined by (config, seed). When `trace` is
+/// non-null, one IntervalRecord per update interval is appended (snapshots
+/// taken after each drain step).
+[[nodiscard]] TrialResult run_lifetime_trial(const SimConfig& config,
+                                             std::uint64_t seed,
+                                             SimTrace* trace = nullptr);
+
+}  // namespace pacds

@@ -1,0 +1,42 @@
+#include "sim/montecarlo.hpp"
+
+#include <vector>
+
+#include "net/rng.hpp"
+
+namespace pacds {
+
+LifetimeSummary run_lifetime_trials(const SimConfig& config,
+                                    std::size_t trials,
+                                    std::uint64_t base_seed,
+                                    ThreadPool* pool) {
+  std::vector<TrialResult> results(trials);
+  const auto run_one = [&config, base_seed, &results](std::size_t trial) {
+    results[trial] =
+        run_lifetime_trial(config, derive_seed(base_seed, trial));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(trials, run_one);
+  } else {
+    for (std::size_t t = 0; t < trials; ++t) run_one(t);
+  }
+
+  // Deterministic aggregation in trial order.
+  Welford intervals;
+  Welford gateways;
+  Welford marked;
+  LifetimeSummary summary;
+  for (const TrialResult& r : results) {
+    intervals.add(static_cast<double>(r.intervals));
+    gateways.add(r.avg_gateways);
+    marked.add(r.avg_marked);
+    if (r.hit_cap) ++summary.capped_trials;
+    if (!r.initial_connected) ++summary.disconnected_trials;
+  }
+  summary.intervals = Summary::of(intervals);
+  summary.avg_gateways = Summary::of(gateways);
+  summary.avg_marked = Summary::of(marked);
+  return summary;
+}
+
+}  // namespace pacds

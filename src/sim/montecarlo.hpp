@@ -1,0 +1,31 @@
+#pragma once
+// Monte-Carlo driver: runs many independent lifetime trials (each seeded by
+// derive_seed(base, trial)) across a thread pool and aggregates the metrics
+// the paper's figures plot.
+
+#include <cstdint>
+
+#include "sim/lifetime.hpp"
+#include "sim/stats.hpp"
+#include "sim/threadpool.hpp"
+
+namespace pacds {
+
+/// Aggregated trial metrics for one (config) point.
+struct LifetimeSummary {
+  Summary intervals;      ///< network lifetime (Figures 11-13)
+  Summary avg_gateways;   ///< per-interval gateway count (Figure 10)
+  Summary avg_marked;     ///< marking-process set size (Figure 10's NR)
+  std::size_t capped_trials = 0;        ///< trials stopped by the cap
+  std::size_t disconnected_trials = 0;  ///< trials starting disconnected
+};
+
+/// Runs `trials` independent trials of `config`. If `pool` is non-null the
+/// trials run across its workers; otherwise they run inline. Deterministic:
+/// aggregation order does not depend on completion order.
+[[nodiscard]] LifetimeSummary run_lifetime_trials(const SimConfig& config,
+                                                  std::size_t trials,
+                                                  std::uint64_t base_seed,
+                                                  ThreadPool* pool = nullptr);
+
+}  // namespace pacds

@@ -1,0 +1,65 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pacds {
+
+void Welford::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Welford::merge(const Welford& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Welford::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Welford::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Welford::stderr_mean() const noexcept {
+  return count_ < 2 ? 0.0
+                    : stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double Welford::ci95_half_width() const noexcept {
+  return 1.96 * stderr_mean();
+}
+
+Summary Summary::of(const Welford& acc) {
+  Summary s;
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.ci95 = acc.ci95_half_width();
+  s.min = acc.min();
+  s.max = acc.max();
+  return s;
+}
+
+}  // namespace pacds

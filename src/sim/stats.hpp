@@ -1,0 +1,53 @@
+#pragma once
+// Streaming statistics (Welford's algorithm) for Monte-Carlo aggregation:
+// numerically stable mean/variance without storing samples.
+
+#include <cstddef>
+
+namespace pacds {
+
+/// Single-pass mean/variance/min/max accumulator.
+class Welford {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction; Chan et al. update).
+  void merge(const Welford& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double stderr_mean() const noexcept;
+
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95_half_width() const noexcept;
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Frozen snapshot of a Welford accumulator, convenient for result structs.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] static Summary of(const Welford& acc);
+};
+
+}  // namespace pacds

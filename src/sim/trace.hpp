@@ -1,0 +1,38 @@
+#pragma once
+// Per-interval trace of a lifetime run: gateway counts and the energy
+// distribution over time, for post-hoc analysis and plotting. The trace is
+// plain data; io helpers serialize it as CSV.
+
+#include <string>
+#include <vector>
+
+namespace pacds {
+
+/// One update interval's snapshot (taken after the drain step).
+struct IntervalRecord {
+  long interval = 0;
+  std::size_t marked = 0;       ///< marking-process set size
+  std::size_t gateways = 0;     ///< final gateway count
+  double min_energy = 0.0;
+  double mean_energy = 0.0;
+  double max_energy = 0.0;
+  std::size_t alive = 0;
+};
+
+/// Whole-run trace.
+struct SimTrace {
+  std::vector<IntervalRecord> records;
+
+  [[nodiscard]] static std::vector<std::string> csv_header();
+  [[nodiscard]] std::vector<std::vector<std::string>> csv_rows() const;
+
+  /// Minimum-energy series, one value per interval (for sparklines).
+  [[nodiscard]] std::vector<double> min_energy_series() const;
+  [[nodiscard]] std::vector<double> gateway_series() const;
+};
+
+/// Compact ASCII sparkline of a series (8 levels, scaled to [lo, hi]).
+[[nodiscard]] std::string sparkline(const std::vector<double>& series,
+                                    double lo, double hi);
+
+}  // namespace pacds

@@ -1,0 +1,102 @@
+// Tests for the CLI argument parser.
+
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacds {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("prog", "test program");
+  parser.add_flag("verbose", "say more");
+  parser.add_option("seed", "rng seed", "42");
+  parser.add_option("name", "a name", "");
+  return parser;
+}
+
+TEST(ArgsTest, DefaultsApply) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parser.parse({}));
+  EXPECT_FALSE(parser.flag("verbose"));
+  EXPECT_EQ(parser.option("seed"), "42");
+  EXPECT_EQ(parser.option_int("seed").value(), 42);
+  EXPECT_TRUE(parser.option("name").empty());
+}
+
+TEST(ArgsTest, FlagSet) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--verbose"}));
+  EXPECT_TRUE(parser.flag("verbose"));
+}
+
+TEST(ArgsTest, OptionWithSeparateValue) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--seed", "7"}));
+  EXPECT_EQ(parser.option_int("seed").value(), 7);
+}
+
+TEST(ArgsTest, OptionWithEqualsValue) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--seed=99", "--name=bob"}));
+  EXPECT_EQ(parser.option_int("seed").value(), 99);
+  EXPECT_EQ(parser.option("name"), "bob");
+}
+
+TEST(ArgsTest, Positionals) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parser.parse({"alpha", "--verbose", "beta"}));
+  EXPECT_EQ(parser.positionals(),
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(ArgsTest, UnknownOptionFails) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parser.parse({"--bogus"}));
+  EXPECT_NE(parser.error().find("bogus"), std::string::npos);
+}
+
+TEST(ArgsTest, MissingValueFails) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parser.parse({"--seed"}));
+  EXPECT_NE(parser.error().find("needs a value"), std::string::npos);
+}
+
+TEST(ArgsTest, FlagWithValueFails) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parser.parse({"--verbose=yes"}));
+}
+
+TEST(ArgsTest, BadIntegerIsNullopt) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--seed", "abc"}));
+  EXPECT_FALSE(parser.option_int("seed").has_value());
+}
+
+TEST(ArgsTest, DoubleParsing) {
+  ArgParser parser("p", "d");
+  parser.add_option("x", "a double", "1.5");
+  ASSERT_TRUE(parser.parse({}));
+  EXPECT_DOUBLE_EQ(parser.option_double("x").value(), 1.5);
+  ArgParser parser2("p", "d");
+  parser2.add_option("x", "a double", "");
+  ASSERT_TRUE(parser2.parse({"--x", "2.5e-1"}));
+  EXPECT_DOUBLE_EQ(parser2.option_double("x").value(), 0.25);
+}
+
+TEST(ArgsTest, NegativeNumbersAsValues) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--seed", "-5"}));
+  EXPECT_EQ(parser.option_int("seed").value(), -5);
+}
+
+TEST(ArgsTest, UsageMentionsOptionsAndDefaults) {
+  const ArgParser parser = make_parser();
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("--seed"), std::string::npos);
+  EXPECT_NE(usage.find("default: 42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pacds

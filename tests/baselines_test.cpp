@@ -1,0 +1,169 @@
+// Tests for the centralized baseline CDS algorithms: all must produce valid
+// connected dominating sets; the greedy baseline should be competitive.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/greedy_mcds.hpp"
+#include "baselines/mis_cds.hpp"
+#include "baselines/tree_cds.hpp"
+#include "core/cds.hpp"
+#include "core/verify.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::figure1_graph;
+using testing::path_graph;
+using testing::star_graph;
+
+TEST(GreedyMcdsTest, StarUsesCenterOnly) {
+  const DynBitset cds = greedy_mcds(star_graph(6));
+  EXPECT_EQ(cds.count(), 1u);
+  EXPECT_TRUE(cds.test(0));
+}
+
+TEST(GreedyMcdsTest, PathUsesInterior) {
+  const Graph g = path_graph(5);
+  const DynBitset cds = greedy_mcds(g);
+  EXPECT_TRUE(check_cds(g, cds).ok());
+  EXPECT_LE(cds.count(), 3u);
+}
+
+TEST(GreedyMcdsTest, CompleteGraphSingleDominator) {
+  const Graph g = complete_graph(5);
+  const DynBitset cds = greedy_mcds(g);
+  EXPECT_EQ(cds.count(), 1u);
+  EXPECT_TRUE(check_cds(g, cds).ok());
+}
+
+TEST(GreedyMcdsTest, SingletonContributesNothing) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const DynBitset cds = greedy_mcds(g);
+  EXPECT_FALSE(cds.test(2));
+  EXPECT_TRUE(check_cds(g, cds).ok());
+}
+
+TEST(GreedyMcdsTest, EmptyGraph) {
+  EXPECT_EQ(greedy_mcds(Graph(0)).count(), 0u);
+}
+
+TEST(TreeCdsTest, PathInternalNodes) {
+  const Graph g = path_graph(6);
+  const DynBitset cds = bfs_tree_cds(g, /*prune=*/false);
+  EXPECT_TRUE(check_cds(g, cds).ok());
+  // Internal nodes of any spanning tree of P6 are exactly {1,2,3,4}.
+  EXPECT_EQ(cds.count(), 4u);
+}
+
+TEST(TreeCdsTest, PruningOnlyShrinks) {
+  Xoshiro256 rng(5);
+  const auto placed = random_connected_placement(30, Field::paper_field(),
+                                                 kPaperRadius, rng, 5000);
+  ASSERT_TRUE(placed.has_value());
+  const DynBitset raw = bfs_tree_cds(placed->graph, false);
+  const DynBitset pruned = bfs_tree_cds(placed->graph, true);
+  EXPECT_LE(pruned.count(), raw.count());
+  EXPECT_TRUE(pruned.is_subset_of(raw));
+  EXPECT_TRUE(check_cds(placed->graph, pruned).ok());
+}
+
+TEST(TreeCdsTest, K2KeepsOneEnd) {
+  const Graph g = complete_graph(2);
+  const DynBitset cds = bfs_tree_cds(g);
+  EXPECT_EQ(cds.count(), 1u);
+  EXPECT_TRUE(check_cds(g, cds).ok());
+}
+
+TEST(MisTest, GreedyMisIsIndependentAndMaximal) {
+  Xoshiro256 rng(6);
+  const auto placed = random_connected_placement(40, Field::paper_field(),
+                                                 kPaperRadius, rng, 5000);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  const DynBitset mis = greedy_mis(g);
+  // Independent: no edge inside the set.
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_FALSE(mis.test(static_cast<std::size_t>(u)) &&
+                 mis.test(static_cast<std::size_t>(v)))
+        << u << "-" << v;
+  }
+  // Maximal: every node outside has a neighbor inside.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (mis.test(static_cast<std::size_t>(v))) continue;
+    bool blocked = false;
+    for (const NodeId u : g.neighbors(v)) {
+      if (mis.test(static_cast<std::size_t>(u))) blocked = true;
+    }
+    EXPECT_TRUE(blocked) << "node " << v;
+  }
+}
+
+TEST(MisTest, MisCdsIsValid) {
+  for (const Graph& g : {figure1_graph(), path_graph(8), cycle_graph(9),
+                         star_graph(5)}) {
+    const DynBitset cds = mis_cds(g);
+    const CdsCheck check = check_cds(g, cds);
+    EXPECT_TRUE(check.ok()) << check.message;
+  }
+}
+
+TEST(MisTest, MisCdsDropsIsolatedNodes) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const DynBitset cds = mis_cds(g);
+  EXPECT_FALSE(cds.test(2));
+}
+
+// All baselines on random connected unit-disk graphs.
+class BaselinePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(BaselinePropertyTest, AllBaselinesValid) {
+  const auto [n, seed] = GetParam();
+  Xoshiro256 rng(seed);
+  const auto placed = random_connected_placement(n, Field::paper_field(),
+                                                 kPaperRadius, rng, 5000);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  for (const auto& [name, cds] :
+       {std::pair{"greedy", greedy_mcds(g)},
+        std::pair{"tree", bfs_tree_cds(g)},
+        std::pair{"mis", mis_cds(g)}}) {
+    const CdsCheck check = check_cds(g, cds);
+    EXPECT_TRUE(check.ok()) << name << ": " << check.message;
+  }
+}
+
+TEST_P(BaselinePropertyTest, GreedyCompetitiveWithDistributedRules) {
+  // The centralized greedy should rarely be larger than the distributed ND
+  // scheme; allow generous slack (it is a heuristic, not an optimum).
+  const auto [n, seed] = GetParam();
+  Xoshiro256 rng(seed ^ 0xabcdef);
+  const auto placed = random_connected_placement(n, Field::paper_field(),
+                                                 kPaperRadius, rng, 5000);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  const std::size_t greedy = greedy_mcds(g).count();
+  const std::size_t nd = compute_cds(g, RuleSet::kND).gateway_count;
+  EXPECT_LE(greedy, nd + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNetworks, BaselinePropertyTest,
+    ::testing::Combine(::testing::Values(10, 25, 50),
+                       ::testing::Values(41u, 42u, 43u, 44u)),
+    [](const ::testing::TestParamInfo<BaselinePropertyTest::ParamType>& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_s" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,148 @@
+// Tests for the top-level compute_cds API: scheme dispatch, energy
+// requirements, option plumbing, and result bookkeeping.
+
+#include "core/cds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/verify.hpp"
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::complete_graph;
+using testing::figure1_graph;
+using testing::path_graph;
+
+TEST(CdsTest, ToStringAllSchemes) {
+  EXPECT_EQ(to_string(RuleSet::kNR), "NR");
+  EXPECT_EQ(to_string(RuleSet::kID), "ID");
+  EXPECT_EQ(to_string(RuleSet::kND), "ND");
+  EXPECT_EQ(to_string(RuleSet::kEL1), "EL1");
+  EXPECT_EQ(to_string(RuleSet::kEL2), "EL2");
+}
+
+TEST(CdsTest, SchemeMetadata) {
+  EXPECT_FALSE(uses_energy(RuleSet::kNR));
+  EXPECT_FALSE(uses_energy(RuleSet::kID));
+  EXPECT_FALSE(uses_energy(RuleSet::kND));
+  EXPECT_TRUE(uses_energy(RuleSet::kEL1));
+  EXPECT_TRUE(uses_energy(RuleSet::kEL2));
+
+  EXPECT_EQ(key_kind_of(RuleSet::kID), KeyKind::kId);
+  EXPECT_EQ(key_kind_of(RuleSet::kND), KeyKind::kDegreeId);
+  EXPECT_EQ(key_kind_of(RuleSet::kEL1), KeyKind::kEnergyId);
+  EXPECT_EQ(key_kind_of(RuleSet::kEL2), KeyKind::kEnergyDegreeId);
+
+  EXPECT_EQ(rule2_form_of(RuleSet::kID), Rule2Form::kSimple);
+  EXPECT_EQ(rule2_form_of(RuleSet::kND), Rule2Form::kRefined);
+  EXPECT_EQ(rule2_form_of(RuleSet::kEL1), Rule2Form::kRefined);
+  EXPECT_EQ(rule2_form_of(RuleSet::kEL2), Rule2Form::kRefined);
+}
+
+TEST(CdsTest, NrIsMarkingOnly) {
+  const Graph g = figure1_graph();
+  const CdsResult result = compute_cds(g, RuleSet::kNR);
+  EXPECT_EQ(result.gateways, result.marked_only);
+  EXPECT_EQ(result.gateway_count, result.marked_count);
+  EXPECT_EQ(result.gateway_count, 2u);  // v and w
+}
+
+TEST(CdsTest, RulesNeverGrowTheSet) {
+  const Graph g = figure1_graph();
+  const CdsResult nr = compute_cds(g, RuleSet::kNR);
+  for (const RuleSet rs : {RuleSet::kID, RuleSet::kND}) {
+    const CdsResult r = compute_cds(g, rs);
+    EXPECT_LE(r.gateway_count, nr.gateway_count) << to_string(rs);
+    EXPECT_TRUE(r.gateways.is_subset_of(nr.gateways)) << to_string(rs);
+  }
+}
+
+TEST(CdsTest, EnergySchemeWithoutEnergyThrows) {
+  const Graph g = path_graph(4);
+  EXPECT_THROW((void)compute_cds(g, RuleSet::kEL1), std::invalid_argument);
+  EXPECT_THROW((void)compute_cds(g, RuleSet::kEL2, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(CdsTest, NonEnergySchemeIgnoresEnergy) {
+  const Graph g = path_graph(4);
+  EXPECT_NO_THROW((void)compute_cds(g, RuleSet::kID));
+  EXPECT_NO_THROW((void)compute_cds(g, RuleSet::kND, {1.0}));  // wrong size ok
+}
+
+TEST(CdsTest, EnergySchemeProducesValidCds) {
+  const Graph g = figure1_graph();
+  const std::vector<double> energy{5.0, 2.0, 8.0, 1.0, 3.0};
+  for (const RuleSet rs : {RuleSet::kEL1, RuleSet::kEL2}) {
+    const CdsResult r = compute_cds(g, rs, energy);
+    const CdsCheck check = check_cds(g, r.gateways);
+    EXPECT_TRUE(check.ok()) << to_string(rs) << ": " << check.message;
+  }
+}
+
+TEST(CdsTest, MarkedCountsConsistent) {
+  const Graph g = path_graph(6);
+  const CdsResult r = compute_cds(g, RuleSet::kID);
+  EXPECT_EQ(r.marked_count, r.marked_only.count());
+  EXPECT_EQ(r.gateway_count, r.gateways.count());
+}
+
+TEST(CdsTest, CliquePolicyOption) {
+  const Graph g = complete_graph(4);
+  CdsOptions options;
+  options.clique_policy = CliquePolicy::kNone;
+  EXPECT_EQ(compute_cds(g, RuleSet::kID, {}, options).gateway_count, 0u);
+  options.clique_policy = CliquePolicy::kElectMaxKey;
+  const CdsResult elected = compute_cds(g, RuleSet::kID, {}, options);
+  EXPECT_EQ(elected.gateway_count, 1u);
+  EXPECT_TRUE(elected.gateways.test(3));
+}
+
+TEST(CdsTest, StrategyOptionPlumbs) {
+  const Graph g = figure1_graph();
+  for (const Strategy s :
+       {Strategy::kSimultaneous, Strategy::kSequential, Strategy::kVerified}) {
+    CdsOptions options;
+    options.strategy = s;
+    const CdsResult r = compute_cds(g, RuleSet::kID, {}, options);
+    const CdsCheck check = check_cds(g, r.gateways);
+    EXPECT_TRUE(check.ok()) << to_string(s) << ": " << check.message;
+  }
+}
+
+TEST(CdsTest, CustomConfigRuleToggles) {
+  const Graph g = figure1_graph();
+  RuleConfig config;
+  config.use_rule1 = false;
+  config.use_rule2 = false;
+  const CdsResult r = compute_cds_custom(g, KeyKind::kId, config);
+  EXPECT_EQ(r.gateways, r.marked_only);
+}
+
+TEST(CdsTest, AllRuleSetsArrayCoversFive) {
+  std::size_t count = 0;
+  for (const RuleSet rs : kAllRuleSets) {
+    (void)rs;
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(CdsTest, EmptyGraph) {
+  const Graph g(0);
+  const CdsResult r = compute_cds(g, RuleSet::kID);
+  EXPECT_EQ(r.gateway_count, 0u);
+}
+
+TEST(CdsTest, SingleNode) {
+  const Graph g(1);
+  const CdsResult r = compute_cds(g, RuleSet::kID);
+  EXPECT_EQ(r.gateway_count, 0u);
+}
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,84 @@
+// Tests for the ASCII chart renderer.
+
+#include "io/chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pacds {
+namespace {
+
+TEST(ChartTest, EmptyChartPlaceholder) {
+  const AsciiChart chart;
+  EXPECT_EQ(chart.render(), "(empty chart)\n");
+}
+
+TEST(ChartTest, MismatchedSeriesThrows) {
+  AsciiChart chart;
+  EXPECT_THROW(chart.add_series("bad", {1.0, 2.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(ChartTest, TooManySeriesThrows) {
+  AsciiChart chart;
+  for (int i = 0; i < 8; ++i) {
+    chart.add_series("s" + std::to_string(i), {0.0, 1.0}, {0.0, 1.0});
+  }
+  EXPECT_THROW(chart.add_series("ninth", {0.0}, {0.0}),
+               std::invalid_argument);
+}
+
+TEST(ChartTest, RendersGlyphsAndLegend) {
+  AsciiChart chart(40, 10);
+  chart.add_series("up", {0.0, 10.0}, {0.0, 10.0});
+  chart.add_series("down", {0.0, 10.0}, {10.0, 0.0});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("* up"), std::string::npos);
+  EXPECT_NE(out.find("o down"), std::string::npos);
+}
+
+TEST(ChartTest, AxisLabelsAppear) {
+  AsciiChart chart(30, 8);
+  chart.set_labels("hosts", "lifetime");
+  chart.add_series("s", {3.0, 100.0}, {50.0, 80.0});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("hosts"), std::string::npos);
+  EXPECT_NE(out.find("lifetime"), std::string::npos);
+  // Axis extremes are printed.
+  EXPECT_NE(out.find("3.00"), std::string::npos);
+  EXPECT_NE(out.find("100.00"), std::string::npos);
+}
+
+TEST(ChartTest, ConnectingDotsBetweenPoints) {
+  AsciiChart chart(40, 10);
+  chart.add_series("line", {0.0, 100.0}, {0.0, 100.0});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('.'), std::string::npos);  // interpolated segment
+}
+
+TEST(ChartTest, ConstantSeriesRenders) {
+  AsciiChart chart(30, 8);
+  chart.add_series("flat", {0.0, 1.0, 2.0}, {5.0, 5.0, 5.0});
+  EXPECT_NO_THROW((void)chart.render());
+}
+
+TEST(ChartTest, SinglePointRenders) {
+  AsciiChart chart(30, 8);
+  chart.add_series("dot", {1.0}, {2.0});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(ChartTest, MinimumDimensionsClamped) {
+  AsciiChart chart(1, 1);  // clamps to 16x6
+  chart.add_series("s", {0.0, 1.0}, {0.0, 1.0});
+  const std::string out = chart.render();
+  EXPECT_GT(out.size(), 40u);
+}
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,213 @@
+// End-to-end tests of the pacds CLI subcommands, driven in-process.
+
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pacds::cli {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run_cli(const std::vector<std::string>& tokens) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run(tokens, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(CliTest, NoArgsShowsUsage) {
+  const CliRun r = run_cli({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("usage: pacds"), std::string::npos);
+}
+
+TEST(CliTest, HelpIsSuccess) {
+  const CliRun r = run_cli({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("commands:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  const CliRun r = run_cli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, CdsOnRandomNetwork) {
+  const CliRun r = run_cli({"cds", "--random", "25", "--seed", "3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("valid CDS: yes"), std::string::npos);
+  EXPECT_NE(r.out.find("gateways:"), std::string::npos);
+}
+
+TEST(CliTest, CdsAllSchemes) {
+  for (const char* scheme : {"NR", "ID", "ND", "EL1", "EL2", "RULEK"}) {
+    const CliRun r =
+        run_cli({"cds", "--random", "20", "--seed", "5", "--scheme", scheme});
+    EXPECT_EQ(r.code, 0) << scheme << ": " << r.err;
+    EXPECT_NE(r.out.find("valid CDS: yes"), std::string::npos) << scheme;
+  }
+}
+
+TEST(CliTest, CdsUnknownSchemeFails) {
+  const CliRun r = run_cli({"cds", "--scheme", "XYZ"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown scheme"), std::string::npos);
+}
+
+TEST(CliTest, CdsDotOutput) {
+  const CliRun r = run_cli({"cds", "--random", "10", "--seed", "7", "--dot"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("graph pacds {"), std::string::npos);
+  EXPECT_NE(r.out.find("--"), std::string::npos);
+}
+
+TEST(CliTest, CdsJsonOutput) {
+  const CliRun r = run_cli({"cds", "--random", "12", "--seed", "9", "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '{');
+  EXPECT_NE(r.out.find("\"valid\":true"), std::string::npos);
+  EXPECT_NE(r.out.find("\"gateways\":["), std::string::npos);
+  EXPECT_NE(r.out.find("\"scheme\":\"ID\""), std::string::npos);
+}
+
+TEST(CliTest, CdsHelp) {
+  const CliRun r = run_cli({"cds", "--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("--scheme"), std::string::npos);
+}
+
+TEST(CliTest, CdsFromFile) {
+  const std::string path = ::testing::TempDir() + "/pacds_cli_graph.txt";
+  {
+    std::ofstream file(path);
+    file << "5 5\n0 1\n1 2\n2 3\n3 4\n4 0\n";  // C5
+  }
+  const CliRun r = run_cli({"cds", "--input", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("hosts:     5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, CdsMissingFileFails) {
+  const CliRun r = run_cli({"cds", "--input", "/no/such/file.txt"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, InfoReportsStructure) {
+  const CliRun r = run_cli({"info", "--random", "30", "--seed", "11"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("hosts:        30"), std::string::npos);
+  EXPECT_NE(r.out.find("connected:    yes"), std::string::npos);
+  EXPECT_NE(r.out.find("cut vertices:"), std::string::npos);
+  EXPECT_NE(r.out.find("diameter:"), std::string::npos);
+}
+
+TEST(CliTest, InfoOnFileGraph) {
+  const std::string path = ::testing::TempDir() + "/pacds_cli_info.txt";
+  {
+    std::ofstream file(path);
+    file << "4 3\n0 1\n1 2\n2 3\n";  // P4: cuts at 1 and 2
+  }
+  const CliRun r = run_cli({"info", "--input", path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("cut vertices: 2"), std::string::npos);
+  EXPECT_NE(r.out.find("bridges:      3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, RouteDeliversOnConnectedNetwork) {
+  const CliRun r = run_cli({"route", "--random", "25", "--seed", "13",
+                            "--src", "0", "--dst", "20"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("route 0 -> 20"), std::string::npos);
+  EXPECT_NE(r.out.find("hops"), std::string::npos);
+}
+
+TEST(CliTest, RouteRejectsBadHostIds) {
+  const CliRun r = run_cli({"route", "--random", "10", "--src", "0",
+                            "--dst", "99"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("out of range"), std::string::npos);
+}
+
+TEST(CliTest, SimRunsAllSchemes) {
+  const CliRun r = run_cli({"sim", "--n", "15", "--trials", "3",
+                            "--model", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("EL1"), std::string::npos);
+  EXPECT_NE(r.out.find("lifetime"), std::string::npos);
+}
+
+TEST(CliTest, SimSingleScheme) {
+  const CliRun r = run_cli({"sim", "--n", "12", "--trials", "2",
+                            "--model", "1", "--scheme", "ND"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("ND"), std::string::npos);
+  EXPECT_EQ(r.out.find("EL1"), std::string::npos);
+}
+
+TEST(CliTest, SimRejectsBadModel) {
+  const CliRun r = run_cli({"sim", "--model", "9"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(CliTest, ScenarioSaveAndReload) {
+  const std::string path = ::testing::TempDir() + "/pacds_cli_scene.txt";
+  const CliRun saved = run_cli({"cds", "--random", "15", "--seed", "21",
+                                "--save-scenario", path});
+  EXPECT_EQ(saved.code, 0) << saved.err;
+  EXPECT_NE(saved.out.find("saved scenario"), std::string::npos);
+  // Reloading the scenario must reproduce the identical gateway set (the
+  // energies are stored in the file, so EL schemes agree too).
+  const CliRun direct = run_cli({"cds", "--random", "15", "--seed", "21",
+                                 "--scheme", "EL1"});
+  const CliRun reloaded =
+      run_cli({"cds", "--scenario", path, "--scheme", "EL1"});
+  EXPECT_EQ(reloaded.code, 0) << reloaded.err;
+  const auto set_line = [](const std::string& text) {
+    const auto pos = text.find("set:");
+    return pos == std::string::npos ? text : text.substr(pos);
+  };
+  EXPECT_EQ(set_line(direct.out), set_line(reloaded.out));
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, ScenarioMissingFileFails) {
+  const CliRun r = run_cli({"cds", "--scenario", "/no/such/scene.txt"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, SaveScenarioNeedsPositions) {
+  const std::string graph_path = ::testing::TempDir() + "/pacds_cli_g.txt";
+  {
+    std::ofstream file(graph_path);
+    file << "3 2\n0 1\n1 2\n";
+  }
+  const CliRun r = run_cli({"cds", "--input", graph_path, "--save-scenario",
+                            ::testing::TempDir() + "/out.txt"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("positional"), std::string::npos);
+  std::remove(graph_path.c_str());
+}
+
+TEST(CliTest, SimDeterministicAcrossRuns) {
+  const std::vector<std::string> cmd{"sim",      "--n",     "12",
+                                     "--trials", "3",       "--model", "2",
+                                     "--scheme", "EL1",     "--seed",  "9"};
+  EXPECT_EQ(run_cli(cmd).out, run_cli(cmd).out);
+}
+
+}  // namespace
+}  // namespace pacds::cli

@@ -1,0 +1,67 @@
+// Tests for CSV escaping and file emission.
+
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pacds {
+namespace {
+
+TEST(CsvTest, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape("12.5"), "12.5");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(CsvTest, CommaTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvTest, QuotesDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, NewlineQuoted) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvTest, WriteRow) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({"n", "EL1,mean", "note"});
+  writer.write_row({"3", "8.25", "plain"});
+  EXPECT_EQ(os.str(), "n,\"EL1,mean\",note\n3,8.25,plain\n");
+}
+
+TEST(CsvTest, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+TEST(CsvTest, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pacds_csv_test.csv";
+  ASSERT_TRUE(write_csv_file(path, {"a", "b"}, {{"1", "2"}, {"3", "4"}}));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteFileBadPathFails) {
+  EXPECT_FALSE(write_csv_file("/nonexistent_dir_zz/x.csv", {"a"}, {}));
+}
+
+}  // namespace
+}  // namespace pacds

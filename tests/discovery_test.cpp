@@ -1,0 +1,146 @@
+// Tests for flooding route discovery and its CDS-restricted variant.
+
+#include "routing/discovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/cds.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::cycle_graph;
+using testing::path_graph;
+using testing::star_graph;
+
+DynBitset set_of(std::size_t n, std::initializer_list<std::size_t> bits) {
+  DynBitset s(n);
+  for (const auto b : bits) s.set(b);
+  return s;
+}
+
+TEST(DiscoveryTest, TrivialSelfRoute) {
+  const Graph g = path_graph(3);
+  const DiscoveryResult r = flood_discovery(g, 1, 1, nullptr);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.hops, 0);
+  EXPECT_EQ(r.transmissions, 0u);
+}
+
+TEST(DiscoveryTest, AdjacentNeedsOneBroadcast) {
+  const Graph g = path_graph(3);
+  const DiscoveryResult r = flood_discovery(g, 0, 1, nullptr);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.hops, 1);
+  EXPECT_EQ(r.transmissions, 1u);  // only src transmitted
+  EXPECT_EQ(r.receptions, 1u);     // deg(0) = 1
+}
+
+TEST(DiscoveryTest, PathEndToEnd) {
+  // P5, 0 -> 4: rings at hop 1, 2, 3, 4; transmitters: 0,1,2,3.
+  const Graph g = path_graph(5);
+  const DiscoveryResult r = flood_discovery(g, 0, 4, nullptr);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.hops, 4);
+  EXPECT_EQ(r.transmissions, 4u);
+}
+
+TEST(DiscoveryTest, ExpandingRingStopsEarly) {
+  // Star: src = leaf 1, dst = leaf 2. Ring 1: src transmits (reaches 0);
+  // ring 2: center transmits, reaches all leaves including dst. Other
+  // leaves never transmit.
+  const Graph g = star_graph(5);
+  const DiscoveryResult r = flood_discovery(g, 1, 2, nullptr);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.hops, 2);
+  EXPECT_EQ(r.transmissions, 2u);  // leaf 1 + center only
+}
+
+TEST(DiscoveryTest, UnreachableDestination) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const DiscoveryResult r = flood_discovery(g, 0, 3, nullptr);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.hops, -1);
+  EXPECT_GT(r.transmissions, 0u);
+}
+
+TEST(DiscoveryTest, OutOfRangeThrows) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW((void)flood_discovery(g, 0, 5, nullptr), std::invalid_argument);
+  DynBitset wrong(2);
+  EXPECT_THROW((void)flood_discovery(g, 0, 2, &wrong), std::invalid_argument);
+}
+
+TEST(DiscoveryTest, RelayRestrictionBlocksNonGateways) {
+  // P5 with relays {1, 3} missing node 2: flood cannot pass node 2.
+  const Graph g = path_graph(5);
+  const DynBitset relays = set_of(5, {1, 3});
+  const DiscoveryResult r = flood_discovery(g, 0, 4, &relays);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(DiscoveryTest, CdsFloodFindsSameHopCount) {
+  // The marking backbone preserves shortest paths (Property 3), so the
+  // restricted flood discovers routes of identical length.
+  Xoshiro256 rng(41);
+  const auto placed = random_connected_placement(30, Field::paper_field(),
+                                                 kPaperRadius, rng, 2000);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  const DynBitset marked = compute_cds(g, RuleSet::kNR).gateways;
+  for (NodeId s = 0; s < 10; ++s) {
+    for (NodeId t = 20; t < 30; ++t) {
+      const DiscoveryComparison cmp = compare_discovery(g, s, t, marked);
+      ASSERT_TRUE(cmp.plain.found);
+      ASSERT_TRUE(cmp.cds.found);
+      EXPECT_EQ(cmp.plain.hops, cmp.cds.hops) << s << "->" << t;
+    }
+  }
+}
+
+TEST(DiscoveryTest, CdsFloodNeverMoreTransmissions) {
+  Xoshiro256 rng(42);
+  const auto placed = random_connected_placement(40, Field::paper_field(),
+                                                 kPaperRadius, rng, 2000);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  const DynBitset gateways = compute_cds(g, RuleSet::kND).gateways;
+  std::size_t plain_total = 0;
+  std::size_t cds_total = 0;
+  for (NodeId s = 0; s < 10; ++s) {
+    const auto t = static_cast<NodeId>(39 - s);
+    const DiscoveryComparison cmp = compare_discovery(g, s, t, gateways);
+    ASSERT_TRUE(cmp.plain.found);
+    ASSERT_TRUE(cmp.cds.found);
+    EXPECT_LE(cmp.cds.transmissions, cmp.plain.transmissions);
+    plain_total += cmp.plain.transmissions;
+    cds_total += cmp.cds.transmissions;
+  }
+  EXPECT_LT(cds_total, plain_total);  // strictly cheaper in aggregate
+}
+
+TEST(DiscoveryTest, ReducedCdsMayStretchButStillFinds) {
+  Xoshiro256 rng(43);
+  const auto placed = random_connected_placement(30, Field::paper_field(),
+                                                 kPaperRadius, rng, 2000);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  const DynBitset gateways = compute_cds(g, RuleSet::kID).gateways;
+  for (NodeId s = 0; s < 5; ++s) {
+    for (NodeId t = 25; t < 30; ++t) {
+      const DiscoveryComparison cmp = compare_discovery(g, s, t, gateways);
+      ASSERT_TRUE(cmp.cds.found) << s << "->" << t;
+      EXPECT_GE(cmp.cds.hops, cmp.plain.hops);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,182 @@
+// Tests for the distributed message-passing emulation: agents acting only
+// on their inboxes must compute exactly the same gateway set as the
+// centralized implementation (simultaneous strategy).
+
+#include "dist/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "core/verify.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::complete_graph;
+using testing::figure1_graph;
+using testing::path_graph;
+
+CdsOptions simultaneous() {
+  CdsOptions options;
+  options.strategy = Strategy::kSimultaneous;
+  return options;
+}
+
+TEST(DistProtocolTest, Figure1MatchesCentralized) {
+  const Graph g = figure1_graph();
+  const dist::ProtocolResult distributed =
+      dist::run_protocol_scheme(g, RuleSet::kNR);
+  const CdsResult central = compute_cds(g, RuleSet::kNR, {}, simultaneous());
+  EXPECT_EQ(distributed.gateways, central.gateways);
+  EXPECT_EQ(distributed.gateways.count(), 2u);  // v and w
+}
+
+TEST(DistProtocolTest, MessageCountsSetupRounds) {
+  const Graph g = path_graph(6);
+  const dist::ProtocolResult r = dist::run_protocol_scheme(g, RuleSet::kNR);
+  EXPECT_EQ(r.hello_msgs, 6u);
+  EXPECT_EQ(r.list_msgs, 6u);
+  EXPECT_EQ(r.status_msgs, 6u);  // NR: statuses only, no rule flips
+  EXPECT_EQ(r.total_msgs(), 18u);
+}
+
+TEST(DistProtocolTest, RuleFlipsAnnounceOnce) {
+  // P6 under ID rules: marking marks {1,2,3,4}; the simultaneous rules
+  // remove nobody on a path (no coverage), so no flip messages.
+  const Graph g = path_graph(6);
+  const dist::ProtocolResult r = dist::run_protocol_scheme(g, RuleSet::kID);
+  EXPECT_EQ(r.status_msgs, 6u);
+  // Twin gadget: Rule 1 removes one twin -> exactly one extra status.
+  const Graph twins =
+      Graph::from_edges(4, {{2, 0}, {2, 1}, {2, 3}, {3, 0}, {3, 1}});
+  const dist::ProtocolResult t =
+      dist::run_protocol_scheme(twins, RuleSet::kID);
+  EXPECT_EQ(t.status_msgs, 4u + 1u);
+}
+
+TEST(DistProtocolTest, EnergySizeMismatchThrows) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(
+      (void)dist::run_protocol(g, KeyKind::kEnergyId, Rule2Form::kRefined,
+                               {1.0}),
+      std::invalid_argument);
+}
+
+TEST(DistProtocolTest, CompleteGraphNobodyMarks) {
+  const Graph g = complete_graph(5);
+  const dist::ProtocolResult r = dist::run_protocol_scheme(g, RuleSet::kID);
+  EXPECT_TRUE(r.gateways.none());
+}
+
+TEST(DistProtocolTest, EmptyGraph) {
+  const dist::ProtocolResult r =
+      dist::run_protocol_scheme(Graph(0), RuleSet::kID);
+  EXPECT_EQ(r.total_msgs(), 0u);
+  EXPECT_EQ(r.gateways.count(), 0u);
+}
+
+TEST(LossyProtocolTest, ZeroLossEqualsReliable) {
+  Xoshiro256 rng(99);
+  const Graph g =
+      build_udg(random_placement(25, Field::paper_field(), rng), kPaperRadius);
+  const dist::LossyProtocolResult lossy =
+      dist::run_lossy_protocol(g, RuleSet::kID, 0.0, 1, 7);
+  EXPECT_EQ(lossy.status_disagreements, 0u);
+  EXPECT_EQ(lossy.protocol.gateways,
+            dist::run_protocol_scheme(g, RuleSet::kID).gateways);
+}
+
+TEST(LossyProtocolTest, BadParamsThrow) {
+  const Graph g = path_graph(4);
+  EXPECT_THROW((void)dist::run_lossy_protocol(g, RuleSet::kID, -0.1, 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)dist::run_lossy_protocol(g, RuleSet::kID, 1.0, 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)dist::run_lossy_protocol(g, RuleSet::kID, 0.1, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(LossyProtocolTest, HeavyLossCausesDisagreements) {
+  Xoshiro256 rng(100);
+  const auto placed = random_connected_placement(40, Field::paper_field(),
+                                                 kPaperRadius, rng, 2000);
+  ASSERT_TRUE(placed.has_value());
+  std::size_t total_disagreements = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    total_disagreements += dist::run_lossy_protocol(placed->graph,
+                                                    RuleSet::kND, 0.5, 1, seed)
+                               .status_disagreements;
+  }
+  EXPECT_GT(total_disagreements, 0u);
+}
+
+TEST(LossyProtocolTest, BeaconRepeatsRecoverCorrectness) {
+  // More HELLO/list repeats shrink the knowledge gap: disagreements at 8
+  // repeats must not exceed those at 1 repeat (summed over seeds).
+  Xoshiro256 rng(101);
+  const auto placed = random_connected_placement(40, Field::paper_field(),
+                                                 kPaperRadius, rng, 2000);
+  ASSERT_TRUE(placed.has_value());
+  std::size_t one = 0;
+  std::size_t many = 0;
+  for (std::uint64_t seed = 50; seed < 62; ++seed) {
+    one += dist::run_lossy_protocol(placed->graph, RuleSet::kND, 0.3, 1, seed)
+               .status_disagreements;
+    many += dist::run_lossy_protocol(placed->graph, RuleSet::kND, 0.3, 8,
+                                     seed)
+                .status_disagreements;
+  }
+  EXPECT_LT(many, one);
+}
+
+TEST(LossyProtocolTest, MessageCountScalesWithRepeats) {
+  const Graph g = path_graph(5);
+  const dist::LossyProtocolResult r =
+      dist::run_lossy_protocol(g, RuleSet::kNR, 0.1, 4, 3);
+  EXPECT_EQ(r.protocol.hello_msgs, 20u);
+  EXPECT_EQ(r.protocol.list_msgs, 20u);
+}
+
+class DistEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, RuleSet>> {
+};
+
+TEST_P(DistEquivalenceTest, MatchesCentralizedSimultaneous) {
+  const auto [n, seed, rs] = GetParam();
+  Xoshiro256 rng(seed);
+  const Graph g =
+      build_udg(random_placement(n, Field::paper_field(), rng), kPaperRadius);
+  std::vector<double> energy;
+  for (int i = 0; i < n; ++i) {
+    energy.push_back(static_cast<double>(rng.uniform_int(1, 5)));
+  }
+  const dist::ProtocolResult distributed =
+      dist::run_protocol_scheme(g, rs, energy);
+  const CdsResult central = compute_cds(g, rs, energy, simultaneous());
+  EXPECT_EQ(distributed.gateways, central.gateways)
+      << to_string(rs) << " n=" << n << " seed=" << seed << "\ndistributed "
+      << distributed.gateways.to_string() << "\ncentral     "
+      << central.gateways.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNetworks, DistEquivalenceTest,
+    ::testing::Combine(::testing::Values(12, 25, 45),
+                       ::testing::Values(71u, 72u, 73u, 74u),
+                       ::testing::Values(RuleSet::kNR, RuleSet::kID,
+                                         RuleSet::kND, RuleSet::kEL1,
+                                         RuleSet::kEL2)),
+    [](const ::testing::TestParamInfo<DistEquivalenceTest::ParamType>&
+           param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_s" +
+             std::to_string(std::get<1>(param_info.param)) + "_" +
+             to_string(std::get<2>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,70 @@
+// Tests for Graphviz export.
+
+#include "io/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::path_graph;
+
+TEST(DotTest, BasicStructure) {
+  const Graph g = path_graph(3);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph pacds {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+  EXPECT_EQ(dot.find("2 -- 1;"), std::string::npos);  // each edge once
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST(DotTest, GatewayColoring) {
+  const Graph g = path_graph(3);
+  DynBitset gateways(3);
+  gateways.set(1);
+  const std::string dot = to_dot(g, &gateways);
+  EXPECT_NE(dot.find("1 [fillcolor=lightcoral]"), std::string::npos);
+  EXPECT_NE(dot.find("0 [fillcolor=lightgray]"), std::string::npos);
+}
+
+TEST(DotTest, PositionsEmitted) {
+  const Graph g = path_graph(2);
+  const std::vector<Vec2> pos{{10.0, 20.0}, {30.0, 40.0}};
+  const std::string dot = to_dot(g, nullptr, &pos);
+  EXPECT_NE(dot.find("pos=\"1,2!\""), std::string::npos);
+  EXPECT_NE(dot.find("pos=\"3,4!\""), std::string::npos);
+}
+
+TEST(DotTest, CustomOptions) {
+  const Graph g = path_graph(2);
+  DotOptions options;
+  options.graph_name = "mynet";
+  options.gateway_color = "red";
+  DynBitset gateways(2);
+  gateways.set(0);
+  const std::string dot = to_dot(g, &gateways, nullptr, options);
+  EXPECT_NE(dot.find("graph mynet {"), std::string::npos);
+  EXPECT_NE(dot.find("0 [fillcolor=red]"), std::string::npos);
+}
+
+TEST(DotTest, SizeMismatchThrows) {
+  const Graph g = path_graph(3);
+  DynBitset wrong(2);
+  EXPECT_THROW((void)to_dot(g, &wrong), std::invalid_argument);
+  const std::vector<Vec2> pos{{0.0, 0.0}};
+  EXPECT_THROW((void)to_dot(g, nullptr, &pos), std::invalid_argument);
+}
+
+TEST(DotTest, EmptyGraph) {
+  const std::string dot = to_dot(Graph(0));
+  EXPECT_NE(dot.find("graph pacds {"), std::string::npos);
+  EXPECT_EQ(dot.find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pacds

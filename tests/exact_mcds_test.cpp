@@ -1,0 +1,138 @@
+// Tests for the exact minimum-CDS solver and the approximation quality of
+// every heuristic against it on small graphs.
+
+#include "baselines/exact_mcds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/greedy_mcds.hpp"
+#include "baselines/mis_cds.hpp"
+#include "baselines/tree_cds.hpp"
+#include "core/cds.hpp"
+#include "core/verify.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::figure1_graph;
+using testing::path_graph;
+using testing::star_graph;
+
+TEST(ExactMcdsTest, KnownOptima) {
+  // P5: optimum {1,2,3}. Star: {center}. C5: any 3 consecutive. K4: empty
+  // (exempt clique). Figure 1: {v, w} is optimal? v alone dominates u,w,y
+  // but not x -> need 2.
+  EXPECT_EQ(exact_min_cds(path_graph(5))->count(), 3u);
+  EXPECT_EQ(exact_min_cds(star_graph(6))->count(), 1u);
+  EXPECT_EQ(exact_min_cds(cycle_graph(5))->count(), 3u);
+  EXPECT_EQ(exact_min_cds(complete_graph(4))->count(), 0u);
+  EXPECT_EQ(exact_min_cds(figure1_graph())->count(), 2u);
+}
+
+TEST(ExactMcdsTest, ResultIsValid) {
+  for (const Graph& g : {path_graph(7), cycle_graph(8), figure1_graph()}) {
+    const auto opt = exact_min_cds(g);
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_TRUE(check_cds(g, *opt).ok());
+  }
+}
+
+TEST(ExactMcdsTest, EmptyAndTinyGraphs) {
+  EXPECT_EQ(exact_min_cds(Graph(0))->count(), 0u);
+  EXPECT_EQ(exact_min_cds(Graph(1))->count(), 0u);   // singleton exempt
+  EXPECT_EQ(exact_min_cds(Graph(3))->count(), 0u);   // isolated singletons
+  EXPECT_EQ(exact_min_cds(complete_graph(2))->count(), 0u);
+}
+
+TEST(ExactMcdsTest, DisconnectedComponents) {
+  // Two P3s: each needs its middle -> optimum 2.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  EXPECT_EQ(exact_min_cds(g)->count(), 2u);
+}
+
+TEST(ExactMcdsTest, SizeGuard) {
+  EXPECT_FALSE(exact_min_cds(Graph(25), 20).has_value());
+  EXPECT_TRUE(exact_min_cds(Graph(10), 20).has_value());
+}
+
+TEST(ClusterCdsTest, LowestIdHeads) {
+  // P5: head 0 covers {0,1}; 2 covers {1,2,3}... iterate: v=0 head, covers
+  // 0,1; v=2 uncovered -> head, covers 1,2,3; v=4 uncovered -> head.
+  const DynBitset heads = lowest_id_clusterheads(path_graph(5));
+  EXPECT_TRUE(heads.test(0));
+  EXPECT_TRUE(heads.test(2));
+  EXPECT_TRUE(heads.test(4));
+  EXPECT_EQ(heads.count(), 3u);
+}
+
+TEST(ClusterCdsTest, HeadsDominateAndCdsValid) {
+  Xoshiro256 rng(91);
+  const auto placed = random_connected_placement(30, Field::paper_field(),
+                                                 kPaperRadius, rng, 2000);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  const DynBitset heads = lowest_id_clusterheads(g);
+  // Heads form a dominating independent set.
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_FALSE(heads.test(static_cast<std::size_t>(u)) &&
+                 heads.test(static_cast<std::size_t>(v)));
+  }
+  const DynBitset cds = cluster_cds(g);
+  EXPECT_TRUE(heads.is_subset_of(cds));
+  EXPECT_TRUE(check_cds(g, cds).ok());
+}
+
+// Approximation quality of every scheme/baseline vs the optimum on small
+// random networks.
+class ApproxRatioTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ApproxRatioTest, AllHeuristicsWithinBound) {
+  const auto [n, seed] = GetParam();
+  Xoshiro256 rng(seed);
+  const auto placed = random_connected_placement(n, Field::paper_field(),
+                                                 kPaperRadius * 2.0, rng,
+                                                 5000);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  const auto opt = exact_min_cds(g, 14);
+  ASSERT_TRUE(opt.has_value());
+  const std::size_t optimum = opt->count();
+
+  const auto check_ratio = [&](const char* name, std::size_t size) {
+    EXPECT_GE(size, optimum) << name;  // nobody beats the optimum
+    // Loose sanity bound: no heuristic should exceed 4x + 3 on such tiny
+    // dense graphs.
+    EXPECT_LE(size, 4 * optimum + 3) << name;
+  };
+  check_ratio("ID", compute_cds(g, RuleSet::kID).gateway_count);
+  check_ratio("ND", compute_cds(g, RuleSet::kND).gateway_count);
+  check_ratio("greedy", greedy_mcds(g).count());
+  check_ratio("tree", bfs_tree_cds(g).count());
+  check_ratio("mis", mis_cds(g).count());
+  check_ratio("cluster", cluster_cds(g).count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallNetworks, ApproxRatioTest,
+    ::testing::Combine(::testing::Values(8, 11, 14),
+                       ::testing::Values(301u, 302u, 303u, 304u)),
+    [](const ::testing::TestParamInfo<ApproxRatioTest::ParamType>&
+           param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_s" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace pacds

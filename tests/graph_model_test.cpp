@@ -1,0 +1,124 @@
+// Model-based fuzz test for Graph: random mutation sequences are mirrored
+// into a trivially-correct adjacency-matrix model; every queried property
+// must agree after every step. Catches representation drift between the
+// sorted-adjacency and bitset-row views.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "net/rng.hpp"
+
+namespace pacds {
+namespace {
+
+/// The reference model: O(n^2) adjacency matrix with obvious semantics.
+class ModelGraph {
+ public:
+  explicit ModelGraph(NodeId n)
+      : n_(n), adj_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                    0) {}
+
+  bool add_edge(NodeId u, NodeId v) {
+    if (at(u, v)) return false;
+    at(u, v) = at(v, u) = 1;
+    ++m_;
+    return true;
+  }
+  bool remove_edge(NodeId u, NodeId v) {
+    if (!at(u, v)) return false;
+    at(u, v) = at(v, u) = 0;
+    --m_;
+    return true;
+  }
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return u != v && at(u, v);
+  }
+  [[nodiscard]] std::size_t num_edges() const { return m_; }
+  [[nodiscard]] NodeId degree(NodeId v) const {
+    NodeId d = 0;
+    for (NodeId u = 0; u < n_; ++u) {
+      if (u != v && at(v, u)) ++d;
+    }
+    return d;
+  }
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId v) const {
+    std::vector<NodeId> out;
+    for (NodeId u = 0; u < n_; ++u) {
+      if (u != v && at(v, u)) out.push_back(u);
+    }
+    return out;
+  }
+
+ private:
+  char& at(NodeId u, NodeId v) {
+    return adj_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+                static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] char at(NodeId u, NodeId v) const {
+    return adj_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+                static_cast<std::size_t>(v)];
+  }
+
+  NodeId n_;
+  std::size_t m_ = 0;
+  std::vector<char> adj_;
+};
+
+void expect_equivalent(const Graph& g, const ModelGraph& model, NodeId n) {
+  ASSERT_EQ(g.num_edges(), model.num_edges());
+  for (NodeId v = 0; v < n; ++v) {
+    ASSERT_EQ(g.degree(v), model.degree(v)) << "node " << v;
+    const auto nbrs = g.neighbors(v);
+    ASSERT_EQ(std::vector<NodeId>(nbrs.begin(), nbrs.end()),
+              model.neighbors(v))
+        << "node " << v;
+    for (NodeId u = 0; u < n; ++u) {
+      ASSERT_EQ(g.has_edge(v, u), model.has_edge(v, u))
+          << v << "-" << u;
+      ASSERT_EQ(g.open_row(v).test(static_cast<std::size_t>(u)),
+                model.has_edge(v, u))
+          << "row " << v << "-" << u;
+    }
+  }
+}
+
+class GraphModelTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(GraphModelTest, RandomMutationSequence) {
+  const auto [n, seed] = GetParam();
+  Xoshiro256 rng(seed);
+  Graph g(static_cast<NodeId>(n));
+  ModelGraph model(static_cast<NodeId>(n));
+  for (int step = 0; step < 400; ++step) {
+    const auto u = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    auto v = u;
+    while (v == u) v = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    if (rng.bernoulli(0.6)) {
+      ASSERT_EQ(g.add_edge(u, v), model.add_edge(u, v))
+          << "add " << u << "-" << v << " step " << step;
+    } else {
+      ASSERT_EQ(g.remove_edge(u, v), model.remove_edge(u, v))
+          << "remove " << u << "-" << v << " step " << step;
+    }
+    if (step % 40 == 0) {
+      expect_equivalent(g, model, static_cast<NodeId>(n));
+    }
+  }
+  expect_equivalent(g, model, static_cast<NodeId>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, GraphModelTest,
+    ::testing::Combine(::testing::Values(4, 9, 17, 33),
+                       ::testing::Values(81u, 82u, 83u)),
+    [](const ::testing::TestParamInfo<GraphModelTest::ParamType>& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_s" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace pacds

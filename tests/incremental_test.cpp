@@ -1,0 +1,208 @@
+// Tests for the localized updater: deltas must reproduce the full
+// recomputation exactly (the 4-hop locality guarantee), while touching only
+// a bounded region.
+
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "net/mobility.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::figure1_graph;
+using testing::path_graph;
+
+/// The incremental updater pins the synchronous (simultaneous) semantics.
+CdsOptions simultaneous_options() {
+  CdsOptions options;
+  options.strategy = Strategy::kSimultaneous;
+  return options;
+}
+
+/// Recomputes from scratch with the same scheme and compares gateway sets.
+void expect_matches_full(const IncrementalCds& inc,
+                         const std::vector<double>& energy) {
+  const CdsResult full =
+      compute_cds(inc.graph(), inc.rule_set(), energy, simultaneous_options());
+  EXPECT_EQ(inc.gateways(), full.gateways)
+      << "incremental " << inc.gateways().to_string() << " vs full "
+      << full.gateways.to_string();
+}
+
+TEST(IncrementalTest, InitialStateMatchesFull) {
+  const IncrementalCds inc(figure1_graph(), RuleSet::kID);
+  expect_matches_full(inc, {});
+}
+
+TEST(IncrementalTest, StrategyOptionIsPinnedToSimultaneous) {
+  // Passing a sequential strategy is silently overridden — the updater's
+  // locality guarantee only exists for the synchronous semantics.
+  CdsOptions options;
+  options.strategy = Strategy::kSequential;
+  const IncrementalCds inc(path_graph(6), RuleSet::kID, {}, options);
+  const CdsResult full =
+      compute_cds(path_graph(6), RuleSet::kID, {}, simultaneous_options());
+  EXPECT_EQ(inc.gateways(), full.gateways);
+}
+
+TEST(IncrementalTest, EnergySchemeNeedsEnergy) {
+  EXPECT_THROW(IncrementalCds(path_graph(4), RuleSet::kEL1),
+               std::invalid_argument);
+}
+
+TEST(IncrementalTest, AddEdgeUpdates) {
+  IncrementalCds inc(path_graph(6), RuleSet::kID);
+  EdgeDelta delta;
+  delta.added.emplace_back(0, 5);  // close the cycle
+  inc.apply_delta(delta);
+  expect_matches_full(inc, {});
+  EXPECT_TRUE(inc.graph().has_edge(0, 5));
+}
+
+TEST(IncrementalTest, RemoveEdgeUpdates) {
+  Graph g = path_graph(6);
+  g.add_edge(0, 5);
+  IncrementalCds inc(std::move(g), RuleSet::kND);
+  EdgeDelta delta;
+  delta.removed.emplace_back(0, 5);
+  inc.apply_delta(delta);
+  expect_matches_full(inc, {});
+}
+
+TEST(IncrementalTest, EmptyDeltaTouchesNothing) {
+  IncrementalCds inc(path_graph(6), RuleSet::kID);
+  inc.apply_delta(EdgeDelta{});
+  EXPECT_EQ(inc.last_touched(), 0u);
+  expect_matches_full(inc, {});
+}
+
+TEST(IncrementalTest, BadDeltaThrows) {
+  IncrementalCds inc(path_graph(4), RuleSet::kID);
+  EdgeDelta dup;
+  dup.added.emplace_back(0, 1);  // already present
+  EXPECT_THROW(inc.apply_delta(dup), std::invalid_argument);
+  EdgeDelta missing;
+  missing.removed.emplace_back(0, 3);  // absent
+  EXPECT_THROW(inc.apply_delta(missing), std::invalid_argument);
+}
+
+TEST(IncrementalTest, MoveNodeComputesDelta) {
+  IncrementalCds inc(path_graph(5), RuleSet::kID);
+  // Host 0 "moves" next to hosts 3 and 4.
+  inc.move_node(0, {3, 4});
+  EXPECT_FALSE(inc.graph().has_edge(0, 1));
+  EXPECT_TRUE(inc.graph().has_edge(0, 3));
+  EXPECT_TRUE(inc.graph().has_edge(0, 4));
+  expect_matches_full(inc, {});
+}
+
+TEST(IncrementalTest, LocalityOnLongPath) {
+  // On a 60-node path, toggling an edge at one end must not touch nodes at
+  // the other end (ball radius 4 around the change).
+  IncrementalCds inc(path_graph(60), RuleSet::kID);
+  EdgeDelta delta;
+  delta.added.emplace_back(0, 2);
+  inc.apply_delta(delta);
+  EXPECT_LE(inc.last_touched(), 12u);  // well under 60
+  expect_matches_full(inc, {});
+}
+
+TEST(IncrementalTest, SetEnergyRefreshesAll) {
+  std::vector<double> energy{5.0, 5.0, 5.0, 5.0, 5.0};
+  IncrementalCds inc(path_graph(5), RuleSet::kEL1, energy);
+  energy[2] = 1.0;
+  inc.set_energy(energy);
+  EXPECT_EQ(inc.last_touched(), 5u);
+  expect_matches_full(inc, energy);
+}
+
+TEST(IncrementalTest, SetEnergySizeMismatchThrows) {
+  IncrementalCds inc(path_graph(5), RuleSet::kEL1,
+                     std::vector<double>(5, 1.0));
+  EXPECT_THROW(inc.set_energy({1.0}), std::invalid_argument);
+}
+
+TEST(IncrementalTest, CliquePolicyMaintained) {
+  CdsOptions options;
+  options.clique_policy = CliquePolicy::kElectMaxKey;
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  options.strategy = Strategy::kSimultaneous;
+  IncrementalCds inc(std::move(g), RuleSet::kID, {}, options);
+  // Make the component a triangle: marking empties, the policy elects.
+  EdgeDelta delta;
+  delta.added.emplace_back(0, 2);
+  inc.apply_delta(delta);
+  const CdsResult full = compute_cds(inc.graph(), RuleSet::kID, {}, options);
+  EXPECT_EQ(inc.gateways(), full.gateways);
+  EXPECT_EQ(inc.gateways().count(), 1u);
+}
+
+// ---- Randomized equivalence: dynamic topologies ----------------------------
+
+class IncrementalRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, RuleSet>> {
+};
+
+TEST_P(IncrementalRandomTest, DeltasMatchFullRecompute) {
+  const auto [n, seed, rs] = GetParam();
+  Xoshiro256 rng(seed);
+  const Field field = Field::paper_field();
+  auto positions = random_placement(n, field, rng);
+  Graph g = build_udg(positions, kPaperRadius);
+
+  std::vector<double> energy;
+  for (int i = 0; i < n; ++i) {
+    energy.push_back(static_cast<double>(rng.uniform_int(1, 4)));
+  }
+  IncrementalCds inc(g, rs, energy);
+
+  PaperJumpMobility mobility(0.5, 1, 6);
+  for (int step = 0; step < 12; ++step) {
+    mobility.step(positions, field, rng);
+    const Graph next = build_udg(positions, kPaperRadius);
+    // Diff the two unit-disk graphs into a delta.
+    EdgeDelta delta;
+    for (NodeId u = 0; u < inc.graph().num_nodes(); ++u) {
+      for (NodeId v = static_cast<NodeId>(u + 1); v < inc.graph().num_nodes();
+           ++v) {
+        const bool before = inc.graph().has_edge(u, v);
+        const bool after = next.has_edge(u, v);
+        if (!before && after) delta.added.emplace_back(u, v);
+        if (before && !after) delta.removed.emplace_back(u, v);
+      }
+    }
+    inc.apply_delta(delta);
+    ASSERT_EQ(inc.graph(), next);
+    const CdsResult full = compute_cds(next, rs, energy,
+                                       simultaneous_options());
+    ASSERT_EQ(inc.gateways(), full.gateways)
+        << "step " << step << " n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DynamicTopologies, IncrementalRandomTest,
+    ::testing::Combine(::testing::Values(15, 30, 45),
+                       ::testing::Values(11u, 22u, 33u),
+                       ::testing::Values(RuleSet::kNR, RuleSet::kID,
+                                         RuleSet::kND, RuleSet::kEL1,
+                                         RuleSet::kEL2)),
+    [](const ::testing::TestParamInfo<IncrementalRandomTest::ParamType>&
+           param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param)) + "_" +
+             to_string(std::get<2>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace pacds

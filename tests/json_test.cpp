@@ -1,0 +1,105 @@
+// Tests for the streaming JSON writer.
+
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace pacds {
+namespace {
+
+std::string render(const std::function<void(JsonWriter&)>& build) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  build(json);
+  return os.str();
+}
+
+TEST(JsonTest, EmptyObjectAndArray) {
+  EXPECT_EQ(render([](JsonWriter& j) { j.begin_object().end_object(); }),
+            "{}");
+  EXPECT_EQ(render([](JsonWriter& j) { j.begin_array().end_array(); }), "[]");
+}
+
+TEST(JsonTest, ScalarsAtTopLevel) {
+  EXPECT_EQ(render([](JsonWriter& j) { j.value("hi"); }), "\"hi\"");
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(42); }), "42");
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(true); }), "true");
+  EXPECT_EQ(render([](JsonWriter& j) { j.null(); }), "null");
+}
+
+TEST(JsonTest, ObjectWithCommas) {
+  const std::string out = render([](JsonWriter& j) {
+    j.begin_object();
+    j.key("a").value(1);
+    j.key("b").value("two");
+    j.key("c").value(false);
+    j.end_object();
+  });
+  EXPECT_EQ(out, "{\"a\":1,\"b\":\"two\",\"c\":false}");
+}
+
+TEST(JsonTest, NestedStructures) {
+  const std::string out = render([](JsonWriter& j) {
+    j.begin_object();
+    j.key("xs").begin_array().value(1).value(2).value(3).end_array();
+    j.key("inner").begin_object().key("k").value("v").end_object();
+    j.end_object();
+  });
+  EXPECT_EQ(out, "{\"xs\":[1,2,3],\"inner\":{\"k\":\"v\"}}");
+}
+
+TEST(JsonTest, Escaping) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(render([](JsonWriter& j) {
+              j.begin_array();
+              j.value(std::numeric_limits<double>::quiet_NaN());
+              j.value(std::numeric_limits<double>::infinity());
+              j.end_array();
+            }),
+            "[null,null]");
+}
+
+TEST(JsonTest, MisuseThrows) {
+  std::ostringstream os;
+  {
+    JsonWriter j(os);
+    j.begin_object();
+    EXPECT_THROW(j.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter j(os);
+    j.begin_array();
+    EXPECT_THROW(j.key("k"), std::logic_error);  // key inside array
+    EXPECT_THROW(j.end_object(), std::logic_error);
+  }
+  {
+    JsonWriter j(os);
+    j.value(1);
+    EXPECT_THROW(j.value(2), std::logic_error);  // two top-level values
+  }
+}
+
+TEST(JsonTest, CompleteTracksBalance) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  EXPECT_FALSE(j.complete());
+  j.begin_object();
+  EXPECT_FALSE(j.complete());
+  j.end_object();
+  EXPECT_TRUE(j.complete());
+}
+
+}  // namespace
+}  // namespace pacds

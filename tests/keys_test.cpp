@@ -1,0 +1,135 @@
+// Unit tests for PriorityKey: each key kind's lexicographic order, tie
+// breaking, and the strict-total-order guarantees the rules rely on.
+
+#include "core/keys.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::path_graph;
+using testing::star_graph;
+
+TEST(KeysTest, ToString) {
+  EXPECT_EQ(to_string(KeyKind::kId), "ID");
+  EXPECT_EQ(to_string(KeyKind::kDegreeId), "ND");
+  EXPECT_EQ(to_string(KeyKind::kEnergyId), "EL1");
+  EXPECT_EQ(to_string(KeyKind::kEnergyDegreeId), "EL2");
+}
+
+TEST(KeysTest, IdKeyOrdersById) {
+  const Graph g = path_graph(4);
+  const PriorityKey key(KeyKind::kId, g);
+  EXPECT_TRUE(key.less(0, 1));
+  EXPECT_FALSE(key.less(1, 0));
+  EXPECT_FALSE(key.less(2, 2));
+}
+
+TEST(KeysTest, DegreeKeyPrefersLowerDegree) {
+  // Star: center 0 has degree 3, leaves degree 1.
+  const Graph g = star_graph(3);
+  const PriorityKey key(KeyKind::kDegreeId, g);
+  EXPECT_TRUE(key.less(1, 0));   // leaf < center
+  EXPECT_FALSE(key.less(0, 1));
+  // Equal degrees fall back to id.
+  EXPECT_TRUE(key.less(1, 2));
+  EXPECT_FALSE(key.less(2, 1));
+}
+
+TEST(KeysTest, EnergyKeyPrefersLowerEnergy) {
+  const Graph g = path_graph(3);
+  const std::vector<double> energy{5.0, 1.0, 5.0};
+  const PriorityKey key(KeyKind::kEnergyId, g, &energy);
+  EXPECT_TRUE(key.less(1, 0));
+  EXPECT_FALSE(key.less(0, 1));
+  // Tie in energy -> id decides.
+  EXPECT_TRUE(key.less(0, 2));
+  EXPECT_FALSE(key.less(2, 0));
+}
+
+TEST(KeysTest, EnergyDegreeKeyFullChain) {
+  // Path 0-1-2-3: degrees 1,2,2,1.
+  const Graph g = path_graph(4);
+  const std::vector<double> energy{2.0, 2.0, 2.0, 9.0};
+  const PriorityKey key(KeyKind::kEnergyDegreeId, g, &energy);
+  // 0 (deg 1) beats 1 (deg 2) at equal energy.
+  EXPECT_TRUE(key.less(0, 1));
+  // 1 vs 2: equal energy, equal degree -> id.
+  EXPECT_TRUE(key.less(1, 2));
+  // Energy dominates degree: 1 (el 2, deg 2) < 3 (el 9, deg 1).
+  EXPECT_TRUE(key.less(1, 3));
+  EXPECT_FALSE(key.less(3, 1));
+}
+
+TEST(KeysTest, EnergyKindWithoutEnergyThrows) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(PriorityKey(KeyKind::kEnergyId, g), std::invalid_argument);
+  const std::vector<double> short_energy{1.0};
+  EXPECT_THROW(PriorityKey(KeyKind::kEnergyId, g, &short_energy),
+               std::invalid_argument);
+}
+
+TEST(KeysTest, NonEnergyKindIgnoresEnergyVector) {
+  const Graph g = path_graph(3);
+  EXPECT_NO_THROW(PriorityKey(KeyKind::kId, g));
+  EXPECT_NO_THROW(PriorityKey(KeyKind::kDegreeId, g));
+}
+
+TEST(KeysTest, StrictTotalOrder) {
+  // For every pair exactly one of less(a,b), less(b,a), a==b holds.
+  const Graph g = star_graph(4);
+  const std::vector<double> energy{3.0, 1.0, 1.0, 2.0, 3.0};
+  for (const KeyKind kind : {KeyKind::kId, KeyKind::kDegreeId,
+                             KeyKind::kEnergyId, KeyKind::kEnergyDegreeId}) {
+    const PriorityKey key(kind, g, &energy);
+    for (NodeId a = 0; a < 5; ++a) {
+      for (NodeId b = 0; b < 5; ++b) {
+        if (a == b) {
+          EXPECT_FALSE(key.less(a, b)) << to_string(kind);
+        } else {
+          EXPECT_NE(key.less(a, b), key.less(b, a))
+              << to_string(kind) << " a=" << a << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(KeysTest, IsMinOfThree) {
+  const Graph g = path_graph(5);
+  const PriorityKey key(KeyKind::kId, g);
+  EXPECT_TRUE(key.is_min_of_three(0, 1, 2));
+  EXPECT_FALSE(key.is_min_of_three(1, 0, 2));
+  EXPECT_FALSE(key.is_min_of_three(2, 0, 1));
+}
+
+TEST(KeysTest, AscendingOrderById) {
+  const Graph g = path_graph(4);
+  const PriorityKey key(KeyKind::kId, g);
+  EXPECT_EQ(key.ascending_order(), (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(KeysTest, AscendingOrderByEnergy) {
+  const Graph g = path_graph(4);
+  const std::vector<double> energy{4.0, 3.0, 2.0, 1.0};
+  const PriorityKey key(KeyKind::kEnergyId, g, &energy);
+  EXPECT_EQ(key.ascending_order(), (std::vector<NodeId>{3, 2, 1, 0}));
+}
+
+TEST(KeysTest, DegreeOrderReadsLiveGraph) {
+  // Keys reference the graph; mutating the graph changes degree keys.
+  Graph g = path_graph(3);  // degrees 1,2,1
+  const PriorityKey key(KeyKind::kDegreeId, g);
+  EXPECT_TRUE(key.less(0, 1));
+  g.add_edge(0, 2);  // now all degree 2
+  EXPECT_TRUE(key.less(0, 1));  // id tie-break
+  EXPECT_FALSE(key.less(1, 0));
+}
+
+}  // namespace
+}  // namespace pacds

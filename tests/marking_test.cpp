@@ -1,0 +1,155 @@
+// Tests for the Wu-Li marking process, including the paper's Figure 1
+// worked example and the complete-component clique policy.
+
+#include "core/marking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/verify.hpp"
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::figure1_graph;
+using testing::path_graph;
+using testing::star_graph;
+
+TEST(MarkingTest, PaperFigure1Example) {
+  // The paper derives: "only vertices v and w are marked T".
+  const Graph g = figure1_graph();
+  const DynBitset marked = marking_process(g);
+  EXPECT_FALSE(marked.test(static_cast<std::size_t>(testing::kFig1U)));
+  EXPECT_TRUE(marked.test(static_cast<std::size_t>(testing::kFig1V)));
+  EXPECT_TRUE(marked.test(static_cast<std::size_t>(testing::kFig1W)));
+  EXPECT_FALSE(marked.test(static_cast<std::size_t>(testing::kFig1X)));
+  EXPECT_FALSE(marked.test(static_cast<std::size_t>(testing::kFig1Y)));
+}
+
+TEST(MarkingTest, CompleteGraphMarksNothing) {
+  for (const NodeId n : {2, 3, 5, 8}) {
+    const DynBitset marked = marking_process(complete_graph(n));
+    EXPECT_TRUE(marked.none()) << "K_" << n;
+  }
+}
+
+TEST(MarkingTest, IsolatedAndSingleNodeUnmarked) {
+  EXPECT_TRUE(marking_process(Graph(1)).none());
+  EXPECT_TRUE(marking_process(Graph(4)).none());
+}
+
+TEST(MarkingTest, PathMarksInteriorOnly) {
+  const Graph g = path_graph(5);
+  const DynBitset marked = marking_process(g);
+  EXPECT_FALSE(marked.test(0));
+  EXPECT_TRUE(marked.test(1));
+  EXPECT_TRUE(marked.test(2));
+  EXPECT_TRUE(marked.test(3));
+  EXPECT_FALSE(marked.test(4));
+}
+
+TEST(MarkingTest, CycleMarksEverything) {
+  // Every C_n (n >= 4) node has two non-adjacent neighbors.
+  const DynBitset marked = marking_process(cycle_graph(6));
+  EXPECT_EQ(marked.count(), 6u);
+}
+
+TEST(MarkingTest, TriangleMarksNothing) {
+  EXPECT_TRUE(marking_process(cycle_graph(3)).none());
+}
+
+TEST(MarkingTest, StarMarksCenterOnly) {
+  const DynBitset marked = marking_process(star_graph(5));
+  EXPECT_TRUE(marked.test(0));
+  EXPECT_EQ(marked.count(), 1u);
+}
+
+TEST(MarkingTest, MarksItselfMatchesProcess) {
+  const Graph g = figure1_graph();
+  const DynBitset marked = marking_process(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(marks_itself(g, v), marked.test(static_cast<std::size_t>(v)));
+  }
+}
+
+TEST(MarkingTest, MarkedSetIsCds) {
+  // Property 1 + 2: marked set dominates and is connected (non-complete
+  // connected graph).
+  for (const Graph& g :
+       {figure1_graph(), path_graph(8), cycle_graph(7), star_graph(6)}) {
+    const DynBitset marked = marking_process(g);
+    const CdsCheck check = check_cds(g, marked);
+    EXPECT_TRUE(check.ok()) << check.message;
+  }
+}
+
+TEST(MarkingTest, Property3HoldsForMarkingOutput) {
+  for (const Graph& g : {figure1_graph(), path_graph(9), cycle_graph(8)}) {
+    EXPECT_TRUE(property3_holds(g, marking_process(g)));
+  }
+}
+
+TEST(MarkingTest, DisconnectedGraphPerComponent) {
+  // Two paths of 3: interiors of both are marked.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  const DynBitset marked = marking_process(g);
+  EXPECT_TRUE(marked.test(1));
+  EXPECT_TRUE(marked.test(4));
+  EXPECT_EQ(marked.count(), 2u);
+}
+
+TEST(MarkingTest, CliquePolicyNoneLeavesCliquesEmpty) {
+  const Graph g = complete_graph(4);
+  const PriorityKey key(KeyKind::kId, g);
+  DynBitset marked = marking_process(g);
+  apply_clique_policy(g, key, CliquePolicy::kNone, marked);
+  EXPECT_TRUE(marked.none());
+}
+
+TEST(MarkingTest, CliquePolicyElectsMaxKey) {
+  const Graph g = complete_graph(4);
+  const PriorityKey key(KeyKind::kId, g);
+  DynBitset marked = marking_process(g);
+  apply_clique_policy(g, key, CliquePolicy::kElectMaxKey, marked);
+  EXPECT_EQ(marked.count(), 1u);
+  EXPECT_TRUE(marked.test(3));  // id-max
+}
+
+TEST(MarkingTest, CliquePolicySkipsSingletons) {
+  Graph g(3);
+  g.add_edge(0, 1);  // K2 plus an isolated node 2
+  const PriorityKey key(KeyKind::kId, g);
+  DynBitset marked = marking_process(g);
+  apply_clique_policy(g, key, CliquePolicy::kElectMaxKey, marked);
+  EXPECT_TRUE(marked.test(1));   // K2 gets its max elected
+  EXPECT_FALSE(marked.test(2));  // singleton stays unmarked
+  EXPECT_EQ(marked.count(), 1u);
+}
+
+TEST(MarkingTest, CliquePolicyWithEnergyKey) {
+  const Graph g = complete_graph(3);
+  const std::vector<double> energy{5.0, 9.0, 1.0};
+  const PriorityKey key(KeyKind::kEnergyId, g, &energy);
+  DynBitset marked = marking_process(g);
+  apply_clique_policy(g, key, CliquePolicy::kElectMaxKey, marked);
+  EXPECT_TRUE(marked.test(1));  // highest energy elected
+  EXPECT_EQ(marked.count(), 1u);
+}
+
+TEST(MarkingTest, CliquePolicyDoesNotTouchMarkedComponents) {
+  const Graph g = path_graph(5);
+  const PriorityKey key(KeyKind::kId, g);
+  DynBitset marked = marking_process(g);
+  const DynBitset before = marked;
+  apply_clique_policy(g, key, CliquePolicy::kElectMaxKey, marked);
+  EXPECT_EQ(marked, before);
+}
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,95 @@
+// Tests for the structural metrics module.
+
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::path_graph;
+using testing::star_graph;
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  const DegreeStats s = degree_stats(Graph(0));
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_TRUE(s.histogram.empty());
+}
+
+TEST(DegreeStatsTest, Path) {
+  const DegreeStats s = degree_stats(path_graph(5));
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 2);
+  EXPECT_DOUBLE_EQ(s.mean, 8.0 / 5.0);
+  ASSERT_EQ(s.histogram.size(), 3u);
+  EXPECT_EQ(s.histogram[0], 0u);
+  EXPECT_EQ(s.histogram[1], 2u);  // two endpoints
+  EXPECT_EQ(s.histogram[2], 3u);  // three interior
+}
+
+TEST(DegreeStatsTest, Star) {
+  const DegreeStats s = degree_stats(star_graph(6));
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 6);
+  EXPECT_EQ(s.histogram[6], 1u);
+  EXPECT_EQ(s.histogram[1], 6u);
+}
+
+TEST(DensityTest, Extremes) {
+  EXPECT_DOUBLE_EQ(edge_density(complete_graph(6)), 1.0);
+  EXPECT_DOUBLE_EQ(edge_density(Graph(6)), 0.0);
+  EXPECT_DOUBLE_EQ(edge_density(Graph(1)), 0.0);
+  // P4: 3 edges of C(4,2) = 6.
+  EXPECT_DOUBLE_EQ(edge_density(path_graph(4)), 0.5);
+}
+
+TEST(ClusteringTest, CompleteGraphFullyClustered) {
+  const Graph g = complete_graph(5);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(local_clustering(g, v), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(average_clustering(g), 1.0);
+}
+
+TEST(ClusteringTest, TreeHasNone) {
+  EXPECT_DOUBLE_EQ(average_clustering(path_graph(6)), 0.0);
+  EXPECT_DOUBLE_EQ(average_clustering(star_graph(5)), 0.0);
+}
+
+TEST(ClusteringTest, LowDegreeNodesAreZero) {
+  const Graph g = path_graph(3);
+  EXPECT_DOUBLE_EQ(local_clustering(g, 0), 0.0);  // degree 1
+}
+
+TEST(ClusteringTest, KnownMixedGraph) {
+  // Triangle 0-1-2 plus pendant 3 on node 2.
+  const Graph g =
+      Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_DOUBLE_EQ(local_clustering(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(local_clustering(g, 1), 1.0);
+  EXPECT_DOUBLE_EQ(local_clustering(g, 2), 1.0 / 3.0);  // 1 of 3 pairs
+  EXPECT_DOUBLE_EQ(local_clustering(g, 3), 0.0);
+  EXPECT_DOUBLE_EQ(average_clustering(g), (1.0 + 1.0 + 1.0 / 3.0) / 4.0);
+}
+
+TEST(TriangleTest, Counts) {
+  EXPECT_EQ(triangle_count(path_graph(6)), 0u);
+  EXPECT_EQ(triangle_count(cycle_graph(3)), 1u);
+  // K4 has C(4,3) = 4 triangles, K5 has 10.
+  EXPECT_EQ(triangle_count(complete_graph(4)), 4u);
+  EXPECT_EQ(triangle_count(complete_graph(5)), 10u);
+}
+
+TEST(TriangleTest, EmptyGraph) {
+  EXPECT_EQ(triangle_count(Graph(0)), 0u);
+  EXPECT_EQ(triangle_count(Graph(3)), 0u);
+}
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,68 @@
+// Tests for the Monte-Carlo driver: determinism, pool/inline equivalence,
+// aggregation bookkeeping.
+
+#include "sim/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacds {
+namespace {
+
+SimConfig tiny_config() {
+  SimConfig config;
+  config.n_hosts = 12;
+  config.drain_model = DrainModel::kLinearTotal;
+  config.rule_set = RuleSet::kID;
+  return config;
+}
+
+TEST(MonteCarloTest, AggregatesRequestedTrials) {
+  const LifetimeSummary s = run_lifetime_trials(tiny_config(), 8, 42);
+  EXPECT_EQ(s.intervals.count, 8u);
+  EXPECT_EQ(s.avg_gateways.count, 8u);
+  EXPECT_GT(s.intervals.mean, 0.0);
+}
+
+TEST(MonteCarloTest, DeterministicAcrossRuns) {
+  const LifetimeSummary a = run_lifetime_trials(tiny_config(), 6, 7);
+  const LifetimeSummary b = run_lifetime_trials(tiny_config(), 6, 7);
+  EXPECT_DOUBLE_EQ(a.intervals.mean, b.intervals.mean);
+  EXPECT_DOUBLE_EQ(a.intervals.stddev, b.intervals.stddev);
+  EXPECT_DOUBLE_EQ(a.avg_gateways.mean, b.avg_gateways.mean);
+}
+
+TEST(MonteCarloTest, PoolMatchesInline) {
+  ThreadPool pool(3);
+  const LifetimeSummary inline_run = run_lifetime_trials(tiny_config(), 10, 5);
+  const LifetimeSummary pooled = run_lifetime_trials(tiny_config(), 10, 5,
+                                                     &pool);
+  EXPECT_DOUBLE_EQ(inline_run.intervals.mean, pooled.intervals.mean);
+  EXPECT_DOUBLE_EQ(inline_run.intervals.stddev, pooled.intervals.stddev);
+  EXPECT_DOUBLE_EQ(inline_run.avg_gateways.mean, pooled.avg_gateways.mean);
+  EXPECT_DOUBLE_EQ(inline_run.avg_marked.mean, pooled.avg_marked.mean);
+}
+
+TEST(MonteCarloTest, DifferentBaseSeedsDiffer) {
+  const LifetimeSummary a = run_lifetime_trials(tiny_config(), 6, 1);
+  const LifetimeSummary b = run_lifetime_trials(tiny_config(), 6, 2);
+  EXPECT_TRUE(a.intervals.mean != b.intervals.mean ||
+              a.avg_gateways.mean != b.avg_gateways.mean);
+}
+
+TEST(MonteCarloTest, CappedTrialsCounted) {
+  SimConfig config = tiny_config();
+  config.drain_params.nongateway_drain = 0.0;
+  config.drain_model = DrainModel::kConstantTotal;
+  config.drain_params.constant_base = 0.0;
+  config.max_intervals = 5;
+  const LifetimeSummary s = run_lifetime_trials(config, 4, 3);
+  EXPECT_EQ(s.capped_trials, 4u);
+}
+
+TEST(MonteCarloTest, ZeroTrials) {
+  const LifetimeSummary s = run_lifetime_trials(tiny_config(), 0, 1);
+  EXPECT_EQ(s.intervals.count, 0u);
+}
+
+}  // namespace
+}  // namespace pacds

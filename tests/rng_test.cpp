@@ -1,0 +1,128 @@
+// Tests for deterministic RNG: reproducibility, ranges, seed derivation.
+
+#include "net/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace pacds {
+namespace {
+
+TEST(RngTest, SplitMixDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, SplitMixSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, XoshiroDeterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, XoshiroSeedsDiverge) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01RoughlyUniform) {
+  Xoshiro256 rng(2);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformBadRangeThrows) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW((void)rng.uniform(5.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.uniform_int(5, 1), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Xoshiro256 rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = rng.uniform_int(1, 8);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 8);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // all 8 paper directions appear
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(RngTest, UniformIntUnbiased) {
+  Xoshiro256 rng(6);
+  std::vector<int> counts(6, 0);
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(1, 6) - 1)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), trials / 6.0, trials * 0.01);
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Xoshiro256 rng(7);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, DeriveSeedDecorrelates) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(derive_seed(12345, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pacds

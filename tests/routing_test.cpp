@@ -1,0 +1,238 @@
+// Tests for dominating-set-based routing: membership lists, routing tables,
+// and the 3-step routing process (paper Section 2.1, Figure 2).
+
+#include "routing/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/cds.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::figure1_graph;
+using testing::path_graph;
+using testing::star_graph;
+
+DynBitset set_of(std::size_t n, std::initializer_list<std::size_t> bits) {
+  DynBitset s(n);
+  for (const auto b : bits) s.set(b);
+  return s;
+}
+
+/// Verifies that `path` is a real walk in g from src to dst.
+void expect_valid_path(const Graph& g, const std::vector<NodeId>& path,
+                       NodeId src, NodeId dst) {
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), src);
+  EXPECT_EQ(path.back(), dst);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]))
+        << path[i] << "-" << path[i + 1];
+  }
+}
+
+TEST(RoutingTest, MaskSizeMismatchThrows) {
+  EXPECT_THROW(DominatingSetRouter(path_graph(3), DynBitset(2)),
+               std::invalid_argument);
+}
+
+TEST(RoutingTest, MembershipListsOnFigure1) {
+  // Gateways v=1, w=2 (marking output). Members: v covers u(0), y(4);
+  // w covers x(3).
+  const Graph g = figure1_graph();
+  const DominatingSetRouter router(g, set_of(5, {1, 2}));
+  EXPECT_TRUE(router.is_gateway(1));
+  EXPECT_FALSE(router.is_gateway(0));
+  EXPECT_EQ(router.domain_members(1), (std::vector<NodeId>{0, 4}));
+  EXPECT_EQ(router.domain_members(2), (std::vector<NodeId>{3}));
+  EXPECT_THROW((void)router.domain_members(0), std::invalid_argument);
+}
+
+TEST(RoutingTest, GatewaysOfHost) {
+  const Graph g = figure1_graph();
+  const DominatingSetRouter router(g, set_of(5, {1, 2}));
+  EXPECT_EQ(router.gateways_of(0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(router.gateways_of(3), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(router.gateways_of(1).empty());  // gateways have none
+}
+
+TEST(RoutingTest, RoutingTableEntries) {
+  const Graph g = path_graph(5);
+  const DominatingSetRouter router(g, set_of(5, {1, 2, 3}));
+  const auto table = router.routing_table(1);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table[0].gateway, 2);
+  EXPECT_EQ(table[0].distance, 1);
+  EXPECT_EQ(table[0].next_hop, 2);
+  EXPECT_EQ(table[1].gateway, 3);
+  EXPECT_EQ(table[1].distance, 2);
+  EXPECT_EQ(table[1].next_hop, 2);  // first hop toward 3
+  EXPECT_EQ(table[1].members, (std::vector<NodeId>{4}));
+}
+
+TEST(RoutingTest, RoutingTableThrowsForNonGateway) {
+  const Graph g = path_graph(3);
+  const DominatingSetRouter router(g, set_of(3, {1}));
+  EXPECT_THROW((void)router.routing_table(0), std::invalid_argument);
+}
+
+TEST(RoutingTest, TrivialRoutes) {
+  const Graph g = path_graph(3);
+  const DominatingSetRouter router(g, set_of(3, {1}));
+  const RouteResult self = router.route(0, 0);
+  EXPECT_TRUE(self.delivered);
+  EXPECT_EQ(self.path, (std::vector<NodeId>{0}));
+  const RouteResult direct = router.route(0, 1);
+  EXPECT_TRUE(direct.delivered);
+  EXPECT_EQ(direct.path, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(RoutingTest, ThreeStepRoute) {
+  // P5 with backbone {1,2,3}: 0 -> 4 must go 0,1,2,3,4.
+  const Graph g = path_graph(5);
+  const DominatingSetRouter router(g, set_of(5, {1, 2, 3}));
+  const RouteResult r = router.route(0, 4);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.path, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(router.route_hops(0, 4).value(), 4);
+}
+
+TEST(RoutingTest, GatewaySourceAndDestination) {
+  const Graph g = path_graph(5);
+  const DominatingSetRouter router(g, set_of(5, {1, 2, 3}));
+  const RouteResult r = router.route(1, 3);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.path, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(RoutingTest, SharedGatewayTwoHops)  {
+  // Star with center gateway: any leaf pair routes through the center.
+  const Graph g = star_graph(4);
+  const DominatingSetRouter router(g, set_of(5, {0}));
+  const RouteResult r = router.route(1, 3);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.path, (std::vector<NodeId>{1, 0, 3}));
+}
+
+TEST(RoutingTest, UndominatedSourceFails) {
+  // Gateway set misses node 0's neighborhood entirely.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const DominatingSetRouter router(g, set_of(4, {2}));
+  const RouteResult r = router.route(0, 3);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_FALSE(r.failure.empty());
+}
+
+TEST(RoutingTest, DisconnectedBackboneFails) {
+  // Two separate path components, gateways in each; cross-component route
+  // must fail with a backbone error.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  const DominatingSetRouter router(g, set_of(6, {1, 4}));
+  const RouteResult r = router.route(0, 5);
+  EXPECT_FALSE(r.delivered);
+}
+
+TEST(RoutingTest, FailedRouteHopsEmpty) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const DominatingSetRouter router(g, set_of(4, {1, 2}));
+  EXPECT_FALSE(router.route_hops(0, 3).has_value());
+}
+
+TEST(RoutingTest, Figure1AllPairsDeliverable) {
+  const Graph g = figure1_graph();
+  const CdsResult cds = compute_cds(g, RuleSet::kID);
+  const DominatingSetRouter router(g, cds.gateways);
+  for (NodeId s = 0; s < 5; ++s) {
+    for (NodeId t = 0; t < 5; ++t) {
+      const RouteResult r = router.route(s, t);
+      ASSERT_TRUE(r.delivered) << s << "->" << t << ": " << r.failure;
+      expect_valid_path(g, r.path, s, t);
+    }
+  }
+}
+
+TEST(RoutingTest, RandomNetworkAllPairsDeliverable) {
+  Xoshiro256 rng(31);
+  const auto placed = random_connected_placement(30, Field::paper_field(),
+                                                 kPaperRadius, rng, 500);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  CdsOptions options;
+  options.strategy = Strategy::kVerified;
+  const CdsResult cds = compute_cds(g, RuleSet::kND, {}, options);
+  const DominatingSetRouter router(g, cds.gateways);
+  const auto n = g.num_nodes();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = static_cast<NodeId>(s + 1); t < n; ++t) {
+      const RouteResult r = router.route(s, t);
+      ASSERT_TRUE(r.delivered) << s << "->" << t << ": " << r.failure;
+      expect_valid_path(g, r.path, s, t);
+      // Routed path can never beat the true shortest path.
+      const auto true_dist =
+          g.bfs_distances(s)[static_cast<std::size_t>(t)];
+      EXPECT_GE(static_cast<NodeId>(r.path.size() - 1), true_dist);
+    }
+  }
+}
+
+TEST(RoutingTest, HopsMatchRestrictedBfs) {
+  // The router's hop count must equal the gateway-interior-restricted BFS
+  // distance — two independent implementations of the same semantics.
+  Xoshiro256 rng(53);
+  const auto placed = random_connected_placement(35, Field::paper_field(),
+                                                 kPaperRadius, rng, 2000);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  for (const RuleSet rs : {RuleSet::kNR, RuleSet::kID, RuleSet::kND}) {
+    const CdsResult cds = compute_cds(g, rs);
+    const DominatingSetRouter router(g, cds.gateways);
+    for (NodeId s = 0; s < g.num_nodes(); ++s) {
+      const auto restricted = g.bfs_distances(s, &cds.gateways);
+      for (NodeId t = 0; t < g.num_nodes(); ++t) {
+        if (s == t) continue;
+        const auto hops = router.route_hops(s, t);
+        const NodeId expected = restricted[static_cast<std::size_t>(t)];
+        if (expected < 0) {
+          EXPECT_FALSE(hops.has_value()) << s << "->" << t;
+        } else {
+          ASSERT_TRUE(hops.has_value()) << s << "->" << t;
+          EXPECT_EQ(*hops, expected)
+              << to_string(rs) << " " << s << "->" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(RoutingTest, RouteInteriorUsesOnlyGateways) {
+  const Graph g = figure1_graph();
+  const CdsResult cds = compute_cds(g, RuleSet::kID);
+  const DominatingSetRouter router(g, cds.gateways);
+  for (NodeId s = 0; s < 5; ++s) {
+    for (NodeId t = 0; t < 5; ++t) {
+      const RouteResult r = router.route(s, t);
+      ASSERT_TRUE(r.delivered);
+      for (std::size_t i = 1; i + 1 < r.path.size(); ++i) {
+        EXPECT_TRUE(router.is_gateway(r.path[i]))
+            << "interior node " << r.path[i] << " on " << s << "->" << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pacds

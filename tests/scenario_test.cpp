@@ -1,0 +1,108 @@
+// Tests for scenario (de)serialization.
+
+#include "io/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace pacds {
+namespace {
+
+Scenario sample() {
+  Scenario s;
+  s.radius = 25.0;
+  s.positions = {{1.5, 2.5}, {10.0, 20.0}, {30.0, 40.0}};
+  s.energies = {100.0, 87.5, 100.0};
+  return s;
+}
+
+TEST(ScenarioTest, RoundTrip) {
+  const Scenario original = sample();
+  const Scenario parsed = scenario_from_string(scenario_to_string(original));
+  EXPECT_DOUBLE_EQ(parsed.radius, original.radius);
+  ASSERT_EQ(parsed.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(parsed.positions[i].x, original.positions[i].x);
+    EXPECT_DOUBLE_EQ(parsed.positions[i].y, original.positions[i].y);
+    EXPECT_DOUBLE_EQ(parsed.energies[i], original.energies[i]);
+  }
+}
+
+TEST(ScenarioTest, GraphConstruction) {
+  Scenario s = sample();
+  const Graph g = s.graph();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));   // distance ~19.5 <= 25
+  EXPECT_FALSE(g.has_edge(0, 2));  // distance ~47
+}
+
+TEST(ScenarioTest, CommentsSkipped) {
+  const Scenario s = scenario_from_string(
+      "# header\nradius 10\n# mid\nhosts 1\n\n5 5 50\n# tail\n");
+  EXPECT_DOUBLE_EQ(s.radius, 10.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.energies[0], 50.0);
+}
+
+TEST(ScenarioTest, EmptyScenario) {
+  const Scenario s = scenario_from_string("radius 5\nhosts 0\n");
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.graph().num_nodes(), 0);
+}
+
+TEST(ScenarioTest, ParseErrorsCarryLines) {
+  EXPECT_THROW((void)scenario_from_string(""), std::runtime_error);
+  EXPECT_THROW((void)scenario_from_string("radius -1\nhosts 0\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)scenario_from_string("radius 5\nhosts 2\n1 1 1\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)scenario_from_string("radius 5\nhosts 1\n1 1\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)scenario_from_string("radius 5\nhosts 1\n1 1 1 9\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)scenario_from_string("bogus 5\nhosts 0\n"),
+               std::runtime_error);
+  try {
+    (void)scenario_from_string("radius 5\nhosts 1\nbad line x\n");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ScenarioTest, MismatchedSizesRefuseToSerialize) {
+  Scenario s = sample();
+  s.energies.pop_back();
+  EXPECT_THROW((void)scenario_to_string(s), std::invalid_argument);
+}
+
+TEST(ScenarioTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pacds_scenario.txt";
+  ASSERT_TRUE(save_scenario_file(path, sample()));
+  const Scenario loaded = load_scenario_file(path);
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.radius, 25.0);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_scenario_file("/no/such/scenario.txt"),
+               std::runtime_error);
+}
+
+TEST(ScenarioTest, HighPrecisionSurvives) {
+  Scenario s;
+  s.radius = 25.000000000000004;
+  s.positions = {{0.1 + 0.2, 1.0 / 3.0}};
+  s.energies = {99.999999999999986};
+  const Scenario parsed = scenario_from_string(scenario_to_string(s));
+  EXPECT_DOUBLE_EQ(parsed.positions[0].x, s.positions[0].x);
+  EXPECT_DOUBLE_EQ(parsed.positions[0].y, s.positions[0].y);
+  EXPECT_DOUBLE_EQ(parsed.energies[0], s.energies[0]);
+  EXPECT_DOUBLE_EQ(parsed.radius, s.radius);
+}
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,101 @@
+// Tests for the Welford accumulator and Summary snapshots.
+
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pacds {
+namespace {
+
+TEST(StatsTest, EmptyAccumulator) {
+  const Welford acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.ci95_half_width(), 0.0);
+}
+
+TEST(StatsTest, SingleSample) {
+  Welford acc;
+  acc.add(7.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 7.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.0);
+}
+
+TEST(StatsTest, KnownMeanAndVariance) {
+  Welford acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(StatsTest, StderrAndCi) {
+  Welford acc;
+  for (int i = 0; i < 100; ++i) acc.add(static_cast<double>(i % 2));
+  const double se = acc.stddev() / 10.0;
+  EXPECT_NEAR(acc.stderr_mean(), se, 1e-12);
+  EXPECT_NEAR(acc.ci95_half_width(), 1.96 * se, 1e-12);
+}
+
+TEST(StatsTest, MergeMatchesSequential) {
+  Welford all;
+  Welford left;
+  Welford right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = static_cast<double>(i * i % 17);
+    all.add(x);
+    (i < 20 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StatsTest, MergeWithEmpty) {
+  Welford acc;
+  acc.add(3.0);
+  Welford empty;
+  acc.merge(empty);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  empty.merge(acc);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(StatsTest, NumericalStabilityLargeOffset) {
+  // Classic catastrophic-cancellation case: huge mean, small variance.
+  Welford acc;
+  const double offset = 1e9;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) acc.add(x);
+  EXPECT_NEAR(acc.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+TEST(StatsTest, SummarySnapshot) {
+  Welford acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  const Summary s = Summary::of(acc);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_GT(s.ci95, 0.0);
+}
+
+}  // namespace
+}  // namespace pacds

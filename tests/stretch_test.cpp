@@ -1,0 +1,98 @@
+// Tests for routing path-stretch measurement.
+
+#include "routing/stretch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cds.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::cycle_graph;
+using testing::figure1_graph;
+using testing::path_graph;
+
+DynBitset set_of(std::size_t n, std::initializer_list<std::size_t> bits) {
+  DynBitset s(n);
+  for (const auto b : bits) s.set(b);
+  return s;
+}
+
+TEST(StretchMeasureTest, MarkingBackboneHasUnitStretch) {
+  // Property 3: the full marking output preserves distances, and the router
+  // finds those shortest backbone routes.
+  const Graph g = figure1_graph();
+  const CdsResult cds = compute_cds(g, RuleSet::kNR);
+  const StretchStats stats = measure_stretch(g, cds.gateways);
+  EXPECT_DOUBLE_EQ(stats.mean_stretch, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_stretch, 1.0);
+  EXPECT_EQ(stats.undeliverable, 0u);
+  EXPECT_EQ(stats.pairs, 10u);  // C(5,2)
+}
+
+TEST(StretchMeasureTest, ReducedBackboneStretches) {
+  // C6 with gateway set {0,1,2,3} (valid CDS): pair (3,5) is forced the
+  // long way round the backbone.
+  const Graph g = cycle_graph(6);
+  const StretchStats stats = measure_stretch(g, set_of(6, {0, 1, 2, 3}));
+  EXPECT_GT(stats.mean_stretch, 1.0);
+  EXPECT_GE(stats.max_stretch, 2.0);
+  EXPECT_EQ(stats.undeliverable, 0u);
+}
+
+TEST(StretchMeasureTest, UndeliverableCounted) {
+  // Path 0-1-2-3-4 with only gateway 1: hosts 3,4 are undominated.
+  const Graph g = path_graph(5);
+  const StretchStats stats = measure_stretch(g, set_of(5, {1}));
+  EXPECT_GT(stats.undeliverable, 0u);
+}
+
+TEST(StretchMeasureTest, AdjacentPairsAlwaysUnitEvenWithoutGateways) {
+  const Graph g = path_graph(3);
+  const StretchStats stats = measure_stretch(g, DynBitset(3));
+  // (0,1) and (1,2) deliver directly; (0,2) is undeliverable.
+  EXPECT_EQ(stats.pairs, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_stretch, 1.0);
+  EXPECT_EQ(stats.undeliverable, 1u);
+}
+
+TEST(StretchMeasureTest, RandomNetworkAllSchemesBoundedStretch) {
+  Xoshiro256 rng(77);
+  const auto placed = random_connected_placement(25, Field::paper_field(),
+                                                 kPaperRadius, rng, 500);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  std::vector<double> energy;
+  for (int i = 0; i < 25; ++i) {
+    energy.push_back(static_cast<double>(rng.uniform_int(1, 5)));
+  }
+  CdsOptions options;
+  options.strategy = Strategy::kVerified;
+  for (const RuleSet rs : kAllRuleSets) {
+    const CdsResult cds = compute_cds(g, rs, energy, options);
+    const StretchStats stats = measure_stretch(g, cds.gateways);
+    EXPECT_EQ(stats.undeliverable, 0u) << to_string(rs);
+    EXPECT_GE(stats.mean_stretch, 1.0) << to_string(rs);
+    EXPECT_LT(stats.mean_stretch, 3.0) << to_string(rs);
+  }
+}
+
+TEST(StretchMeasureTest, NrNeverWorseThanReducedSchemes) {
+  Xoshiro256 rng(78);
+  const auto placed = random_connected_placement(25, Field::paper_field(),
+                                                 kPaperRadius, rng, 500);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  const StretchStats nr =
+      measure_stretch(g, compute_cds(g, RuleSet::kNR).gateways);
+  const StretchStats id =
+      measure_stretch(g, compute_cds(g, RuleSet::kID).gateways);
+  EXPECT_LE(nr.mean_stretch, id.mean_stretch + 1e-12);
+}
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,96 @@
+// Tests for the text-table renderer.
+
+#include "io/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pacds {
+namespace {
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TableTest, ArityEnforced) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+  EXPECT_NO_THROW(table.add_row({"1", "2"}));
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.num_columns(), 2u);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable table({"n", "value"});
+  table.add_row({"3", "1.50"});
+  table.add_row({"100", "12.25"});
+  const std::string out = table.to_string();
+  // Header, rule, two data lines.
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_NE(line.find("n"), std::string::npos);
+  EXPECT_NE(line.find("value"), std::string::npos);
+  std::getline(is, line);
+  EXPECT_EQ(line.find_first_not_of('-'), std::string::npos);
+  std::getline(is, line);
+  EXPECT_NE(line.find("3"), std::string::npos);
+  std::getline(is, line);
+  EXPECT_NE(line.find("100"), std::string::npos);
+  EXPECT_FALSE(std::getline(is, line));
+}
+
+TEST(TableTest, RightAlignmentDefault) {
+  TextTable table({"col"});
+  table.add_row({"1"});
+  table.add_row({"100"});
+  const std::string out = table.to_string();
+  // "  1" (right aligned to width 3).
+  EXPECT_NE(out.find("  1\n"), std::string::npos);
+}
+
+TEST(TableTest, LeftAlignmentOption) {
+  TextTable table({"col"});
+  table.set_align(0, Align::kLeft);
+  table.add_row({"1"});
+  table.add_row({"100"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("1  \n"), std::string::npos);
+}
+
+TEST(TableTest, SetAlignOutOfRangeThrows) {
+  TextTable table({"a"});
+  EXPECT_THROW(table.set_align(1, Align::kLeft), std::out_of_range);
+}
+
+TEST(TableTest, FmtDouble) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(1.0, 0), "1");
+  EXPECT_EQ(TextTable::fmt(-0.5, 1), "-0.5");
+}
+
+TEST(TableTest, FmtIntegers) {
+  EXPECT_EQ(TextTable::fmt(std::size_t{42}), "42");
+  EXPECT_EQ(TextTable::fmt(-7), "-7");
+}
+
+TEST(TableTest, PrintToStream) {
+  TextTable table({"x"});
+  table.add_row({"9"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_EQ(os.str(), table.to_string());
+}
+
+TEST(TableTest, RowsAccessor) {
+  TextTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  ASSERT_EQ(table.rows().size(), 1u);
+  EXPECT_EQ(table.rows()[0][1], "2");
+}
+
+}  // namespace
+}  // namespace pacds

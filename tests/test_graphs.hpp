@@ -1,0 +1,50 @@
+#pragma once
+// Shared graph builders for the test suite.
+
+#include <utility>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace pacds::testing {
+
+inline Graph path_graph(NodeId n) {
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, static_cast<NodeId>(i + 1));
+  return g;
+}
+
+inline Graph cycle_graph(NodeId n) {
+  Graph g = path_graph(n);
+  if (n >= 3) g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+inline Graph complete_graph(NodeId n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+/// K_{1,n}: center 0 connected to 1..leaves.
+inline Graph star_graph(NodeId leaves) {
+  Graph g(static_cast<NodeId>(leaves + 1));
+  for (NodeId i = 1; i <= leaves; ++i) g.add_edge(0, i);
+  return g;
+}
+
+/// The paper's Figure 1 example: nodes u=0, v=1, w=2, x=3, y=4 with
+/// N(u)={v,y}, N(v)={u,w,y}, N(w)={v,x}, N(x)={w}, N(y)={u,v}.
+/// The marking process marks exactly v and w.
+inline Graph figure1_graph() {
+  return Graph::from_edges(5, {{0, 1}, {0, 4}, {1, 2}, {1, 4}, {2, 3}});
+}
+inline constexpr NodeId kFig1U = 0;
+inline constexpr NodeId kFig1V = 1;
+inline constexpr NodeId kFig1W = 2;
+inline constexpr NodeId kFig1X = 3;
+inline constexpr NodeId kFig1Y = 4;
+
+}  // namespace pacds::testing

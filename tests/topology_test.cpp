@@ -1,0 +1,84 @@
+// Tests for random placement and the retry-until-connected generator.
+
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pacds {
+namespace {
+
+TEST(TopologyTest, PlacementInsideField) {
+  Xoshiro256 rng(1);
+  const Field field = Field::paper_field();
+  const auto pts = random_placement(200, field, rng);
+  EXPECT_EQ(pts.size(), 200u);
+  for (const Vec2 p : pts) EXPECT_TRUE(field.contains(p));
+}
+
+TEST(TopologyTest, PlacementZeroHosts) {
+  Xoshiro256 rng(1);
+  EXPECT_TRUE(random_placement(0, Field::paper_field(), rng).empty());
+}
+
+TEST(TopologyTest, PlacementNegativeThrows) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW((void)random_placement(-1, Field::paper_field(), rng),
+               std::invalid_argument);
+}
+
+TEST(TopologyTest, PlacementDeterministic) {
+  const Field field = Field::paper_field();
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  EXPECT_EQ(random_placement(10, field, a), random_placement(10, field, b));
+}
+
+TEST(TopologyTest, ConnectedPlacementIsConnected) {
+  Xoshiro256 rng(7);
+  const auto placed = random_connected_placement(40, Field::paper_field(),
+                                                 kPaperRadius, rng, 1000);
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_TRUE(placed->graph.is_connected());
+  EXPECT_EQ(placed->positions.size(), 40u);
+  EXPECT_GE(placed->attempts, 1);
+  // Graph matches a rebuild from the returned positions.
+  EXPECT_EQ(placed->graph, build_udg(placed->positions, kPaperRadius));
+}
+
+TEST(TopologyTest, DenseNetworkConnectsFirstTry) {
+  Xoshiro256 rng(8);
+  // Radius >= field diagonal: always one clique.
+  const auto placed = random_connected_placement(10, Field::paper_field(),
+                                                 200.0, rng, 3);
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(placed->attempts, 1);
+  EXPECT_TRUE(placed->graph.is_complete());
+}
+
+TEST(TopologyTest, ImpossibleConnectivityReturnsNullopt) {
+  Xoshiro256 rng(9);
+  // Radius 0 with several hosts: essentially never connected.
+  const auto placed = random_connected_placement(5, Field::paper_field(),
+                                                 0.0, rng, 10);
+  EXPECT_FALSE(placed.has_value());
+}
+
+TEST(TopologyTest, SingleHostAlwaysConnected) {
+  Xoshiro256 rng(10);
+  const auto placed = random_connected_placement(1, Field::paper_field(),
+                                                 0.0, rng, 1);
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_TRUE(placed->graph.is_connected());
+}
+
+TEST(TopologyTest, BadRetriesThrows) {
+  Xoshiro256 rng(11);
+  EXPECT_THROW((void)random_connected_placement(5, Field::paper_field(), 25.0,
+                                                rng, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pacds

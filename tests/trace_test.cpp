@@ -1,0 +1,99 @@
+// Tests for SimTrace recording, CSV conversion and sparklines.
+
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/lifetime.hpp"
+
+namespace pacds {
+namespace {
+
+SimConfig traced_config() {
+  SimConfig config;
+  config.n_hosts = 15;
+  config.drain_model = DrainModel::kLinearTotal;
+  config.rule_set = RuleSet::kEL1;
+  return config;
+}
+
+TEST(TraceTest, OneRecordPerInterval) {
+  SimTrace trace;
+  const TrialResult result = run_lifetime_trial(traced_config(), 5, &trace);
+  EXPECT_EQ(trace.records.size(), static_cast<std::size_t>(result.intervals));
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    EXPECT_EQ(trace.records[i].interval, static_cast<long>(i + 1));
+  }
+}
+
+TEST(TraceTest, EnergyMonotoneDecreasing) {
+  SimTrace trace;
+  (void)run_lifetime_trial(traced_config(), 6, &trace);
+  ASSERT_GT(trace.records.size(), 1u);
+  for (std::size_t i = 1; i < trace.records.size(); ++i) {
+    EXPECT_LE(trace.records[i].min_energy, trace.records[i - 1].min_energy);
+    EXPECT_LE(trace.records[i].mean_energy, trace.records[i - 1].mean_energy);
+  }
+  // The run ends at the first death: last record has min energy 0.
+  EXPECT_DOUBLE_EQ(trace.records.back().min_energy, 0.0);
+  EXPECT_EQ(trace.records.back().alive,
+            static_cast<std::size_t>(traced_config().n_hosts) - 1);
+}
+
+TEST(TraceTest, InvariantsPerRecord) {
+  SimTrace trace;
+  (void)run_lifetime_trial(traced_config(), 7, &trace);
+  for (const IntervalRecord& r : trace.records) {
+    EXPECT_LE(r.gateways, r.marked);
+    EXPECT_LE(r.min_energy, r.mean_energy);
+    EXPECT_LE(r.mean_energy, r.max_energy);
+    EXPECT_LE(r.alive, static_cast<std::size_t>(traced_config().n_hosts));
+  }
+}
+
+TEST(TraceTest, NullTraceIsNoop) {
+  const TrialResult a = run_lifetime_trial(traced_config(), 8);
+  SimTrace trace;
+  const TrialResult b = run_lifetime_trial(traced_config(), 8, &trace);
+  EXPECT_EQ(a.intervals, b.intervals);  // tracing must not perturb the run
+}
+
+TEST(TraceTest, CsvShape) {
+  SimTrace trace;
+  (void)run_lifetime_trial(traced_config(), 9, &trace);
+  const auto header = SimTrace::csv_header();
+  const auto rows = trace.csv_rows();
+  EXPECT_EQ(rows.size(), trace.records.size());
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.size(), header.size());
+  }
+}
+
+TEST(TraceTest, SeriesAccessors) {
+  SimTrace trace;
+  trace.records.push_back({1, 10, 5, 1.0, 2.0, 3.0, 15});
+  trace.records.push_back({2, 9, 4, 0.5, 1.5, 3.0, 15});
+  EXPECT_EQ(trace.min_energy_series(), (std::vector<double>{1.0, 0.5}));
+  EXPECT_EQ(trace.gateway_series(), (std::vector<double>{5.0, 4.0}));
+}
+
+TEST(SparklineTest, ScalesToRange) {
+  // One glyph per sample; extremes map to the lowest/highest glyph.
+  const std::string line = sparkline({0.0, 100.0}, 0.0, 100.0);
+  EXPECT_EQ(line.substr(0, 3), "▁");  // ▁ (3 UTF-8 bytes)
+  EXPECT_EQ(line.substr(3), "█");     // █
+}
+
+TEST(SparklineTest, ClampsOutOfRange) {
+  const std::string line = sparkline({-5.0, 500.0}, 0.0, 100.0);
+  EXPECT_EQ(line.substr(0, 3), "▁");
+  EXPECT_EQ(line.substr(3), "█");
+}
+
+TEST(SparklineTest, DegenerateRange) {
+  EXPECT_NO_THROW((void)sparkline({1.0, 1.0}, 1.0, 1.0));
+  EXPECT_TRUE(sparkline({}, 0.0, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace pacds

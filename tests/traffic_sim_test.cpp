@@ -1,0 +1,118 @@
+// Tests for the traffic-driven lifetime simulation.
+
+#include "sim/traffic_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pacds {
+namespace {
+
+TrafficSimConfig small_config() {
+  TrafficSimConfig config;
+  config.n_hosts = 20;
+  config.flows_per_interval = 10;
+  config.initial_energy = 100.0;
+  return config;
+}
+
+TEST(TrafficSimTest, Deterministic) {
+  const TrafficSimConfig config = small_config();
+  const TrafficSimResult a = run_traffic_trial(config, 42);
+  const TrafficSimResult b = run_traffic_trial(config, 42);
+  EXPECT_EQ(a.intervals, b.intervals);
+  EXPECT_EQ(a.flows_delivered, b.flows_delivered);
+  EXPECT_DOUBLE_EQ(a.energy_stddev_at_death, b.energy_stddev_at_death);
+}
+
+TEST(TrafficSimTest, TerminatesWithReasonableMetrics) {
+  const TrafficSimResult r = run_traffic_trial(small_config(), 7);
+  EXPECT_GT(r.intervals, 0);
+  EXPECT_FALSE(r.hit_cap);
+  EXPECT_GT(r.flows_attempted, 0u);
+  EXPECT_GE(r.flows_attempted, r.flows_delivered);
+  // The placement starts connected but roaming fragments it over the run
+  // (~100 intervals, no connectivity maintenance), so only a loose floor
+  // holds.
+  EXPECT_GT(r.delivery_ratio, 0.2);
+  EXPECT_LE(r.delivery_ratio, 1.0);
+  EXPECT_GT(r.avg_gateways, 0.0);
+}
+
+TEST(TrafficSimTest, TooFewHostsThrows) {
+  TrafficSimConfig config = small_config();
+  config.n_hosts = 1;
+  EXPECT_THROW((void)run_traffic_trial(config, 1), std::invalid_argument);
+  config.n_hosts = 20;
+  config.flows_per_interval = -1;
+  EXPECT_THROW((void)run_traffic_trial(config, 1), std::invalid_argument);
+}
+
+TEST(TrafficSimTest, MoreTrafficDiesFaster) {
+  TrafficSimConfig config = small_config();
+  config.flows_per_interval = 2;
+  const TrafficSimResult light = run_traffic_trial(config, 11);
+  config.flows_per_interval = 40;
+  const TrafficSimResult heavy = run_traffic_trial(config, 11);
+  EXPECT_LT(heavy.intervals, light.intervals);
+}
+
+TEST(TrafficSimTest, ZeroFlowsOnlyUpkeep) {
+  TrafficSimConfig config = small_config();
+  config.flows_per_interval = 0;
+  config.costs.idle = 1.0;
+  config.costs.beacon = 0.0;
+  config.initial_energy = 30.0;
+  const TrafficSimResult r = run_traffic_trial(config, 13);
+  EXPECT_EQ(r.intervals, 30);  // pure idle drain: everyone dies together
+  EXPECT_EQ(r.flows_attempted, 0u);
+  EXPECT_DOUBLE_EQ(r.delivery_ratio, 1.0);  // vacuous
+}
+
+TEST(TrafficSimTest, AllSchemesRun) {
+  for (const RuleSet rs : kAllRuleSets) {
+    TrafficSimConfig config = small_config();
+    config.rule_set = rs;
+    const TrafficSimResult r = run_traffic_trial(config, 17);
+    EXPECT_GT(r.intervals, 0) << to_string(rs);
+  }
+}
+
+TEST(TrafficSimTest, ChurnReducesDelivery) {
+  TrafficSimConfig config = small_config();
+  config.initial_energy = 500.0;
+  const TrafficSimResult stable = run_traffic_trial(config, 19);
+  config.churn.off_probability = 0.3;
+  config.churn.on_probability = 0.3;
+  const TrafficSimResult churny = run_traffic_trial(config, 19);
+  // Heavy churn fragments the topology: delivery suffers.
+  EXPECT_LT(churny.delivery_ratio, stable.delivery_ratio);
+}
+
+TEST(TrafficSimTest, CapStopsEternalRuns) {
+  TrafficSimConfig config = small_config();
+  config.costs = EnergyCosts{0.0, 0.0, 0.0, 0.0};
+  config.max_intervals = 25;
+  const TrafficSimResult r = run_traffic_trial(config, 23);
+  EXPECT_TRUE(r.hit_cap);
+  EXPECT_EQ(r.intervals, 25);
+}
+
+TEST(TrafficSimTest, EnergyAwareBalancesBetter) {
+  // The energy-keyed scheme should leave a tighter battery spread at death
+  // than the static ID keys (averaged over a few seeds to damp noise).
+  double id_spread = 0.0;
+  double el_spread = 0.0;
+  for (std::uint64_t seed = 30; seed < 40; ++seed) {
+    TrafficSimConfig config = small_config();
+    config.rule_set = RuleSet::kID;
+    id_spread += run_traffic_trial(config, seed).energy_stddev_at_death;
+    config.rule_set = RuleSet::kEL1;
+    el_spread += run_traffic_trial(config, seed).energy_stddev_at_death;
+  }
+  EXPECT_LT(el_spread, id_spread * 1.15);  // never dramatically worse
+}
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,80 @@
+// Tests for the paper's three gateway drain models.
+
+#include "energy/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pacds {
+namespace {
+
+TEST(TrafficTest, Model1ConstantTotal) {
+  // d = 2 / |G'| regardless of N.
+  EXPECT_DOUBLE_EQ(gateway_drain(DrainModel::kConstantTotal, 50, 10), 0.2);
+  EXPECT_DOUBLE_EQ(gateway_drain(DrainModel::kConstantTotal, 100, 10), 0.2);
+  EXPECT_DOUBLE_EQ(gateway_drain(DrainModel::kConstantTotal, 50, 2), 1.0);
+}
+
+TEST(TrafficTest, Model2LinearTotal) {
+  // d = N / |G'|.
+  EXPECT_DOUBLE_EQ(gateway_drain(DrainModel::kLinearTotal, 50, 10), 5.0);
+  EXPECT_DOUBLE_EQ(gateway_drain(DrainModel::kLinearTotal, 100, 25), 4.0);
+}
+
+TEST(TrafficTest, Model3QuadraticTotal) {
+  // d = N(N-1)/2 / (10 |G'|). For N = 10, |G'| = 9: 45 / 90 = 0.5.
+  EXPECT_DOUBLE_EQ(gateway_drain(DrainModel::kQuadraticTotal, 10, 9), 0.5);
+  // N = 50, |G'| = 25: 1225 / 250 = 4.9.
+  EXPECT_DOUBLE_EQ(gateway_drain(DrainModel::kQuadraticTotal, 50, 25), 4.9);
+}
+
+TEST(TrafficTest, EmptyGatewaySetCostsNothing) {
+  for (const DrainModel m :
+       {DrainModel::kConstantTotal, DrainModel::kLinearTotal,
+        DrainModel::kQuadraticTotal}) {
+    EXPECT_DOUBLE_EQ(gateway_drain(m, 50, 0), 0.0);
+  }
+}
+
+TEST(TrafficTest, LargerCdsSharesLoad) {
+  for (const DrainModel m :
+       {DrainModel::kConstantTotal, DrainModel::kLinearTotal,
+        DrainModel::kQuadraticTotal}) {
+    EXPECT_GT(gateway_drain(m, 50, 5), gateway_drain(m, 50, 20));
+  }
+}
+
+TEST(TrafficTest, TotalTimesSizeIsInvariant) {
+  // d * |G'| must equal the model's total traffic for any |G'|.
+  for (const DrainModel m :
+       {DrainModel::kConstantTotal, DrainModel::kLinearTotal,
+        DrainModel::kQuadraticTotal}) {
+    const double total = total_bypass_traffic(m, 60);
+    for (const std::size_t size : {1u, 7u, 30u}) {
+      EXPECT_DOUBLE_EQ(gateway_drain(m, 60, size) * static_cast<double>(size),
+                       total);
+    }
+  }
+}
+
+TEST(TrafficTest, CustomParams) {
+  DrainParams params;
+  params.constant_base = 10.0;
+  EXPECT_DOUBLE_EQ(gateway_drain(DrainModel::kConstantTotal, 50, 5, params),
+                   2.0);
+  params.quadratic_divisor = 1.0;
+  EXPECT_DOUBLE_EQ(gateway_drain(DrainModel::kQuadraticTotal, 10, 45, params),
+                   1.0);
+}
+
+TEST(TrafficTest, ToStringMatchesPaperFormulas) {
+  EXPECT_EQ(to_string(DrainModel::kConstantTotal), "d=2/|G'|");
+  EXPECT_EQ(to_string(DrainModel::kLinearTotal), "d=N/|G'|");
+  EXPECT_EQ(to_string(DrainModel::kQuadraticTotal), "d=N(N-1)/2/(10|G'|)");
+}
+
+TEST(TrafficTest, DefaultNonGatewayDrainIsUnit) {
+  EXPECT_DOUBLE_EQ(DrainParams{}.nongateway_drain, 1.0);
+}
+
+}  // namespace
+}  // namespace pacds

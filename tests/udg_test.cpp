@@ -1,0 +1,124 @@
+// Tests for unit-disk graph construction: correctness of both builders and
+// their exact agreement on random instances.
+
+#include "net/udg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "net/rng.hpp"
+#include "net/space.hpp"
+#include "net/topology.hpp"
+
+namespace pacds {
+namespace {
+
+TEST(UdgTest, EmptyAndSingle) {
+  EXPECT_EQ(build_udg({}, 5.0).num_nodes(), 0);
+  const Graph one = build_udg({{1.0, 1.0}}, 5.0);
+  EXPECT_EQ(one.num_nodes(), 1);
+  EXPECT_EQ(one.num_edges(), 0u);
+}
+
+TEST(UdgTest, EdgeIffWithinRadius) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {3.0, 4.0}, {10.0, 0.0}};
+  const Graph g = build_udg(pts, 5.0);
+  EXPECT_TRUE(g.has_edge(0, 1));   // distance 5 == radius (closed ball)
+  EXPECT_FALSE(g.has_edge(0, 2));  // distance 10
+  EXPECT_FALSE(g.has_edge(1, 2));  // distance sqrt(49+16) > 5
+}
+
+TEST(UdgTest, BoundaryInclusive) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {25.0, 0.0}};
+  EXPECT_EQ(build_udg(pts, 25.0).num_edges(), 1u);
+  EXPECT_EQ(build_udg(pts, 24.999).num_edges(), 0u);
+}
+
+TEST(UdgTest, CoincidentPoints) {
+  const std::vector<Vec2> pts{{5.0, 5.0}, {5.0, 5.0}, {5.0, 5.0}};
+  const Graph g = build_udg(pts, 1.0);
+  EXPECT_EQ(g.num_edges(), 3u);  // triangle, no self-loops
+}
+
+TEST(UdgTest, ZeroRadius) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}, {0.0, 0.0}};
+  const Graph g = build_udg(pts, 0.0);
+  EXPECT_EQ(g.num_edges(), 1u);  // only the coincident pair
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(UdgTest, NegativeRadiusThrows) {
+  EXPECT_THROW((void)build_udg({{0.0, 0.0}}, -1.0), std::invalid_argument);
+}
+
+TEST(UdgTest, BothMethodsOnHandcrafted) {
+  const std::vector<Vec2> pts{
+      {0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}, {0.0, 10.0}, {50.0, 50.0}};
+  const Graph naive = build_udg(pts, 12.0, UdgMethod::kNaive);
+  const Graph grid = build_udg(pts, 12.0, UdgMethod::kGrid);
+  EXPECT_EQ(naive, grid);
+}
+
+TEST(SpatialGridTest, QueryFindsNeighbors) {
+  const std::vector<Vec2> pts{
+      {0.0, 0.0}, {1.0, 1.0}, {5.0, 5.0}, {2.5, 0.0}, {-1.0, -1.0}};
+  const SpatialGrid grid(pts, 3.0);
+  const auto near0 = grid.query({0.0, 0.0}, 3.0, 0);
+  EXPECT_EQ(near0, (std::vector<NodeId>{1, 3, 4}));
+}
+
+TEST(SpatialGridTest, ExcludeKeptWhenMinusOne) {
+  const std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}};
+  const SpatialGrid grid(pts, 2.0);
+  const auto all = grid.query({0.0, 0.0}, 2.0, -1);
+  EXPECT_EQ(all, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(SpatialGridTest, RadiusLargerThanCellThrows) {
+  const std::vector<Vec2> pts{{0.0, 0.0}};
+  const SpatialGrid grid(pts, 1.0);
+  EXPECT_THROW((void)grid.query({0.0, 0.0}, 2.0), std::invalid_argument);
+}
+
+TEST(SpatialGridTest, BadCellSizeThrows) {
+  const std::vector<Vec2> pts{{0.0, 0.0}};
+  EXPECT_THROW(SpatialGrid(pts, 0.0), std::invalid_argument);
+}
+
+TEST(SpatialGridTest, NegativeCoordinates) {
+  const std::vector<Vec2> pts{{-10.0, -10.0}, {-11.0, -10.0}, {10.0, 10.0}};
+  const SpatialGrid grid(pts, 5.0);
+  const auto near = grid.query({-10.0, -10.0}, 5.0, 0);
+  EXPECT_EQ(near, (std::vector<NodeId>{1}));
+}
+
+// Agreement of naive and grid builders over random dense/sparse instances.
+class UdgAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {
+};
+
+TEST_P(UdgAgreementTest, NaiveEqualsGrid) {
+  const auto [n, radius, seed] = GetParam();
+  Xoshiro256 rng(seed);
+  const Field field = Field::paper_field();
+  const auto pts = random_placement(n, field, rng);
+  const Graph naive = build_udg(pts, radius, UdgMethod::kNaive);
+  const Graph grid = build_udg(pts, radius, UdgMethod::kGrid);
+  EXPECT_EQ(naive, grid) << "n=" << n << " r=" << radius;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPlacements, UdgAgreementTest,
+    ::testing::Combine(::testing::Values(2, 10, 50, 150),
+                       ::testing::Values(5.0, 25.0, 60.0),
+                       ::testing::Values(101u, 202u, 303u)),
+    [](const ::testing::TestParamInfo<UdgAgreementTest::ParamType>& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_r" +
+             std::to_string(static_cast<int>(std::get<1>(param_info.param))) +
+             "_s" + std::to_string(std::get<2>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,116 @@
+// Tests for Vec2 geometry and the bounded field with its boundary policies.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/space.hpp"
+#include "net/vec2.hpp"
+
+namespace pacds {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+}
+
+TEST(Vec2Test, DotAndNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Vec2Test, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({1.0, 1.0}, {2.0, 2.0}), 2.0);
+}
+
+TEST(FieldTest, PaperField) {
+  const Field f = Field::paper_field();
+  EXPECT_DOUBLE_EQ(f.width(), 100.0);
+  EXPECT_DOUBLE_EQ(f.height(), 100.0);
+  EXPECT_EQ(f.policy(), BoundaryPolicy::kClamp);
+}
+
+TEST(FieldTest, BadDimensionsThrow) {
+  EXPECT_THROW(Field(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(Field(10.0, -1.0), std::invalid_argument);
+}
+
+TEST(FieldTest, Contains) {
+  const Field f(10.0, 10.0);
+  EXPECT_TRUE(f.contains({0.0, 0.0}));
+  EXPECT_TRUE(f.contains({10.0, 10.0}));
+  EXPECT_FALSE(f.contains({10.1, 5.0}));
+  EXPECT_FALSE(f.contains({5.0, -0.1}));
+}
+
+TEST(FieldTest, InteriorMoveUnchanged) {
+  for (const BoundaryPolicy p :
+       {BoundaryPolicy::kClamp, BoundaryPolicy::kReflect,
+        BoundaryPolicy::kWrap}) {
+    const Field f(10.0, 10.0, p);
+    const Vec2 moved = f.move({5.0, 5.0}, {1.0, -2.0});
+    EXPECT_DOUBLE_EQ(moved.x, 6.0) << to_string(p);
+    EXPECT_DOUBLE_EQ(moved.y, 3.0) << to_string(p);
+  }
+}
+
+TEST(FieldTest, ClampStopsAtWall) {
+  const Field f(10.0, 10.0, BoundaryPolicy::kClamp);
+  const Vec2 moved = f.move({9.0, 1.0}, {5.0, -5.0});
+  EXPECT_DOUBLE_EQ(moved.x, 10.0);
+  EXPECT_DOUBLE_EQ(moved.y, 0.0);
+}
+
+TEST(FieldTest, ReflectBounces) {
+  const Field f(10.0, 10.0, BoundaryPolicy::kReflect);
+  const Vec2 moved = f.move({9.0, 5.0}, {3.0, 0.0});  // 12 -> reflect to 8
+  EXPECT_DOUBLE_EQ(moved.x, 8.0);
+  EXPECT_DOUBLE_EQ(moved.y, 5.0);
+  const Vec2 neg = f.move({1.0, 1.0}, {-3.0, 0.0});  // -2 -> 2
+  EXPECT_DOUBLE_EQ(neg.x, 2.0);
+}
+
+TEST(FieldTest, ReflectMultipleBounces) {
+  const Field f(10.0, 10.0, BoundaryPolicy::kReflect);
+  // 25 units past the wall: 5 + 25 = 30; 30 mod 20 = 10 -> at the far wall.
+  const Vec2 moved = f.move({5.0, 5.0}, {25.0, 0.0});
+  EXPECT_DOUBLE_EQ(moved.x, 10.0);
+}
+
+TEST(FieldTest, WrapTorus) {
+  const Field f(10.0, 10.0, BoundaryPolicy::kWrap);
+  const Vec2 moved = f.move({9.0, 9.0}, {3.0, 3.0});
+  EXPECT_DOUBLE_EQ(moved.x, 2.0);
+  EXPECT_DOUBLE_EQ(moved.y, 2.0);
+  const Vec2 neg = f.move({1.0, 1.0}, {-3.0, 0.0});
+  EXPECT_DOUBLE_EQ(neg.x, 8.0);
+}
+
+TEST(FieldTest, MovedPointsStayInField) {
+  for (const BoundaryPolicy p :
+       {BoundaryPolicy::kClamp, BoundaryPolicy::kReflect,
+        BoundaryPolicy::kWrap}) {
+    const Field f(100.0, 100.0, p);
+    Vec2 pos{50.0, 50.0};
+    for (int i = 0; i < 100; ++i) {
+      pos = f.move(pos, {37.0, -23.0});
+      EXPECT_TRUE(f.contains(pos)) << to_string(p) << " step " << i;
+    }
+  }
+}
+
+TEST(FieldTest, PolicyToString) {
+  EXPECT_EQ(to_string(BoundaryPolicy::kClamp), "clamp");
+  EXPECT_EQ(to_string(BoundaryPolicy::kReflect), "reflect");
+  EXPECT_EQ(to_string(BoundaryPolicy::kWrap), "wrap");
+}
+
+}  // namespace
+}  // namespace pacds
