@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_approx.dir/ablation_approx.cpp.o"
+  "CMakeFiles/ablation_approx.dir/ablation_approx.cpp.o.d"
+  "ablation_approx"
+  "ablation_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

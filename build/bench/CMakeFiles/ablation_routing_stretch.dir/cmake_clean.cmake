@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_routing_stretch.dir/ablation_routing_stretch.cpp.o"
+  "CMakeFiles/ablation_routing_stretch.dir/ablation_routing_stretch.cpp.o.d"
+  "ablation_routing_stretch"
+  "ablation_routing_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_routing_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_routing_stretch.
+# This may be replaced when dependencies are built.

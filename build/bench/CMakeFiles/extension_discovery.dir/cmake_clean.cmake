@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_discovery.dir/extension_discovery.cpp.o"
+  "CMakeFiles/extension_discovery.dir/extension_discovery.cpp.o.d"
+  "extension_discovery"
+  "extension_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

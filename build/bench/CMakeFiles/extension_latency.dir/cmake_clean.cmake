@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_latency.dir/extension_latency.cpp.o"
+  "CMakeFiles/extension_latency.dir/extension_latency.cpp.o.d"
+  "extension_latency"
+  "extension_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

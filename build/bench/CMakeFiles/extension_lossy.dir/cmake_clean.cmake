@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_lossy.dir/extension_lossy.cpp.o"
+  "CMakeFiles/extension_lossy.dir/extension_lossy.cpp.o.d"
+  "extension_lossy"
+  "extension_lossy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_lossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_overhead.dir/extension_overhead.cpp.o"
+  "CMakeFiles/extension_overhead.dir/extension_overhead.cpp.o.d"
+  "extension_overhead"
+  "extension_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

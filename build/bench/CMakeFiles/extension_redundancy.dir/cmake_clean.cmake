@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_redundancy.dir/extension_redundancy.cpp.o"
+  "CMakeFiles/extension_redundancy.dir/extension_redundancy.cpp.o.d"
+  "extension_redundancy"
+  "extension_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_rule_k.dir/extension_rule_k.cpp.o"
+  "CMakeFiles/extension_rule_k.dir/extension_rule_k.cpp.o.d"
+  "extension_rule_k"
+  "extension_rule_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_rule_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_sensitivity.dir/extension_sensitivity.cpp.o"
+  "CMakeFiles/extension_sensitivity.dir/extension_sensitivity.cpp.o.d"
+  "extension_sensitivity"
+  "extension_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

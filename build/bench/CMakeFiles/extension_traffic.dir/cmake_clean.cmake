@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_traffic.dir/extension_traffic.cpp.o"
+  "CMakeFiles/extension_traffic.dir/extension_traffic.cpp.o.d"
+  "extension_traffic"
+  "extension_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

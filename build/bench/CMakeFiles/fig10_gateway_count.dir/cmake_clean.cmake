@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gateway_count.dir/fig10_gateway_count.cpp.o"
+  "CMakeFiles/fig10_gateway_count.dir/fig10_gateway_count.cpp.o.d"
+  "fig10_gateway_count"
+  "fig10_gateway_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gateway_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

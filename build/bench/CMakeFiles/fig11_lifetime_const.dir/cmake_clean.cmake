@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_lifetime_const.dir/fig11_lifetime_const.cpp.o"
+  "CMakeFiles/fig11_lifetime_const.dir/fig11_lifetime_const.cpp.o.d"
+  "fig11_lifetime_const"
+  "fig11_lifetime_const.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_lifetime_const.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

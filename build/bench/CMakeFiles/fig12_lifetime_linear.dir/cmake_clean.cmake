@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_lifetime_linear.dir/fig12_lifetime_linear.cpp.o"
+  "CMakeFiles/fig12_lifetime_linear.dir/fig12_lifetime_linear.cpp.o.d"
+  "fig12_lifetime_linear"
+  "fig12_lifetime_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_lifetime_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

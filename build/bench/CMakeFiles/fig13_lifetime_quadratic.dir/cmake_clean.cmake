@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_lifetime_quadratic.dir/fig13_lifetime_quadratic.cpp.o"
+  "CMakeFiles/fig13_lifetime_quadratic.dir/fig13_lifetime_quadratic.cpp.o.d"
+  "fig13_lifetime_quadratic"
+  "fig13_lifetime_quadratic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_lifetime_quadratic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

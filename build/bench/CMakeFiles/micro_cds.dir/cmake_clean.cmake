@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cds.dir/micro_cds.cpp.o"
+  "CMakeFiles/micro_cds.dir/micro_cds.cpp.o.d"
+  "micro_cds"
+  "micro_cds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

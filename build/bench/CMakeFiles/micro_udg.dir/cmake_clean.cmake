@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_udg.dir/micro_udg.cpp.o"
+  "CMakeFiles/micro_udg.dir/micro_udg.cpp.o.d"
+  "micro_udg"
+  "micro_udg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_udg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

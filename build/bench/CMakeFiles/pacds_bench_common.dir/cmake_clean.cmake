@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacds_bench_common.dir/fig_common.cpp.o"
+  "CMakeFiles/pacds_bench_common.dir/fig_common.cpp.o.d"
+  "libpacds_bench_common.a"
+  "libpacds_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacds_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

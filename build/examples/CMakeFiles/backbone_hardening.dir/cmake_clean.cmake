@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backbone_hardening.dir/backbone_hardening.cpp.o"
+  "CMakeFiles/backbone_hardening.dir/backbone_hardening.cpp.o.d"
+  "backbone_hardening"
+  "backbone_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backbone_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

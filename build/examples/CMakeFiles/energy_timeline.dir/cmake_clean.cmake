@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_timeline.dir/energy_timeline.cpp.o"
+  "CMakeFiles/energy_timeline.dir/energy_timeline.cpp.o.d"
+  "energy_timeline"
+  "energy_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_playground.dir/mobility_playground.cpp.o"
+  "CMakeFiles/mobility_playground.dir/mobility_playground.cpp.o.d"
+  "mobility_playground"
+  "mobility_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

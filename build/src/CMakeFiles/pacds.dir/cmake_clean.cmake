@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacds.dir/cli/main.cpp.o"
+  "CMakeFiles/pacds.dir/cli/main.cpp.o.d"
+  "pacds"
+  "pacds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/exact_mcds.cpp" "src/CMakeFiles/pacds_baselines.dir/baselines/exact_mcds.cpp.o" "gcc" "src/CMakeFiles/pacds_baselines.dir/baselines/exact_mcds.cpp.o.d"
+  "/root/repo/src/baselines/greedy_mcds.cpp" "src/CMakeFiles/pacds_baselines.dir/baselines/greedy_mcds.cpp.o" "gcc" "src/CMakeFiles/pacds_baselines.dir/baselines/greedy_mcds.cpp.o.d"
+  "/root/repo/src/baselines/mis_cds.cpp" "src/CMakeFiles/pacds_baselines.dir/baselines/mis_cds.cpp.o" "gcc" "src/CMakeFiles/pacds_baselines.dir/baselines/mis_cds.cpp.o.d"
+  "/root/repo/src/baselines/tree_cds.cpp" "src/CMakeFiles/pacds_baselines.dir/baselines/tree_cds.cpp.o" "gcc" "src/CMakeFiles/pacds_baselines.dir/baselines/tree_cds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacds_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

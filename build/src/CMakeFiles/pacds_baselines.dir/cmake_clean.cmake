@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacds_baselines.dir/baselines/exact_mcds.cpp.o"
+  "CMakeFiles/pacds_baselines.dir/baselines/exact_mcds.cpp.o.d"
+  "CMakeFiles/pacds_baselines.dir/baselines/greedy_mcds.cpp.o"
+  "CMakeFiles/pacds_baselines.dir/baselines/greedy_mcds.cpp.o.d"
+  "CMakeFiles/pacds_baselines.dir/baselines/mis_cds.cpp.o"
+  "CMakeFiles/pacds_baselines.dir/baselines/mis_cds.cpp.o.d"
+  "CMakeFiles/pacds_baselines.dir/baselines/tree_cds.cpp.o"
+  "CMakeFiles/pacds_baselines.dir/baselines/tree_cds.cpp.o.d"
+  "libpacds_baselines.a"
+  "libpacds_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacds_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

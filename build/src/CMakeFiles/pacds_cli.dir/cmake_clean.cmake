@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacds_cli.dir/cli/args.cpp.o"
+  "CMakeFiles/pacds_cli.dir/cli/args.cpp.o.d"
+  "CMakeFiles/pacds_cli.dir/cli/commands.cpp.o"
+  "CMakeFiles/pacds_cli.dir/cli/commands.cpp.o.d"
+  "libpacds_cli.a"
+  "libpacds_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacds_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/articulation.cpp" "src/CMakeFiles/pacds_core.dir/core/articulation.cpp.o" "gcc" "src/CMakeFiles/pacds_core.dir/core/articulation.cpp.o.d"
+  "/root/repo/src/core/bitset.cpp" "src/CMakeFiles/pacds_core.dir/core/bitset.cpp.o" "gcc" "src/CMakeFiles/pacds_core.dir/core/bitset.cpp.o.d"
+  "/root/repo/src/core/cds.cpp" "src/CMakeFiles/pacds_core.dir/core/cds.cpp.o" "gcc" "src/CMakeFiles/pacds_core.dir/core/cds.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/CMakeFiles/pacds_core.dir/core/graph.cpp.o" "gcc" "src/CMakeFiles/pacds_core.dir/core/graph.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/CMakeFiles/pacds_core.dir/core/incremental.cpp.o" "gcc" "src/CMakeFiles/pacds_core.dir/core/incremental.cpp.o.d"
+  "/root/repo/src/core/keys.cpp" "src/CMakeFiles/pacds_core.dir/core/keys.cpp.o" "gcc" "src/CMakeFiles/pacds_core.dir/core/keys.cpp.o.d"
+  "/root/repo/src/core/marking.cpp" "src/CMakeFiles/pacds_core.dir/core/marking.cpp.o" "gcc" "src/CMakeFiles/pacds_core.dir/core/marking.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/pacds_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/pacds_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/redundancy.cpp" "src/CMakeFiles/pacds_core.dir/core/redundancy.cpp.o" "gcc" "src/CMakeFiles/pacds_core.dir/core/redundancy.cpp.o.d"
+  "/root/repo/src/core/rule_k.cpp" "src/CMakeFiles/pacds_core.dir/core/rule_k.cpp.o" "gcc" "src/CMakeFiles/pacds_core.dir/core/rule_k.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "src/CMakeFiles/pacds_core.dir/core/rules.cpp.o" "gcc" "src/CMakeFiles/pacds_core.dir/core/rules.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/CMakeFiles/pacds_core.dir/core/verify.cpp.o" "gcc" "src/CMakeFiles/pacds_core.dir/core/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacds_core.dir/core/articulation.cpp.o"
+  "CMakeFiles/pacds_core.dir/core/articulation.cpp.o.d"
+  "CMakeFiles/pacds_core.dir/core/bitset.cpp.o"
+  "CMakeFiles/pacds_core.dir/core/bitset.cpp.o.d"
+  "CMakeFiles/pacds_core.dir/core/cds.cpp.o"
+  "CMakeFiles/pacds_core.dir/core/cds.cpp.o.d"
+  "CMakeFiles/pacds_core.dir/core/graph.cpp.o"
+  "CMakeFiles/pacds_core.dir/core/graph.cpp.o.d"
+  "CMakeFiles/pacds_core.dir/core/incremental.cpp.o"
+  "CMakeFiles/pacds_core.dir/core/incremental.cpp.o.d"
+  "CMakeFiles/pacds_core.dir/core/keys.cpp.o"
+  "CMakeFiles/pacds_core.dir/core/keys.cpp.o.d"
+  "CMakeFiles/pacds_core.dir/core/marking.cpp.o"
+  "CMakeFiles/pacds_core.dir/core/marking.cpp.o.d"
+  "CMakeFiles/pacds_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/pacds_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/pacds_core.dir/core/redundancy.cpp.o"
+  "CMakeFiles/pacds_core.dir/core/redundancy.cpp.o.d"
+  "CMakeFiles/pacds_core.dir/core/rule_k.cpp.o"
+  "CMakeFiles/pacds_core.dir/core/rule_k.cpp.o.d"
+  "CMakeFiles/pacds_core.dir/core/rules.cpp.o"
+  "CMakeFiles/pacds_core.dir/core/rules.cpp.o.d"
+  "CMakeFiles/pacds_core.dir/core/verify.cpp.o"
+  "CMakeFiles/pacds_core.dir/core/verify.cpp.o.d"
+  "libpacds_core.a"
+  "libpacds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

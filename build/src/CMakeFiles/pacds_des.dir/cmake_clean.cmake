@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacds_des.dir/des/event_queue.cpp.o"
+  "CMakeFiles/pacds_des.dir/des/event_queue.cpp.o.d"
+  "CMakeFiles/pacds_des.dir/des/packet_sim.cpp.o"
+  "CMakeFiles/pacds_des.dir/des/packet_sim.cpp.o.d"
+  "libpacds_des.a"
+  "libpacds_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacds_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacds_dist.dir/dist/agent.cpp.o"
+  "CMakeFiles/pacds_dist.dir/dist/agent.cpp.o.d"
+  "CMakeFiles/pacds_dist.dir/dist/protocol.cpp.o"
+  "CMakeFiles/pacds_dist.dir/dist/protocol.cpp.o.d"
+  "libpacds_dist.a"
+  "libpacds_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacds_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacds_energy.dir/energy/battery.cpp.o"
+  "CMakeFiles/pacds_energy.dir/energy/battery.cpp.o.d"
+  "CMakeFiles/pacds_energy.dir/energy/traffic.cpp.o"
+  "CMakeFiles/pacds_energy.dir/energy/traffic.cpp.o.d"
+  "libpacds_energy.a"
+  "libpacds_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacds_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/chart.cpp" "src/CMakeFiles/pacds_io.dir/io/chart.cpp.o" "gcc" "src/CMakeFiles/pacds_io.dir/io/chart.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/pacds_io.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/pacds_io.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/dot.cpp" "src/CMakeFiles/pacds_io.dir/io/dot.cpp.o" "gcc" "src/CMakeFiles/pacds_io.dir/io/dot.cpp.o.d"
+  "/root/repo/src/io/edgelist.cpp" "src/CMakeFiles/pacds_io.dir/io/edgelist.cpp.o" "gcc" "src/CMakeFiles/pacds_io.dir/io/edgelist.cpp.o.d"
+  "/root/repo/src/io/json.cpp" "src/CMakeFiles/pacds_io.dir/io/json.cpp.o" "gcc" "src/CMakeFiles/pacds_io.dir/io/json.cpp.o.d"
+  "/root/repo/src/io/scenario.cpp" "src/CMakeFiles/pacds_io.dir/io/scenario.cpp.o" "gcc" "src/CMakeFiles/pacds_io.dir/io/scenario.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/CMakeFiles/pacds_io.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/pacds_io.dir/io/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacds_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

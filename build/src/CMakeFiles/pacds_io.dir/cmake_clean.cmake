@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacds_io.dir/io/chart.cpp.o"
+  "CMakeFiles/pacds_io.dir/io/chart.cpp.o.d"
+  "CMakeFiles/pacds_io.dir/io/csv.cpp.o"
+  "CMakeFiles/pacds_io.dir/io/csv.cpp.o.d"
+  "CMakeFiles/pacds_io.dir/io/dot.cpp.o"
+  "CMakeFiles/pacds_io.dir/io/dot.cpp.o.d"
+  "CMakeFiles/pacds_io.dir/io/edgelist.cpp.o"
+  "CMakeFiles/pacds_io.dir/io/edgelist.cpp.o.d"
+  "CMakeFiles/pacds_io.dir/io/json.cpp.o"
+  "CMakeFiles/pacds_io.dir/io/json.cpp.o.d"
+  "CMakeFiles/pacds_io.dir/io/scenario.cpp.o"
+  "CMakeFiles/pacds_io.dir/io/scenario.cpp.o.d"
+  "CMakeFiles/pacds_io.dir/io/table.cpp.o"
+  "CMakeFiles/pacds_io.dir/io/table.cpp.o.d"
+  "libpacds_io.a"
+  "libpacds_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacds_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpacds_io.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/geometric.cpp" "src/CMakeFiles/pacds_net.dir/net/geometric.cpp.o" "gcc" "src/CMakeFiles/pacds_net.dir/net/geometric.cpp.o.d"
+  "/root/repo/src/net/mobility.cpp" "src/CMakeFiles/pacds_net.dir/net/mobility.cpp.o" "gcc" "src/CMakeFiles/pacds_net.dir/net/mobility.cpp.o.d"
+  "/root/repo/src/net/rng.cpp" "src/CMakeFiles/pacds_net.dir/net/rng.cpp.o" "gcc" "src/CMakeFiles/pacds_net.dir/net/rng.cpp.o.d"
+  "/root/repo/src/net/space.cpp" "src/CMakeFiles/pacds_net.dir/net/space.cpp.o" "gcc" "src/CMakeFiles/pacds_net.dir/net/space.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/pacds_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/pacds_net.dir/net/topology.cpp.o.d"
+  "/root/repo/src/net/udg.cpp" "src/CMakeFiles/pacds_net.dir/net/udg.cpp.o" "gcc" "src/CMakeFiles/pacds_net.dir/net/udg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacds_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacds_net.dir/net/geometric.cpp.o"
+  "CMakeFiles/pacds_net.dir/net/geometric.cpp.o.d"
+  "CMakeFiles/pacds_net.dir/net/mobility.cpp.o"
+  "CMakeFiles/pacds_net.dir/net/mobility.cpp.o.d"
+  "CMakeFiles/pacds_net.dir/net/rng.cpp.o"
+  "CMakeFiles/pacds_net.dir/net/rng.cpp.o.d"
+  "CMakeFiles/pacds_net.dir/net/space.cpp.o"
+  "CMakeFiles/pacds_net.dir/net/space.cpp.o.d"
+  "CMakeFiles/pacds_net.dir/net/topology.cpp.o"
+  "CMakeFiles/pacds_net.dir/net/topology.cpp.o.d"
+  "CMakeFiles/pacds_net.dir/net/udg.cpp.o"
+  "CMakeFiles/pacds_net.dir/net/udg.cpp.o.d"
+  "libpacds_net.a"
+  "libpacds_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacds_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/discovery.cpp" "src/CMakeFiles/pacds_routing.dir/routing/discovery.cpp.o" "gcc" "src/CMakeFiles/pacds_routing.dir/routing/discovery.cpp.o.d"
+  "/root/repo/src/routing/routing.cpp" "src/CMakeFiles/pacds_routing.dir/routing/routing.cpp.o" "gcc" "src/CMakeFiles/pacds_routing.dir/routing/routing.cpp.o.d"
+  "/root/repo/src/routing/stretch.cpp" "src/CMakeFiles/pacds_routing.dir/routing/stretch.cpp.o" "gcc" "src/CMakeFiles/pacds_routing.dir/routing/stretch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacds_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacds_routing.dir/routing/discovery.cpp.o"
+  "CMakeFiles/pacds_routing.dir/routing/discovery.cpp.o.d"
+  "CMakeFiles/pacds_routing.dir/routing/routing.cpp.o"
+  "CMakeFiles/pacds_routing.dir/routing/routing.cpp.o.d"
+  "CMakeFiles/pacds_routing.dir/routing/stretch.cpp.o"
+  "CMakeFiles/pacds_routing.dir/routing/stretch.cpp.o.d"
+  "libpacds_routing.a"
+  "libpacds_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacds_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

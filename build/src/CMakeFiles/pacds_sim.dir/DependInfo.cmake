@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/pacds_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/pacds_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/lifetime.cpp" "src/CMakeFiles/pacds_sim.dir/sim/lifetime.cpp.o" "gcc" "src/CMakeFiles/pacds_sim.dir/sim/lifetime.cpp.o.d"
+  "/root/repo/src/sim/montecarlo.cpp" "src/CMakeFiles/pacds_sim.dir/sim/montecarlo.cpp.o" "gcc" "src/CMakeFiles/pacds_sim.dir/sim/montecarlo.cpp.o.d"
+  "/root/repo/src/sim/overhead.cpp" "src/CMakeFiles/pacds_sim.dir/sim/overhead.cpp.o" "gcc" "src/CMakeFiles/pacds_sim.dir/sim/overhead.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/pacds_sim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/pacds_sim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/threadpool.cpp" "src/CMakeFiles/pacds_sim.dir/sim/threadpool.cpp.o" "gcc" "src/CMakeFiles/pacds_sim.dir/sim/threadpool.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/pacds_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/pacds_sim.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/traffic_sim.cpp" "src/CMakeFiles/pacds_sim.dir/sim/traffic_sim.cpp.o" "gcc" "src/CMakeFiles/pacds_sim.dir/sim/traffic_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacds_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacds_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pacds_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacds_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/pacds_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/pacds_sim.dir/sim/lifetime.cpp.o"
+  "CMakeFiles/pacds_sim.dir/sim/lifetime.cpp.o.d"
+  "CMakeFiles/pacds_sim.dir/sim/montecarlo.cpp.o"
+  "CMakeFiles/pacds_sim.dir/sim/montecarlo.cpp.o.d"
+  "CMakeFiles/pacds_sim.dir/sim/overhead.cpp.o"
+  "CMakeFiles/pacds_sim.dir/sim/overhead.cpp.o.d"
+  "CMakeFiles/pacds_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/pacds_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/pacds_sim.dir/sim/threadpool.cpp.o"
+  "CMakeFiles/pacds_sim.dir/sim/threadpool.cpp.o.d"
+  "CMakeFiles/pacds_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/pacds_sim.dir/sim/trace.cpp.o.d"
+  "CMakeFiles/pacds_sim.dir/sim/traffic_sim.cpp.o"
+  "CMakeFiles/pacds_sim.dir/sim/traffic_sim.cpp.o.d"
+  "libpacds_sim.a"
+  "libpacds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_protocol_test.dir/dist_protocol_test.cpp.o"
+  "CMakeFiles/dist_protocol_test.dir/dist_protocol_test.cpp.o.d"
+  "dist_protocol_test"
+  "dist_protocol_test.pdb"
+  "dist_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

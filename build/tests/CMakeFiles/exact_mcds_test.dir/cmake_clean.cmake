@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_mcds_test.dir/exact_mcds_test.cpp.o"
+  "CMakeFiles/exact_mcds_test.dir/exact_mcds_test.cpp.o.d"
+  "exact_mcds_test"
+  "exact_mcds_test.pdb"
+  "exact_mcds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_mcds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marking_test.dir/marking_test.cpp.o"
+  "CMakeFiles/marking_test.dir/marking_test.cpp.o.d"
+  "marking_test"
+  "marking_test.pdb"
+  "marking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

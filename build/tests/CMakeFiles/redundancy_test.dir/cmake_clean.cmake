@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_test.dir/redundancy_test.cpp.o"
+  "CMakeFiles/redundancy_test.dir/redundancy_test.cpp.o.d"
+  "redundancy_test"
+  "redundancy_test.pdb"
+  "redundancy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

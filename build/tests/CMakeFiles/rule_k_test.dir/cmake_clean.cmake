@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_k_test.dir/rule_k_test.cpp.o"
+  "CMakeFiles/rule_k_test.dir/rule_k_test.cpp.o.d"
+  "rule_k_test"
+  "rule_k_test.pdb"
+  "rule_k_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

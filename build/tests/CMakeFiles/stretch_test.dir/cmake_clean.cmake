@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stretch_test.dir/stretch_test.cpp.o"
+  "CMakeFiles/stretch_test.dir/stretch_test.cpp.o.d"
+  "stretch_test"
+  "stretch_test.pdb"
+  "stretch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stretch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_sim_test.dir/traffic_sim_test.cpp.o"
+  "CMakeFiles/traffic_sim_test.dir/traffic_sim_test.cpp.o.d"
+  "traffic_sim_test"
+  "traffic_sim_test.pdb"
+  "traffic_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

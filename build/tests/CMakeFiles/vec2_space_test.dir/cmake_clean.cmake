@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec2_space_test.dir/vec2_space_test.cpp.o"
+  "CMakeFiles/vec2_space_test.dir/vec2_space_test.cpp.o.d"
+  "vec2_space_test"
+  "vec2_space_test.pdb"
+  "vec2_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec2_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
