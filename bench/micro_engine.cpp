@@ -1,0 +1,117 @@
+// Microbenchmark of the two lifetime engines: cost of one steady-state
+// update interval (mobility step + gateway recomputation + drain) under the
+// full-rebuild path vs. the incremental path, at matched state. Constant
+// host density (the field grows with n, as in micro_cds), EL2 keys,
+// simultaneous strategy.
+//
+// The incremental engine's win depends on how much actually changes per
+// interval: the paper's mobility constant c (stay probability) sets the
+// topology churn, and the energy-key quantum sets how often keys cross
+// bucket boundaries. The second benchmark argument is the stay probability
+// in percent, so the output includes both a steady-state regime (c = 0.95,
+// few movers) and the paper's own c = 0.5 (heavy churn) for honesty —
+// the speedup claim is a property of the steady-state regime.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "energy/battery.hpp"
+#include "net/mobility.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/lifetime.hpp"
+
+namespace {
+
+using namespace pacds;
+
+SimConfig make_config(int n, double stay) {
+  SimConfig config;
+  config.n_hosts = n;
+  const double side = std::sqrt(static_cast<double>(n) / 50.0) * 100.0;
+  config.field_width = side;
+  config.field_height = side;
+  config.rule_set = RuleSet::kEL2;
+  config.cds_options.strategy = Strategy::kSimultaneous;
+  config.stay_probability = stay;
+  // Model 1 drain (d = 2/|G'|) with coarse key buckets: gateways barely
+  // move, non-gateways cross a bucket every `quantum` intervals — the
+  // steady-state regime a long-lived network spends its lifetime in.
+  config.drain_model = DrainModel::kConstantTotal;
+  config.energy_key_quantum = 10.0;
+  config.initial_energy = 1.0e9;  // no deaths during the benchmark
+  return config;
+}
+
+/// One full update interval, identical for both engines: recompute the
+/// gateway set, drain batteries (so keys keep moving), roam.
+void run_interval(LifetimeEngine& engine, const SimConfig& config,
+                  std::vector<Vec2>& positions, BatteryBank& batteries,
+                  MobilityModel& mobility, const Field& field,
+                  Xoshiro256& rng) {
+  engine.update(positions, batteries.levels());
+  const double d = gateway_drain(config.drain_model, batteries.size(),
+                                 engine.counts().gateways,
+                                 config.drain_params);
+  for (std::size_t host = 0; host < batteries.size(); ++host) {
+    batteries.drain(host, engine.gateways().test(host)
+                              ? d
+                              : config.drain_params.nongateway_drain);
+  }
+  mobility.step(positions, field, rng);
+}
+
+void bench_engine(benchmark::State& state, SimEngine which) {
+  const int n = static_cast<int>(state.range(0));
+  const double stay = static_cast<double>(state.range(1)) / 100.0;
+  SimConfig config = make_config(n, stay);
+  config.engine = which;
+
+  Xoshiro256 rng(2001);
+  const Field field(config.field_width, config.field_height, config.boundary);
+  std::vector<Vec2> positions = random_placement(n, field, rng);
+  BatteryBank batteries(static_cast<std::size_t>(n), config.initial_energy);
+  MobilityParams params;
+  params.stay_probability = config.stay_probability;
+  params.jump_min = config.jump_min;
+  params.jump_max = config.jump_max;
+  const auto mobility = make_mobility(MobilityKind::kPaperJump, params);
+  const auto engine = make_lifetime_engine(config);
+
+  // Prime: first update pays one-off initialization (incremental builds its
+  // grid + graph + first CDS); a few more intervals reach steady state.
+  for (int i = 0; i < 8; ++i) {
+    run_interval(*engine, config, positions, batteries, *mobility, field,
+                 rng);
+  }
+  for (auto _ : state) {
+    run_interval(*engine, config, positions, batteries, *mobility, field,
+                 rng);
+    benchmark::DoNotOptimize(engine->gateways());
+  }
+}
+
+void BM_IntervalFullRebuild(benchmark::State& state) {
+  bench_engine(state, SimEngine::kFullRebuild);
+}
+
+void BM_IntervalIncremental(benchmark::State& state) {
+  bench_engine(state, SimEngine::kIncremental);
+}
+
+void steady_args(benchmark::internal::Benchmark* b) {
+  // Headline: steady-state mobility across sizes...
+  for (const int n : {100, 200, 400, 800}) b->Args({n, 95});
+  // ...plus the churn sweep at n = 800, ending at the paper's c = 0.5.
+  for (const int stay : {98, 90, 80, 50}) b->Args({800, stay});
+}
+
+BENCHMARK(BM_IntervalFullRebuild)->Apply(steady_args);
+BENCHMARK(BM_IntervalIncremental)->Apply(steady_args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -205,9 +205,7 @@ src/CMakeFiles/pacds_cli.dir/cli/commands.cpp.o: \
  /root/repo/src/net/udg.hpp /root/repo/src/io/table.hpp \
  /root/repo/src/net/rng.hpp /root/repo/src/net/topology.hpp \
  /root/repo/src/net/space.hpp /root/repo/src/routing/routing.hpp \
- /root/repo/src/sim/montecarlo.hpp /root/repo/src/sim/lifetime.hpp \
- /root/repo/src/energy/traffic.hpp /root/repo/src/net/geometric.hpp \
- /root/repo/src/net/mobility.hpp /usr/include/c++/12/memory \
+ /root/repo/src/sim/engine.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -245,11 +243,14 @@ src/CMakeFiles/pacds_cli.dir/cli/commands.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/trace.hpp \
- /root/repo/src/sim/stats.hpp /root/repo/src/sim/threadpool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/core/incremental.hpp /root/repo/src/sim/lifetime.hpp \
+ /root/repo/src/energy/traffic.hpp /root/repo/src/net/geometric.hpp \
+ /root/repo/src/net/mobility.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/sim/montecarlo.hpp /root/repo/src/sim/stats.hpp \
+ /root/repo/src/sim/threadpool.hpp /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

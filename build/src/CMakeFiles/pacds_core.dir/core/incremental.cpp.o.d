@@ -141,6 +141,4 @@ src/CMakeFiles/pacds_core.dir/core/incremental.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/stdexcept
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/stdexcept

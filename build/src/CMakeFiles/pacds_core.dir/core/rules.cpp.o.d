@@ -117,12 +117,12 @@ src/CMakeFiles/pacds_core.dir/core/rules.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/core/bitset.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/graph.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/bitset.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/core/graph.hpp \
  /usr/include/c++/12/optional /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \

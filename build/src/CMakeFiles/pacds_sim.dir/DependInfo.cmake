@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/pacds_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/pacds_sim.dir/sim/engine.cpp.o.d"
   "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/pacds_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/pacds_sim.dir/sim/experiment.cpp.o.d"
   "/root/repo/src/sim/lifetime.cpp" "src/CMakeFiles/pacds_sim.dir/sim/lifetime.cpp.o" "gcc" "src/CMakeFiles/pacds_sim.dir/sim/lifetime.cpp.o.d"
   "/root/repo/src/sim/montecarlo.cpp" "src/CMakeFiles/pacds_sim.dir/sim/montecarlo.cpp.o" "gcc" "src/CMakeFiles/pacds_sim.dir/sim/montecarlo.cpp.o.d"

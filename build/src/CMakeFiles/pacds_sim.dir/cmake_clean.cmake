@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/pacds_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/pacds_sim.dir/sim/engine.cpp.o.d"
   "CMakeFiles/pacds_sim.dir/sim/experiment.cpp.o"
   "CMakeFiles/pacds_sim.dir/sim/experiment.cpp.o.d"
   "CMakeFiles/pacds_sim.dir/sim/lifetime.cpp.o"

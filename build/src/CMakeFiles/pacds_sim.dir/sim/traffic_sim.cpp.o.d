@@ -230,4 +230,7 @@ src/CMakeFiles/pacds_sim.dir/sim/traffic_sim.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/routing/routing.hpp
+ /root/repo/src/routing/routing.hpp /root/repo/src/sim/engine.hpp \
+ /root/repo/src/core/incremental.hpp /root/repo/src/sim/lifetime.hpp \
+ /root/repo/src/energy/traffic.hpp /root/repo/src/net/geometric.hpp \
+ /root/repo/src/sim/trace.hpp

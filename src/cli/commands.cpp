@@ -19,6 +19,7 @@
 #include "net/rng.hpp"
 #include "net/topology.hpp"
 #include "routing/routing.hpp"
+#include "sim/engine.hpp"
 #include "sim/montecarlo.hpp"
 
 namespace pacds::cli {
@@ -335,6 +336,10 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
   parser.add_option("scheme", "NR | ID | ND | EL1 | EL2 | all", "all");
   parser.add_option("seed", "base RNG seed", "2001");
   parser.add_option("quantum", "energy-key quantization (0 = off)", "1");
+  parser.add_option("strategy", "sequential | simultaneous | verified",
+                    "sequential");
+  parser.add_option("engine", "per-interval engine: auto | full | incremental",
+                    "auto");
   parser.add_flag("help", "show usage");
   if (!parser.parse(tokens)) {
     err << "error: " << parser.error() << "\n" << parser.usage();
@@ -354,12 +359,34 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
     err << "error: bad numeric option\n" << parser.usage();
     return 2;
   }
+  const auto strategy = parse_strategy(parser.option("strategy"));
+  if (!strategy) {
+    err << "error: unknown strategy '" << parser.option("strategy") << "'\n";
+    return 2;
+  }
   SimConfig config;
   config.n_hosts = static_cast<int>(*n);
   config.drain_model = *model == 1   ? DrainModel::kConstantTotal
                        : *model == 2 ? DrainModel::kLinearTotal
                                      : DrainModel::kQuadraticTotal;
   config.energy_key_quantum = *quantum;
+  config.cds_options.strategy = *strategy;
+  const std::string engine = parser.option("engine");
+  if (engine == "auto") {
+    config.engine = SimEngine::kAuto;
+  } else if (engine == "full") {
+    config.engine = SimEngine::kFullRebuild;
+  } else if (engine == "incremental") {
+    config.engine = SimEngine::kIncremental;
+  } else {
+    err << "error: unknown engine '" << engine << "'\n";
+    return 2;
+  }
+  if (config.engine == SimEngine::kIncremental &&
+      !incremental_engine_eligible(config)) {
+    err << "error: --engine incremental needs --strategy simultaneous\n";
+    return 2;
+  }
 
   std::vector<RuleSet> schemes;
   const std::string scheme = parser.option("scheme");

@@ -66,6 +66,24 @@ bool DynBitset::is_subset_of(const DynBitset& other) const {
   return true;
 }
 
+bool DynBitset::is_subset_of_except(const DynBitset& other,
+                                    std::size_t ignore) const {
+  check_same_size(other);
+  if (ignore >= nbits_) {
+    throw std::out_of_range("DynBitset::is_subset_of_except index " +
+                            std::to_string(ignore) + " >= size " +
+                            std::to_string(nbits_));
+  }
+  const std::size_t iw = ignore / kWordBits;
+  const Word imask = Word{1} << (ignore % kWordBits);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    Word uncovered = words_[i] & ~other.words_[i];
+    if (i == iw) uncovered &= ~imask;
+    if (uncovered != 0) return false;
+  }
+  return true;
+}
+
 bool DynBitset::is_subset_of_union(const DynBitset& a,
                                    const DynBitset& b) const {
   check_same_size(a);

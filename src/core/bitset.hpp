@@ -56,6 +56,13 @@ class DynBitset {
   /// True iff every bit of *this is also set in `other`.
   [[nodiscard]] bool is_subset_of(const DynBitset& other) const;
 
+  /// True iff every bit of *this except possibly bit `ignore` is set in
+  /// `other` (i.e. *this \ {ignore} ⊆ other). `ignore` must be < size().
+  /// This is Rule 1's coverage test N(v) \ {u} ⊆ N(u) as a handful of
+  /// AND/CMP instructions per 64 nodes.
+  [[nodiscard]] bool is_subset_of_except(const DynBitset& other,
+                                         std::size_t ignore) const;
+
   /// True iff every bit of *this is set in `a` or in `b`
   /// (i.e. *this ⊆ a ∪ b) without materializing the union.
   [[nodiscard]] bool is_subset_of_union(const DynBitset& a,

@@ -91,31 +91,23 @@ DynBitset Graph::closed_row(NodeId v) const {
 bool Graph::closed_covered_by(NodeId v, NodeId u) const {
   check_node(v, "closed_covered_by");
   check_node(u, "closed_covered_by");
-  // N[v] ⊆ N[u]  ⇔  v ∈ N[u]  ∧  (N(v) \ {u}) ⊆ N(u).
+  // N[v] ⊆ N[u]  ⇔  v ∈ N[u]  ∧  (N(v) \ {u}) ⊆ N(u), word-parallel.
   if (v == u) return true;
   if (!has_edge(u, v)) return false;  // v ∈ N[u] requires adjacency
-  const DynBitset& nu = rows_[static_cast<std::size_t>(u)];
-  for (const NodeId x : neighbors(v)) {
-    if (x == u) continue;  // u ∈ N[u] trivially
-    if (!nu.test(static_cast<std::size_t>(x))) return false;
-  }
-  return true;
+  return rows_[static_cast<std::size_t>(v)].is_subset_of_except(
+      rows_[static_cast<std::size_t>(u)], static_cast<std::size_t>(u));
 }
 
 bool Graph::open_covered_by_pair(NodeId v, NodeId u, NodeId w) const {
   check_node(v, "open_covered_by_pair");
   check_node(u, "open_covered_by_pair");
   check_node(w, "open_covered_by_pair");
-  // N(v) ⊆ N(u) ∪ N(w). Note u, w themselves may appear in N(v); they are
-  // covered iff the edge {u, w} exists (u ∈ N(w)) — the rule's implicit
-  // "u and w are connected" consequence falls out of the raw set test.
-  const DynBitset& nu = rows_[static_cast<std::size_t>(u)];
-  const DynBitset& nw = rows_[static_cast<std::size_t>(w)];
-  for (const NodeId x : neighbors(v)) {
-    const auto xi = static_cast<std::size_t>(x);
-    if (!nu.test(xi) && !nw.test(xi)) return false;
-  }
-  return true;
+  // N(v) ⊆ N(u) ∪ N(w), word-parallel. Note u, w themselves may appear in
+  // N(v); they are covered iff the edge {u, w} exists (u ∈ N(w)) — the
+  // rule's implicit "u and w are connected" consequence falls out of the
+  // raw set test.
+  return rows_[static_cast<std::size_t>(v)].is_subset_of_union(
+      rows_[static_cast<std::size_t>(u)], rows_[static_cast<std::size_t>(w)]);
 }
 
 std::vector<NodeId> Graph::bfs_distances(NodeId src,

@@ -1,14 +1,10 @@
 #include "core/incremental.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <stdexcept>
+#include <string>
 
 namespace pacds {
-
-namespace {
-constexpr int kAffectedRadius = 4;
-}
 
 IncrementalCds::IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy,
                                CdsOptions options)
@@ -19,7 +15,13 @@ IncrementalCds::IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy,
       marked_only_(static_cast<std::size_t>(graph_.num_nodes())),
       after_rule1_(static_cast<std::size_t>(graph_.num_nodes())),
       final_(static_cast<std::size_t>(graph_.num_nodes())),
-      gateways_(static_cast<std::size_t>(graph_.num_nodes())) {
+      gateways_(static_cast<std::size_t>(graph_.num_nodes())),
+      dirty_rows_(static_cast<std::size_t>(graph_.num_nodes())),
+      dirty_keys_(static_cast<std::size_t>(graph_.num_nodes())),
+      region_(static_cast<std::size_t>(graph_.num_nodes())),
+      seed_(static_cast<std::size_t>(graph_.num_nodes())),
+      touched_(static_cast<std::size_t>(graph_.num_nodes())),
+      grow_src_(static_cast<std::size_t>(graph_.num_nodes())) {
   // Localized maintenance only works for the synchronous semantics; pin it
   // regardless of what the caller's options say.
   options_.strategy = Strategy::kSimultaneous;
@@ -31,96 +33,99 @@ IncrementalCds::IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy,
   full_refresh();
 }
 
-DynBitset IncrementalCds::ball(const std::vector<NodeId>& centers,
-                               int radius) const {
-  const auto n = static_cast<std::size_t>(graph_.num_nodes());
-  DynBitset in_ball(n);
-  std::vector<int> depth(n, -1);
-  std::deque<NodeId> queue;
-  for (const NodeId c : centers) {
-    const auto ci = static_cast<std::size_t>(c);
-    if (!in_ball.test(ci)) {
-      in_ball.set(ci);
-      depth[ci] = 0;
-      queue.push_back(c);
-    }
-  }
-  while (!queue.empty()) {
-    const NodeId cur = queue.front();
-    queue.pop_front();
-    const int d = depth[static_cast<std::size_t>(cur)];
-    if (d >= radius) continue;
-    for (const NodeId nxt : graph_.neighbors(cur)) {
-      const auto ni = static_cast<std::size_t>(nxt);
-      if (depth[ni] < 0) {
-        depth[ni] = d + 1;
-        in_ball.set(ni);
-        queue.push_back(nxt);
-      }
-    }
-  }
-  return in_ball;
+void IncrementalCds::close_neighborhood(DynBitset& region) {
+  grow_src_ = region;
+  grow_src_.for_each_set([&](std::size_t i) {
+    region |= graph_.open_row(static_cast<NodeId>(i));
+  });
 }
 
-void IncrementalCds::recompute_region(const DynBitset& region) {
+void IncrementalCds::propagate() {
+  if (dirty_rows_.none() && dirty_keys_.none()) {
+    last_touched_ = 0;
+    return;
+  }
   const bool needs_energy = uses_energy(rule_set_);
   const PriorityKey key(key_kind_of(rule_set_), graph_,
                         needs_energy ? &energy_ : nullptr);
-  // Stage 1: marking process over the region.
-  region.for_each_set([&](std::size_t i) {
-    const auto v = static_cast<NodeId>(i);
-    marked_only_.set(i, marks_itself(graph_, v));
+
+  // Stage 1 — marking over N[P]. Marking reads topology only, so key
+  // changes (X) cannot flip it. seed_ accumulates the inputs of the next
+  // stage: P, X, and the mark flips found here.
+  region_ = dirty_rows_;
+  close_neighborhood(region_);
+  touched_ = region_;
+  seed_ = dirty_rows_;
+  seed_ |= dirty_keys_;
+  region_.for_each_set([&](std::size_t i) {
+    const bool m = marks_itself(graph_, static_cast<NodeId>(i));
+    if (m != marked_only_.test(i)) {
+      marked_only_.set(i, m);
+      seed_.set(i);
+    }
   });
+
   if (rule_set_ == RuleSet::kNR) {
-    region.for_each_set(
-        [&](std::size_t i) { after_rule1_.set(i, marked_only_.test(i)); });
-    region.for_each_set(
-        [&](std::size_t i) { final_.set(i, marked_only_.test(i)); });
+    // No reduction rules: both downstream stages mirror the marking.
+    region_.for_each_set([&](std::size_t i) {
+      after_rule1_.set(i, marked_only_.test(i));
+      final_.set(i, marked_only_.test(i));
+    });
   } else {
     const Rule2Form form = rule2_form_of(rule_set_);
-    // Stage 2: Rule 1 decisions against the (fresh) marking output.
-    region.for_each_set([&](std::size_t i) {
+    // Stage 2 — Rule 1 decisions against the marking output, over
+    // N[P ∪ X ∪ mark-flips]. seed_ is rebuilt for stage 3 with the Rule 1
+    // flips (mark flips only matter downstream via Rule 1's output).
+    region_ = seed_;
+    close_neighborhood(region_);
+    touched_ |= region_;
+    seed_ = dirty_rows_;
+    seed_ |= dirty_keys_;
+    region_.for_each_set([&](std::size_t i) {
       const auto v = static_cast<NodeId>(i);
       const bool stays = marked_only_.test(i) &&
                          !rule1_would_unmark(graph_, marked_only_, key, v);
-      after_rule1_.set(i, stays);
+      if (stays != after_rule1_.test(i)) {
+        after_rule1_.set(i, stays);
+        seed_.set(i);
+      }
     });
-    // Stage 3: Rule 2 decisions against the post-Rule-1 marks.
-    region.for_each_set([&](std::size_t i) {
+    // Stage 3 — Rule 2 decisions against the post-Rule-1 marks, over
+    // N[P ∪ X ∪ rule1-flips].
+    region_ = seed_;
+    close_neighborhood(region_);
+    touched_ |= region_;
+    region_.for_each_set([&](std::size_t i) {
       const auto v = static_cast<NodeId>(i);
-      const bool stays =
-          after_rule1_.test(i) &&
-          !rule2_would_unmark(graph_, after_rule1_, key, form, v);
+      const bool stays = after_rule1_.test(i) &&
+                         !rule2_would_unmark(graph_, after_rule1_, key, form, v,
+                                             rule2_scratch_);
       final_.set(i, stays);
     });
   }
   // The clique policy is component-global but O(n); reapply it wholesale.
   gateways_ = final_;
   apply_clique_policy(graph_, key, options_.clique_policy, gateways_);
+  last_touched_ = touched_.count();
+  dirty_rows_.reset_all();
+  dirty_keys_.reset_all();
 }
 
 void IncrementalCds::full_refresh() {
-  const auto n = static_cast<std::size_t>(graph_.num_nodes());
-  DynBitset all(n);
-  all.set_all();
-  recompute_region(all);
-  last_touched_ = n;
+  dirty_rows_.set_all();
+  dirty_keys_.reset_all();
+  propagate();
 }
 
-void IncrementalCds::apply_delta(const EdgeDelta& delta) {
-  if (delta.empty()) {
-    last_touched_ = 0;
-    return;
-  }
-  std::vector<NodeId> centers;
+void IncrementalCds::ingest_delta(const EdgeDelta& delta) {
   for (const auto& [u, v] : delta.added) {
     if (!graph_.add_edge(u, v)) {
       throw std::invalid_argument("IncrementalCds::apply_delta: edge {" +
                                   std::to_string(u) + "," + std::to_string(v) +
                                   "} already present");
     }
-    centers.push_back(u);
-    centers.push_back(v);
+    dirty_rows_.set(static_cast<std::size_t>(u));
+    dirty_rows_.set(static_cast<std::size_t>(v));
   }
   for (const auto& [u, v] : delta.removed) {
     if (!graph_.remove_edge(u, v)) {
@@ -128,12 +133,36 @@ void IncrementalCds::apply_delta(const EdgeDelta& delta) {
                                   std::to_string(u) + "," + std::to_string(v) +
                                   "} not present");
     }
-    centers.push_back(u);
-    centers.push_back(v);
+    dirty_rows_.set(static_cast<std::size_t>(u));
+    dirty_rows_.set(static_cast<std::size_t>(v));
   }
-  const DynBitset region = ball(centers, kAffectedRadius);
-  recompute_region(region);
-  last_touched_ = region.count();
+}
+
+void IncrementalCds::ingest_energy(const std::vector<double>& energy) {
+  if (!uses_energy(rule_set_)) {
+    // Key ignores energy: store nothing, dirty nothing. (Callers may pass
+    // an empty or full vector; either way statuses cannot change.)
+    return;
+  }
+  if (energy.size() != static_cast<std::size_t>(graph_.num_nodes())) {
+    throw std::invalid_argument(
+        "IncrementalCds::set_energy: need one level per node");
+  }
+  for (std::size_t i = 0; i < energy.size(); ++i) {
+    // Keys are only ever compared between marked nodes (Rule 1 candidates
+    // and Rule 2 coverage pairs all carry the mark), so a key change at an
+    // unmarked node cannot flip any decision and need not dirty anything.
+    // A node that *becomes* marked is re-seeded by the mark-flip path, and
+    // energy_ itself is always refreshed in full, so late readers (e.g. the
+    // clique policy) still see current levels.
+    if (energy[i] != energy_[i] && marked_only_.test(i)) dirty_keys_.set(i);
+  }
+  energy_.assign(energy.begin(), energy.end());
+}
+
+void IncrementalCds::apply_delta(const EdgeDelta& delta) {
+  ingest_delta(delta);
+  propagate();
 }
 
 void IncrementalCds::move_node(NodeId v,
@@ -153,14 +182,18 @@ void IncrementalCds::move_node(NodeId v,
   apply_delta(delta);
 }
 
-void IncrementalCds::set_energy(std::vector<double> energy) {
-  if (uses_energy(rule_set_) &&
-      energy.size() != static_cast<std::size_t>(graph_.num_nodes())) {
-    throw std::invalid_argument(
-        "IncrementalCds::set_energy: need one level per node");
-  }
-  energy_ = std::move(energy);
-  full_refresh();
+void IncrementalCds::set_energy(const std::vector<double>& energy) {
+  ingest_energy(energy);
+  propagate();
+}
+
+void IncrementalCds::advance(const EdgeDelta& delta,
+                             const std::vector<double>& energy) {
+  // Ingest the topology first so the energy size check and the keys both
+  // see the post-delta graph, then resolve everything in one pass.
+  ingest_delta(delta);
+  ingest_energy(energy);
+  propagate();
 }
 
 }  // namespace pacds

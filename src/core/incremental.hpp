@@ -1,15 +1,27 @@
 #pragma once
 // Localized gateway-status maintenance (the paper's Section 2.2 locality
 // feature): when the topology changes — hosts move, switch on or off — only
-// hosts near the change need to re-decide their gateway status. Status under
-// the simultaneous strategy is a function of each node's 4-hop ball
-// (marking: 2 hops; Rule 1 adds neighbor marks: +1; Rule 2 adds neighbor
-// post-Rule-1 status: +1), so re-evaluating a radius-4 ball around every
-// changed edge reproduces the full recomputation exactly. Property tests
-// assert that equivalence on random dynamic topologies.
+// hosts near the change need to re-decide their gateway status.
 //
-// Energy drain changes priority keys *globally*, so energy updates trigger a
-// full refresh (the paper's locality claim concerns topology only).
+// Maintenance is *stage-split*: under the simultaneous strategy every node's
+// status is the composition of three per-node decisions, each of which reads
+// only inputs within the node's closed neighborhood N[v]:
+//
+//   marking      — adjacency rows of v and its neighbors (2-hop topology)
+//   Rule 1 pass  — marking output, rows, and keys within N[v]
+//   Rule 2 pass  — post-Rule-1 marks, rows, and keys within N[v]
+//
+// So given P = nodes whose adjacency row changed and X = nodes whose
+// priority key changed, the marking stage re-evaluates N[P]; each rule stage
+// re-evaluates the closed neighborhood of P ∪ X plus the flips recorded by
+// the stage before it. Nodes outside those regions provably keep their
+// decisions, and the result is bit-identical to a full recomputation.
+// Property tests assert that equivalence on random dynamic topologies.
+//
+// Energy drain therefore no longer forces a full refresh: set_energy and
+// advance diff the supplied (typically already-quantized) levels against the
+// stored ones and seed X with the nodes whose level actually changed — under
+// coarse quantization most intervals change few or no keys.
 
 #include <cstddef>
 #include <utility>
@@ -27,6 +39,11 @@ struct EdgeDelta {
   std::vector<std::pair<NodeId, NodeId>> removed;
 
   [[nodiscard]] bool empty() const { return added.empty() && removed.empty(); }
+
+  void clear() {
+    added.clear();
+    removed.clear();
+  }
 };
 
 /// Maintains the gateway set of an evolving graph with localized updates.
@@ -34,8 +51,11 @@ struct EdgeDelta {
 /// Always uses Strategy::kSimultaneous internally (the `strategy` field of
 /// `options` is ignored): the sequential strategies cascade removals
 /// arbitrarily far, which defeats locality — only the synchronous semantics
-/// has the 4-hop guarantee. Gateways therefore match
+/// has the per-stage neighborhood guarantee. Gateways therefore match
 /// compute_cds(..., {.strategy = kSimultaneous, ...}).
+///
+/// All update entry points reuse member scratch buffers; steady-state calls
+/// allocate nothing.
 class IncrementalCds {
  public:
   IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy = {},
@@ -47,33 +67,52 @@ class IncrementalCds {
     return marked_only_;
   }
   [[nodiscard]] RuleSet rule_set() const noexcept { return rule_set_; }
+  [[nodiscard]] const std::vector<double>& energy() const noexcept {
+    return energy_;
+  }
 
-  /// Number of nodes re-evaluated by the most recent apply_delta — the
-  /// locality metric (n for a full refresh).
+  /// Number of nodes re-evaluated by the most recent update (union over all
+  /// three stages) — the locality metric (n for a full refresh).
   [[nodiscard]] std::size_t last_touched() const noexcept {
     return last_touched_;
   }
 
-  /// Applies edge insertions/removals and re-evaluates only the radius-4
-  /// balls around the changed edges. Throws std::invalid_argument if an
-  /// added edge already exists or a removed edge is absent (callers must
-  /// pass a consistent delta).
+  /// Applies edge insertions/removals and re-evaluates only the affected
+  /// stage regions. Throws std::invalid_argument if an added edge already
+  /// exists or a removed edge is absent (callers must pass a consistent
+  /// delta).
   void apply_delta(const EdgeDelta& delta);
 
   /// Convenience: replace node v's neighborhood (host moved); computes the
   /// delta internally and applies it.
   void move_node(NodeId v, const std::vector<NodeId>& new_neighbors);
 
-  /// Replaces all energy levels and fully recomputes statuses.
-  void set_energy(std::vector<double> energy);
+  /// Replaces the energy levels, re-evaluating only around nodes whose
+  /// level differs from the stored one. A no-op region-wise for schemes
+  /// whose key ignores energy.
+  void set_energy(const std::vector<double>& energy);
+
+  /// One combined step: apply a topology delta and new energy levels, then
+  /// re-evaluate once over the union of both dirty sets. Equivalent to
+  /// apply_delta(delta) followed by set_energy(energy) but with a single
+  /// propagation pass (keys are always read on the post-delta graph).
+  void advance(const EdgeDelta& delta, const std::vector<double>& energy);
 
   /// Full recomputation from scratch (also used internally).
   void full_refresh();
 
  private:
-  void recompute_region(const DynBitset& region);
-  [[nodiscard]] DynBitset ball(const std::vector<NodeId>& centers,
-                               int radius) const;
+  /// Mutates the graph per `delta` (validating it) and accumulates the
+  /// endpoints into dirty_rows_.
+  void ingest_delta(const EdgeDelta& delta);
+  /// Diffs `energy` against energy_, accumulating changed nodes into
+  /// dirty_keys_ (only for energy-based schemes), and stores the new levels.
+  void ingest_energy(const std::vector<double>& energy);
+  /// Re-evaluates the three stages from dirty_rows_ / dirty_keys_, then
+  /// clears both. Updates last_touched_.
+  void propagate();
+  /// region |= N(region) on the current graph.
+  void close_neighborhood(DynBitset& region);
 
   Graph graph_;
   RuleSet rule_set_;
@@ -85,6 +124,16 @@ class IncrementalCds {
   DynBitset final_;        ///< after the simultaneous Rule 2 pass
   DynBitset gateways_;     ///< final_ plus clique policy
   std::size_t last_touched_ = 0;
+
+  // Dirty sets consumed by propagate().
+  DynBitset dirty_rows_;  ///< P: nodes whose adjacency row changed
+  DynBitset dirty_keys_;  ///< X: nodes whose priority key changed
+  // Scratch reused across updates (no steady-state allocation).
+  DynBitset region_;
+  DynBitset seed_;
+  DynBitset touched_;
+  DynBitset grow_src_;
+  std::vector<NodeId> rule2_scratch_;
 };
 
 }  // namespace pacds

@@ -5,14 +5,14 @@
 namespace pacds {
 
 bool marks_itself(const Graph& g, NodeId v) {
-  const auto nbrs = g.neighbors(v);
-  // v marks itself iff some pair of its neighbors is non-adjacent. Checking
-  // |N(u) ∩ N(v)| per neighbor u via bitsets: u's row restricted to N(v)
-  // must cover all *other* neighbors of v for v to stay unmarked.
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    const DynBitset& row_i = g.open_row(nbrs[i]);
-    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
-      if (!row_i.test(static_cast<std::size_t>(nbrs[j]))) return true;
+  // v marks itself iff some pair of its neighbors is non-adjacent, i.e.
+  // some neighbor u fails to cover the rest of N(v): N(v) \ {u} ⊄ N(u).
+  // One word-parallel subset test per neighbor, early-exiting on the first
+  // witness pair.
+  const DynBitset& nv = g.open_row(v);
+  for (const NodeId u : g.neighbors(v)) {
+    if (!nv.is_subset_of_except(g.open_row(u), static_cast<std::size_t>(u))) {
+      return true;
     }
   }
   return false;

@@ -40,14 +40,13 @@ bool rule1_would_unmark(const Graph& g, const DynBitset& marked,
 
 namespace {
 
-/// Collects the currently-marked neighbors of v.
-std::vector<NodeId> marked_neighbors(const Graph& g, const DynBitset& marked,
-                                     NodeId v) {
-  std::vector<NodeId> out;
+/// Collects the currently-marked neighbors of v into `out` (reused buffer).
+void marked_neighbors(const Graph& g, const DynBitset& marked, NodeId v,
+                      std::vector<NodeId>& out) {
+  out.clear();
   for (const NodeId u : g.neighbors(v)) {
     if (marked.test(static_cast<std::size_t>(u))) out.push_back(u);
   }
-  return out;
 }
 
 /// The refined case analysis for one ordered arrangement (u, w) of a pair of
@@ -67,13 +66,14 @@ bool refined_cases(const PriorityKey& key, NodeId v, NodeId u, NodeId w,
 }  // namespace
 
 bool rule2_simple_would_unmark(const Graph& g, const DynBitset& marked,
-                               const PriorityKey& key, NodeId v) {
+                               const PriorityKey& key, NodeId v,
+                               std::vector<NodeId>& scratch) {
   if (!marked.test(static_cast<std::size_t>(v))) return false;
-  const auto mnbrs = marked_neighbors(g, marked, v);
-  for (std::size_t i = 0; i < mnbrs.size(); ++i) {
-    for (std::size_t j = i + 1; j < mnbrs.size(); ++j) {
-      const NodeId u = mnbrs[i];
-      const NodeId w = mnbrs[j];
+  marked_neighbors(g, marked, v, scratch);
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    for (std::size_t j = i + 1; j < scratch.size(); ++j) {
+      const NodeId u = scratch[i];
+      const NodeId w = scratch[j];
       if (!key.is_min_of_three(v, u, w)) continue;
       if (g.open_covered_by_pair(v, u, w)) return true;
     }
@@ -82,13 +82,14 @@ bool rule2_simple_would_unmark(const Graph& g, const DynBitset& marked,
 }
 
 bool rule2_refined_would_unmark(const Graph& g, const DynBitset& marked,
-                                const PriorityKey& key, NodeId v) {
+                                const PriorityKey& key, NodeId v,
+                                std::vector<NodeId>& scratch) {
   if (!marked.test(static_cast<std::size_t>(v))) return false;
-  const auto mnbrs = marked_neighbors(g, marked, v);
-  for (std::size_t i = 0; i < mnbrs.size(); ++i) {
-    for (std::size_t j = i + 1; j < mnbrs.size(); ++j) {
-      const NodeId u = mnbrs[i];
-      const NodeId w = mnbrs[j];
+  marked_neighbors(g, marked, v, scratch);
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    for (std::size_t j = i + 1; j < scratch.size(); ++j) {
+      const NodeId u = scratch[i];
+      const NodeId w = scratch[j];
       if (!g.open_covered_by_pair(v, u, w)) continue;
       const bool cov_u = g.open_covered_by_pair(u, v, w);
       const bool cov_w = g.open_covered_by_pair(w, u, v);
@@ -98,11 +99,30 @@ bool rule2_refined_would_unmark(const Graph& g, const DynBitset& marked,
   return false;
 }
 
+bool rule2_simple_would_unmark(const Graph& g, const DynBitset& marked,
+                               const PriorityKey& key, NodeId v) {
+  std::vector<NodeId> scratch;
+  return rule2_simple_would_unmark(g, marked, key, v, scratch);
+}
+
+bool rule2_refined_would_unmark(const Graph& g, const DynBitset& marked,
+                                const PriorityKey& key, NodeId v) {
+  std::vector<NodeId> scratch;
+  return rule2_refined_would_unmark(g, marked, key, v, scratch);
+}
+
+bool rule2_would_unmark(const Graph& g, const DynBitset& marked,
+                        const PriorityKey& key, Rule2Form form, NodeId v,
+                        std::vector<NodeId>& scratch) {
+  return form == Rule2Form::kSimple
+             ? rule2_simple_would_unmark(g, marked, key, v, scratch)
+             : rule2_refined_would_unmark(g, marked, key, v, scratch);
+}
+
 bool rule2_would_unmark(const Graph& g, const DynBitset& marked,
                         const PriorityKey& key, Rule2Form form, NodeId v) {
-  return form == Rule2Form::kSimple
-             ? rule2_simple_would_unmark(g, marked, key, v)
-             : rule2_refined_would_unmark(g, marked, key, v);
+  std::vector<NodeId> scratch;
+  return rule2_would_unmark(g, marked, key, form, v, scratch);
 }
 
 DynBitset simultaneous_rule1_pass(const Graph& g, const PriorityKey& key,
@@ -119,8 +139,10 @@ DynBitset simultaneous_rule1_pass(const Graph& g, const PriorityKey& key,
 DynBitset simultaneous_rule2_pass(const Graph& g, const PriorityKey& key,
                                   Rule2Form form, const DynBitset& marked) {
   DynBitset next = marked;
+  std::vector<NodeId> scratch;
   marked.for_each_set([&](std::size_t i) {
-    if (rule2_would_unmark(g, marked, key, form, static_cast<NodeId>(i))) {
+    if (rule2_would_unmark(g, marked, key, form, static_cast<NodeId>(i),
+                           scratch)) {
       next.reset(i);
     }
   });
@@ -133,6 +155,7 @@ void apply_sequential(const Graph& g, const PriorityKey& key,
                       const RuleConfig& config, bool verified,
                       DynBitset& marked) {
   const auto order = key.ascending_order();
+  std::vector<NodeId> scratch;
   for (int sweep = 0; sweep < config.max_sweeps; ++sweep) {
     bool changed = false;
     for (const NodeId v : order) {
@@ -140,7 +163,7 @@ void apply_sequential(const Graph& g, const PriorityKey& key,
       const bool fires =
           (config.use_rule1 && rule1_would_unmark(g, marked, key, v)) ||
           (config.use_rule2 &&
-           rule2_would_unmark(g, marked, key, config.rule2_form, v));
+           rule2_would_unmark(g, marked, key, config.rule2_form, v, scratch));
       if (!fires) continue;
       if (verified && !removal_is_safe(g, marked, v)) continue;
       marked.reset(static_cast<std::size_t>(v));

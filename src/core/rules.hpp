@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/bitset.hpp"
 #include "core/graph.hpp"
@@ -91,6 +92,24 @@ struct RuleConfig {
 [[nodiscard]] bool rule2_would_unmark(const Graph& g, const DynBitset& marked,
                                       const PriorityKey& key, Rule2Form form,
                                       NodeId v);
+
+// Scratch-buffer variants for hot loops: `scratch` receives v's marked
+// neighbors (contents clobbered), so per-node evaluation allocates nothing.
+// The plain overloads above delegate here with a local buffer.
+
+[[nodiscard]] bool rule2_simple_would_unmark(const Graph& g,
+                                             const DynBitset& marked,
+                                             const PriorityKey& key, NodeId v,
+                                             std::vector<NodeId>& scratch);
+
+[[nodiscard]] bool rule2_refined_would_unmark(const Graph& g,
+                                              const DynBitset& marked,
+                                              const PriorityKey& key, NodeId v,
+                                              std::vector<NodeId>& scratch);
+
+[[nodiscard]] bool rule2_would_unmark(const Graph& g, const DynBitset& marked,
+                                      const PriorityKey& key, Rule2Form form,
+                                      NodeId v, std::vector<NodeId>& scratch);
 
 // ---- Whole-graph passes --------------------------------------------------
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace pacds {
 
@@ -36,15 +37,15 @@ std::size_t SpatialGrid::bucket_of(CellKey key) const {
   return static_cast<std::size_t>(h) & (buckets_.size() - 1);
 }
 
-std::vector<NodeId> SpatialGrid::query(Vec2 center, double radius,
-                                       NodeId exclude) const {
+void SpatialGrid::query_into(Vec2 center, double radius, NodeId exclude,
+                             std::vector<NodeId>& out) const {
   if (radius > cell_size_) {
     throw std::invalid_argument(
         "SpatialGrid::query: radius exceeds cell size (needs a wider ring)");
   }
+  out.clear();
   const double r2 = radius * radius;
   const CellKey c = cell_of(center);
-  std::vector<NodeId> out;
   for (std::int64_t dx = -1; dx <= 1; ++dx) {
     for (std::int64_t dy = -1; dy <= 1; ++dy) {
       const CellKey probe{c.cx + dx, c.cy + dy};
@@ -59,7 +60,32 @@ std::vector<NodeId> SpatialGrid::query(Vec2 center, double radius,
     }
   }
   std::sort(out.begin(), out.end());
+}
+
+std::vector<NodeId> SpatialGrid::query(Vec2 center, double radius,
+                                       NodeId exclude) const {
+  std::vector<NodeId> out;
+  query_into(center, radius, exclude, out);
   return out;
+}
+
+void SpatialGrid::move(NodeId node, Vec2 old_pos, Vec2 new_pos) {
+  const CellKey from = cell_of(old_pos);
+  const CellKey to = cell_of(new_pos);
+  if (from == to) return;
+  auto& bucket = buckets_[bucket_of(from)];
+  const auto it = std::find_if(bucket.begin(), bucket.end(), [&](const Entry& e) {
+    return e.node == node && e.cell == from;
+  });
+  if (it == bucket.end()) {
+    throw std::logic_error(
+        "SpatialGrid::move: node " + std::to_string(node) +
+        " not filed under its old cell (stale old position?)");
+  }
+  // Order within a bucket is irrelevant; swap-erase keeps the move O(bucket).
+  *it = bucket.back();
+  bucket.pop_back();
+  buckets_[bucket_of(to)].push_back({to, node});
 }
 
 namespace {
@@ -85,9 +111,10 @@ Graph build_grid(const std::vector<Vec2>& positions, double radius) {
   // Cells must have positive extent even for radius 0 (coincident points
   // still form edges under the closed-ball convention).
   const SpatialGrid grid(positions, radius > 0.0 ? radius : 1.0);
+  std::vector<NodeId> nbrs;
   for (NodeId u = 0; u < n; ++u) {
-    for (const NodeId v :
-         grid.query(positions[static_cast<std::size_t>(u)], radius, u)) {
+    grid.query_into(positions[static_cast<std::size_t>(u)], radius, u, nbrs);
+    for (const NodeId v : nbrs) {
       if (v > u) g.add_edge(u, v);
     }
   }

@@ -36,6 +36,17 @@ class SpatialGrid {
   [[nodiscard]] std::vector<NodeId> query(Vec2 center, double radius,
                                           NodeId exclude = -1) const;
 
+  /// Allocation-free variant: clears `out` and fills it with the query
+  /// result (same contract as query). Hot loops reuse one buffer.
+  void query_into(Vec2 center, double radius, NodeId exclude,
+                  std::vector<NodeId>& out) const;
+
+  /// Re-files `node` after its point moved from `old_pos` to `new_pos`
+  /// (the backing positions vector must already hold `new_pos`). No-op when
+  /// both map to the same cell. Throws std::logic_error if the node is not
+  /// filed under `old_pos`'s cell — i.e. the caller's old position is stale.
+  void move(NodeId node, Vec2 old_pos, Vec2 new_pos);
+
  private:
   struct CellKey {
     std::int64_t cx = 0;

@@ -1,0 +1,173 @@
+#include "sim/engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rule_k.hpp"
+#include "net/geometric.hpp"
+
+namespace pacds {
+
+std::string to_string(SimEngine engine) {
+  switch (engine) {
+    case SimEngine::kAuto:
+      return "auto";
+    case SimEngine::kFullRebuild:
+      return "full";
+    case SimEngine::kIncremental:
+      return "incremental";
+  }
+  return "?";
+}
+
+const std::vector<double>& quantize_key_levels(
+    const std::vector<double>& levels, double quantum,
+    std::vector<double>& scratch) {
+  if (quantum <= 0.0) return levels;
+  scratch.resize(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    scratch[i] = std::floor(levels[i] / quantum);
+  }
+  return scratch;
+}
+
+// ---- FullRebuildEngine -----------------------------------------------------
+
+FullRebuildEngine::FullRebuildEngine(const SimConfig& config)
+    : config_(config) {}
+
+void FullRebuildEngine::update(const std::vector<Vec2>& positions,
+                               const std::vector<double>& levels) {
+  const Graph g = build_links(positions, config_.radius, config_.link_model);
+  const auto& keys =
+      quantize_key_levels(levels, config_.energy_key_quantum, key_scratch_);
+  if (config_.custom_key && config_.use_rule_k) {
+    cds_ = compute_cds_rule_k(g, *config_.custom_key, keys,
+                              config_.cds_options.strategy,
+                              config_.cds_options.clique_policy);
+  } else if (config_.custom_key) {
+    RuleConfig rule_config;
+    rule_config.rule2_form = config_.custom_rule2_form;
+    rule_config.strategy = config_.cds_options.strategy;
+    cds_ = compute_cds_custom(g, *config_.custom_key, rule_config, keys,
+                              config_.cds_options.clique_policy);
+  } else {
+    cds_ = compute_cds(g, config_.rule_set, keys, config_.cds_options);
+  }
+}
+
+std::size_t FullRebuildEngine::last_touched() const {
+  return cds_.gateways.size();
+}
+
+// ---- IncrementalEngine -----------------------------------------------------
+
+IncrementalEngine::IncrementalEngine(const SimConfig& config)
+    : config_(config),
+      moved_(static_cast<std::size_t>(config.n_hosts)) {
+  if (!incremental_engine_eligible(config_)) {
+    throw std::invalid_argument(
+        "IncrementalEngine: configuration not eligible (needs simultaneous "
+        "strategy, no custom key, unit-disk links)");
+  }
+}
+
+void IncrementalEngine::initialize(const std::vector<Vec2>& positions,
+                                   const std::vector<double>& keys) {
+  prev_positions_ = positions;
+  grid_.emplace(prev_positions_,
+                config_.radius > 0.0 ? config_.radius : 1.0);
+  const auto n = static_cast<NodeId>(positions.size());
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    grid_->query_into(positions[static_cast<std::size_t>(u)], config_.radius,
+                      u, nbrs_);
+    for (const NodeId v : nbrs_) {
+      if (v > u) g.add_edge(u, v);
+    }
+  }
+  cds_.emplace(std::move(g), config_.rule_set,
+               uses_energy(config_.rule_set) ? keys : std::vector<double>{},
+               config_.cds_options);
+}
+
+void IncrementalEngine::extract_delta(const std::vector<Vec2>& positions) {
+  delta_.clear();
+  movers_.clear();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (positions[i] != prev_positions_[i]) {
+      movers_.push_back(static_cast<NodeId>(i));
+      moved_.set(i);
+    }
+  }
+  // Re-file every mover first so neighborhood queries see the full new
+  // configuration (the grid reads through prev_positions_).
+  for (const NodeId v : movers_) {
+    const auto vi = static_cast<std::size_t>(v);
+    grid_->move(v, prev_positions_[vi], positions[vi]);
+    prev_positions_[vi] = positions[vi];
+  }
+  for (const NodeId v : movers_) {
+    grid_->query_into(prev_positions_[static_cast<std::size_t>(v)],
+                      config_.radius, v, nbrs_);
+    // Two-pointer diff of old vs new sorted neighbor lists. A pair whose
+    // endpoints both moved shows up in both diffs; keep it only for the
+    // smaller endpoint.
+    const auto keep = [&](NodeId u) {
+      return !moved_.test(static_cast<std::size_t>(u)) || v < u;
+    };
+    const auto old = cds_->graph().neighbors(v);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < old.size() || j < nbrs_.size()) {
+      if (j == nbrs_.size() || (i < old.size() && old[i] < nbrs_[j])) {
+        if (keep(old[i])) delta_.removed.emplace_back(v, old[i]);
+        ++i;
+      } else if (i == old.size() || nbrs_[j] < old[i]) {
+        if (keep(nbrs_[j])) delta_.added.emplace_back(v, nbrs_[j]);
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+  }
+  for (const NodeId v : movers_) moved_.reset(static_cast<std::size_t>(v));
+}
+
+void IncrementalEngine::update(const std::vector<Vec2>& positions,
+                               const std::vector<double>& levels) {
+  const auto& keys =
+      quantize_key_levels(levels, config_.energy_key_quantum, key_scratch_);
+  if (!cds_) {
+    initialize(positions, keys);
+    return;
+  }
+  extract_delta(positions);
+  cds_->advance(delta_, keys);
+}
+
+// ---- Selection -------------------------------------------------------------
+
+bool incremental_engine_eligible(const SimConfig& config) {
+  return config.cds_options.strategy == Strategy::kSimultaneous &&
+         !config.custom_key.has_value() &&
+         config.link_model == LinkModel::kUnitDisk;
+}
+
+std::unique_ptr<LifetimeEngine> make_lifetime_engine(const SimConfig& config) {
+  switch (config.engine) {
+    case SimEngine::kFullRebuild:
+      return std::make_unique<FullRebuildEngine>(config);
+    case SimEngine::kIncremental:
+      return std::make_unique<IncrementalEngine>(config);  // throws if unfit
+    case SimEngine::kAuto:
+      break;
+  }
+  if (incremental_engine_eligible(config)) {
+    return std::make_unique<IncrementalEngine>(config);
+  }
+  return std::make_unique<FullRebuildEngine>(config);
+}
+
+}  // namespace pacds

@@ -1,0 +1,146 @@
+#pragma once
+// Per-interval recomputation engines for the lifetime simulator. One
+// update interval needs (link graph, gateway set) for the current positions
+// and battery levels; the two engines get there differently:
+//
+//   FullRebuildEngine — rebuild_links + compute_cds from scratch (the
+//     original simulator inner loop, and the only option for sequential
+//     strategies, custom keys, or non-unit-disk link models).
+//
+//   IncrementalEngine — keeps one persistent Graph and an IncrementalCds
+//     across intervals. Moved hosts are detected by position diff, re-filed
+//     in a SpatialGrid, and their changed links extracted as an EdgeDelta;
+//     the delta plus the quantized-energy diff drive one localized
+//     IncrementalCds::advance. Steady-state intervals are allocation-free.
+//
+// Wherever the incremental engine is eligible the two are bit-identical —
+// same gateway bitsets, same counts, hence byte-for-byte equal TrialResults
+// (tests/engine_equivalence_test asserts this across schemes, mobility
+// models and seeds).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cds.hpp"
+#include "core/incremental.hpp"
+#include "net/udg.hpp"
+#include "net/vec2.hpp"
+#include "sim/lifetime.hpp"
+
+namespace pacds {
+
+/// Quantized view of battery levels for EL-key comparisons. quantum <= 0
+/// disables quantization and returns `levels` itself (no copy); otherwise
+/// `scratch` is filled with floor(level / quantum) and returned. The
+/// returned reference is invalidated by the next call with the same
+/// arguments' lifetimes — hot loops pass one long-lived scratch buffer.
+[[nodiscard]] const std::vector<double>& quantize_key_levels(
+    const std::vector<double>& levels, double quantum,
+    std::vector<double>& scratch);
+
+/// Set sizes the simulator accumulates per interval.
+struct IntervalCounts {
+  std::size_t marked = 0;    ///< marking-process set size
+  std::size_t gateways = 0;  ///< final gateway set size
+};
+
+/// One trial's per-interval CDS recomputation strategy.
+class LifetimeEngine {
+ public:
+  virtual ~LifetimeEngine() = default;
+  LifetimeEngine(const LifetimeEngine&) = delete;
+  LifetimeEngine& operator=(const LifetimeEngine&) = delete;
+
+  /// Brings the gateway set up to date for the interval. `positions` holds
+  /// every host's current position, `levels` the raw battery levels (the
+  /// engine applies the key quantum itself).
+  virtual void update(const std::vector<Vec2>& positions,
+                      const std::vector<double>& levels) = 0;
+
+  [[nodiscard]] virtual const DynBitset& gateways() const = 0;
+  [[nodiscard]] virtual IntervalCounts counts() const = 0;
+  /// Nodes re-evaluated by the last update (n for a full rebuild).
+  [[nodiscard]] virtual std::size_t last_touched() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  LifetimeEngine() = default;
+};
+
+/// The original inner loop: build_links + one of the compute_cds entry
+/// points, every interval.
+class FullRebuildEngine final : public LifetimeEngine {
+ public:
+  explicit FullRebuildEngine(const SimConfig& config);
+
+  void update(const std::vector<Vec2>& positions,
+              const std::vector<double>& levels) override;
+  [[nodiscard]] const DynBitset& gateways() const override {
+    return cds_.gateways;
+  }
+  [[nodiscard]] IntervalCounts counts() const override {
+    return {cds_.marked_count, cds_.gateway_count};
+  }
+  [[nodiscard]] std::size_t last_touched() const override;
+  [[nodiscard]] std::string name() const override { return "full-rebuild"; }
+
+ private:
+  SimConfig config_;
+  CdsResult cds_;
+  std::vector<double> key_scratch_;
+};
+
+/// Persistent-state fast path: spatial-grid edge deltas + IncrementalCds.
+/// Construction checks eligibility (see incremental_engine_eligible) and
+/// throws std::invalid_argument when the configuration is not covered.
+class IncrementalEngine final : public LifetimeEngine {
+ public:
+  explicit IncrementalEngine(const SimConfig& config);
+
+  void update(const std::vector<Vec2>& positions,
+              const std::vector<double>& levels) override;
+  [[nodiscard]] const DynBitset& gateways() const override {
+    return cds_->gateways();
+  }
+  [[nodiscard]] IntervalCounts counts() const override {
+    return {cds_->marked_only().count(), cds_->gateways().count()};
+  }
+  [[nodiscard]] std::size_t last_touched() const override {
+    return cds_->last_touched();
+  }
+  [[nodiscard]] std::string name() const override { return "incremental"; }
+
+ private:
+  void initialize(const std::vector<Vec2>& positions,
+                  const std::vector<double>& keys);
+  void extract_delta(const std::vector<Vec2>& positions);
+
+  SimConfig config_;
+  /// The grid indexes this copy (it holds a pointer into it), so the engine
+  /// owns the previous interval's positions and must not move them.
+  std::vector<Vec2> prev_positions_;
+  std::optional<SpatialGrid> grid_;
+  std::optional<IncrementalCds> cds_;
+  // Steady-state scratch — reused, never reallocated after warm-up.
+  EdgeDelta delta_;
+  std::vector<NodeId> movers_;
+  std::vector<NodeId> nbrs_;
+  DynBitset moved_;
+  std::vector<double> key_scratch_;
+};
+
+/// True iff IncrementalEngine provably reproduces the full rebuild for this
+/// configuration: simultaneous strategy (the only semantics IncrementalCds
+/// maintains), scheme-driven keys (no custom key / Rule k), and unit-disk
+/// links (Gabriel/RNG pruning is not locally updatable).
+[[nodiscard]] bool incremental_engine_eligible(const SimConfig& config);
+
+/// Builds the engine selected by config.engine; kAuto picks the incremental
+/// engine exactly when it is eligible. Throws std::invalid_argument when
+/// kIncremental is forced on an ineligible configuration.
+[[nodiscard]] std::unique_ptr<LifetimeEngine> make_lifetime_engine(
+    const SimConfig& config);
+
+}  // namespace pacds

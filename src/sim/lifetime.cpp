@@ -1,31 +1,13 @@
 #include "sim/lifetime.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
-#include "core/rule_k.hpp"
 #include "energy/battery.hpp"
 #include "net/mobility.hpp"
-#include "net/udg.hpp"
+#include "sim/engine.hpp"
 
 namespace pacds {
-
-namespace {
-
-/// Quantized view of the battery levels for EL-key comparisons.
-std::vector<double> key_levels(const std::vector<double>& levels,
-                               double quantum) {
-  if (quantum <= 0.0) return levels;
-  std::vector<double> out;
-  out.reserve(levels.size());
-  for (const double level : levels) {
-    out.push_back(std::floor(level / quantum));
-  }
-  return out;
-}
-
-}  // namespace
 
 TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
                                SimTrace* trace) {
@@ -60,43 +42,34 @@ TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
   const std::unique_ptr<MobilityModel> mobility =
       make_mobility(config.mobility_kind, mobility_params);
 
+  // Placement and mobility are the only RNG consumers, so the choice of
+  // engine cannot perturb the random stream: both engines yield
+  // bit-identical trials wherever the incremental one is eligible.
+  const std::unique_ptr<LifetimeEngine> engine = make_lifetime_engine(config);
+
   double gateway_sum = 0.0;
   double marked_sum = 0.0;
   while (result.intervals < config.max_intervals) {
-    const Graph g = build_links(positions, config.radius, config.link_model);
-    const auto keys = key_levels(batteries.levels(), config.energy_key_quantum);
-    CdsResult cds;
-    if (config.custom_key && config.use_rule_k) {
-      cds = compute_cds_rule_k(g, *config.custom_key, keys,
-                               config.cds_options.strategy,
-                               config.cds_options.clique_policy);
-    } else if (config.custom_key) {
-      RuleConfig rule_config;
-      rule_config.rule2_form = config.custom_rule2_form;
-      rule_config.strategy = config.cds_options.strategy;
-      cds = compute_cds_custom(g, *config.custom_key, rule_config, keys,
-                               config.cds_options.clique_policy);
-    } else {
-      cds = compute_cds(g, config.rule_set, keys, config.cds_options);
-    }
-    gateway_sum += static_cast<double>(cds.gateway_count);
-    marked_sum += static_cast<double>(cds.marked_count);
+    engine->update(positions, batteries.levels());
+    const DynBitset& gateways = engine->gateways();
+    const IntervalCounts counts = engine->counts();
+    gateway_sum += static_cast<double>(counts.gateways);
+    marked_sum += static_cast<double>(counts.marked);
 
-    const double d =
-        gateway_drain(config.drain_model, batteries.size(), cds.gateway_count,
-                      config.drain_params);
+    const double d = gateway_drain(config.drain_model, batteries.size(),
+                                   counts.gateways, config.drain_params);
     const double d_prime = config.drain_params.nongateway_drain;
     bool someone_died = false;
     for (std::size_t host = 0; host < batteries.size(); ++host) {
-      const bool is_gateway = cds.gateways.test(host);
+      const bool is_gateway = gateways.test(host);
       someone_died |= batteries.drain(host, is_gateway ? d : d_prime);
     }
     ++result.intervals;
     if (trace != nullptr) {
       IntervalRecord record;
       record.interval = result.intervals;
-      record.marked = cds.marked_count;
-      record.gateways = cds.gateway_count;
+      record.marked = counts.marked;
+      record.gateways = counts.gateways;
       record.alive = batteries.alive_count();
       record.min_energy = batteries.min_level();
       double sum = 0.0;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/cds.hpp"
@@ -22,6 +23,22 @@
 #include "sim/trace.hpp"
 
 namespace pacds {
+
+/// Which per-interval recomputation engine drives a lifetime trial.
+enum class SimEngine : std::uint8_t {
+  /// Incremental where provably bit-identical to a full rebuild
+  /// (simultaneous strategy, no custom key, unit-disk links), full rebuild
+  /// everywhere else. The safe default.
+  kAuto,
+  /// Rebuild the link graph and the CDS from scratch every interval.
+  kFullRebuild,
+  /// Persistent graph + localized CDS updates (spatial-grid edge deltas fed
+  /// to IncrementalCds). Throws at trial start if the configuration is not
+  /// eligible.
+  kIncremental,
+};
+
+[[nodiscard]] std::string to_string(SimEngine engine);
 
 /// All knobs of one lifetime simulation; defaults are the paper's settings.
 struct SimConfig {
@@ -67,6 +84,11 @@ struct SimConfig {
   /// (raw battery readings as keys). Battery accounting itself is always
   /// exact; only the priority keys see the quantized view.
   double energy_key_quantum = 1.0;
+
+  /// Per-interval recomputation engine (see SimEngine). Both engines
+  /// produce bit-identical TrialResults wherever kIncremental is eligible;
+  /// equivalence is asserted by tests/engine_equivalence_test.
+  SimEngine engine = SimEngine::kAuto;
 
   /// Placement retries before accepting a disconnected initial graph.
   int connect_retries = 500;

@@ -8,19 +8,11 @@
 #include "net/mobility.hpp"
 #include "net/udg.hpp"
 #include "routing/routing.hpp"
+#include "sim/engine.hpp"
 
 namespace pacds {
 
 namespace {
-
-std::vector<double> key_levels(const std::vector<double>& levels,
-                               double quantum) {
-  if (quantum <= 0.0) return levels;
-  std::vector<double> out;
-  out.reserve(levels.size());
-  for (const double level : levels) out.push_back(std::floor(level / quantum));
-  return out;
-}
 
 /// Unit-disk graph restricted to active, alive hosts (others stay as
 /// isolated vertices so indices line up with the battery bank).
@@ -66,6 +58,7 @@ TrafficSimResult run_traffic_trial(const TrafficSimConfig& config,
 
   TrafficSimResult result;
   double gateway_sum = 0.0;
+  std::vector<double> key_scratch;
   while (result.intervals < config.max_intervals) {
     // Usable hosts: alive AND switched on.
     std::vector<char> usable(n, 0);
@@ -81,7 +74,8 @@ TrafficSimResult run_traffic_trial(const TrafficSimConfig& config,
     const Graph g = build_active_udg(positions, config.radius, usable);
     const CdsResult cds = compute_cds(
         g, config.rule_set,
-        key_levels(batteries.levels(), config.energy_key_quantum),
+        quantize_key_levels(batteries.levels(), config.energy_key_quantum,
+                            key_scratch),
         config.cds_options);
     gateway_sum += static_cast<double>(cds.gateway_count);
 

@@ -115,13 +115,54 @@ TEST(IncrementalTest, LocalityOnLongPath) {
   expect_matches_full(inc, {});
 }
 
-TEST(IncrementalTest, SetEnergyRefreshesAll) {
+TEST(IncrementalTest, SetEnergyUpdatesAroundChangedLevels) {
   std::vector<double> energy{5.0, 5.0, 5.0, 5.0, 5.0};
   IncrementalCds inc(path_graph(5), RuleSet::kEL1, energy);
   energy[2] = 1.0;
   inc.set_energy(energy);
-  EXPECT_EQ(inc.last_touched(), 5u);
+  EXPECT_EQ(inc.energy(), energy);
   expect_matches_full(inc, energy);
+}
+
+TEST(IncrementalTest, SetEnergyWithNoLevelChangeTouchesNothing) {
+  const std::vector<double> energy{5.0, 4.0, 5.0, 4.0, 5.0};
+  IncrementalCds inc(path_graph(5), RuleSet::kEL1, energy);
+  inc.set_energy(energy);
+  EXPECT_EQ(inc.last_touched(), 0u);
+  expect_matches_full(inc, energy);
+}
+
+TEST(IncrementalTest, SetEnergyLocalityOnLongPath) {
+  // On a 60-node path only one level changes; the re-evaluated region must
+  // stay near that node (neighborhood of the dirty key, one hop per stage).
+  std::vector<double> energy(60, 5.0);
+  IncrementalCds inc(path_graph(60), RuleSet::kEL1, energy);
+  energy[30] = 1.0;
+  inc.set_energy(energy);
+  EXPECT_LE(inc.last_touched(), 10u);  // well under 60
+  expect_matches_full(inc, energy);
+}
+
+TEST(IncrementalTest, AdvanceCombinesDeltaAndEnergy) {
+  std::vector<double> energy(8, 5.0);
+  IncrementalCds inc(path_graph(8), RuleSet::kEL2, energy);
+  EdgeDelta delta;
+  delta.added.emplace_back(0, 2);
+  energy[6] = 2.0;
+  inc.advance(delta, energy);
+  EXPECT_TRUE(inc.graph().has_edge(0, 2));
+  EXPECT_EQ(inc.energy(), energy);
+  expect_matches_full(inc, energy);
+}
+
+TEST(IncrementalTest, AdvanceIgnoresEnergyForTopologyOnlySchemes) {
+  // For kID the key never reads energy, so advance accepts any vector (even
+  // an empty one) and the update is purely topological.
+  IncrementalCds inc(path_graph(6), RuleSet::kID);
+  EdgeDelta delta;
+  delta.added.emplace_back(0, 5);
+  inc.advance(delta, {});
+  expect_matches_full(inc, {});
 }
 
 TEST(IncrementalTest, SetEnergySizeMismatchThrows) {
@@ -181,7 +222,14 @@ TEST_P(IncrementalRandomTest, DeltasMatchFullRecompute) {
         if (before && !after) delta.removed.emplace_back(u, v);
       }
     }
-    inc.apply_delta(delta);
+    // Also perturb a few energy levels so the combined advance() path (the
+    // lifetime engine's steady-state entry point) is exercised everywhere.
+    for (int hits = 0; hits < 2; ++hits) {
+      const auto victim =
+          static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+      energy[victim] = static_cast<double>(rng.uniform_int(1, 4));
+    }
+    inc.advance(delta, energy);
     ASSERT_EQ(inc.graph(), next);
     const CdsResult full = compute_cds(next, rs, energy,
                                        simultaneous_options());

@@ -94,6 +94,67 @@ TEST(SpatialGridTest, NegativeCoordinates) {
   EXPECT_EQ(near, (std::vector<NodeId>{1}));
 }
 
+TEST(SpatialGridTest, QueryIntoMatchesQueryAndClearsBuffer) {
+  const std::vector<Vec2> pts{
+      {0.0, 0.0}, {1.0, 1.0}, {5.0, 5.0}, {2.5, 0.0}, {-1.0, -1.0}};
+  const SpatialGrid grid(pts, 3.0);
+  std::vector<NodeId> out{99, 98, 97};  // stale contents must be discarded
+  grid.query_into({0.0, 0.0}, 3.0, 0, out);
+  EXPECT_EQ(out, grid.query({0.0, 0.0}, 3.0, 0));
+  grid.query_into({5.0, 5.0}, 3.0, -1, out);
+  EXPECT_EQ(out, grid.query({5.0, 5.0}, 3.0, -1));
+}
+
+TEST(SpatialGridTest, MoveRefilesAcrossCells) {
+  std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}, {20.0, 20.0}};
+  SpatialGrid grid(pts, 5.0);
+  // Node 0 jumps next to node 2; the grid reads positions through `pts`.
+  const Vec2 old_pos = pts[0];
+  pts[0] = {21.0, 20.0};
+  grid.move(0, old_pos, pts[0]);
+  EXPECT_EQ(grid.query(pts[0], 5.0, 0), (std::vector<NodeId>{2}));
+  EXPECT_EQ(grid.query({0.0, 0.0}, 5.0, -1), (std::vector<NodeId>{1}));
+}
+
+TEST(SpatialGridTest, MoveWithinCellIsNoOp) {
+  std::vector<Vec2> pts{{0.0, 0.0}, {1.0, 0.0}};
+  SpatialGrid grid(pts, 5.0);
+  const Vec2 old_pos = pts[0];
+  pts[0] = {2.0, 2.0};  // same 5x5 cell
+  grid.move(0, old_pos, pts[0]);
+  EXPECT_EQ(grid.query(pts[0], 5.0, -1), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(SpatialGridTest, MoveWithStaleOldPositionThrows) {
+  std::vector<Vec2> pts{{0.0, 0.0}};
+  SpatialGrid grid(pts, 1.0);
+  // The node was never filed under cell (50, 50): caller passed a stale
+  // old position.
+  EXPECT_THROW(grid.move(0, {50.0, 50.0}, {60.0, 60.0}), std::logic_error);
+}
+
+TEST(SpatialGridTest, MovedGridAgreesWithFreshGrid) {
+  Xoshiro256 rng(77);
+  const Field field = Field::paper_field();
+  std::vector<Vec2> pts = random_placement(120, field, rng);
+  SpatialGrid grid(pts, 25.0);
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (rng.uniform01() < 0.5) continue;
+      const Vec2 old_pos = pts[i];
+      pts[i] = {rng.uniform01() * field.width(),
+                rng.uniform01() * field.height()};
+      grid.move(static_cast<NodeId>(i), old_pos, pts[i]);
+    }
+    const SpatialGrid fresh(pts, 25.0);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      ASSERT_EQ(grid.query(pts[i], 25.0, static_cast<NodeId>(i)),
+                fresh.query(pts[i], 25.0, static_cast<NodeId>(i)))
+          << "round " << round << " node " << i;
+    }
+  }
+}
+
 // Agreement of naive and grid builders over random dense/sparse instances.
 class UdgAgreementTest
     : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {

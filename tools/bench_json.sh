@@ -1,0 +1,66 @@
+#!/bin/sh
+# Regenerates BENCH_lifetime.json (repo root) from the rule-pass and engine
+# microbenchmarks. The committed file tracks the hot-kernel numbers across
+# PRs; a "baseline" section, when present, is preserved verbatim so
+# before/after comparisons survive regeneration.
+#
+# Usage: tools/bench_json.sh [output.json]
+# Env:   PACDS_BENCH_BIN_DIR  directory with micro_cds/micro_engine
+#                             (default: build/bench)
+#        PACDS_BENCH_MIN_TIME --benchmark_min_time value (default: 0.2)
+set -eu
+
+OUT=${1:-BENCH_lifetime.json}
+BIN_DIR=${PACDS_BENCH_BIN_DIR:-build/bench}
+MIN_TIME=${PACDS_BENCH_MIN_TIME:-0.2}
+
+TMP_CDS=$(mktemp)
+TMP_ENGINE=$(mktemp)
+trap 'rm -f "$TMP_CDS" "$TMP_ENGINE"' EXIT
+
+"$BIN_DIR/micro_cds" --benchmark_filter='^BM_Rule(1|2Refined)Pass/' \
+  --benchmark_min_time="$MIN_TIME" --benchmark_format=json >"$TMP_CDS"
+"$BIN_DIR/micro_engine" --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$TMP_ENGINE"
+
+python3 - "$TMP_CDS" "$TMP_ENGINE" "$OUT" <<'PY'
+import json
+import sys
+
+cds_path, engine_path, out_path = sys.argv[1:4]
+
+
+def ns_per_op(path):
+    with open(path) as f:
+        data = json.load(f)
+    scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
+    return {
+        b["name"]: round(b["real_time"] * scale[b.get("time_unit", "ns")], 1)
+        for b in data["benchmarks"]
+    }
+
+
+previous = {}
+try:
+    with open(out_path) as f:
+        previous = json.load(f)
+except (OSError, ValueError):
+    pass
+
+result = {
+    "_comment": "ns per op; regenerate with: cmake --build build --target bench_json",
+    "baseline": previous.get("baseline", {}),
+    "rule_pass_ns": ns_per_op(cds_path),
+    "engine_interval_ns": ns_per_op(engine_path),
+}
+for stay in (98, 95):
+    full = result["engine_interval_ns"].get(f"BM_IntervalFullRebuild/800/{stay}")
+    inc = result["engine_interval_ns"].get(f"BM_IntervalIncremental/800/{stay}")
+    if full and inc:
+        result[f"speedup_incremental_n800_stay{stay}"] = round(full / inc, 2)
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print("wrote", out_path)
+PY
