@@ -11,6 +11,10 @@
 // in percent, so the output includes both a steady-state regime (c = 0.95,
 // few movers) and the paper's own c = 0.5 (heavy churn) for honesty —
 // the speedup claim is a property of the steady-state regime.
+//
+// Both engines run serially here (SimConfig::threads = 1); the intra-interval
+// thread sweep lives in micro_parallel.cpp so the two axes — incremental vs.
+// full rebuild, and serial vs. sharded — stay independently readable.
 
 #include <benchmark/benchmark.h>
 

@@ -1,0 +1,126 @@
+// Microbenchmark of the intra-interval parallel layer: how one steady-state
+// update interval scales with SimConfig::threads, and how the raw sharded
+// compute_cds pipeline scales in isolation. Sizes n = 400 and 800 at
+// constant host density, EL2 keys, simultaneous strategy — the same regime
+// as micro_engine, so `parallel_interval_ns` rows in BENCH_lifetime.json are
+// directly comparable with `engine_interval_ns`.
+//
+// The thread sweep {1, 2, 4, 8} measures the full fork/join path including
+// its synchronization cost; on a single-core host the >1 rows quantify pure
+// overhead (the determinism guarantee — bit-identical gateway sets for every
+// thread count — is asserted by tests/parallel_equivalence_test, not here).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cds.hpp"
+#include "core/workspace.hpp"
+#include "energy/battery.hpp"
+#include "net/mobility.hpp"
+#include "net/topology.hpp"
+#include "net/udg.hpp"
+#include "sim/engine.hpp"
+#include "sim/lifetime.hpp"
+#include "sim/threadpool.hpp"
+
+namespace {
+
+using namespace pacds;
+
+SimConfig make_config(int n, int threads) {
+  SimConfig config;
+  config.n_hosts = n;
+  const double side = std::sqrt(static_cast<double>(n) / 50.0) * 100.0;
+  config.field_width = side;
+  config.field_height = side;
+  config.rule_set = RuleSet::kEL2;
+  config.cds_options.strategy = Strategy::kSimultaneous;
+  config.stay_probability = 0.95;
+  config.drain_model = DrainModel::kConstantTotal;
+  config.energy_key_quantum = 10.0;
+  config.initial_energy = 1.0e9;  // no deaths during the benchmark
+  config.threads = threads;
+  return config;
+}
+
+/// Raw pipeline scaling: marking + simultaneous rule passes on a frozen
+/// graph, sharded across `lanes` (1 = no pool, serial path).
+void BM_ComputeCdsLanes(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  const SimConfig config = make_config(n, 1);
+
+  Xoshiro256 rng(2001);
+  const Field field(config.field_width, config.field_height, config.boundary);
+  const auto positions = random_placement(n, field, rng);
+  const Graph g = build_links(positions, config.radius, config.link_model);
+  std::vector<double> energy(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < energy.size(); ++i) {
+    energy[i] = static_cast<double>((i * 7919) % 17);
+  }
+
+  std::optional<ThreadPool> pool;
+  if (lanes > 1) pool.emplace(lanes - 1);
+  CdsWorkspace ws;
+  const ExecContext ctx{pool ? &*pool : nullptr, &ws};
+  for (auto _ : state) {
+    const CdsResult r =
+        compute_cds(g, config.rule_set, energy, config.cds_options, ctx);
+    benchmark::DoNotOptimize(r.gateway_count);
+  }
+}
+
+/// Whole-interval scaling through SimConfig::threads on the full-rebuild
+/// engine (every interval runs the complete sharded pipeline).
+void BM_IntervalThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  SimConfig config = make_config(n, threads);
+  config.engine = SimEngine::kFullRebuild;
+
+  Xoshiro256 rng(2001);
+  const Field field(config.field_width, config.field_height, config.boundary);
+  std::vector<Vec2> positions = random_placement(n, field, rng);
+  BatteryBank batteries(static_cast<std::size_t>(n), config.initial_energy);
+  MobilityParams params;
+  params.stay_probability = config.stay_probability;
+  params.jump_min = config.jump_min;
+  params.jump_max = config.jump_max;
+  const auto mobility = make_mobility(MobilityKind::kPaperJump, params);
+  const auto engine = make_lifetime_engine(config);
+
+  for (int i = 0; i < 8; ++i) {  // reach steady state before timing
+    engine->update(positions, batteries.levels());
+    mobility->step(positions, field, rng);
+  }
+  for (auto _ : state) {
+    engine->update(positions, batteries.levels());
+    const double d = gateway_drain(config.drain_model, batteries.size(),
+                                   engine->counts().gateways,
+                                   config.drain_params);
+    for (std::size_t host = 0; host < batteries.size(); ++host) {
+      batteries.drain(host, engine->gateways().test(host)
+                                ? d
+                                : config.drain_params.nongateway_drain);
+    }
+    mobility->step(positions, field, rng);
+    benchmark::DoNotOptimize(engine->gateways());
+  }
+}
+
+void thread_args(benchmark::internal::Benchmark* b) {
+  for (const int n : {400, 800}) {
+    for (const int t : {1, 2, 4, 8}) b->Args({n, t});
+  }
+}
+
+BENCHMARK(BM_ComputeCdsLanes)->Apply(thread_args);
+BENCHMARK(BM_IntervalThreads)->Apply(thread_args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

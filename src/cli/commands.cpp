@@ -340,6 +340,11 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
                     "sequential");
   parser.add_option("engine", "per-interval engine: auto | full | incremental",
                     "auto");
+  parser.add_option("threads",
+                    "worker threads for the CDS passes inside each interval "
+                    "(1 = serial, 0 = all cores); results are identical for "
+                    "every value",
+                    "1");
   parser.add_flag("help", "show usage");
   if (!parser.parse(tokens)) {
     err << "error: " << parser.error() << "\n" << parser.usage();
@@ -354,8 +359,9 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
   const auto model = parser.option_int("model");
   const auto seed = parser.option_int("seed");
   const auto quantum = parser.option_double("quantum");
+  const auto threads = parser.option_int("threads");
   if (!n || *n < 1 || !trials || *trials < 1 || !model || *model < 1 ||
-      *model > 3 || !seed || !quantum) {
+      *model > 3 || !seed || !quantum || !threads || *threads < 0) {
     err << "error: bad numeric option\n" << parser.usage();
     return 2;
   }
@@ -371,6 +377,7 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
                                      : DrainModel::kQuadraticTotal;
   config.energy_key_quantum = *quantum;
   config.cds_options.strategy = *strategy;
+  config.threads = static_cast<int>(*threads);
   const std::string engine = parser.option("engine");
   if (engine == "auto") {
     config.engine = SimEngine::kAuto;

@@ -32,6 +32,11 @@ void DynBitset::reset_all() noexcept {
   for (auto& w : words_) w = 0;
 }
 
+void DynBitset::resize_clear(std::size_t nbits) {
+  nbits_ = nbits;
+  words_.assign(words_for(nbits), 0);
+}
+
 void DynBitset::set_all() noexcept {
   for (auto& w : words_) w = ~Word{0};
   clear_padding();

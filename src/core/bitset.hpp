@@ -38,6 +38,10 @@ class DynBitset {
   /// Clears every bit.
   void reset_all() noexcept;
 
+  /// Resizes to `nbits` bits, all clear. Never allocates when the word
+  /// capacity already suffices (hot-loop workspaces call this every round).
+  void resize_clear(std::size_t nbits);
+
   /// Sets every bit in [0, size()).
   void set_all() noexcept;
 
@@ -100,6 +104,30 @@ class DynBitset {
   void for_each_set(Fn&& fn) const {
     for (std::size_t w = 0; w < words_.size(); ++w) {
       Word bits = words_[w];
+      while (bits != 0) {
+        const auto bit = static_cast<std::size_t>(__builtin_ctzll(bits));
+        fn(w * kWordBits + bit);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Calls `fn(index)` for every set bit in [begin, min(end, size())) in
+  /// ascending order — the shard-local view of for_each_set used by the
+  /// parallel pipeline passes.
+  template <typename Fn>
+  void for_each_set_in_range(std::size_t begin, std::size_t end,
+                             Fn&& fn) const {
+    if (end > nbits_) end = nbits_;
+    if (begin >= end) return;
+    const std::size_t wfirst = begin / kWordBits;
+    const std::size_t wlast = (end - 1) / kWordBits;
+    for (std::size_t w = wfirst; w <= wlast; ++w) {
+      Word bits = words_[w];
+      if (w == wfirst) bits &= ~Word{0} << (begin % kWordBits);
+      if (w == wlast && end % kWordBits != 0) {
+        bits &= (Word{1} << (end % kWordBits)) - 1;
+      }
       while (bits != 0) {
         const auto bit = static_cast<std::size_t>(__builtin_ctzll(bits));
         fn(w * kWordBits + bit);

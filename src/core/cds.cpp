@@ -48,7 +48,8 @@ Rule2Form rule2_form_of(RuleSet rs) {
 CdsResult compute_cds_custom(const Graph& g, KeyKind kind,
                              const RuleConfig& config,
                              const std::vector<double>& energy,
-                             CliquePolicy clique_policy) {
+                             CliquePolicy clique_policy,
+                             const ExecContext& ctx) {
   const bool needs_energy =
       kind == KeyKind::kEnergyId || kind == KeyKind::kEnergyDegreeId;
   if (needs_energy &&
@@ -59,10 +60,10 @@ CdsResult compute_cds_custom(const Graph& g, KeyKind kind,
   const PriorityKey key(kind, g, needs_energy ? &energy : nullptr);
 
   CdsResult result;
-  result.marked_only = marking_process(g);
+  marking_process_into(g, ctx.executor, result.marked_only);
   result.marked_count = result.marked_only.count();
   result.gateways = result.marked_only;
-  apply_rules(g, key, config, result.gateways);
+  apply_rules(g, key, config, ctx, result.gateways);
   apply_clique_policy(g, key, clique_policy, result.gateways);
   result.gateway_count = result.gateways.count();
   return result;
@@ -70,14 +71,14 @@ CdsResult compute_cds_custom(const Graph& g, KeyKind kind,
 
 CdsResult compute_cds(const Graph& g, RuleSet rs,
                       const std::vector<double>& energy,
-                      const CdsOptions& options) {
+                      const CdsOptions& options, const ExecContext& ctx) {
   RuleConfig config;
   config.use_rule1 = rs != RuleSet::kNR;
   config.use_rule2 = rs != RuleSet::kNR;
   config.rule2_form = rule2_form_of(rs);
   config.strategy = options.strategy;
   return compute_cds_custom(g, key_kind_of(rs), config, energy,
-                            options.clique_policy);
+                            options.clique_policy, ctx);
 }
 
 }  // namespace pacds

@@ -13,6 +13,7 @@
 #include "core/keys.hpp"
 #include "core/marking.hpp"
 #include "core/rules.hpp"
+#include "core/workspace.hpp"
 
 namespace pacds {
 
@@ -64,14 +65,21 @@ struct CdsResult {
 /// `energy` must have one level per node for the energy-based schemes
 /// (kEL1/kEL2); it is ignored otherwise and may be empty. With all-equal
 /// levels kEL1 behaves like id-keyed refined rules and kEL2 like kND.
+///
+/// `ctx` selects the execution mode: with an executor, the marking process
+/// and (under the simultaneous strategy) the rule passes are sharded across
+/// its workers — the gateway set is bit-identical to the serial computation
+/// for every thread count. A workspace makes repeated calls reuse scratch.
 [[nodiscard]] CdsResult compute_cds(const Graph& g, RuleSet rs,
                                     const std::vector<double>& energy = {},
-                                    const CdsOptions& options = {});
+                                    const CdsOptions& options = {},
+                                    const ExecContext& ctx = {});
 
 /// Fully custom variant: any key kind + rule configuration.
 [[nodiscard]] CdsResult compute_cds_custom(
     const Graph& g, KeyKind kind, const RuleConfig& config,
     const std::vector<double>& energy = {},
-    CliquePolicy clique_policy = CliquePolicy::kNone);
+    CliquePolicy clique_policy = CliquePolicy::kNone,
+    const ExecContext& ctx = {});
 
 }  // namespace pacds

@@ -7,11 +7,12 @@
 namespace pacds {
 
 IncrementalCds::IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy,
-                               CdsOptions options)
+                               CdsOptions options, ExecContext exec)
     : graph_(std::move(g)),
       rule_set_(rs),
       energy_(std::move(energy)),
       options_(options),
+      exec_(exec),
       marked_only_(static_cast<std::size_t>(graph_.num_nodes())),
       after_rule1_(static_cast<std::size_t>(graph_.num_nodes())),
       final_(static_cast<std::size_t>(graph_.num_nodes())),
@@ -95,11 +96,14 @@ void IncrementalCds::propagate() {
     region_ = seed_;
     close_neighborhood(region_);
     touched_ |= region_;
+    CdsWorkspace& ws = workspace();
+    if (ws.lane_neighbors.empty()) ws.lane_neighbors.resize(1);
+    std::vector<NodeId>& scratch = ws.lane_neighbors.front();
     region_.for_each_set([&](std::size_t i) {
       const auto v = static_cast<NodeId>(i);
       const bool stays = after_rule1_.test(i) &&
                          !rule2_would_unmark(graph_, after_rule1_, key, form, v,
-                                             rule2_scratch_);
+                                             scratch);
       final_.set(i, stays);
     });
   }
@@ -112,9 +116,31 @@ void IncrementalCds::propagate() {
 }
 
 void IncrementalCds::full_refresh() {
-  dirty_rows_.set_all();
+  // Direct full-range recomputation of all three stages — equivalent to a
+  // propagate() over an all-dirty region, minus the region bookkeeping, and
+  // sharded across exec_.executor when one is set. Each pass evaluates the
+  // same per-node decisions the localized updater would, so the stored stage
+  // outputs are bit-identical either way.
+  const bool needs_energy = uses_energy(rule_set_);
+  const PriorityKey key(key_kind_of(rule_set_), graph_,
+                        needs_energy ? &energy_ : nullptr);
+  marking_process_into(graph_, exec_.executor, marked_only_);
+  if (rule_set_ == RuleSet::kNR) {
+    after_rule1_ = marked_only_;
+    final_ = marked_only_;
+  } else {
+    ExecContext pass_ctx = exec_;
+    pass_ctx.workspace = &workspace();
+    simultaneous_rule1_pass_into(graph_, key, marked_only_, exec_.executor,
+                                 after_rule1_);
+    simultaneous_rule2_pass_into(graph_, key, rule2_form_of(rule_set_),
+                                 after_rule1_, pass_ctx, final_);
+  }
+  gateways_ = final_;
+  apply_clique_policy(graph_, key, options_.clique_policy, gateways_);
+  last_touched_ = static_cast<std::size_t>(graph_.num_nodes());
+  dirty_rows_.reset_all();
   dirty_keys_.reset_all();
-  propagate();
 }
 
 void IncrementalCds::ingest_delta(const EdgeDelta& delta) {

@@ -30,6 +30,7 @@
 #include "core/bitset.hpp"
 #include "core/cds.hpp"
 #include "core/graph.hpp"
+#include "core/workspace.hpp"
 
 namespace pacds {
 
@@ -58,8 +59,14 @@ struct EdgeDelta {
 /// allocate nothing.
 class IncrementalCds {
  public:
+  /// `exec` controls how full refreshes run: with an executor, the initial
+  /// computation (and every explicit full_refresh) shards its marking and
+  /// rule passes across the executor's workers — localized delta updates
+  /// always run serially (their regions are small by construction). Both
+  /// referents of `exec` are borrowed and must outlive this object; results
+  /// are bit-identical for every executor.
   IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy = {},
-                 CdsOptions options = {});
+                 CdsOptions options = {}, ExecContext exec = {});
 
   [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] const DynBitset& gateways() const noexcept { return gateways_; }
@@ -114,10 +121,17 @@ class IncrementalCds {
   /// region |= N(region) on the current graph.
   void close_neighborhood(DynBitset& region);
 
+  /// Workspace actually in use: the caller's, or own_ws_.
+  [[nodiscard]] CdsWorkspace& workspace() noexcept {
+    return exec_.workspace != nullptr ? *exec_.workspace : own_ws_;
+  }
+
   Graph graph_;
   RuleSet rule_set_;
   std::vector<double> energy_;
   CdsOptions options_;
+  ExecContext exec_;
+  CdsWorkspace own_ws_;
 
   DynBitset marked_only_;  ///< marking-process output
   DynBitset after_rule1_;  ///< after the simultaneous Rule 1 pass
@@ -133,7 +147,6 @@ class IncrementalCds {
   DynBitset seed_;
   DynBitset touched_;
   DynBitset grow_src_;
-  std::vector<NodeId> rule2_scratch_;
 };
 
 }  // namespace pacds

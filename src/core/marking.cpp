@@ -18,12 +18,21 @@ bool marks_itself(const Graph& g, NodeId v) {
   return false;
 }
 
-DynBitset marking_process(const Graph& g) {
+void marking_process_into(const Graph& g, Executor* exec, DynBitset& marked) {
   const auto n = static_cast<std::size_t>(g.num_nodes());
-  DynBitset marked(n);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (marks_itself(g, v)) marked.set(static_cast<std::size_t>(v));
-  }
+  marked.resize_clear(n);
+  auto body = [&g, &marked](std::size_t begin, std::size_t end,
+                            std::size_t /*lane*/) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (marks_itself(g, static_cast<NodeId>(i))) marked.set(i);
+    }
+  };
+  run_sharded(exec, n, DynBitset::kWordBits, body);
+}
+
+DynBitset marking_process(const Graph& g) {
+  DynBitset marked;
+  marking_process_into(g, nullptr, marked);
   return marked;
 }
 

@@ -7,6 +7,7 @@
 #include "core/bitset.hpp"
 #include "core/graph.hpp"
 #include "core/keys.hpp"
+#include "core/parallel.hpp"
 
 namespace pacds {
 
@@ -17,6 +18,13 @@ namespace pacds {
 /// marked nodes — see `CliquePolicy` in rules.hpp for the routing-level
 /// fallback.
 [[nodiscard]] DynBitset marking_process(const Graph& g);
+
+/// Allocation-conscious variant: resizes/clears `marked` and fills it with
+/// the marking-process output, sharding the node range across `exec` when
+/// non-null. Each node's decision reads only the graph, so the result is
+/// bit-identical to the serial pass for every executor (shards write
+/// disjoint 64-bit words of `marked`).
+void marking_process_into(const Graph& g, Executor* exec, DynBitset& marked);
 
 /// Marking decision for a single node (the distributed per-node step; each
 /// host needs only its 2-hop neighborhood, i.e. the N(u) lists its

@@ -56,26 +56,39 @@ bool rule_k_would_unmark(const Graph& g, const DynBitset& marked,
   return false;
 }
 
+void simultaneous_rule_k_pass_into(const Graph& g, const PriorityKey& key,
+                                   const DynBitset& marked, Executor* exec,
+                                   DynBitset& next) {
+  next = marked;
+  auto body = [&](std::size_t begin, std::size_t end, std::size_t /*lane*/) {
+    marked.for_each_set_in_range(begin, end, [&](std::size_t i) {
+      if (rule_k_would_unmark(g, marked, key, static_cast<NodeId>(i))) {
+        next.reset(i);
+      }
+    });
+  };
+  run_sharded(exec, marked.size(), DynBitset::kWordBits, body);
+}
+
 DynBitset simultaneous_rule_k_pass(const Graph& g, const PriorityKey& key,
                                    const DynBitset& marked) {
-  DynBitset next = marked;
-  marked.for_each_set([&](std::size_t i) {
-    if (rule_k_would_unmark(g, marked, key, static_cast<NodeId>(i))) {
-      next.reset(i);
-    }
-  });
+  DynBitset next;
+  simultaneous_rule_k_pass_into(g, key, marked, nullptr, next);
   return next;
 }
 
 void apply_rule_k(const Graph& g, const PriorityKey& key, Strategy strategy,
-                  DynBitset& marked) {
+                  const ExecContext& ctx, DynBitset& marked) {
   switch (strategy) {
     case Strategy::kSimultaneous: {
       // One pass is the distributed semantics; iterating to a fixpoint only
       // removes nodes whose covers shrank, which the safety argument also
       // permits. We run a single pass for fidelity with the distributed
       // algorithm.
-      marked = simultaneous_rule_k_pass(g, key, marked);
+      CdsWorkspace local;
+      CdsWorkspace& ws = ctx.workspace != nullptr ? *ctx.workspace : local;
+      simultaneous_rule_k_pass_into(g, key, marked, ctx.executor, ws.stage);
+      std::swap(marked, ws.stage);
       return;
     }
     case Strategy::kSequential:
@@ -99,9 +112,15 @@ void apply_rule_k(const Graph& g, const PriorityKey& key, Strategy strategy,
   }
 }
 
+void apply_rule_k(const Graph& g, const PriorityKey& key, Strategy strategy,
+                  DynBitset& marked) {
+  apply_rule_k(g, key, strategy, ExecContext{}, marked);
+}
+
 CdsResult compute_cds_rule_k(const Graph& g, KeyKind kind,
                              const std::vector<double>& energy,
-                             Strategy strategy, CliquePolicy clique_policy) {
+                             Strategy strategy, CliquePolicy clique_policy,
+                             const ExecContext& ctx) {
   const bool needs_energy =
       kind == KeyKind::kEnergyId || kind == KeyKind::kEnergyDegreeId;
   if (needs_energy &&
@@ -111,10 +130,10 @@ CdsResult compute_cds_rule_k(const Graph& g, KeyKind kind,
   }
   const PriorityKey key(kind, g, needs_energy ? &energy : nullptr);
   CdsResult result;
-  result.marked_only = marking_process(g);
+  marking_process_into(g, ctx.executor, result.marked_only);
   result.marked_count = result.marked_only.count();
   result.gateways = result.marked_only;
-  apply_rule_k(g, key, strategy, result.gateways);
+  apply_rule_k(g, key, strategy, ctx, result.gateways);
   apply_clique_policy(g, key, clique_policy, result.gateways);
   result.gateway_count = result.gateways.count();
   return result;

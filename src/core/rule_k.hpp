@@ -34,16 +34,28 @@ namespace pacds {
                                                  const PriorityKey& key,
                                                  const DynBitset& marked);
 
+/// Sharded/in-place variant: decisions are evaluated against the frozen
+/// input and committed into `next`, node range split across `exec` when
+/// non-null — bit-identical to the serial pass for any thread count.
+void simultaneous_rule_k_pass_into(const Graph& g, const PriorityKey& key,
+                                   const DynBitset& marked, Executor* exec,
+                                   DynBitset& next);
+
 /// Applies Rule k to `marked` in place with the chosen strategy
 /// (simultaneous passes iterate to a fixpoint; sequential sweeps in
-/// ascending key order).
+/// ascending key order). The ExecContext overload shards the simultaneous
+/// pass; sequential strategies always run serially.
 void apply_rule_k(const Graph& g, const PriorityKey& key, Strategy strategy,
                   DynBitset& marked);
+void apply_rule_k(const Graph& g, const PriorityKey& key, Strategy strategy,
+                  const ExecContext& ctx, DynBitset& marked);
 
-/// Marking process + Rule k in one call, mirroring compute_cds.
+/// Marking process + Rule k in one call, mirroring compute_cds. `ctx`
+/// shards the marking and Rule-k passes across its executor when set.
 [[nodiscard]] CdsResult compute_cds_rule_k(
     const Graph& g, KeyKind kind, const std::vector<double>& energy = {},
     Strategy strategy = Strategy::kSimultaneous,
-    CliquePolicy clique_policy = CliquePolicy::kNone);
+    CliquePolicy clique_policy = CliquePolicy::kNone,
+    const ExecContext& ctx = {});
 
 }  // namespace pacds

@@ -125,27 +125,59 @@ bool rule2_would_unmark(const Graph& g, const DynBitset& marked,
   return rule2_would_unmark(g, marked, key, form, v, scratch);
 }
 
+void simultaneous_rule1_pass_into(const Graph& g, const PriorityKey& key,
+                                  const DynBitset& marked, Executor* exec,
+                                  DynBitset& next) {
+  next = marked;
+  auto body = [&](std::size_t begin, std::size_t end, std::size_t /*lane*/) {
+    marked.for_each_set_in_range(begin, end, [&](std::size_t i) {
+      if (rule1_would_unmark(g, marked, key, static_cast<NodeId>(i))) {
+        next.reset(i);
+      }
+    });
+  };
+  run_sharded(exec, marked.size(), DynBitset::kWordBits, body);
+}
+
+void simultaneous_rule2_pass_into(const Graph& g, const PriorityKey& key,
+                                  Rule2Form form, const DynBitset& marked,
+                                  const ExecContext& ctx, DynBitset& next) {
+  next = marked;
+  const std::size_t lanes = ctx.lanes();
+  std::vector<std::vector<NodeId>> local_scratch;
+  std::vector<std::vector<NodeId>>* bufs;
+  if (ctx.workspace != nullptr) {
+    if (ctx.workspace->lane_neighbors.size() < lanes) {
+      ctx.workspace->lane_neighbors.resize(lanes);
+    }
+    bufs = &ctx.workspace->lane_neighbors;
+  } else {
+    local_scratch.resize(lanes);
+    bufs = &local_scratch;
+  }
+  auto body = [&](std::size_t begin, std::size_t end, std::size_t lane) {
+    std::vector<NodeId>& scratch = (*bufs)[lane];
+    marked.for_each_set_in_range(begin, end, [&](std::size_t i) {
+      if (rule2_would_unmark(g, marked, key, form, static_cast<NodeId>(i),
+                             scratch)) {
+        next.reset(i);
+      }
+    });
+  };
+  run_sharded(ctx.executor, marked.size(), DynBitset::kWordBits, body);
+}
+
 DynBitset simultaneous_rule1_pass(const Graph& g, const PriorityKey& key,
                                   const DynBitset& marked) {
-  DynBitset next = marked;
-  marked.for_each_set([&](std::size_t i) {
-    if (rule1_would_unmark(g, marked, key, static_cast<NodeId>(i))) {
-      next.reset(i);
-    }
-  });
+  DynBitset next;
+  simultaneous_rule1_pass_into(g, key, marked, nullptr, next);
   return next;
 }
 
 DynBitset simultaneous_rule2_pass(const Graph& g, const PriorityKey& key,
                                   Rule2Form form, const DynBitset& marked) {
-  DynBitset next = marked;
-  std::vector<NodeId> scratch;
-  marked.for_each_set([&](std::size_t i) {
-    if (rule2_would_unmark(g, marked, key, form, static_cast<NodeId>(i),
-                           scratch)) {
-      next.reset(i);
-    }
-  });
+  DynBitset next;
+  simultaneous_rule2_pass_into(g, key, form, marked, ExecContext{}, next);
   return next;
 }
 
@@ -176,16 +208,27 @@ void apply_sequential(const Graph& g, const PriorityKey& key,
 }  // namespace
 
 void apply_rules(const Graph& g, const PriorityKey& key,
-                 const RuleConfig& config, DynBitset& marked) {
+                 const RuleConfig& config, const ExecContext& ctx,
+                 DynBitset& marked) {
   switch (config.strategy) {
-    case Strategy::kSimultaneous:
+    case Strategy::kSimultaneous: {
+      CdsWorkspace local;
+      CdsWorkspace& ws = ctx.workspace != nullptr ? *ctx.workspace : local;
+      ExecContext pass_ctx = ctx;
+      pass_ctx.workspace = &ws;
+      // Stage double-buffering: build the next mark set in ws.stage, then
+      // swap buffers — no per-pass bitset allocation once ws is warm.
       if (config.use_rule1) {
-        marked = simultaneous_rule1_pass(g, key, marked);
+        simultaneous_rule1_pass_into(g, key, marked, ctx.executor, ws.stage);
+        std::swap(marked, ws.stage);
       }
       if (config.use_rule2) {
-        marked = simultaneous_rule2_pass(g, key, config.rule2_form, marked);
+        simultaneous_rule2_pass_into(g, key, config.rule2_form, marked,
+                                     pass_ctx, ws.stage);
+        std::swap(marked, ws.stage);
       }
       return;
+    }
     case Strategy::kSequential:
       apply_sequential(g, key, config, /*verified=*/false, marked);
       return;
@@ -193,6 +236,11 @@ void apply_rules(const Graph& g, const PriorityKey& key,
       apply_sequential(g, key, config, /*verified=*/true, marked);
       return;
   }
+}
+
+void apply_rules(const Graph& g, const PriorityKey& key,
+                 const RuleConfig& config, DynBitset& marked) {
+  apply_rules(g, key, config, ExecContext{}, marked);
 }
 
 }  // namespace pacds

@@ -26,6 +26,7 @@
 #include "core/graph.hpp"
 #include "core/keys.hpp"
 #include "core/marking.hpp"
+#include "core/workspace.hpp"
 
 namespace pacds {
 
@@ -125,8 +126,34 @@ struct RuleConfig {
                                                 Rule2Form form,
                                                 const DynBitset& marked);
 
+// Sharded/in-place variants. Every decision is evaluated against the frozen
+// input `marked`, so the node range can be split across executor workers and
+// the committed result is bit-identical to the serial pass for any thread
+// count (shards only clear bits inside their own word-aligned range of
+// `next`). `next` receives the new mark set; reusing a warm buffer makes the
+// pass allocation-free.
+
+void simultaneous_rule1_pass_into(const Graph& g, const PriorityKey& key,
+                                  const DynBitset& marked, Executor* exec,
+                                  DynBitset& next);
+
+/// Rule 2 needs a marked-neighbor buffer per concurrently running shard;
+/// `ctx.workspace` provides them keyed by executor lane (function-local
+/// buffers when null).
+void simultaneous_rule2_pass_into(const Graph& g, const PriorityKey& key,
+                                  Rule2Form form, const DynBitset& marked,
+                                  const ExecContext& ctx, DynBitset& next);
+
 /// Applies the configured rules to `marked` in place.
 void apply_rules(const Graph& g, const PriorityKey& key,
                  const RuleConfig& config, DynBitset& marked);
+
+/// As above, with explicit execution context. Only the simultaneous strategy
+/// shards across `ctx.executor` (its per-node decisions read frozen inputs);
+/// the sequential/verified strategies cascade removals immediately and
+/// therefore always run serially, executor or not — same results either way.
+void apply_rules(const Graph& g, const PriorityKey& key,
+                 const RuleConfig& config, const ExecContext& ctx,
+                 DynBitset& marked);
 
 }  // namespace pacds

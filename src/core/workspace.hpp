@@ -1,0 +1,50 @@
+#pragma once
+// Reusable scratch state for the CDS pipeline. One CdsWorkspace owned by a
+// long-lived engine turns every steady-state recomputation into a
+// zero-heap-allocation operation: stage double-buffers and the per-lane
+// marked-neighbor buffers are sized once on first use and only touched
+// (never reallocated) afterwards. The per-lane vectors pair with
+// Executor::run_chunks lane indices — concurrent chunks get distinct lanes,
+// so lock-free indexed access is safe.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+#include "core/parallel.hpp"
+
+namespace pacds {
+
+/// Scratch buffers threaded through compute_cds / apply_rules /
+/// IncrementalCds. Contents are clobbered by every pipeline call; only
+/// capacity persists.
+struct CdsWorkspace {
+  /// Per-executor-lane Rule 2 marked-neighbor buffers.
+  std::vector<std::vector<NodeId>> lane_neighbors;
+  /// Double buffer for simultaneous passes (next mark set under
+  /// construction).
+  DynBitset stage;
+
+  /// Ensures at least `lanes` neighbor buffers exist and `stage` ranges
+  /// over `nbits` bits (cleared). Allocation-free once warm at these sizes.
+  void prepare(std::size_t lanes, std::size_t nbits) {
+    if (lane_neighbors.size() < lanes) lane_neighbors.resize(lanes);
+    stage.resize_clear(nbits);
+  }
+};
+
+/// How a pipeline entry point should execute: which executor shards the
+/// node range (null = serial inline) and which workspace provides scratch
+/// (null = function-local buffers). Both referents are borrowed and must
+/// outlive the call.
+struct ExecContext {
+  Executor* executor = nullptr;
+  CdsWorkspace* workspace = nullptr;
+
+  [[nodiscard]] std::size_t lanes() const {
+    return executor != nullptr ? executor->max_lanes() : 1;
+  }
+};
+
+}  // namespace pacds

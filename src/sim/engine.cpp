@@ -1,12 +1,30 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 
 #include "core/rule_k.hpp"
 #include "net/geometric.hpp"
 
 namespace pacds {
+
+namespace {
+
+/// Resolves SimConfig::threads into an intra-interval pool. `threads` counts
+/// lanes *including* the calling thread (the caller always participates in
+/// sharded passes), so N lanes need a pool of N - 1 workers; 0 means one
+/// lane per hardware thread; 1 — and anything negative — stays serial.
+void make_interval_pool(int threads, std::optional<ThreadPool>& pool) {
+  std::size_t lanes = threads > 0 ? static_cast<std::size_t>(threads) : 1;
+  if (threads == 0) {
+    lanes = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (lanes > 1) pool.emplace(lanes - 1);
+}
+
+}  // namespace
 
 std::string to_string(SimEngine engine) {
   switch (engine) {
@@ -34,25 +52,28 @@ const std::vector<double>& quantize_key_levels(
 // ---- FullRebuildEngine -----------------------------------------------------
 
 FullRebuildEngine::FullRebuildEngine(const SimConfig& config)
-    : config_(config) {}
+    : config_(config) {
+  make_interval_pool(config_.threads, pool_);
+}
 
 void FullRebuildEngine::update(const std::vector<Vec2>& positions,
                                const std::vector<double>& levels) {
   const Graph g = build_links(positions, config_.radius, config_.link_model);
   const auto& keys =
       quantize_key_levels(levels, config_.energy_key_quantum, key_scratch_);
+  const ExecContext ctx{pool_ ? &*pool_ : nullptr, &workspace_};
   if (config_.custom_key && config_.use_rule_k) {
     cds_ = compute_cds_rule_k(g, *config_.custom_key, keys,
                               config_.cds_options.strategy,
-                              config_.cds_options.clique_policy);
+                              config_.cds_options.clique_policy, ctx);
   } else if (config_.custom_key) {
     RuleConfig rule_config;
     rule_config.rule2_form = config_.custom_rule2_form;
     rule_config.strategy = config_.cds_options.strategy;
     cds_ = compute_cds_custom(g, *config_.custom_key, rule_config, keys,
-                              config_.cds_options.clique_policy);
+                              config_.cds_options.clique_policy, ctx);
   } else {
-    cds_ = compute_cds(g, config_.rule_set, keys, config_.cds_options);
+    cds_ = compute_cds(g, config_.rule_set, keys, config_.cds_options, ctx);
   }
 }
 
@@ -70,6 +91,7 @@ IncrementalEngine::IncrementalEngine(const SimConfig& config)
         "IncrementalEngine: configuration not eligible (needs simultaneous "
         "strategy, no custom key, unit-disk links)");
   }
+  make_interval_pool(config_.threads, pool_);
 }
 
 void IncrementalEngine::initialize(const std::vector<Vec2>& positions,
@@ -88,7 +110,8 @@ void IncrementalEngine::initialize(const std::vector<Vec2>& positions,
   }
   cds_.emplace(std::move(g), config_.rule_set,
                uses_energy(config_.rule_set) ? keys : std::vector<double>{},
-               config_.cds_options);
+               config_.cds_options,
+               ExecContext{pool_ ? &*pool_ : nullptr, &workspace_});
 }
 
 void IncrementalEngine::extract_delta(const std::vector<Vec2>& positions) {

@@ -25,9 +25,11 @@
 
 #include "core/cds.hpp"
 #include "core/incremental.hpp"
+#include "core/workspace.hpp"
 #include "net/udg.hpp"
 #include "net/vec2.hpp"
 #include "sim/lifetime.hpp"
+#include "sim/threadpool.hpp"
 
 namespace pacds {
 
@@ -90,6 +92,9 @@ class FullRebuildEngine final : public LifetimeEngine {
   SimConfig config_;
   CdsResult cds_;
   std::vector<double> key_scratch_;
+  /// Intra-interval pool (config.threads != 1) + reusable pass scratch.
+  std::optional<ThreadPool> pool_;
+  CdsWorkspace workspace_;
 };
 
 /// Persistent-state fast path: spatial-grid edge deltas + IncrementalCds.
@@ -122,6 +127,10 @@ class IncrementalEngine final : public LifetimeEngine {
   /// owns the previous interval's positions and must not move them.
   std::vector<Vec2> prev_positions_;
   std::optional<SpatialGrid> grid_;
+  /// Intra-interval pool (config.threads != 1) + reusable pass scratch;
+  /// declared before cds_, which borrows both for its lifetime.
+  std::optional<ThreadPool> pool_;
+  CdsWorkspace workspace_;
   std::optional<IncrementalCds> cds_;
   // Steady-state scratch — reused, never reallocated after warm-up.
   EdgeDelta delta_;

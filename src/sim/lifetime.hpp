@@ -90,6 +90,14 @@ struct SimConfig {
   /// equivalence is asserted by tests/engine_equivalence_test.
   SimEngine engine = SimEngine::kAuto;
 
+  /// Worker threads for the CDS passes *inside* one interval (marking +
+  /// simultaneous rule passes, sharded deterministically — gateway sets are
+  /// bit-identical for every value; tests/parallel_equivalence_test).
+  /// 1 = serial (default), 0 = hardware concurrency, N > 1 = N workers.
+  /// Independent of the Monte-Carlo trial pool: a sweep of many trials
+  /// should parallelize across trials instead and keep this at 1.
+  int threads = 1;
+
   /// Placement retries before accepting a disconnected initial graph.
   int connect_retries = 500;
   /// Hard interval cap so degenerate configurations terminate.

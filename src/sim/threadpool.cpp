@@ -4,6 +4,36 @@
 
 namespace pacds {
 
+namespace {
+
+/// Shared state of one bulk (run_chunks / parallel_for) invocation. Lives on
+/// the caller's stack; helpers hold a pointer only while the caller blocks
+/// in bulk_run, so lifetime is guaranteed by the join.
+struct BulkState {
+  std::atomic<std::size_t> next{0};
+  std::size_t count = 0;
+  std::size_t chunk = 1;
+  ChunkFnRef body;
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t active_helpers = 0;
+
+  explicit BulkState(ChunkFnRef b) : body(b) {}
+};
+
+/// Claims chunks until the range is exhausted. `lane` is stable for the
+/// whole drain, so chunk bodies may use it to index scratch without locks.
+void drain_bulk(BulkState& state, std::size_t lane) {
+  while (true) {
+    const std::size_t begin =
+        state.next.fetch_add(state.chunk, std::memory_order_relaxed);
+    if (begin >= state.count) return;
+    state.body(begin, std::min(begin + state.chunk, state.count), lane);
+  }
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -24,6 +54,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
@@ -37,12 +68,59 @@ void ThreadPool::wait_idle() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::bulk_run(std::size_t count, std::size_t chunk,
+                          ChunkFnRef body) {
+  if (count == 0) return;
+  const std::size_t nchunks = (count + chunk - 1) / chunk;
+  if (nchunks <= 1 || workers_.empty()) {
+    body(0, count, 0);
+    return;
+  }
+  BulkState state(body);
+  state.count = count;
+  state.chunk = chunk;
+  // The caller takes lane 0 and one chunk for sure; at most one helper per
+  // remaining chunk is worth waking.
+  const std::size_t helpers = std::min(workers_.size(), nchunks - 1);
+  state.active_helpers = helpers;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([bulk = &state, lane = h + 1] {
+      drain_bulk(*bulk, lane);
+      // Notify while holding the mutex: the caller destroys *bulk as soon as
+      // its wait returns, and the wait cannot return before this unlock — so
+      // the cv is never touched after it may have died.
+      const std::lock_guard<std::mutex> lock(bulk->mutex);
+      --bulk->active_helpers;
+      bulk->done.notify_one();
+    });
+  }
+  drain_bulk(state, 0);
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.active_helpers == 0; });
+}
+
+void ThreadPool::run_chunks(std::size_t count, std::size_t align,
+                            ChunkFnRef body) {
+  if (align == 0) align = 1;
+  // Target a few chunks per lane: enough slack for dynamic balance, few
+  // enough that claim overhead stays invisible; then round the chunk up to
+  // the alignment so shards never split an output word.
+  const std::size_t lanes = max_lanes();
+  std::size_t chunk = (count + lanes * 4 - 1) / (lanes * 4);
+  chunk = std::max(chunk, std::size_t{1});
+  chunk = (chunk + align - 1) / align * align;
+  bulk_run(count, chunk, body);
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < count; ++i) {
-    submit([&fn, i] { fn(i); });
-  }
-  wait_idle();
+  auto body = [&fn](std::size_t begin, std::size_t end, std::size_t /*lane*/) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  };
+  // Chunk of 1: tasks like Monte-Carlo trials are few and long, so per-index
+  // claiming gives the best balance while still enqueueing at most
+  // thread_count() tasks.
+  bulk_run(count, 1, body);
 }
 
 void ThreadPool::worker_loop() {

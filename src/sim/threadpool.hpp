@@ -1,9 +1,19 @@
 #pragma once
-// Minimal fixed-size thread pool for the Monte-Carlo driver. Each trial is
-// seeded independently (net/rng.hpp), so trials are embarrassingly parallel;
-// the pool exists so sweeps scale with cores without any shared mutable
-// state inside the simulation itself.
+// Fixed-size thread pool with two execution paths:
+//
+//   submit()/wait_idle() — a plain task queue, used to spread independent
+//     Monte-Carlo trials across cores (each trial is seeded independently
+//     via net/rng.hpp, so there is no shared mutable state to protect).
+//
+//   run_chunks() — the core::Executor bulk path used *inside* one CDS
+//     computation: the index range is split into a handful of chunks which
+//     workers (and the calling thread) claim off a shared atomic counter.
+//     One queue task per participating worker, zero per-index allocations,
+//     and a distinct scratch lane per concurrent claimant. Chunk boundaries
+//     respect the requested alignment so bitset-writing shards never share
+//     an output word.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -12,16 +22,18 @@
 #include <thread>
 #include <vector>
 
+#include "core/parallel.hpp"
+
 namespace pacds {
 
-/// Fixed set of worker threads draining a task queue.
-class ThreadPool {
+/// Fixed set of worker threads draining a task queue; also an Executor.
+class ThreadPool final : public Executor {
  public:
   /// `threads == 0` means hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
 
   /// Drains remaining tasks, then joins the workers.
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -37,12 +49,38 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
-  /// Runs fn(i) for i in [0, count) across the pool and waits.
+  /// Runs fn(i) for i in [0, count) across the pool and waits. Work is
+  /// claimed in chunks off an atomic counter — the number of queued tasks is
+  /// bounded by the worker count, not by `count` (no per-index allocation or
+  /// queue round-trip; the probe below makes tests able to assert this).
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Total tasks ever placed on the queue (submit calls + bulk helper
+  /// tasks). Test probe for the chunking guarantee.
+  [[nodiscard]] std::size_t tasks_submitted() const noexcept {
+    return tasks_submitted_.load(std::memory_order_relaxed);
+  }
+
+  // ---- Executor ----------------------------------------------------------
+
+  /// Workers plus the participating caller.
+  [[nodiscard]] std::size_t max_lanes() const override {
+    return workers_.size() + 1;
+  }
+
+  /// Fork/join over [0, count): chunk size is a multiple of `align`
+  /// (targeting a few chunks per lane), chunks are claimed off an atomic
+  /// counter by up to thread_count() helper tasks plus the calling thread,
+  /// and each concurrent claimant holds a distinct lane id. Returns after
+  /// every chunk ran.
+  void run_chunks(std::size_t count, std::size_t align,
+                  ChunkFnRef body) override;
+
  private:
   void worker_loop();
+  /// Shared bulk path: runs `body` over [0, count) in `chunk`-sized pieces.
+  void bulk_run(std::size_t count, std::size_t chunk, ChunkFnRef body);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
@@ -51,6 +89,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::atomic<std::size_t> tasks_submitted_{0};
 };
 
 }  // namespace pacds

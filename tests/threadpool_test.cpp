@@ -66,6 +66,79 @@ TEST(ThreadPoolTest, SequentialReuse) {
   EXPECT_EQ(sum.load(), 45);
 }
 
+TEST(ThreadPoolTest, ParallelForSubmitsFarFewerTasksThanIndices) {
+  // The chunked path must not take one queue round-trip per index: 100k
+  // indices may enqueue at most one helper task per worker.
+  ThreadPool pool(4);
+  const std::size_t before = pool.tasks_submitted();
+  std::atomic<long> counter{0};
+  pool.parallel_for(100000, [&counter](std::size_t) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(counter.load(), 100000);
+  const std::size_t used = pool.tasks_submitted() - before;
+  EXPECT_LE(used, pool.thread_count());
+  EXPECT_LT(used, 1000u);  // ≪ index count, belt and braces
+}
+
+TEST(ThreadPoolTest, RunChunksCoversRangeWithAlignedBoundaries) {
+  ThreadPool pool(3);
+  constexpr std::size_t kCount = 1000;
+  constexpr std::size_t kAlign = 64;
+  std::vector<std::atomic<int>> hits(kCount);
+  std::atomic<bool> misaligned{false};
+  std::atomic<bool> bad_lane{false};
+  auto body = [&](std::size_t begin, std::size_t end, std::size_t lane) {
+    if (begin % kAlign != 0 || (end != kCount && end % kAlign != 0)) {
+      misaligned.store(true);
+    }
+    if (lane >= pool.max_lanes()) bad_lane.store(true);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  };
+  pool.run_chunks(kCount, kAlign, body);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_FALSE(misaligned.load());
+  EXPECT_FALSE(bad_lane.load());
+}
+
+TEST(ThreadPoolTest, RunChunksLanesAreExclusive) {
+  // Two chunks running concurrently never share a lane, so plain (non-atomic)
+  // per-lane accumulators must come out exact. TSAN builds additionally
+  // verify the absence of racing writes here.
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 4096;
+  std::vector<std::size_t> per_lane(pool.max_lanes(), 0);
+  auto body = [&per_lane](std::size_t begin, std::size_t end,
+                          std::size_t lane) {
+    per_lane[lane] += end - begin;
+  };
+  pool.run_chunks(kCount, 1, body);
+  std::size_t total = 0;
+  for (const std::size_t c : per_lane) total += c;
+  EXPECT_EQ(total, kCount);
+}
+
+TEST(ThreadPoolTest, RunChunksZeroCount) {
+  ThreadPool pool(2);
+  auto body = [](std::size_t, std::size_t, std::size_t) { FAIL(); };
+  pool.run_chunks(0, 64, body);
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SerialExecutorRunsInline) {
+  SerialExecutor exec;
+  EXPECT_EQ(exec.max_lanes(), 1u);
+  std::vector<int> hits(100, 0);
+  auto body = [&hits](std::size_t begin, std::size_t end, std::size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  };
+  exec.run_chunks(hits.size(), 8, body);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
 TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
   std::atomic<int> counter{0};
   {
