@@ -1,0 +1,159 @@
+// Assembles BENCH_lifetime.json from google-benchmark JSON outputs using the
+// repo's own JsonWriter/parse_json, so the committed numbers share one
+// serialization path with every other machine-readable artifact (and inherit
+// its round-trip double formatting). Replaces the inline python step that
+// tools/bench_json.sh used to carry.
+//
+// usage: bench_report <micro_cds.json> <micro_engine.json>
+//                     <micro_parallel.json> <output.json>
+//
+// The output's "baseline" section, when present in an existing output file,
+// is preserved verbatim so before/after comparisons survive regeneration.
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "io/json.hpp"
+#include "io/json_parse.hpp"
+
+namespace {
+
+using pacds::JsonValue;
+using pacds::JsonWriter;
+using pacds::parse_json;
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+double time_unit_scale(const std::string& unit) {
+  if (unit == "ns") return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  throw std::runtime_error("unknown time_unit '" + unit + "'");
+}
+
+/// name -> ns/op (rounded to 0.1 ns), in benchmark order.
+using NsPerOp = std::vector<std::pair<std::string, double>>;
+
+NsPerOp ns_per_op(const std::string& path) {
+  const JsonValue doc = parse_json(read_file(path));
+  const JsonValue* benchmarks = doc.find("benchmarks");
+  if (benchmarks == nullptr) {
+    throw std::runtime_error(path + ": no \"benchmarks\" array");
+  }
+  NsPerOp out;
+  for (const JsonValue& bench : benchmarks->as_array()) {
+    const JsonValue* name = bench.find("name");
+    const JsonValue* real_time = bench.find("real_time");
+    if (name == nullptr || real_time == nullptr) continue;
+    const JsonValue* unit = bench.find("time_unit");
+    const double scale =
+        unit != nullptr ? time_unit_scale(unit->as_string()) : 1.0;
+    out.emplace_back(name->as_string(),
+                     std::round(real_time->as_number() * scale * 10.0) / 10.0);
+  }
+  return out;
+}
+
+double lookup(const NsPerOp& table, const std::string& name) {
+  for (const auto& [key, value] : table) {
+    if (key == name) return value;
+  }
+  return 0.0;
+}
+
+void write_table(JsonWriter& json, const NsPerOp& table) {
+  json.begin_object();
+  for (const auto& [name, value] : table) json.key(name).value(value);
+  json.end_object();
+}
+
+void write_speedup(JsonWriter& json, const std::string& key, double numer,
+                   double denom) {
+  if (numer <= 0.0 || denom <= 0.0) return;
+  json.key(key).value(std::round(numer / denom * 100.0) / 100.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 5) {
+    std::cerr << "usage: bench_report <cds.json> <engine.json> "
+                 "<parallel.json> <output.json>\n";
+    return 2;
+  }
+  try {
+    const NsPerOp rule_pass = ns_per_op(argv[1]);
+    const NsPerOp engine = ns_per_op(argv[2]);
+    const NsPerOp parallel = ns_per_op(argv[3]);
+    const std::string out_path = argv[4];
+
+    // Preserve the previous baseline section, if the file parses.
+    JsonValue baseline{pacds::JsonObject{}};
+    try {
+      const JsonValue previous = parse_json(read_file(out_path));
+      if (const JsonValue* section = previous.find("baseline")) {
+        baseline = *section;
+      }
+    } catch (const std::exception&) {
+      // First generation or unreadable previous file: empty baseline.
+    }
+
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+    JsonWriter json(out, 2);
+    json.begin_object();
+    json.key("_comment")
+        .value("ns per op; regenerate with: cmake --build build --target "
+               "bench_json");
+    json.key("baseline");
+    write_json(json, baseline);
+    json.key("rule_pass_ns");
+    write_table(json, rule_pass);
+    json.key("engine_interval_ns");
+    write_table(json, engine);
+    // Thread sweep of the sharded intra-interval pipeline (micro_parallel):
+    // BM_ComputeCdsLanes/<n>/<lanes> and BM_IntervalThreads/<n>/<threads>.
+    // host_cpus records how many cores the measuring host actually had —
+    // speedup is only physically possible beyond 1.
+    json.key("parallel_interval_ns");
+    write_table(json, parallel);
+    json.key("host_cpus")
+        .value(static_cast<int>(std::thread::hardware_concurrency()));
+    for (const int stay : {98, 95}) {
+      const std::string suffix = "/800/" + std::to_string(stay);
+      write_speedup(json,
+                    "speedup_incremental_n800_stay" + std::to_string(stay),
+                    lookup(engine, "BM_IntervalFullRebuild" + suffix),
+                    lookup(engine, "BM_IntervalIncremental" + suffix));
+    }
+    for (const int n : {400, 800}) {
+      const std::string stem = "BM_IntervalThreads/" + std::to_string(n);
+      write_speedup(json, "speedup_threads8_n" + std::to_string(n),
+                    lookup(parallel, stem + "/1"),
+                    lookup(parallel, stem + "/8"));
+    }
+    json.end_object();
+    out << "\n";
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_report: " << e.what() << "\n";
+    return 1;
+  }
+}

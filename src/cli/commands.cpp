@@ -18,8 +18,11 @@
 #include "io/table.hpp"
 #include "net/rng.hpp"
 #include "net/topology.hpp"
+#include "io/csv.hpp"
+#include "obs/jsonl.hpp"
 #include "routing/routing.hpp"
 #include "sim/engine.hpp"
+#include "sim/experiment.hpp"
 #include "sim/montecarlo.hpp"
 
 namespace pacds::cli {
@@ -124,6 +127,36 @@ std::optional<KeyKind> parse_key(const std::string& name) {
   if (name == "EL1") return KeyKind::kEnergyId;
   if (name == "EL2") return KeyKind::kEnergyDegreeId;
   return std::nullopt;
+}
+
+/// Parses --scheme for the simulation commands: "all" or one scheme name.
+std::optional<std::vector<RuleSet>> parse_scheme_list(const std::string& name,
+                                                      std::ostream& err) {
+  std::vector<RuleSet> schemes;
+  if (name == "all") {
+    schemes.assign(std::begin(kAllRuleSets), std::end(kAllRuleSets));
+    return schemes;
+  }
+  if (const auto rs = parse_scheme(name)) {
+    schemes.push_back(*rs);
+    return schemes;
+  }
+  err << "error: unknown scheme '" << name << "'\n";
+  return std::nullopt;
+}
+
+/// Opens --metrics when given; a default-constructed sink stays detached.
+/// Returns false when the path cannot be opened for writing.
+bool open_metrics(const std::string& path, std::ofstream& file,
+                  std::optional<obs::JsonlSink>& sink, std::ostream& err) {
+  if (path.empty()) return true;
+  file.open(path);
+  if (!file) {
+    err << "error: cannot write " << path << "\n";
+    return false;
+  }
+  sink.emplace(file);
+  return true;
 }
 
 }  // namespace
@@ -345,6 +378,10 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
                     "(1 = serial, 0 = all cores); results are identical for "
                     "every value",
                     "1");
+  parser.add_option("metrics",
+                    "stream JSONL metrics to this file (one run manifest per "
+                    "scheme + one record per interval)",
+                    "");
   parser.add_flag("help", "show usage");
   if (!parser.parse(tokens)) {
     err << "error: " << parser.error() << "\n" << parser.usage();
@@ -395,31 +432,157 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
     return 2;
   }
 
-  std::vector<RuleSet> schemes;
-  const std::string scheme = parser.option("scheme");
-  if (scheme == "all") {
-    schemes.assign(std::begin(kAllRuleSets), std::end(kAllRuleSets));
-  } else if (const auto rs = parse_scheme(scheme)) {
-    schemes.push_back(*rs);
-  } else {
-    err << "error: unknown scheme '" << scheme << "'\n";
-    return 2;
+  const auto schemes = parse_scheme_list(parser.option("scheme"), err);
+  if (!schemes) return 2;
+
+  std::ofstream metrics_file;
+  std::optional<obs::JsonlSink> metrics;
+  if (!open_metrics(parser.option("metrics"), metrics_file, metrics, err)) {
+    return 1;
   }
 
   out << "lifetime simulation: n=" << *n << ", "
       << to_string(config.drain_model) << ", " << *trials << " trials\n";
   TextTable table({"scheme", "lifetime", "±95%", "avg |G'|"});
   table.set_align(0, Align::kLeft);
-  for (const RuleSet rs : schemes) {
+  for (const RuleSet rs : *schemes) {
     config.rule_set = rs;
     const LifetimeSummary s = run_lifetime_trials(
         config, static_cast<std::size_t>(*trials),
-        static_cast<std::uint64_t>(*seed));
+        static_cast<std::uint64_t>(*seed), nullptr,
+        metrics ? &*metrics : nullptr);
     table.add_row({to_string(rs), TextTable::fmt(s.intervals.mean),
                    TextTable::fmt(s.intervals.ci95),
                    TextTable::fmt(s.avg_gateways.mean)});
   }
   table.print(out);
+  if (metrics) {
+    out << "wrote " << metrics->records() << " metrics records to "
+        << parser.option("metrics") << "\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
+              std::ostream& err) {
+  ArgParser parser("pacds sweep",
+                   "sweep host count x scheme (the figure harness)");
+  parser.add_option("hosts",
+                    "comma-separated host counts, or 'paper' (3..100) / "
+                    "'quick' (10,30,50,80)",
+                    "quick");
+  parser.add_option("scheme", "NR | ID | ND | EL1 | EL2 | all", "all");
+  parser.add_option("trials", "Monte-Carlo trials per (n, scheme) point",
+                    "10");
+  parser.add_option("model", "gateway drain model: 1 (d=2/|G'|), "
+                             "2 (d=N/|G'|), 3 (d=N(N-1)/2/(10|G'|))", "2");
+  parser.add_option("seed", "base RNG seed", "2001");
+  parser.add_option("strategy", "sequential | simultaneous | verified",
+                    "sequential");
+  parser.add_option("jobs",
+                    "worker threads for the Monte-Carlo trial pool "
+                    "(1 = serial, 0 = all cores); per-trial interval "
+                    "parallelism is forced off under a pool",
+                    "1");
+  parser.add_option("csv", "write the sweep table as CSV to this file", "");
+  parser.add_option("metrics",
+                    "stream JSONL metrics to this file (one run manifest per "
+                    "(n, scheme) point + one record per interval)",
+                    "");
+  parser.add_flag("ci", "add ±95% confidence columns to the tables");
+  parser.add_flag("help", "show usage");
+  if (!parser.parse(tokens)) {
+    err << "error: " << parser.error() << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.flag("help")) {
+    out << parser.usage();
+    return 0;
+  }
+  const auto trials = parser.option_int("trials");
+  const auto model = parser.option_int("model");
+  const auto seed = parser.option_int("seed");
+  const auto jobs = parser.option_int("jobs");
+  if (!trials || *trials < 1 || !model || *model < 1 || *model > 3 || !seed ||
+      !jobs || *jobs < 0) {
+    err << "error: bad numeric option\n" << parser.usage();
+    return 2;
+  }
+  const auto strategy = parse_strategy(parser.option("strategy"));
+  if (!strategy) {
+    err << "error: unknown strategy '" << parser.option("strategy") << "'\n";
+    return 2;
+  }
+  const auto schemes = parse_scheme_list(parser.option("scheme"), err);
+  if (!schemes) return 2;
+
+  SweepConfig sweep;
+  const std::string hosts = parser.option("hosts");
+  if (hosts == "paper") {
+    sweep.host_counts = paper_host_counts();
+  } else if (hosts == "quick") {
+    sweep.host_counts = quick_host_counts();
+  } else {
+    std::istringstream list(hosts);
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      try {
+        const int n = std::stoi(item);
+        if (n < 1) throw std::invalid_argument(item);
+        sweep.host_counts.push_back(n);
+      } catch (const std::exception&) {
+        err << "error: bad --hosts entry '" << item << "'\n";
+        return 2;
+      }
+    }
+    if (sweep.host_counts.empty()) {
+      err << "error: --hosts needs at least one host count\n";
+      return 2;
+    }
+  }
+  sweep.schemes = *schemes;
+  sweep.trials = static_cast<std::size_t>(*trials);
+  sweep.base_seed = static_cast<std::uint64_t>(*seed);
+  sweep.base.drain_model = *model == 1   ? DrainModel::kConstantTotal
+                           : *model == 2 ? DrainModel::kLinearTotal
+                                         : DrainModel::kQuadraticTotal;
+  sweep.base.cds_options.strategy = *strategy;
+
+  std::ofstream metrics_file;
+  std::optional<obs::JsonlSink> metrics;
+  if (!open_metrics(parser.option("metrics"), metrics_file, metrics, err)) {
+    return 1;
+  }
+  std::optional<ThreadPool> pool;
+  if (*jobs != 1) {
+    pool.emplace(*jobs == 0 ? 0 : static_cast<std::size_t>(*jobs));
+  }
+
+  out << "sweep: " << sweep.host_counts.size() << " host counts x "
+      << sweep.schemes.size() << " schemes, "
+      << to_string(sweep.base.drain_model) << ", " << sweep.trials
+      << " trials each\n";
+  const SweepResult result =
+      run_sweep(sweep, pool ? &*pool : nullptr, metrics ? &*metrics : nullptr);
+  out << "\nlifetime (intervals to first death):\n";
+  sweep_table(result, SweepMetric::kLifetime, parser.flag("ci")).print(out);
+  out << "\nmean gateway count:\n";
+  sweep_table(result, SweepMetric::kGatewayCount, parser.flag("ci"))
+      .print(out);
+
+  const std::string csv_path = parser.option("csv");
+  if (!csv_path.empty()) {
+    if (!write_csv_file(csv_path, sweep_csv_header(result),
+                        sweep_csv_rows(result, SweepMetric::kLifetime))) {
+      err << "error: cannot write " << csv_path << "\n";
+      return 1;
+    }
+    out << "\nwrote " << csv_path << "\n";
+  }
+  if (metrics) {
+    out << "wrote " << metrics->records() << " metrics records to "
+        << parser.option("metrics") << "\n";
+  }
   return 0;
 }
 
@@ -431,7 +594,8 @@ std::string main_usage() {
          "  cds     compute a gateway set (schemes NR/ID/ND/EL1/EL2/RULEK)\n"
          "  info    structural statistics of a network\n"
          "  route   route a packet through the gateway backbone\n"
-         "  sim     run the paper's lifetime simulation\n\n"
+         "  sim     run the paper's lifetime simulation\n"
+         "  sweep   sweep host count x scheme (the figure harness)\n\n"
          "run 'pacds <command> --help' for command options\n";
 }
 
@@ -447,6 +611,7 @@ int run(const std::vector<std::string>& tokens, std::ostream& out,
   if (command == "info") return cmd_info(rest, out, err);
   if (command == "route") return cmd_route(rest, out, err);
   if (command == "sim") return cmd_sim(rest, out, err);
+  if (command == "sweep") return cmd_sweep(rest, out, err);
   err << "error: unknown command '" << command << "'\n\n" << main_usage();
   return 2;
 }

@@ -6,6 +6,7 @@
 //   pacds info   — structural stats of a graph (components, cuts, ...)
 //   pacds route  — route a packet through the backbone
 //   pacds sim    — run the paper's lifetime simulation
+//   pacds sweep  — host-count x scheme sweep (the figure harness)
 //
 // Each command returns a process exit code (0 = success).
 
@@ -27,6 +28,8 @@ int cmd_route(const std::vector<std::string>& tokens, std::ostream& out,
               std::ostream& err);
 int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
             std::ostream& err);
+int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
+              std::ostream& err);
 
 /// Top-level usage text.
 [[nodiscard]] std::string main_usage();

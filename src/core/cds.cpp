@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace pacds {
 
 std::string to_string(RuleSet rs) {
@@ -60,12 +62,23 @@ CdsResult compute_cds_custom(const Graph& g, KeyKind kind,
   const PriorityKey key(kind, g, needs_energy ? &energy : nullptr);
 
   CdsResult result;
-  marking_process_into(g, ctx.executor, result.marked_only);
+  {
+    const obs::PhaseTimer timer(ctx.metrics, obs::Phase::kMarking);
+    marking_process_into(g, ctx.executor, result.marked_only);
+  }
   result.marked_count = result.marked_only.count();
   result.gateways = result.marked_only;
-  apply_rules(g, key, config, ctx, result.gateways);
-  apply_clique_policy(g, key, clique_policy, result.gateways);
+  {
+    const obs::PhaseTimer timer(ctx.metrics, obs::Phase::kRules);
+    apply_rules(g, key, config, ctx, result.gateways);
+    apply_clique_policy(g, key, clique_policy, result.gateways);
+  }
   result.gateway_count = result.gateways.count();
+  if (ctx.metrics != nullptr) {
+    ctx.metrics->add(obs::Counter::kFullRefreshes);
+    ctx.metrics->add(obs::Counter::kNodesTouched,
+                     static_cast<std::uint64_t>(g.num_nodes()));
+  }
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace pacds {
 
 IncrementalCds::IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy,
@@ -46,6 +48,7 @@ void IncrementalCds::propagate() {
     last_touched_ = 0;
     return;
   }
+  const obs::PhaseTimer timer(exec_.metrics, obs::Phase::kDeltaApply);
   const bool needs_energy = uses_energy(rule_set_);
   const PriorityKey key(key_kind_of(rule_set_), graph_,
                         needs_energy ? &energy_ : nullptr);
@@ -111,6 +114,10 @@ void IncrementalCds::propagate() {
   gateways_ = final_;
   apply_clique_policy(graph_, key, options_.clique_policy, gateways_);
   last_touched_ = touched_.count();
+  if (exec_.metrics != nullptr) {
+    exec_.metrics->add(obs::Counter::kLocalizedUpdates);
+    exec_.metrics->add(obs::Counter::kNodesTouched, last_touched_);
+  }
   dirty_rows_.reset_all();
   dirty_keys_.reset_all();
 }
@@ -124,21 +131,31 @@ void IncrementalCds::full_refresh() {
   const bool needs_energy = uses_energy(rule_set_);
   const PriorityKey key(key_kind_of(rule_set_), graph_,
                         needs_energy ? &energy_ : nullptr);
-  marking_process_into(graph_, exec_.executor, marked_only_);
-  if (rule_set_ == RuleSet::kNR) {
-    after_rule1_ = marked_only_;
-    final_ = marked_only_;
-  } else {
-    ExecContext pass_ctx = exec_;
-    pass_ctx.workspace = &workspace();
-    simultaneous_rule1_pass_into(graph_, key, marked_only_, exec_.executor,
-                                 after_rule1_);
-    simultaneous_rule2_pass_into(graph_, key, rule2_form_of(rule_set_),
-                                 after_rule1_, pass_ctx, final_);
+  {
+    const obs::PhaseTimer timer(exec_.metrics, obs::Phase::kMarking);
+    marking_process_into(graph_, exec_.executor, marked_only_);
   }
-  gateways_ = final_;
-  apply_clique_policy(graph_, key, options_.clique_policy, gateways_);
+  {
+    const obs::PhaseTimer timer(exec_.metrics, obs::Phase::kRules);
+    if (rule_set_ == RuleSet::kNR) {
+      after_rule1_ = marked_only_;
+      final_ = marked_only_;
+    } else {
+      ExecContext pass_ctx = exec_;
+      pass_ctx.workspace = &workspace();
+      simultaneous_rule1_pass_into(graph_, key, marked_only_, exec_.executor,
+                                   after_rule1_);
+      simultaneous_rule2_pass_into(graph_, key, rule2_form_of(rule_set_),
+                                   after_rule1_, pass_ctx, final_);
+    }
+    gateways_ = final_;
+    apply_clique_policy(graph_, key, options_.clique_policy, gateways_);
+  }
   last_touched_ = static_cast<std::size_t>(graph_.num_nodes());
+  if (exec_.metrics != nullptr) {
+    exec_.metrics->add(obs::Counter::kFullRefreshes);
+    exec_.metrics->add(obs::Counter::kNodesTouched, last_touched_);
+  }
   dirty_rows_.reset_all();
   dirty_keys_.reset_all();
 }

@@ -108,6 +108,13 @@ class IncrementalCds {
   /// Full recomputation from scratch (also used internally).
   void full_refresh();
 
+  /// Points subsequent updates at a metrics registry (null detaches).
+  /// Phase timings (marking/rules/delta_apply) and touched-node counters
+  /// record into it; recording with a registry attached allocates nothing.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    exec_.metrics = metrics;
+  }
+
  private:
   /// Mutates the graph per `delta` (validating it) and accumulates the
   /// endpoints into dirty_rows_.

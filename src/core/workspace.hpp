@@ -16,6 +16,10 @@
 
 namespace pacds {
 
+namespace obs {
+class MetricsRegistry;  // full definition in obs/metrics.hpp
+}
+
 /// Scratch buffers threaded through compute_cds / apply_rules /
 /// IncrementalCds. Contents are clobbered by every pipeline call; only
 /// capacity persists.
@@ -35,12 +39,14 @@ struct CdsWorkspace {
 };
 
 /// How a pipeline entry point should execute: which executor shards the
-/// node range (null = serial inline) and which workspace provides scratch
-/// (null = function-local buffers). Both referents are borrowed and must
-/// outlive the call.
+/// node range (null = serial inline), which workspace provides scratch
+/// (null = function-local buffers), and which metrics registry receives
+/// phase timings and counters (null = record nothing, pay nothing). All
+/// referents are borrowed and must outlive the call.
 struct ExecContext {
   Executor* executor = nullptr;
   CdsWorkspace* workspace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 
   [[nodiscard]] std::size_t lanes() const {
     return executor != nullptr ? executor->max_lanes() : 1;

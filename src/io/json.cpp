@@ -1,8 +1,9 @@
 #include "io/json.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 
 namespace pacds {
@@ -33,6 +34,11 @@ std::string JsonWriter::escape(const std::string& text) {
   return out;
 }
 
+void JsonWriter::newline_pad(std::size_t depth) {
+  *os_ << '\n';
+  for (std::size_t i = 0; i < indent_ * depth; ++i) *os_ << ' ';
+}
+
 void JsonWriter::before_value() {
   if (top_level_done_) {
     throw std::logic_error("JsonWriter: document already complete");
@@ -43,6 +49,7 @@ void JsonWriter::before_value() {
   }
   if (stack_.back() == Scope::kArray) {
     if (!first_in_scope_.back()) *os_ << ',';
+    if (indent_ > 0) newline_pad(stack_.size());
     first_in_scope_.back() = false;
   }
   key_pending_ = false;
@@ -66,6 +73,7 @@ JsonWriter& JsonWriter::end_object() {
   if (stack_.empty() || stack_.back() != Scope::kObject || key_pending_) {
     throw std::logic_error("JsonWriter: unbalanced end_object");
   }
+  if (indent_ > 0 && !first_in_scope_.back()) newline_pad(stack_.size() - 1);
   *os_ << '}';
   stack_.pop_back();
   first_in_scope_.pop_back();
@@ -85,6 +93,7 @@ JsonWriter& JsonWriter::end_array() {
   if (stack_.empty() || stack_.back() != Scope::kArray) {
     throw std::logic_error("JsonWriter: unbalanced end_array");
   }
+  if (indent_ > 0 && !first_in_scope_.back()) newline_pad(stack_.size() - 1);
   *os_ << ']';
   stack_.pop_back();
   first_in_scope_.pop_back();
@@ -97,8 +106,9 @@ JsonWriter& JsonWriter::key(const std::string& name) {
     throw std::logic_error("JsonWriter: key outside object");
   }
   if (!first_in_scope_.back()) *os_ << ',';
+  if (indent_ > 0) newline_pad(stack_.size());
   first_in_scope_.back() = false;
-  *os_ << '"' << escape(name) << "\":";
+  *os_ << '"' << escape(name) << (indent_ > 0 ? "\": " : "\":");
   key_pending_ = true;
   return *this;
 }
@@ -112,14 +122,25 @@ JsonWriter& JsonWriter::value(const char* text) {
   return value(std::string(text));
 }
 
+std::string JsonWriter::format_double(double number) {
+  // Shortest %g form that survives a strtod round trip. Default stream
+  // precision (6 significant digits) silently truncated bench timings and
+  // CI half-widths; max_digits10 (17) always round-trips but is noisy, so
+  // probe upward and stop at the first exact representation.
+  char buf[32];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, number);
+    if (std::strtod(buf, nullptr) == number) break;
+  }
+  return buf;
+}
+
 JsonWriter& JsonWriter::value(double number) {
   if (!std::isfinite(number)) {
     null();  // JSON has no NaN/Inf
     return *this;
   }
-  std::ostringstream tmp;
-  tmp << number;
-  raw(tmp.str());
+  raw(format_double(number));
   return *this;
 }
 

@@ -3,6 +3,7 @@
 // commas inserted automatically, strings escaped per RFC 8259. Lets the
 // CLI emit machine-readable output (--json) without a dependency.
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -18,9 +19,19 @@ namespace pacds {
 ///   json.end_object();
 /// Misuse (value without key inside an object, unbalanced end_*) throws
 /// std::logic_error.
+///
+/// `indent` > 0 pretty-prints (one member per line, `indent` spaces per
+/// nesting level, empty containers stay "{}"/"[]"); 0 emits compact
+/// single-line JSON. Doubles are formatted with the shortest decimal form
+/// that round-trips exactly, so no precision is lost on re-parse.
 class JsonWriter {
  public:
-  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+  explicit JsonWriter(std::ostream& os, unsigned indent = 0)
+      : os_(&os), indent_(indent) {}
+
+  /// Shortest decimal string that strtod parses back to exactly `number`
+  /// (non-finite values are the caller's problem; value(double) emits null).
+  [[nodiscard]] static std::string format_double(double number);
 
   JsonWriter& begin_object();
   JsonWriter& end_object();
@@ -49,8 +60,10 @@ class JsonWriter {
 
   void before_value();
   void raw(const std::string& text);
+  void newline_pad(std::size_t depth);
 
   std::ostream* os_;
+  unsigned indent_ = 0;
   std::vector<Scope> stack_;
   std::vector<bool> first_in_scope_;
   bool key_pending_ = false;

@@ -1,0 +1,31 @@
+#include "obs/jsonl.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace pacds::obs {
+
+void JsonlSink::record(const std::function<void(JsonWriter&)>& fill) {
+  JsonWriter json(*os_);
+  json.begin_object();
+  fill(json);
+  json.end_object();
+  if (!json.complete()) {
+    throw std::logic_error("JsonlSink: record left the object unbalanced");
+  }
+  *os_ << '\n';
+  ++records_;
+}
+
+void JsonlSink::splice(const std::string& lines) {
+  if (lines.empty()) return;
+  if (lines.back() != '\n') {
+    throw std::logic_error("JsonlSink: spliced text must end with a newline");
+  }
+  *os_ << lines;
+  records_ += static_cast<std::size_t>(
+      std::count(lines.begin(), lines.end(), '\n'));
+}
+
+}  // namespace pacds::obs

@@ -1,0 +1,41 @@
+#pragma once
+// JSONL (JSON Lines) emitter: one self-contained JSON object per line,
+// written through the repo's streaming JsonWriter so every machine-readable
+// artifact shares one serialization path. Each record() call builds exactly
+// one balanced object and appends the newline; an unbalanced fill callback
+// is a logic error, caught before the newline is written.
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "io/json.hpp"
+
+namespace pacds::obs {
+
+/// Appends JSONL records to a stream. Not thread-safe; writers that run
+/// under a pool buffer into a private string-backed sink and splice() the
+/// finished lines in deterministic order afterwards.
+class JsonlSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(&os) {}
+
+  /// Emits one record: opens an object, hands the writer to `fill` (which
+  /// emits key/value pairs), closes it, appends '\n'. Throws std::logic_error
+  /// if `fill` leaves the object unbalanced.
+  void record(const std::function<void(JsonWriter&)>& fill);
+
+  /// Appends pre-serialized JSONL text verbatim (must be zero or more
+  /// complete '\n'-terminated lines, e.g. another sink's buffered output).
+  void splice(const std::string& lines);
+
+  /// Number of records (lines) emitted so far.
+  [[nodiscard]] std::size_t records() const noexcept { return records_; }
+
+ private:
+  std::ostream* os_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace pacds::obs

@@ -1,0 +1,30 @@
+#include "obs/metrics.hpp"
+
+namespace pacds::obs {
+
+const char* phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kLinkBuild: return "link_build";
+    case Phase::kMarking: return "marking";
+    case Phase::kRules: return "rules";
+    case Phase::kDeltaExtract: return "delta_extract";
+    case Phase::kDeltaApply: return "delta_apply";
+    case Phase::kCount_: break;
+  }
+  return "unknown";
+}
+
+const char* counter_name(Counter counter) noexcept {
+  switch (counter) {
+    case Counter::kNodesTouched: return "nodes_touched";
+    case Counter::kPoolTasksSubmitted: return "pool_tasks_submitted";
+    case Counter::kEdgesAdded: return "edges_added";
+    case Counter::kEdgesRemoved: return "edges_removed";
+    case Counter::kFullRefreshes: return "full_refreshes";
+    case Counter::kLocalizedUpdates: return "localized_updates";
+    case Counter::kCount_: break;
+  }
+  return "unknown";
+}
+
+}  // namespace pacds::obs

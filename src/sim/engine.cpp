@@ -58,23 +58,34 @@ FullRebuildEngine::FullRebuildEngine(const SimConfig& config)
 
 void FullRebuildEngine::update(const std::vector<Vec2>& positions,
                                const std::vector<double>& levels) {
-  const Graph g = build_links(positions, config_.radius, config_.link_model);
-  const auto& keys =
-      quantize_key_levels(levels, config_.energy_key_quantum, key_scratch_);
-  const ExecContext ctx{pool_ ? &*pool_ : nullptr, &workspace_};
-  if (config_.custom_key && config_.use_rule_k) {
-    cds_ = compute_cds_rule_k(g, *config_.custom_key, keys,
-                              config_.cds_options.strategy,
-                              config_.cds_options.clique_policy, ctx);
-  } else if (config_.custom_key) {
-    RuleConfig rule_config;
-    rule_config.rule2_form = config_.custom_rule2_form;
-    rule_config.strategy = config_.cds_options.strategy;
-    cds_ = compute_cds_custom(g, *config_.custom_key, rule_config, keys,
-                              config_.cds_options.clique_policy, ctx);
-  } else {
-    cds_ = compute_cds(g, config_.rule_set, keys, config_.cds_options, ctx);
-  }
+  with_pool_accounting(pool_, [&] {
+    std::optional<Graph> g;
+    {
+      const obs::PhaseTimer timer(metrics_, obs::Phase::kLinkBuild);
+      g.emplace(build_links(positions, config_.radius, config_.link_model));
+    }
+    const auto& keys =
+        quantize_key_levels(levels, config_.energy_key_quantum, key_scratch_);
+    const ExecContext ctx{pool_ ? &*pool_ : nullptr, &workspace_, metrics_};
+    if (config_.custom_key && config_.use_rule_k) {
+      cds_ = compute_cds_rule_k(*g, *config_.custom_key, keys,
+                                config_.cds_options.strategy,
+                                config_.cds_options.clique_policy, ctx);
+      if (metrics_ != nullptr) {
+        metrics_->add(obs::Counter::kFullRefreshes);
+        metrics_->add(obs::Counter::kNodesTouched,
+                      static_cast<std::uint64_t>(g->num_nodes()));
+      }
+    } else if (config_.custom_key) {
+      RuleConfig rule_config;
+      rule_config.rule2_form = config_.custom_rule2_form;
+      rule_config.strategy = config_.cds_options.strategy;
+      cds_ = compute_cds_custom(*g, *config_.custom_key, rule_config, keys,
+                                config_.cds_options.clique_policy, ctx);
+    } else {
+      cds_ = compute_cds(*g, config_.rule_set, keys, config_.cds_options, ctx);
+    }
+  });
 }
 
 std::size_t FullRebuildEngine::last_touched() const {
@@ -96,22 +107,26 @@ IncrementalEngine::IncrementalEngine(const SimConfig& config)
 
 void IncrementalEngine::initialize(const std::vector<Vec2>& positions,
                                    const std::vector<double>& keys) {
-  prev_positions_ = positions;
-  grid_.emplace(prev_positions_,
-                config_.radius > 0.0 ? config_.radius : 1.0);
-  const auto n = static_cast<NodeId>(positions.size());
-  Graph g(n);
-  for (NodeId u = 0; u < n; ++u) {
-    grid_->query_into(positions[static_cast<std::size_t>(u)], config_.radius,
-                      u, nbrs_);
-    for (const NodeId v : nbrs_) {
-      if (v > u) g.add_edge(u, v);
+  std::optional<Graph> links;
+  {
+    const obs::PhaseTimer timer(metrics_, obs::Phase::kLinkBuild);
+    prev_positions_ = positions;
+    grid_.emplace(prev_positions_,
+                  config_.radius > 0.0 ? config_.radius : 1.0);
+    const auto n = static_cast<NodeId>(positions.size());
+    links.emplace(n);
+    for (NodeId u = 0; u < n; ++u) {
+      grid_->query_into(positions[static_cast<std::size_t>(u)], config_.radius,
+                        u, nbrs_);
+      for (const NodeId v : nbrs_) {
+        if (v > u) links->add_edge(u, v);
+      }
     }
   }
-  cds_.emplace(std::move(g), config_.rule_set,
+  cds_.emplace(std::move(*links), config_.rule_set,
                uses_energy(config_.rule_set) ? keys : std::vector<double>{},
                config_.cds_options,
-               ExecContext{pool_ ? &*pool_ : nullptr, &workspace_});
+               ExecContext{pool_ ? &*pool_ : nullptr, &workspace_, metrics_});
 }
 
 void IncrementalEngine::extract_delta(const std::vector<Vec2>& positions) {
@@ -160,14 +175,23 @@ void IncrementalEngine::extract_delta(const std::vector<Vec2>& positions) {
 
 void IncrementalEngine::update(const std::vector<Vec2>& positions,
                                const std::vector<double>& levels) {
-  const auto& keys =
-      quantize_key_levels(levels, config_.energy_key_quantum, key_scratch_);
-  if (!cds_) {
-    initialize(positions, keys);
-    return;
-  }
-  extract_delta(positions);
-  cds_->advance(delta_, keys);
+  with_pool_accounting(pool_, [&] {
+    const auto& keys =
+        quantize_key_levels(levels, config_.energy_key_quantum, key_scratch_);
+    if (!cds_) {
+      initialize(positions, keys);
+      return;
+    }
+    {
+      const obs::PhaseTimer timer(metrics_, obs::Phase::kDeltaExtract);
+      extract_delta(positions);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->add(obs::Counter::kEdgesAdded, delta_.added.size());
+      metrics_->add(obs::Counter::kEdgesRemoved, delta_.removed.size());
+    }
+    cds_->advance(delta_, keys);
+  });
 }
 
 // ---- Selection -------------------------------------------------------------
@@ -191,6 +215,18 @@ std::unique_ptr<LifetimeEngine> make_lifetime_engine(const SimConfig& config) {
     return std::make_unique<IncrementalEngine>(config);
   }
   return std::make_unique<FullRebuildEngine>(config);
+}
+
+std::string resolved_engine_name(const SimConfig& config) {
+  switch (config.engine) {
+    case SimEngine::kFullRebuild:
+      return "full-rebuild";
+    case SimEngine::kIncremental:
+      return "incremental";
+    case SimEngine::kAuto:
+      break;
+  }
+  return incremental_engine_eligible(config) ? "incremental" : "full-rebuild";
 }
 
 }  // namespace pacds

@@ -28,6 +28,7 @@
 #include "core/workspace.hpp"
 #include "net/udg.hpp"
 #include "net/vec2.hpp"
+#include "obs/metrics.hpp"
 #include "sim/lifetime.hpp"
 #include "sim/threadpool.hpp"
 
@@ -67,8 +68,36 @@ class LifetimeEngine {
   [[nodiscard]] virtual std::size_t last_touched() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Attaches a metrics registry (null detaches). Subsequent update() calls
+  /// record phase timings and counters into it; with null everything stays
+  /// on the zero-cost path. The registry is borrowed and must outlive the
+  /// engine or a later set_metrics(nullptr).
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    on_set_metrics();
+  }
+
  protected:
   LifetimeEngine() = default;
+
+  /// Lets derived engines forward the pointer into owned components.
+  virtual void on_set_metrics() {}
+
+  /// Records how many chunk tasks `update_fn` pushed through the pool.
+  /// Wraps the body so the submitted-task counter diff lands in metrics_.
+  template <typename Fn>
+  void with_pool_accounting(std::optional<ThreadPool>& pool, Fn&& update_fn) {
+    if (metrics_ == nullptr || !pool) {
+      std::forward<Fn>(update_fn)();
+      return;
+    }
+    const std::size_t before = pool->tasks_submitted();
+    std::forward<Fn>(update_fn)();
+    metrics_->add(obs::Counter::kPoolTasksSubmitted,
+                  pool->tasks_submitted() - before);
+  }
+
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// The original inner loop: build_links + one of the compute_cds entry
@@ -118,6 +147,9 @@ class IncrementalEngine final : public LifetimeEngine {
   [[nodiscard]] std::string name() const override { return "incremental"; }
 
  private:
+  void on_set_metrics() override {
+    if (cds_) cds_->set_metrics(metrics_);
+  }
   void initialize(const std::vector<Vec2>& positions,
                   const std::vector<double>& keys);
   void extract_delta(const std::vector<Vec2>& positions);
@@ -151,5 +183,9 @@ class IncrementalEngine final : public LifetimeEngine {
 /// kIncremental is forced on an ineligible configuration.
 [[nodiscard]] std::unique_ptr<LifetimeEngine> make_lifetime_engine(
     const SimConfig& config);
+
+/// Name of the engine make_lifetime_engine would select (resolves kAuto via
+/// eligibility) without constructing one — used by run manifests.
+[[nodiscard]] std::string resolved_engine_name(const SimConfig& config);
 
 }  // namespace pacds

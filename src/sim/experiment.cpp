@@ -1,11 +1,13 @@
 #include "sim/experiment.hpp"
 
 #include <cstdlib>
+#include <iostream>
 #include <stdexcept>
 
 namespace pacds {
 
-SweepResult run_sweep(const SweepConfig& config, ThreadPool* pool) {
+SweepResult run_sweep(const SweepConfig& config, ThreadPool* pool,
+                      obs::JsonlSink* metrics) {
   if (config.host_counts.empty() || config.schemes.empty()) {
     throw std::invalid_argument("run_sweep: empty host counts or schemes");
   }
@@ -21,7 +23,8 @@ SweepResult run_sweep(const SweepConfig& config, ThreadPool* pool) {
       // Same base seed across schemes -> paired trajectories.
       row.per_scheme.push_back(run_lifetime_trials(
           sim, config.trials,
-          config.base_seed ^ (static_cast<std::uint64_t>(n) << 32), pool));
+          config.base_seed ^ (static_cast<std::uint64_t>(n) << 32), pool,
+          metrics));
     }
     result.rows.push_back(std::move(row));
   }
@@ -100,7 +103,13 @@ std::size_t env_size_t(const char* name, std::size_t fallback) {
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0' || value == 0) return fallback;
+  if (end == raw || *end != '\0' || value == 0) {
+    // A typo'd PACDS_TRIALS=abc silently behaving like unset wastes whole
+    // experiment runs — say what happened, then fall back.
+    std::cerr << "warning: ignoring " << name << "=\"" << raw
+              << "\" (want a positive integer); using " << fallback << "\n";
+    return fallback;
+  }
   return static_cast<std::size_t>(value);
 }
 

@@ -41,9 +41,11 @@ enum class SweepMetric {
 };
 
 /// Runs the full sweep; trials of each (n, scheme) point run across `pool`
-/// when provided.
+/// when provided. With `metrics` set, each point emits its run manifest and
+/// per-interval records through the sink (in sweep order).
 [[nodiscard]] SweepResult run_sweep(const SweepConfig& config,
-                                    ThreadPool* pool = nullptr);
+                                    ThreadPool* pool = nullptr,
+                                    obs::JsonlSink* metrics = nullptr);
 
 /// Renders one metric of a sweep as a text table: first column n, one
 /// column per scheme (mean, with ±95% CI in a paired column when

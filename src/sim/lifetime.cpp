@@ -10,7 +10,7 @@
 namespace pacds {
 
 TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
-                               SimTrace* trace) {
+                               IntervalObserver* observer) {
   if (config.n_hosts < 1) {
     throw std::invalid_argument("run_lifetime_trial: need at least one host");
   }
@@ -47,9 +47,15 @@ TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
   // bit-identical trials wherever the incremental one is eligible.
   const std::unique_ptr<LifetimeEngine> engine = make_lifetime_engine(config);
 
+  // Metrics are gathered only when someone is listening; with no observer
+  // the engine keeps its null registry and every timer/counter is skipped.
+  obs::MetricsRegistry metrics;
+  if (observer != nullptr) engine->set_metrics(&metrics);
+
   double gateway_sum = 0.0;
   double marked_sum = 0.0;
   while (result.intervals < config.max_intervals) {
+    metrics.reset();  // per-interval slice
     engine->update(positions, batteries.levels());
     const DynBitset& gateways = engine->gateways();
     const IntervalCounts counts = engine->counts();
@@ -65,7 +71,7 @@ TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
       someone_died |= batteries.drain(host, is_gateway ? d : d_prime);
     }
     ++result.intervals;
-    if (trace != nullptr) {
+    if (observer != nullptr) {
       IntervalRecord record;
       record.interval = result.intervals;
       record.marked = counts.marked;
@@ -80,7 +86,10 @@ TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
       }
       record.mean_energy = sum / static_cast<double>(batteries.size());
       record.max_energy = max_level;
-      trace->records.push_back(record);
+      record.touched = engine->last_touched();
+      record.phase_ns = metrics.phases();
+      record.counters = metrics.counters();
+      observer->on_interval(record);
     }
     if (someone_died) break;
     mobility->step(positions, field, rng);

@@ -114,11 +114,14 @@ struct TrialResult {
   int placement_attempts = 1;
 };
 
-/// Runs one trial, fully determined by (config, seed). When `trace` is
-/// non-null, one IntervalRecord per update interval is appended (snapshots
-/// taken after each drain step).
+/// Runs one trial, fully determined by (config, seed). When `observer` is
+/// non-null, one IntervalRecord per update interval is published (snapshots
+/// taken after each drain step) with the interval's metrics slice attached
+/// — pass a SimTrace to buffer, a JsonlIntervalObserver to stream. With a
+/// null observer no metrics are gathered at all (the zero-cost path).
 [[nodiscard]] TrialResult run_lifetime_trial(const SimConfig& config,
                                              std::uint64_t seed,
-                                             SimTrace* trace = nullptr);
+                                             IntervalObserver* observer =
+                                                 nullptr);
 
 }  // namespace pacds

@@ -1,0 +1,41 @@
+#pragma once
+// JSONL emission for lifetime runs: a run-manifest record capturing the full
+// SimConfig + seed bookkeeping, and an IntervalObserver that streams one
+// record per update interval through the shared JsonlSink. Record schema is
+// documented in DESIGN.md ("Observability") and pinned by obs_jsonl_test.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/jsonl.hpp"
+#include "sim/lifetime.hpp"
+
+namespace pacds {
+
+/// Bumped whenever a record field changes meaning; every record carries it.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// Writes one `"type": "run_manifest"` line: every SimConfig knob (enums as
+/// their to_string names), the resolved engine, `base_seed`, and `trials`.
+void write_run_manifest(obs::JsonlSink& sink, const SimConfig& config,
+                        std::uint64_t base_seed, std::size_t trials);
+
+/// Streams each interval as a `"type": "interval"` line tagged with the
+/// trial index, scheme, and resolved engine name (so multi-scheme /
+/// multi-trial files stay self-describing).
+class JsonlIntervalObserver final : public IntervalObserver {
+ public:
+  JsonlIntervalObserver(obs::JsonlSink& sink, const SimConfig& config,
+                        std::size_t trial);
+
+  void on_interval(const IntervalRecord& record) override;
+
+ private:
+  obs::JsonlSink* sink_;
+  std::string scheme_;
+  std::string engine_;
+  std::size_t trial_;
+};
+
+}  // namespace pacds

@@ -1,24 +1,54 @@
 #include "sim/montecarlo.hpp"
 
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "net/rng.hpp"
+#include "sim/metrics_io.hpp"
 
 namespace pacds {
 
+SimConfig montecarlo_trial_config(const SimConfig& config, bool under_pool) {
+  SimConfig trial_config = config;
+  if (under_pool && trial_config.threads != 1) trial_config.threads = 1;
+  return trial_config;
+}
+
 LifetimeSummary run_lifetime_trials(const SimConfig& config,
                                     std::size_t trials,
-                                    std::uint64_t base_seed,
-                                    ThreadPool* pool) {
+                                    std::uint64_t base_seed, ThreadPool* pool,
+                                    obs::JsonlSink* metrics) {
+  const SimConfig trial_config =
+      montecarlo_trial_config(config, pool != nullptr);
+  if (metrics != nullptr) {
+    write_run_manifest(*metrics, trial_config, base_seed, trials);
+  }
+
   std::vector<TrialResult> results(trials);
-  const auto run_one = [&config, base_seed, &results](std::size_t trial) {
-    results[trial] =
-        run_lifetime_trial(config, derive_seed(base_seed, trial));
+  // Pooled trials may finish in any order; each buffers its JSONL lines and
+  // the buffers are spliced in trial order after the join, so the emitted
+  // stream is identical to a serial run.
+  std::vector<std::string> buffered_lines(metrics != nullptr ? trials : 0);
+  const auto run_one = [&](std::size_t trial) {
+    const std::uint64_t seed = derive_seed(base_seed, trial);
+    if (metrics == nullptr) {
+      results[trial] = run_lifetime_trial(trial_config, seed);
+      return;
+    }
+    std::ostringstream buffer;
+    obs::JsonlSink trial_sink(buffer);
+    JsonlIntervalObserver observer(trial_sink, trial_config, trial);
+    results[trial] = run_lifetime_trial(trial_config, seed, &observer);
+    buffered_lines[trial] = buffer.str();
   };
   if (pool != nullptr) {
     pool->parallel_for(trials, run_one);
   } else {
     for (std::size_t t = 0; t < trials; ++t) run_one(t);
+  }
+  if (metrics != nullptr) {
+    for (const std::string& lines : buffered_lines) metrics->splice(lines);
   }
 
   // Deterministic aggregation in trial order.

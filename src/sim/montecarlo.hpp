@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "obs/jsonl.hpp"
 #include "sim/lifetime.hpp"
 #include "sim/stats.hpp"
 #include "sim/threadpool.hpp"
@@ -20,12 +21,26 @@ struct LifetimeSummary {
   std::size_t disconnected_trials = 0;  ///< trials starting disconnected
 };
 
+/// The per-trial config run_lifetime_trials actually uses: identical to
+/// `config` except that under a Monte-Carlo pool (`under_pool`) the
+/// intra-interval thread count is forced to 1. Otherwise every concurrent
+/// trial would spin up its own interval pool on top of the trial pool's
+/// workers — trials x threads oversubscription for zero determinism benefit
+/// (trial-level parallelism already saturates the host). Exposed so tests
+/// can pin the invariant.
+[[nodiscard]] SimConfig montecarlo_trial_config(const SimConfig& config,
+                                                bool under_pool);
+
 /// Runs `trials` independent trials of `config`. If `pool` is non-null the
-/// trials run across its workers; otherwise they run inline. Deterministic:
-/// aggregation order does not depend on completion order.
-[[nodiscard]] LifetimeSummary run_lifetime_trials(const SimConfig& config,
-                                                  std::size_t trials,
-                                                  std::uint64_t base_seed,
-                                                  ThreadPool* pool = nullptr);
+/// trials run across its workers with per-trial intra-interval parallelism
+/// disabled (see montecarlo_trial_config); otherwise they run inline.
+/// Deterministic: aggregation order does not depend on completion order.
+///
+/// With `metrics` set, a run manifest plus every trial's interval records
+/// are emitted — in trial order regardless of pool scheduling (pooled
+/// trials buffer their lines and splice after the join).
+[[nodiscard]] LifetimeSummary run_lifetime_trials(
+    const SimConfig& config, std::size_t trials, std::uint64_t base_seed,
+    ThreadPool* pool = nullptr, obs::JsonlSink* metrics = nullptr);
 
 }  // namespace pacds

@@ -8,8 +8,8 @@
 namespace pacds {
 
 std::vector<std::string> SimTrace::csv_header() {
-  return {"interval", "marked", "gateways", "min_energy",
-          "mean_energy", "max_energy", "alive"};
+  return {"interval",    "marked",     "gateways", "min_energy",
+          "mean_energy", "max_energy", "alive",    "touched"};
 }
 
 std::vector<std::vector<std::string>> SimTrace::csv_rows() const {
@@ -21,7 +21,8 @@ std::vector<std::vector<std::string>> SimTrace::csv_rows() const {
                     TextTable::fmt(r.min_energy, 3),
                     TextTable::fmt(r.mean_energy, 3),
                     TextTable::fmt(r.max_energy, 3),
-                    std::to_string(r.alive)});
+                    std::to_string(r.alive),
+                    std::to_string(r.touched)});
   }
   return rows;
 }

@@ -1,14 +1,20 @@
 #pragma once
-// Per-interval trace of a lifetime run: gateway counts and the energy
-// distribution over time, for post-hoc analysis and plotting. The trace is
-// plain data; io helpers serialize it as CSV.
+// Per-interval observation of a lifetime run. The simulator publishes one
+// IntervalRecord per update interval to an IntervalObserver; SimTrace is the
+// in-memory consumer (gateway counts and the energy distribution over time,
+// for post-hoc analysis and plotting), the JSONL emitter in sim/metrics_io
+// is the streaming one. The record is plain data; io helpers serialize it.
 
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace pacds {
 
-/// One update interval's snapshot (taken after the drain step).
+/// One update interval's snapshot (taken after the drain step). The obs
+/// fields (touched/phase_ns/counters) are that interval's slice of the
+/// pipeline's metrics registry; all-zero when the producer ran unobserved.
 struct IntervalRecord {
   long interval = 0;
   std::size_t marked = 0;       ///< marking-process set size
@@ -17,11 +23,26 @@ struct IntervalRecord {
   double mean_energy = 0.0;
   double max_energy = 0.0;
   std::size_t alive = 0;
+  std::size_t touched = 0;      ///< nodes re-evaluated this interval
+  obs::PhaseArray phase_ns{};   ///< per-phase wall time, indexed by obs::Phase
+  obs::CounterArray counters{};  ///< event counts, indexed by obs::Counter
 };
 
-/// Whole-run trace.
-struct SimTrace {
+/// Receives every interval's record as the simulator produces it. Records
+/// arrive in interval order; the referenced record dies with the call.
+class IntervalObserver {
+ public:
+  virtual ~IntervalObserver() = default;
+  virtual void on_interval(const IntervalRecord& record) = 0;
+};
+
+/// Whole-run trace: the buffering IntervalObserver.
+struct SimTrace : IntervalObserver {
   std::vector<IntervalRecord> records;
+
+  void on_interval(const IntervalRecord& record) override {
+    records.push_back(record);
+  }
 
   [[nodiscard]] static std::vector<std::string> csv_header();
   [[nodiscard]] std::vector<std::vector<std::string>> csv_rows() const;

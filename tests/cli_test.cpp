@@ -8,6 +8,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/json_parse.hpp"
+
 namespace pacds::cli {
 namespace {
 
@@ -200,6 +202,103 @@ TEST(CliTest, SaveScenarioNeedsPositions) {
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("positional"), std::string::npos);
   std::remove(graph_path.c_str());
+}
+
+TEST(CliTest, SimMetricsEmitsManifestPlusIntervalRecords) {
+  const std::string path = ::testing::TempDir() + "/pacds_cli_metrics.jsonl";
+  const CliRun r = run_cli({"sim", "--n", "12", "--trials", "2", "--model",
+                            "2", "--scheme", "EL1", "--seed", "4",
+                            "--metrics", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("metrics records to " + path), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::size_t line_count = 0;
+  std::size_t interval_count = 0;
+  for (std::string line; std::getline(in, line); ++line_count) {
+    const JsonValue record = parse_json(line);  // throws on any bad line
+    ASSERT_NE(record.find("type"), nullptr);
+    const std::string& type = record.find("type")->as_string();
+    if (line_count == 0) {
+      EXPECT_EQ(type, "run_manifest");
+      EXPECT_EQ(record.find("scheme")->as_string(), "EL1");
+      EXPECT_EQ(record.find("n_hosts")->as_number(), 12.0);
+      EXPECT_EQ(record.find("trials")->as_number(), 2.0);
+    } else {
+      EXPECT_EQ(type, "interval");
+      for (const char* key :
+           {"trial", "interval", "marked", "gateways", "alive", "touched",
+            "energy_min", "energy_mean", "energy_max", "marking_ns",
+            "rules_ns", "nodes_touched"}) {
+        EXPECT_NE(record.find(key), nullptr) << "missing " << key;
+      }
+      ++interval_count;
+    }
+  }
+  EXPECT_GT(interval_count, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, SweepPrintsBothTables) {
+  const CliRun r = run_cli({"sweep", "--hosts", "8,12", "--scheme", "ID",
+                            "--trials", "2", "--seed", "3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("lifetime"), std::string::npos);
+  EXPECT_NE(r.out.find("gateway"), std::string::npos);
+  EXPECT_NE(r.out.find("ID"), std::string::npos);
+}
+
+TEST(CliTest, SweepWritesCsvAndMetrics) {
+  const std::string csv_path = ::testing::TempDir() + "/pacds_cli_sweep.csv";
+  const std::string jsonl_path =
+      ::testing::TempDir() + "/pacds_cli_sweep.jsonl";
+  const CliRun r = run_cli({"sweep", "--hosts", "8,12", "--scheme", "ID",
+                            "--trials", "2", "--seed", "3", "--csv", csv_path,
+                            "--metrics", jsonl_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+
+  std::ifstream csv(csv_path);
+  ASSERT_TRUE(csv.good());
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header.substr(0, 13), "n,ID_lifetime");
+  EXPECT_NE(header.find("ID_gateways"), std::string::npos);
+
+  // One manifest per (host count, scheme) cell plus that cell's intervals.
+  std::ifstream jsonl(jsonl_path);
+  ASSERT_TRUE(jsonl.good());
+  std::size_t manifests = 0;
+  std::size_t lines = 0;
+  for (std::string line; std::getline(jsonl, line); ++lines) {
+    const JsonValue record = parse_json(line);
+    if (record.find("type")->as_string() == "run_manifest") ++manifests;
+  }
+  EXPECT_EQ(manifests, 2u);
+  EXPECT_GT(lines, manifests);
+  std::remove(csv_path.c_str());
+  std::remove(jsonl_path.c_str());
+}
+
+TEST(CliTest, SweepRejectsBadHosts) {
+  const CliRun r = run_cli({"sweep", "--hosts", "8,banana"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(CliTest, SweepInUsage) {
+  const CliRun help = run_cli({"help"});
+  EXPECT_NE(help.out.find("sweep"), std::string::npos);
+  const CliRun r = run_cli({"sweep", "--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("--hosts"), std::string::npos);
+  EXPECT_NE(r.out.find("--metrics"), std::string::npos);
+}
+
+TEST(CliTest, MetricsUnwritablePathFails) {
+  const CliRun r = run_cli({"sim", "--n", "10", "--trials", "1", "--metrics",
+                            "/nonexistent_dir_zz/m.jsonl"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot write"), std::string::npos);
 }
 
 TEST(CliTest, SimDeterministicAcrossRuns) {

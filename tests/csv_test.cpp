@@ -29,6 +29,38 @@ TEST(CsvTest, NewlineQuoted) {
   EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
 }
 
+TEST(CsvTest, CarriageReturnQuoted) {
+  EXPECT_EQ(CsvWriter::escape("a\rb"), "\"a\rb\"");
+  EXPECT_EQ(CsvWriter::escape("crlf\r\n"), "\"crlf\r\n\"");
+}
+
+/// RFC-4180 single-field reader (the inverse of CsvWriter::escape), used to
+/// prove the escape path round-trips rather than merely looking plausible.
+std::string unescape(const std::string& field) {
+  if (field.empty() || field.front() != '"') return field;
+  EXPECT_EQ(field.back(), '"') << field;
+  std::string out;
+  for (std::size_t i = 1; i + 1 < field.size(); ++i) {
+    if (field[i] == '"') {
+      EXPECT_EQ(field[i + 1], '"') << "bare quote inside " << field;
+      ++i;
+    }
+    out += field[i];
+  }
+  return out;
+}
+
+TEST(CsvTest, EscapeRoundTripsHostileFields) {
+  for (const std::string& field :
+       {std::string("plain"), std::string(""), std::string("a,b,c"),
+        std::string("say \"hi\""), std::string("\"\""),
+        std::string("quote\",comma"), std::string("cr\rlf\n mix"),
+        std::string("\r"), std::string("trailing,comma,"),
+        std::string("EL2,\"quoted\"\r\nnext")}) {
+    EXPECT_EQ(unescape(CsvWriter::escape(field)), field) << field;
+  }
+}
+
 TEST(CsvTest, WriteRow) {
   std::ostringstream os;
   CsvWriter writer(os);

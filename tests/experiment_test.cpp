@@ -6,6 +6,7 @@
 
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace pacds {
 namespace {
@@ -100,6 +101,42 @@ TEST(ExperimentTest, EnvSizeT) {
   EXPECT_EQ(env_size_t("PACDS_TEST_ENV", 7u), 7u);
   ASSERT_EQ(setenv("PACDS_TEST_ENV", "0", 1), 0);
   EXPECT_EQ(env_size_t("PACDS_TEST_ENV", 7u), 7u);
+  ASSERT_EQ(unsetenv("PACDS_TEST_ENV"), 0);
+}
+
+TEST(ExperimentTest, EnvSizeTWarnsWhenIgnoringValues) {
+  // A typo'd PACDS_TRIALS=abc used to behave exactly like unset; the
+  // fallback must now be audible on stderr and name the offending value.
+  ASSERT_EQ(setenv("PACDS_TEST_ENV", "abc", 1), 0);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_size_t("PACDS_TEST_ENV", 7u), 7u);
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("PACDS_TEST_ENV"), std::string::npos) << err;
+  EXPECT_NE(err.find("abc"), std::string::npos) << err;
+  EXPECT_NE(err.find('7'), std::string::npos) << err;
+
+  // Zero is not a usable trial/host count: same diagnostic.
+  ASSERT_EQ(setenv("PACDS_TEST_ENV", "0", 1), 0);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_size_t("PACDS_TEST_ENV", 9u), 9u);
+  err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("\"0\""), std::string::npos) << err;
+
+  // Trailing garbage ("12x") is malformed, not 12.
+  ASSERT_EQ(setenv("PACDS_TEST_ENV", "12x", 1), 0);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_size_t("PACDS_TEST_ENV", 7u), 7u);
+  EXPECT_FALSE(::testing::internal::GetCapturedStderr().empty());
+  ASSERT_EQ(unsetenv("PACDS_TEST_ENV"), 0);
+}
+
+TEST(ExperimentTest, EnvSizeTSilentOnValidAndUnset) {
+  ASSERT_EQ(unsetenv("PACDS_TEST_ENV"), 0);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_size_t("PACDS_TEST_ENV", 7u), 7u);
+  ASSERT_EQ(setenv("PACDS_TEST_ENV", "42", 1), 0);
+  EXPECT_EQ(env_size_t("PACDS_TEST_ENV", 7u), 42u);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
   ASSERT_EQ(unsetenv("PACDS_TEST_ENV"), 0);
 }
 

@@ -1,0 +1,156 @@
+// Tests for the read-side JSON parser (io/json_parse): value coverage,
+// escape handling including \uXXXX and surrogate pairs, the JSON number
+// grammar, error reporting with byte offsets, the recursion-depth guard,
+// and writer round-trips in both directions.
+
+#include "io/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "io/json.hpp"
+
+namespace pacds {
+namespace {
+
+TEST(JsonParseTest, ScalarValues) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_EQ(parse_json("-0.5").as_number(), -0.5);
+  EXPECT_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse_json("2.5E-1").as_number(), 0.25);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("  \"padded\"  ").as_string(), "padded");
+}
+
+TEST(JsonParseTest, ContainersPreserveOrderAndNesting) {
+  const JsonValue doc =
+      parse_json(R"({"b": 1, "a": [true, null, {"deep": "yes"}], "b": 2})");
+  const JsonObject& members = doc.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "b");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "b");
+  // find() returns the first duplicate.
+  EXPECT_EQ(doc.find("b")->as_number(), 1.0);
+  const JsonArray& items = doc.find("a")->as_array();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_TRUE(items[0].as_bool());
+  EXPECT_TRUE(items[1].is_null());
+  EXPECT_EQ(items[2].find("deep")->as_string(), "yes");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+
+  EXPECT_TRUE(parse_json("{}").as_object().empty());
+  EXPECT_TRUE(parse_json("[]").as_array().empty());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d")").as_string(), "a\"b\\c/d");
+  EXPECT_EQ(parse_json(R"("\n\r\t\b\f")").as_string(), "\n\r\t\b\f");
+  EXPECT_EQ(parse_json("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse_json("\"\\u00e9\"").as_string(),
+            "\xc3\xa9");  // U+00E9 é, 2-byte UTF-8
+  EXPECT_EQ(parse_json("\"\\u20AC\"").as_string(),
+            "\xe2\x82\xac");  // U+20AC €, 3-byte UTF-8
+  // Surrogate pair decoding: U+1F600 GRINNING FACE, 4-byte UTF-8.
+  EXPECT_EQ(parse_json("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  // Raw multi-byte UTF-8 passes through untouched.
+  EXPECT_EQ(parse_json("\"\xe2\x82\xac\"").as_string(), "\xe2\x82\xac");
+}
+
+TEST(JsonParseTest, WriterEscapesRoundTripThroughParser) {
+  const std::string nasty = "line1\nline2\t\"quoted\" back\\slash \x01";
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.value(nasty);
+  EXPECT_EQ(parse_json(out.str()).as_string(), nasty);
+}
+
+TEST(JsonParseTest, NumberGrammarIsStrict) {
+  // JSON forbids leading zeros, bare dots, leading '+', and hex.
+  EXPECT_THROW((void)parse_json("01"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("-01"), std::runtime_error);
+  EXPECT_THROW((void)parse_json(".5"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("1."), std::runtime_error);
+  EXPECT_THROW((void)parse_json("+1"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("0x10"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("1e"), std::runtime_error);
+  // But these are valid.
+  EXPECT_EQ(parse_json("0").as_number(), 0.0);
+  EXPECT_EQ(parse_json("-0").as_number(), 0.0);
+  EXPECT_EQ(parse_json("0.25").as_number(), 0.25);
+  EXPECT_EQ(parse_json("1e+2").as_number(), 100.0);
+}
+
+TEST(JsonParseTest, MalformedDocumentsThrowWithByteOffset) {
+  EXPECT_THROW((void)parse_json(""), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)parse_json(R"({"a" 1})"), std::runtime_error);
+  EXPECT_THROW((void)parse_json(R"({"a": 1,})"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("nul"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("1 2"), std::runtime_error);  // trailing junk
+  EXPECT_THROW((void)parse_json(R"("\q")"), std::runtime_error);
+  EXPECT_THROW((void)parse_json(R"("\ud83d")"), std::runtime_error);  // lone hi
+
+  try {
+    (void)parse_json("[1, xyz]");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonParseTest, DepthGuardRejectsPathologicalNesting) {
+  const std::string deep_ok(200, '[');
+  EXPECT_THROW((void)parse_json(deep_ok), std::runtime_error);  // unbalanced
+  std::string balanced;
+  for (int i = 0; i < 200; ++i) balanced += '[';
+  for (int i = 0; i < 200; ++i) balanced += ']';
+  EXPECT_NO_THROW((void)parse_json(balanced));
+
+  std::string too_deep;
+  for (int i = 0; i < 300; ++i) too_deep += '[';
+  for (int i = 0; i < 300; ++i) too_deep += ']';
+  EXPECT_THROW((void)parse_json(too_deep), std::runtime_error);
+}
+
+TEST(JsonParseTest, TypeMismatchAccessorsThrow) {
+  const JsonValue number = parse_json("7");
+  EXPECT_THROW((void)number.as_string(), std::runtime_error);
+  EXPECT_THROW((void)number.as_array(), std::runtime_error);
+  EXPECT_THROW((void)number.as_object(), std::runtime_error);
+  EXPECT_THROW((void)number.as_bool(), std::runtime_error);
+  EXPECT_EQ(number.find("anything"), nullptr);  // non-object: absent, no throw
+}
+
+TEST(JsonParseTest, WriteJsonRoundTripsDocuments) {
+  const std::string original =
+      R"({"name":"pacds","pi":3.141592653589793,"flags":[true,false,null],)"
+      R"("nested":{"empty_obj":{},"empty_arr":[]}})";
+  const JsonValue doc = parse_json(original);
+  std::ostringstream out;
+  JsonWriter json(out);
+  write_json(json, doc);
+  EXPECT_EQ(out.str(), original);
+
+  // Pretty mode must still parse to the same document.
+  std::ostringstream pretty_out;
+  JsonWriter pretty(pretty_out, 2);
+  write_json(pretty, doc);
+  const JsonValue reparsed = parse_json(pretty_out.str());
+  EXPECT_EQ(reparsed.find("pi")->as_number(), 3.141592653589793);
+  EXPECT_EQ(reparsed.find("nested")->find("empty_obj")->as_object().size(),
+            0u);
+}
+
+}  // namespace
+}  // namespace pacds

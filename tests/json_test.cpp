@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <functional>
 #include <limits>
 #include <sstream>
@@ -59,6 +60,56 @@ TEST(JsonTest, Escaping) {
   EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
   EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
   EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, DoublesRoundTripExactly) {
+  // The old default-precision path truncated to 6 significant digits, which
+  // corrupted bench timings and CI half-widths; format_double probes for the
+  // shortest representation that strtod maps back to the same bits.
+  for (const double value :
+       {0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 2.0 / 3.0, 96.66666666666667,
+        3.141592653589793, 1234567.89012345, 6.02214076e23, 5e-324,
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::epsilon()}) {
+    const std::string text = JsonWriter::format_double(value);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value)
+        << value << " -> \"" << text << '"';
+    EXPECT_EQ(std::strtod(JsonWriter::format_double(-value).c_str(), nullptr),
+              -value);
+  }
+  // Values that 6 significant digits cannot represent must not collapse.
+  EXPECT_NE(JsonWriter::format_double(1.0000001),
+            JsonWriter::format_double(1.0000002));
+  // Short values stay short — no max_digits10 noise.
+  EXPECT_EQ(JsonWriter::format_double(0.5), "0.5");
+  EXPECT_EQ(JsonWriter::format_double(100.0), "100");
+}
+
+TEST(JsonTest, ValueDoubleEmitsRoundTripText) {
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(96.66666666666667); }),
+            "96.66666666666667");
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(0.25); }), "0.25");
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  std::ostringstream os;
+  JsonWriter j(os, 2);
+  j.begin_object();
+  j.key("a").value(1);
+  j.key("xs").begin_array().value(1).value(2).end_array();
+  j.key("empty").begin_object().end_object();
+  j.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"a\": 1,\n"
+            "  \"xs\": [\n"
+            "    1,\n"
+            "    2\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}");
+  EXPECT_TRUE(j.complete());
 }
 
 TEST(JsonTest, NonFiniteNumbersBecomeNull) {

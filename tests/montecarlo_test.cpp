@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
+#include "io/json_parse.hpp"
+
 namespace pacds {
 namespace {
 
@@ -29,6 +34,94 @@ TEST(MonteCarloTest, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.intervals.mean, b.intervals.mean);
   EXPECT_DOUBLE_EQ(a.intervals.stddev, b.intervals.stddev);
   EXPECT_DOUBLE_EQ(a.avg_gateways.mean, b.avg_gateways.mean);
+}
+
+TEST(MonteCarloTest, TrialConfigForcesSerialIntervalsUnderPool) {
+  // Pool-in-pool guard: with a Monte-Carlo pool, each concurrent trial
+  // spinning up its own intra-interval pool would oversubscribe the host
+  // trials-times-threads deep. Under a pool the per-trial config must be
+  // serial; without one it must be left alone.
+  SimConfig config = tiny_config();
+  config.threads = 8;
+  EXPECT_EQ(montecarlo_trial_config(config, /*under_pool=*/true).threads, 1);
+  EXPECT_EQ(montecarlo_trial_config(config, /*under_pool=*/false).threads, 8);
+
+  config.threads = 0;  // "auto" also counts as a pool request
+  EXPECT_EQ(montecarlo_trial_config(config, /*under_pool=*/true).threads, 1);
+  EXPECT_EQ(montecarlo_trial_config(config, /*under_pool=*/false).threads, 0);
+
+  config.threads = 1;
+  EXPECT_EQ(montecarlo_trial_config(config, /*under_pool=*/true).threads, 1);
+
+  // Nothing but the thread count may change.
+  config.threads = 8;
+  const SimConfig derived = montecarlo_trial_config(config, true);
+  EXPECT_EQ(derived.n_hosts, config.n_hosts);
+  EXPECT_EQ(derived.rule_set, config.rule_set);
+  EXPECT_EQ(derived.drain_model, config.drain_model);
+}
+
+TEST(MonteCarloTest, PooledRunWithThreadedConfigMatchesSerial) {
+  // The oversubscription fix must not change results: a threads=4 config
+  // run under a trial pool aggregates exactly like the plain serial run
+  // (intervals are bit-identical across thread counts by design).
+  SimConfig config = tiny_config();
+  config.threads = 4;
+  ThreadPool pool(3);
+  const LifetimeSummary pooled = run_lifetime_trials(config, 6, 11, &pool);
+  const LifetimeSummary serial = run_lifetime_trials(tiny_config(), 6, 11);
+  EXPECT_DOUBLE_EQ(pooled.intervals.mean, serial.intervals.mean);
+  EXPECT_DOUBLE_EQ(pooled.avg_gateways.mean, serial.avg_gateways.mean);
+}
+
+TEST(MonteCarloTest, MetricsOutputMatchesPooledAndInline) {
+  // JSONL emission buffers pooled trials and splices in trial order, so the
+  // record stream must not depend on pool scheduling — or on the pool
+  // existing. Only the wall-clock "*_ns" timing values may differ.
+  std::ostringstream inline_out;
+  obs::JsonlSink inline_sink(inline_out);
+  const LifetimeSummary inline_run =
+      run_lifetime_trials(tiny_config(), 5, 13, nullptr, &inline_sink);
+
+  std::ostringstream pooled_out;
+  obs::JsonlSink pooled_sink(pooled_out);
+  ThreadPool pool(3);
+  const LifetimeSummary pooled =
+      run_lifetime_trials(tiny_config(), 5, 13, &pool, &pooled_sink);
+
+  EXPECT_EQ(inline_sink.records(), pooled_sink.records());
+  EXPECT_GT(inline_sink.records(), 5u);  // manifest + >=1 interval per trial
+  EXPECT_DOUBLE_EQ(inline_run.intervals.mean, pooled.intervals.mean);
+
+  std::istringstream inline_lines(inline_out.str());
+  std::istringstream pooled_lines(pooled_out.str());
+  std::string inline_line;
+  std::string pooled_line;
+  const auto is_timing = [](const std::string& key) {
+    return key.size() > 3 && key.compare(key.size() - 3, 3, "_ns") == 0;
+  };
+  std::size_t line_number = 0;
+  while (std::getline(inline_lines, inline_line)) {
+    ASSERT_TRUE(static_cast<bool>(std::getline(pooled_lines, pooled_line)));
+    ++line_number;
+    const JsonValue inline_doc = parse_json(inline_line);
+    const JsonValue pooled_doc = parse_json(pooled_line);
+    const JsonObject& a = inline_doc.as_object();
+    const JsonObject& b = pooled_doc.as_object();
+    ASSERT_EQ(a.size(), b.size()) << "line " << line_number;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].first, b[i].first) << "line " << line_number;
+      if (is_timing(a[i].first)) continue;  // wall-clock: value may differ
+      if (a[i].second.is_number()) {
+        EXPECT_EQ(a[i].second.as_number(), b[i].second.as_number())
+            << "line " << line_number << " key " << a[i].first;
+      } else if (a[i].second.is_string()) {
+        EXPECT_EQ(a[i].second.as_string(), b[i].second.as_string())
+            << "line " << line_number << " key " << a[i].first;
+      }
+    }
+  }
+  EXPECT_FALSE(static_cast<bool>(std::getline(pooled_lines, pooled_line)));
 }
 
 TEST(MonteCarloTest, PoolMatchesInline) {

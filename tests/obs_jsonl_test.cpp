@@ -1,0 +1,172 @@
+// JSONL sink + lifetime metrics schema tests. The schema half is the
+// ISSUE's acceptance test: every line a `pacds ... --metrics`-style run
+// emits must parse as standalone JSON, lead with a run manifest, and carry
+// the documented interval fields (DESIGN.md "Observability").
+
+#include "obs/jsonl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/json_parse.hpp"
+#include "obs/metrics.hpp"
+#include "sim/lifetime.hpp"
+#include "sim/metrics_io.hpp"
+#include "sim/montecarlo.hpp"
+
+namespace pacds {
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(JsonlSinkTest, RecordEmitsOneTerminatedObjectPerCall) {
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+  EXPECT_EQ(sink.records(), 0u);
+  sink.record([](JsonWriter& json) { json.key("a").value(1); });
+  sink.record([](JsonWriter& json) {
+    json.key("b").value("two");
+    json.key("c").value(true);
+  });
+  EXPECT_EQ(sink.records(), 2u);
+  EXPECT_EQ(out.str(), "{\"a\":1}\n{\"b\":\"two\",\"c\":true}\n");
+}
+
+TEST(JsonlSinkTest, UnbalancedFillThrowsBeforeNewline) {
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+  EXPECT_THROW(sink.record([](JsonWriter& json) {
+                 json.key("nested");
+                 json.begin_object();  // left open
+               }),
+               std::logic_error);
+  EXPECT_EQ(sink.records(), 0u);
+}
+
+TEST(JsonlSinkTest, SpliceAppendsCompleteLinesAndCountsThem) {
+  std::ostringstream buffer_stream;
+  obs::JsonlSink buffer(buffer_stream);
+  buffer.record([](JsonWriter& json) { json.key("trial").value(0); });
+  buffer.record([](JsonWriter& json) { json.key("trial").value(1); });
+
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+  sink.splice(buffer_stream.str());
+  EXPECT_EQ(sink.records(), 2u);
+  EXPECT_EQ(out.str(), buffer_stream.str());
+
+  sink.splice("");  // zero lines is fine
+  EXPECT_EQ(sink.records(), 2u);
+  EXPECT_THROW(sink.splice("{\"unterminated\": true}"), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Schema: every emitted line must be standalone-parseable JSON with the
+// documented fields. This drives the real pipeline (run_lifetime_trials with
+// a metrics sink), not hand-built records.
+
+class MetricsSchemaTest : public ::testing::Test {
+ protected:
+  static SimConfig small_config() {
+    SimConfig config;
+    config.n_hosts = 20;
+    config.rule_set = RuleSet::kEL2;
+    config.cds_options.strategy = Strategy::kSimultaneous;
+    config.engine = SimEngine::kIncremental;
+    return config;
+  }
+};
+
+TEST_F(MetricsSchemaTest, EveryLineParsesManifestFirstThenIntervals) {
+  const SimConfig config = small_config();
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+  const LifetimeSummary summary =
+      run_lifetime_trials(config, 2, 2001, nullptr, &sink);
+  ASSERT_GT(summary.intervals.mean, 0.0);
+
+  const std::vector<std::string> lines = split_lines(out.str());
+  ASSERT_EQ(lines.size(), sink.records());
+  ASSERT_GE(lines.size(), 3u);  // manifest + at least one interval per trial
+
+  // Line 0: the run manifest with the full config.
+  const JsonValue manifest = parse_json(lines.front());
+  EXPECT_EQ(manifest.find("type")->as_string(), "run_manifest");
+  EXPECT_EQ(manifest.find("schema")->as_number(), kMetricsSchemaVersion);
+  EXPECT_EQ(manifest.find("base_seed")->as_number(), 2001.0);
+  EXPECT_EQ(manifest.find("trials")->as_number(), 2.0);
+  EXPECT_EQ(manifest.find("n_hosts")->as_number(), 20.0);
+  EXPECT_EQ(manifest.find("scheme")->as_string(), "EL2");
+  EXPECT_EQ(manifest.find("engine")->as_string(), "incremental");
+  for (const char* key :
+       {"threads", "field_width", "field_height", "boundary", "radius",
+        "link_model", "initial_energy", "drain_model", "mobility",
+        "strategy", "clique_policy", "max_intervals"}) {
+    EXPECT_NE(manifest.find(key), nullptr) << "manifest missing " << key;
+  }
+
+  // Every other line: an interval record with the documented fields.
+  std::size_t intervals_seen = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const JsonValue record = parse_json(lines[i]);
+    ASSERT_NE(record.find("type"), nullptr) << lines[i];
+    EXPECT_EQ(record.find("type")->as_string(), "interval");
+    EXPECT_EQ(record.find("schema")->as_number(), kMetricsSchemaVersion);
+    EXPECT_EQ(record.find("scheme")->as_string(), "EL2");
+    EXPECT_EQ(record.find("engine")->as_string(), "incremental");
+    const double trial = record.find("trial")->as_number();
+    EXPECT_TRUE(trial == 0.0 || trial == 1.0);
+    for (const char* key : {"interval", "marked", "gateways", "alive",
+                            "touched", "energy_min", "energy_mean",
+                            "energy_max"}) {
+      EXPECT_NE(record.find(key), nullptr) << "interval missing " << key;
+    }
+    for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+      const std::string key =
+          std::string(obs::phase_name(static_cast<obs::Phase>(p))) + "_ns";
+      EXPECT_NE(record.find(key), nullptr) << "interval missing " << key;
+    }
+    for (std::size_t c = 0; c < obs::kCounterCount; ++c) {
+      const char* key = obs::counter_name(static_cast<obs::Counter>(c));
+      EXPECT_NE(record.find(key), nullptr) << "interval missing " << key;
+    }
+    ++intervals_seen;
+  }
+  EXPECT_GT(intervals_seen, 0u);
+}
+
+TEST_F(MetricsSchemaTest, IntervalRecordsCarryLiveCountersAndTimers) {
+  const SimConfig config = small_config();
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+  (void)run_lifetime_trials(config, 1, 2001, nullptr, &sink);
+
+  const std::vector<std::string> lines = split_lines(out.str());
+  ASSERT_GE(lines.size(), 3u);
+
+  // The first interval of a trial is always a full refresh with marking
+  // time; later intervals on the incremental engine do localized updates.
+  const JsonValue first = parse_json(lines[1]);
+  EXPECT_EQ(first.find("interval")->as_number(), 1.0);
+  EXPECT_EQ(first.find("full_refreshes")->as_number(), 1.0);
+  EXPECT_GT(first.find("marking_ns")->as_number(), 0.0);
+  EXPECT_GT(first.find("nodes_touched")->as_number(), 0.0);
+
+  double localized = 0.0;
+  for (std::size_t i = 2; i < lines.size(); ++i) {
+    localized += parse_json(lines[i]).find("localized_updates")->as_number();
+  }
+  EXPECT_GT(localized, 0.0);
+}
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,104 @@
+// Unit tests for the obs metrics registry: counter/phase-bucket arithmetic,
+// slice reset semantics, the PhaseTimer null-registry contract, and the
+// stability of the names that become JSONL field stems.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+
+namespace pacds::obs {
+namespace {
+
+TEST(MetricsRegistryTest, StartsZeroed) {
+  const MetricsRegistry registry;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    EXPECT_EQ(registry.counter(static_cast<Counter>(i)), 0u);
+  }
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    EXPECT_EQ(registry.phase_ns(static_cast<Phase>(i)), 0u);
+    EXPECT_EQ(registry.phase_calls(static_cast<Phase>(i)), 0u);
+  }
+}
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  registry.add(Counter::kNodesTouched, 5);
+  registry.add(Counter::kNodesTouched, 7);
+  registry.add(Counter::kEdgesAdded);  // default delta 1
+  EXPECT_EQ(registry.counter(Counter::kNodesTouched), 12u);
+  EXPECT_EQ(registry.counter(Counter::kEdgesAdded), 1u);
+  EXPECT_EQ(registry.counter(Counter::kEdgesRemoved), 0u);
+  EXPECT_EQ(registry.counters()[static_cast<std::size_t>(
+                Counter::kNodesTouched)],
+            12u);
+}
+
+TEST(MetricsRegistryTest, PhasesAccumulateTimeAndCalls) {
+  MetricsRegistry registry;
+  registry.record_phase(Phase::kMarking, 100);
+  registry.record_phase(Phase::kMarking, 50);
+  registry.record_phase(Phase::kRules, 7);
+  EXPECT_EQ(registry.phase_ns(Phase::kMarking), 150u);
+  EXPECT_EQ(registry.phase_calls(Phase::kMarking), 2u);
+  EXPECT_EQ(registry.phase_ns(Phase::kRules), 7u);
+  EXPECT_EQ(registry.phase_calls(Phase::kRules), 1u);
+  EXPECT_EQ(registry.phase_ns(Phase::kDeltaExtract), 0u);
+}
+
+TEST(MetricsRegistryTest, ResetClearsEverySlice) {
+  MetricsRegistry registry;
+  registry.add(Counter::kFullRefreshes, 3);
+  registry.record_phase(Phase::kLinkBuild, 42);
+  registry.reset();
+  EXPECT_EQ(registry.counter(Counter::kFullRefreshes), 0u);
+  EXPECT_EQ(registry.phase_ns(Phase::kLinkBuild), 0u);
+  EXPECT_EQ(registry.phase_calls(Phase::kLinkBuild), 0u);
+}
+
+TEST(PhaseTimerTest, RecordsElapsedIntoBucket) {
+  MetricsRegistry registry;
+  {
+    const PhaseTimer timer(&registry, Phase::kDeltaApply);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(registry.phase_ns(Phase::kDeltaApply), 1000000u);  // >= 1ms
+  EXPECT_EQ(registry.phase_calls(Phase::kDeltaApply), 1u);
+}
+
+TEST(PhaseTimerTest, NullRegistryIsANoOp) {
+  // Must not crash, not record, not allocate; destructor path included.
+  const PhaseTimer timer(nullptr, Phase::kMarking);
+}
+
+TEST(MetricsNamesTest, NamesAreStableSnakeCaseAndUnique) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const std::string name = phase_name(static_cast<Phase>(i));
+    EXPECT_NE(name, "unknown");
+    for (const char ch : name) {
+      EXPECT_TRUE((ch >= 'a' && ch <= 'z') || ch == '_') << name;
+    }
+    EXPECT_TRUE(names.insert(name).second) << "duplicate phase " << name;
+  }
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const std::string name = counter_name(static_cast<Counter>(i));
+    EXPECT_NE(name, "unknown");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate counter " << name;
+  }
+  // The ISSUE's headline fields must exist under exactly these names.
+  EXPECT_EQ(phase_name(Phase::kMarking), std::string("marking"));
+  EXPECT_EQ(phase_name(Phase::kRules), std::string("rules"));
+  EXPECT_EQ(phase_name(Phase::kDeltaExtract), std::string("delta_extract"));
+  EXPECT_EQ(counter_name(Counter::kNodesTouched),
+            std::string("nodes_touched"));
+  EXPECT_EQ(counter_name(Counter::kPoolTasksSubmitted),
+            std::string("pool_tasks_submitted"));
+}
+
+}  // namespace
+}  // namespace pacds::obs

@@ -69,6 +69,45 @@ TEST(TraceTest, CsvShape) {
   }
 }
 
+TEST(TraceTest, CsvCarriesTouchedColumn) {
+  const auto header = SimTrace::csv_header();
+  ASSERT_EQ(header.size(), 8u);
+  EXPECT_EQ(header.back(), "touched");
+  SimTrace trace;
+  (void)run_lifetime_trial(traced_config(), 9, &trace);
+  const auto rows = trace.csv_rows();
+  ASSERT_EQ(rows.size(), trace.records.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].back(), std::to_string(trace.records[i].touched));
+  }
+}
+
+TEST(TraceTest, RecordsCarryMetricsSlices) {
+  // SimTrace consumes the same IntervalRecord stream as the JSONL emitter:
+  // phase timings and counters arrive per interval, not cumulatively.
+  SimTrace trace;
+  (void)run_lifetime_trial(traced_config(), 5, &trace);
+  ASSERT_FALSE(trace.records.empty());
+  const IntervalRecord& first = trace.records.front();
+  using obs::Counter;
+  using obs::Phase;
+  const auto counter = [](const IntervalRecord& r, Counter c) {
+    return r.counters[static_cast<std::size_t>(c)];
+  };
+  const auto phase_ns = [](const IntervalRecord& r, Phase p) {
+    return r.phase_ns[static_cast<std::size_t>(p)];
+  };
+  // The first interval is a full (re)build: marking ran, nodes were touched.
+  EXPECT_EQ(counter(first, Counter::kFullRefreshes), 1u);
+  EXPECT_GT(counter(first, Counter::kNodesTouched), 0u);
+  EXPECT_GT(phase_ns(first, Phase::kMarking), 0u);
+  EXPECT_GT(phase_ns(first, Phase::kLinkBuild), 0u);
+  // Slice semantics: full_refreshes never exceeds 1 per interval.
+  for (const IntervalRecord& r : trace.records) {
+    EXPECT_LE(counter(r, Counter::kFullRefreshes), 1u);
+  }
+}
+
 TEST(TraceTest, SeriesAccessors) {
   SimTrace trace;
   trace.records.push_back({1, 10, 5, 1.0, 2.0, 3.0, 15});

@@ -28,10 +28,32 @@ TEST(TrafficTest, Model3QuadraticTotal) {
 }
 
 TEST(TrafficTest, EmptyGatewaySetCostsNothing) {
+  // The paper's budget d = total / |G'| is undefined at |G'| = 0; the repo
+  // pins the convention "nobody to charge -> zero drain" (DESIGN.md
+  // "Faithfulness"), rather than NaN/inf leaking into energy levels.
   for (const DrainModel m :
        {DrainModel::kConstantTotal, DrainModel::kLinearTotal,
         DrainModel::kQuadraticTotal}) {
     EXPECT_DOUBLE_EQ(gateway_drain(m, 50, 0), 0.0);
+    EXPECT_DOUBLE_EQ(gateway_drain(m, 0, 0), 0.0);
+    DrainParams params;
+    params.constant_base = 100.0;
+    params.quadratic_divisor = 0.5;
+    EXPECT_DOUBLE_EQ(gateway_drain(m, 50, 0, params), 0.0);
+  }
+}
+
+TEST(TrafficTest, SingleGatewayAbsorbsEntireBudget) {
+  // |G'| = 1 is the other boundary: the lone gateway carries the model's
+  // whole bypass budget, with no division artifacts.
+  EXPECT_DOUBLE_EQ(gateway_drain(DrainModel::kConstantTotal, 50, 1), 2.0);
+  EXPECT_DOUBLE_EQ(gateway_drain(DrainModel::kLinearTotal, 50, 1), 50.0);
+  // N = 50: 50*49/2 / (10*1) = 122.5.
+  EXPECT_DOUBLE_EQ(gateway_drain(DrainModel::kQuadraticTotal, 50, 1), 122.5);
+  for (const DrainModel m :
+       {DrainModel::kConstantTotal, DrainModel::kLinearTotal,
+        DrainModel::kQuadraticTotal}) {
+    EXPECT_DOUBLE_EQ(gateway_drain(m, 60, 1), total_bypass_traffic(m, 60));
   }
 }
 

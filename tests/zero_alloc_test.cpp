@@ -112,6 +112,34 @@ INSTANTIATE_TEST_SUITE_P(SerialAndThreaded, ZeroAllocTest,
                            return "threads" + std::to_string(info.param);
                          });
 
+TEST_P(ZeroAllocTest, MetricsRecordingStaysAllocationFree) {
+  // The observability layer must not regress the steady state: recording
+  // into an attached registry is plain array arithmetic (and with no
+  // registry the timers never even read the clock).
+  const SimConfig config = steady_config(GetParam());
+  const auto engine = make_lifetime_engine(config);
+  ASSERT_EQ(engine->name(), "incremental");
+  obs::MetricsRegistry registry;
+  engine->set_metrics(&registry);
+
+  Xoshiro256 rng(2001);
+  const Field field(config.field_width, config.field_height, config.boundary);
+  const auto positions = random_placement(config.n_hosts, field, rng);
+  std::vector<double> levels(static_cast<std::size_t>(config.n_hosts),
+                             config.initial_energy);
+  run_intervals(*engine, positions, levels, 10);
+
+  const std::size_t allocs = count_allocations([&] {
+    for (int i = 0; i < 50; ++i) {
+      registry.reset();  // the per-interval slice pattern from the simulator
+      run_intervals(*engine, positions, levels, 1);
+    }
+  });
+  EXPECT_EQ(allocs, 0u)
+      << allocs << " allocation(s) leaked into the observed steady state";
+  EXPECT_GT(registry.counter(obs::Counter::kLocalizedUpdates), 0u);
+}
+
 TEST(ZeroAllocTest, HookCountsAllocations) {
   // Sanity-check the hook itself: a fresh vector allocation must register.
   const std::size_t allocs = count_allocations([] {

@@ -2,11 +2,13 @@
 # Regenerates BENCH_lifetime.json (repo root) from the rule-pass, engine, and
 # parallel microbenchmarks. The committed file tracks the hot-kernel numbers
 # across PRs; a "baseline" section, when present, is preserved verbatim so
-# before/after comparisons survive regeneration.
+# before/after comparisons survive regeneration. Assembly runs through
+# bench_report (the repo's own JSON writer) — no python needed.
 #
 # Usage: tools/bench_json.sh [output.json]
 # Env:   PACDS_BENCH_BIN_DIR  directory with micro_cds/micro_engine/
-#                             micro_parallel (default: build/bench)
+#                             micro_parallel/bench_report (default:
+#                             build/bench)
 #        PACDS_BENCH_MIN_TIME --benchmark_min_time value (default: 0.2)
 set -eu
 
@@ -26,56 +28,4 @@ trap 'rm -f "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL"' EXIT
 "$BIN_DIR/micro_parallel" --benchmark_min_time="$MIN_TIME" \
   --benchmark_format=json >"$TMP_PARALLEL"
 
-python3 - "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL" "$OUT" <<'PY'
-import json
-import os
-import sys
-
-cds_path, engine_path, parallel_path, out_path = sys.argv[1:5]
-
-
-def ns_per_op(path):
-    with open(path) as f:
-        data = json.load(f)
-    scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
-    return {
-        b["name"]: round(b["real_time"] * scale[b.get("time_unit", "ns")], 1)
-        for b in data["benchmarks"]
-    }
-
-
-previous = {}
-try:
-    with open(out_path) as f:
-        previous = json.load(f)
-except (OSError, ValueError):
-    pass
-
-result = {
-    "_comment": "ns per op; regenerate with: cmake --build build --target bench_json",
-    "baseline": previous.get("baseline", {}),
-    "rule_pass_ns": ns_per_op(cds_path),
-    "engine_interval_ns": ns_per_op(engine_path),
-    # Thread sweep of the sharded intra-interval pipeline (micro_parallel):
-    # BM_ComputeCdsLanes/<n>/<lanes> and BM_IntervalThreads/<n>/<threads>
-    # at n = 400 and 800. host_cpus records how many cores the measuring
-    # host actually had — speedup is only physically possible beyond 1.
-    "parallel_interval_ns": ns_per_op(parallel_path),
-    "host_cpus": os.cpu_count(),
-}
-for stay in (98, 95):
-    full = result["engine_interval_ns"].get(f"BM_IntervalFullRebuild/800/{stay}")
-    inc = result["engine_interval_ns"].get(f"BM_IntervalIncremental/800/{stay}")
-    if full and inc:
-        result[f"speedup_incremental_n800_stay{stay}"] = round(full / inc, 2)
-for n in (400, 800):
-    serial = result["parallel_interval_ns"].get(f"BM_IntervalThreads/{n}/1")
-    eight = result["parallel_interval_ns"].get(f"BM_IntervalThreads/{n}/8")
-    if serial and eight:
-        result[f"speedup_threads8_n{n}"] = round(serial / eight, 2)
-
-with open(out_path, "w") as f:
-    json.dump(result, f, indent=2)
-    f.write("\n")
-print("wrote", out_path)
-PY
+"$BIN_DIR/bench_report" "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL" "$OUT"
