@@ -6,9 +6,17 @@
 //
 // usage: bench_report <micro_cds.json> <micro_engine.json>
 //                     <micro_parallel.json> <output.json>
+//        bench_report --validate-jsonl <metrics.jsonl | ->
 //
 // The output's "baseline" section, when present in an existing output file,
 // is preserved verbatim so before/after comparisons survive regeneration.
+//
+// --validate-jsonl checks a metrics stream (pacds sim/sweep --metrics) line
+// by line against the schema v1 envelope: every line parses as a JSON
+// object carrying a "type" string and numeric "schema", and the stream
+// holds at least one run_manifest and one interval record. Prints per-type
+// record counts; exits 1 on any violation. CI's faults smoke job runs it
+// over `pacds sim --faults ... --metrics -`.
 
 #include <cmath>
 #include <fstream>
@@ -86,12 +94,86 @@ void write_speedup(JsonWriter& json, const std::string& key, double numer,
   json.key(key).value(std::round(numer / denom * 100.0) / 100.0);
 }
 
+/// Schema-envelope check of one metrics JSONL stream ("-" = stdin).
+int validate_jsonl(const std::string& path) {
+  std::ifstream file;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::cerr << "error: cannot open " << path << "\n";
+      return 1;
+    }
+  }
+  std::istream& in = path == "-" ? std::cin : file;
+  // Type-name -> count, in first-seen order.
+  std::vector<std::pair<std::string, std::size_t>> counts;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue record;
+    try {
+      record = parse_json(line);
+    } catch (const std::exception& e) {
+      std::cerr << "line " << line_no << ": " << e.what() << "\n";
+      return 1;
+    }
+    if (!record.is_object()) {
+      std::cerr << "line " << line_no << ": not a JSON object\n";
+      return 1;
+    }
+    const JsonValue* type = record.find("type");
+    if (type == nullptr || !type->is_string()) {
+      std::cerr << "line " << line_no << ": missing \"type\" string\n";
+      return 1;
+    }
+    const JsonValue* schema = record.find("schema");
+    if (schema == nullptr || !schema->is_number()) {
+      std::cerr << "line " << line_no << ": missing \"schema\" number\n";
+      return 1;
+    }
+    bool counted = false;
+    for (auto& [name, count] : counts) {
+      if (name == type->as_string()) {
+        ++count;
+        counted = true;
+        break;
+      }
+    }
+    if (!counted) counts.emplace_back(type->as_string(), 1);
+  }
+  std::size_t total = 0;
+  for (const auto& [name, count] : counts) {
+    std::cout << name << ": " << count << "\n";
+    total += count;
+  }
+  std::cout << "total: " << total << "\n";
+  const auto count_of = [&](const std::string& name) {
+    for (const auto& [key, count] : counts) {
+      if (key == name) return count;
+    }
+    return std::size_t{0};
+  };
+  if (count_of("run_manifest") == 0 || count_of("interval") == 0) {
+    std::cerr << "error: stream needs at least one run_manifest and one "
+                 "interval record\n";
+    return 1;
+  }
+  std::cout << "ok\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--validate-jsonl") {
+    return validate_jsonl(argv[2]);
+  }
   if (argc != 5) {
     std::cerr << "usage: bench_report <cds.json> <engine.json> "
-                 "<parallel.json> <output.json>\n";
+                 "<parallel.json> <output.json>\n"
+                 "       bench_report --validate-jsonl <metrics.jsonl | ->\n";
     return 2;
   }
   try {

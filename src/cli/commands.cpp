@@ -380,7 +380,12 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
                     "1");
   parser.add_option("metrics",
                     "stream JSONL metrics to this file (one run manifest per "
-                    "scheme + one record per interval)",
+                    "scheme + one record per interval); '-' streams to "
+                    "stdout and moves the summary table to stderr",
+                    "");
+  parser.add_option("faults",
+                    "fault-plan JSON file (see FAULTS.md): runs the "
+                    "simulation in degraded mode past the first death",
                     "");
   parser.add_flag("help", "show usage");
   if (!parser.parse(tokens)) {
@@ -435,30 +440,67 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
   const auto schemes = parse_scheme_list(parser.option("scheme"), err);
   if (!schemes) return 2;
 
-  std::ofstream metrics_file;
-  std::optional<obs::JsonlSink> metrics;
-  if (!open_metrics(parser.option("metrics"), metrics_file, metrics, err)) {
-    return 1;
+  std::optional<FaultPlan> fault_plan;
+  const std::string faults_path = parser.option("faults");
+  if (!faults_path.empty()) {
+    try {
+      fault_plan = load_fault_plan(faults_path);
+      validate_fault_plan(*fault_plan, config.n_hosts);
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 1;
+    }
   }
 
-  out << "lifetime simulation: n=" << *n << ", "
-      << to_string(config.drain_model) << ", " << *trials << " trials\n";
-  TextTable table({"scheme", "lifetime", "±95%", "avg |G'|"});
+  // --metrics - streams JSONL to stdout; the human tables then move to
+  // stderr so the record stream stays machine-parseable.
+  const std::string metrics_path = parser.option("metrics");
+  const bool metrics_to_stdout = metrics_path == "-";
+  std::ofstream metrics_file;
+  std::optional<obs::JsonlSink> metrics;
+  if (metrics_to_stdout) {
+    metrics.emplace(out);
+  } else if (!open_metrics(metrics_path, metrics_file, metrics, err)) {
+    return 1;
+  }
+  std::ostream& report = metrics_to_stdout ? err : out;
+
+  report << "lifetime simulation: n=" << *n << ", "
+         << to_string(config.drain_model) << ", " << *trials << " trials";
+  if (fault_plan) report << ", faults: " << faults_path;
+  report << "\n";
+  TextTable table(fault_plan
+                      ? std::vector<std::string>{"scheme", "run len", "±95%",
+                                                 "avg |G'|", "events",
+                                                 "repairs", "disconn",
+                                                 "min cov"}
+                      : std::vector<std::string>{"scheme", "lifetime", "±95%",
+                                                 "avg |G'|"});
   table.set_align(0, Align::kLeft);
   for (const RuleSet rs : *schemes) {
     config.rule_set = rs;
     const LifetimeSummary s = run_lifetime_trials(
         config, static_cast<std::size_t>(*trials),
         static_cast<std::uint64_t>(*seed), nullptr,
-        metrics ? &*metrics : nullptr);
-    table.add_row({to_string(rs), TextTable::fmt(s.intervals.mean),
-                   TextTable::fmt(s.intervals.ci95),
-                   TextTable::fmt(s.avg_gateways.mean)});
+        metrics ? &*metrics : nullptr, fault_plan ? &*fault_plan : nullptr);
+    if (fault_plan) {
+      table.add_row({to_string(rs), TextTable::fmt(s.intervals.mean),
+                     TextTable::fmt(s.intervals.ci95),
+                     TextTable::fmt(s.avg_gateways.mean),
+                     std::to_string(s.faults.events),
+                     std::to_string(s.faults.repairs),
+                     std::to_string(s.faults.disconnected_intervals),
+                     TextTable::fmt(s.faults.min_coverage, 3)});
+    } else {
+      table.add_row({to_string(rs), TextTable::fmt(s.intervals.mean),
+                     TextTable::fmt(s.intervals.ci95),
+                     TextTable::fmt(s.avg_gateways.mean)});
+    }
   }
-  table.print(out);
-  if (metrics) {
-    out << "wrote " << metrics->records() << " metrics records to "
-        << parser.option("metrics") << "\n";
+  table.print(report);
+  if (metrics && !metrics_to_stdout) {
+    report << "wrote " << metrics->records() << " metrics records to "
+           << metrics_path << "\n";
   }
   return 0;
 }
@@ -586,6 +628,92 @@ int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
   return 0;
 }
 
+int cmd_faults(const std::vector<std::string>& tokens, std::ostream& out,
+               std::ostream& err) {
+  ArgParser parser("pacds faults",
+                   "inspect a fault plan's resolved schedule");
+  parser.add_option("plan", "fault-plan JSON file (see FAULTS.md)", "");
+  parser.add_option("n", "validate node ids against this host count "
+                         "(0 = skip validation)", "0");
+  parser.add_flag("json", "echo the normalized plan as JSON instead");
+  parser.add_flag("help", "show usage");
+  if (!parser.parse(tokens)) {
+    err << "error: " << parser.error() << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.flag("help")) {
+    out << parser.usage();
+    return 0;
+  }
+  const std::string plan_path = parser.option("plan");
+  if (plan_path.empty()) {
+    err << "error: --plan is required\n" << parser.usage();
+    return 2;
+  }
+  const auto n = parser.option_int("n");
+  if (!n || *n < 0) {
+    err << "error: bad --n value\n";
+    return 2;
+  }
+  FaultPlan plan;
+  try {
+    plan = load_fault_plan(plan_path);
+    if (*n > 0) validate_fault_plan(plan, static_cast<int>(*n));
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+  if (parser.flag("json")) {
+    JsonWriter json(out, 2);
+    write_fault_plan(json, plan);
+    out << "\n";
+    return 0;
+  }
+  out << "plan: " << plan_path << "\n"
+      << "seed: " << plan.seed << "\n"
+      << "channel: drop " << plan.channel.drop << ", duplicate "
+      << plan.channel.duplicate << ", delay " << plan.channel.delay << "\n"
+      << "retry: max " << plan.retry.max_attempts << " attempts, backoff "
+      << plan.retry.backoff_base << ".." << plan.retry.backoff_cap
+      << " rounds\n";
+  const std::vector<ScheduledFault> schedule = resolve_schedule(plan);
+  if (schedule.empty()) {
+    out << "schedule: empty (channel-only plan)\n";
+    return 0;
+  }
+  out << "schedule (" << schedule.size() << " events):\n";
+  TextTable table({"interval", "event", "target", "detail"});
+  table.set_align(1, Align::kLeft);
+  table.set_align(2, Align::kLeft);
+  table.set_align(3, Align::kLeft);
+  for (const ScheduledFault& event : schedule) {
+    std::string target;
+    std::string detail;
+    if (event.blackout >= 0) {
+      const BlackoutSpec& b =
+          plan.blackouts[static_cast<std::size_t>(event.blackout)];
+      target = "region " + std::to_string(event.blackout);
+      std::ostringstream box;
+      box << "[" << b.x0 << "," << b.x1 << "]x[" << b.y0 << "," << b.y1
+          << "]";
+      detail = box.str();
+    } else {
+      target = "node " + std::to_string(event.node);
+      if (event.kind == FaultKind::kTheft) {
+        std::ostringstream amount;
+        amount << "steals " << event.amount << " energy";
+        detail = amount.str();
+      }
+    }
+    table.add_row({std::to_string(event.interval),
+                   to_string(event.kind) + " (" + to_string(event.cause) +
+                       ")",
+                   target, detail});
+  }
+  table.print(out);
+  return 0;
+}
+
 std::string main_usage() {
   return "pacds — power-aware connected dominating sets "
          "(Wu-Gao-Stojmenovic, ICPP 2001)\n\n"
@@ -595,7 +723,8 @@ std::string main_usage() {
          "  info    structural statistics of a network\n"
          "  route   route a packet through the gateway backbone\n"
          "  sim     run the paper's lifetime simulation\n"
-         "  sweep   sweep host count x scheme (the figure harness)\n\n"
+         "  sweep   sweep host count x scheme (the figure harness)\n"
+         "  faults  inspect a fault plan's resolved schedule\n\n"
          "run 'pacds <command> --help' for command options\n";
 }
 
@@ -612,6 +741,7 @@ int run(const std::vector<std::string>& tokens, std::ostream& out,
   if (command == "route") return cmd_route(rest, out, err);
   if (command == "sim") return cmd_sim(rest, out, err);
   if (command == "sweep") return cmd_sweep(rest, out, err);
+  if (command == "faults") return cmd_faults(rest, out, err);
   err << "error: unknown command '" << command << "'\n\n" << main_usage();
   return 2;
 }

@@ -7,6 +7,7 @@
 //   pacds route  — route a packet through the backbone
 //   pacds sim    — run the paper's lifetime simulation
 //   pacds sweep  — host-count x scheme sweep (the figure harness)
+//   pacds faults — inspect a fault plan's resolved schedule
 //
 // Each command returns a process exit code (0 = success).
 
@@ -30,6 +31,8 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
             std::ostream& err);
 int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
               std::ostream& err);
+int cmd_faults(const std::vector<std::string>& tokens, std::ostream& out,
+               std::ostream& err);
 
 /// Top-level usage text.
 [[nodiscard]] std::string main_usage();

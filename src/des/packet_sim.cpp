@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "des/event_queue.hpp"
+#include "energy/battery.hpp"
 #include "net/mobility.hpp"
 #include "net/udg.hpp"
 #include "routing/routing.hpp"
@@ -43,6 +44,13 @@ class Sim {
     } else {
       positions_ = random_placement(config.n_hosts, field_, rng_);
     }
+    if (config.faults != nullptr && config.faults->has_lifetime_events()) {
+      validate_fault_plan(*config.faults, config.n_hosts);
+      batteries_.emplace(static_cast<std::size_t>(config.n_hosts), 100.0);
+      injector_.emplace(*config.faults, positions_.size(), field_.width(),
+                        config.radius);
+      apply_faults();  // the plan's interval 1 = the first backbone build
+    }
     rebuild_backbone();
   }
 
@@ -60,7 +68,7 @@ class Sim {
     result_.drops.in_flight =
         result_.injected - result_.delivered - result_.drops.no_route -
         result_.drops.queue_full - result_.drops.route_break -
-        result_.drops.ttl - result_.drops.loss;
+        result_.drops.ttl - result_.drops.loss - result_.drops.crashed;
     result_.latency = Summary::of(latency_);
     result_.hops = Summary::of(hops_);
     result_.avg_gateways =
@@ -71,8 +79,29 @@ class Sim {
   }
 
  private:
+  [[nodiscard]] bool is_down(NodeId host) const {
+    return injector_ && injector_->down().test(static_cast<std::size_t>(host));
+  }
+
+  /// Applies the current interval's scheduled faults and drops whatever a
+  /// newly-down host was holding (its queue and service slot die with it).
+  void apply_faults() {
+    fault_scratch_.clear();
+    injector_->apply(interval_, positions_, *batteries_, fault_scratch_);
+    result_.fault_events += fault_scratch_.size();
+    if (!injector_->take_down_changed()) return;
+    for (std::size_t h = 0; h < queues_.size(); ++h) {
+      if (!injector_->down().test(h)) continue;
+      result_.drops.crashed += queues_[h].size();
+      queues_[h].clear();
+      busy_[h] = 0;
+    }
+  }
+
   void rebuild_backbone() {
-    graph_ = build_udg(positions_, config_.radius);
+    const std::vector<Vec2>& radio_positions =
+        injector_ ? injector_->effective_positions(positions_) : positions_;
+    graph_ = build_udg(radio_positions, config_.radius);
     const std::vector<double> uniform(
         static_cast<std::size_t>(config_.n_hosts), 1.0);
     cds_ = compute_cds(graph_, config_.rule_set, uniform,
@@ -84,6 +113,8 @@ class Sim {
 
   void refresh_topology() {
     mobility_.step(positions_, field_, rng_);
+    ++interval_;
+    if (injector_) apply_faults();
     rebuild_backbone();
   }
 
@@ -93,6 +124,12 @@ class Sim {
     const auto src = static_cast<NodeId>(rng_.uniform_int(0, n - 1));
     auto dst = src;
     while (dst == src) dst = static_cast<NodeId>(rng_.uniform_int(0, n - 1));
+    if (is_down(src) || is_down(dst)) {
+      // A crashed host neither sources nor sinks traffic. The draws above
+      // keep the injection stream aligned with the fault-free run.
+      ++result_.drops.crashed;
+      return;
+    }
     const RouteResult route = router_->route(src, dst);
     if (!route.delivered) {
       ++result_.drops.no_route;
@@ -136,6 +173,12 @@ class Sim {
     events_.schedule(events_.now() + config_.tx_time,
                      [this, host, p = std::move(packet), next]() mutable {
                        busy_[static_cast<std::size_t>(host)] = 0;
+                       if (is_down(host)) {
+                         // The sender crashed mid-service; the frame and the
+                         // rest of its queue died with it (see apply_faults).
+                         ++result_.drops.crashed;
+                         return;
+                       }
                        if (config_.loss_probability > 0.0 &&
                            rng_.bernoulli(config_.loss_probability)) {
                          // Frame lost in the air: retransmit or give up.
@@ -146,6 +189,11 @@ class Sim {
                            ++result_.drops.loss;
                            try_transmit(host);
                          }
+                         return;
+                       }
+                       if (is_down(next)) {
+                         ++result_.drops.crashed;
+                         try_transmit(host);
                          return;
                        }
                        p.retries = 0;
@@ -191,6 +239,12 @@ class Sim {
   Graph graph_;
   CdsResult cds_;
   std::optional<DominatingSetRouter> router_;
+
+  /// Fault plumbing (engaged only when config.faults has lifetime events).
+  long interval_ = 1;  ///< 1-based backbone-build counter (plan intervals)
+  std::optional<FaultInjector> injector_;
+  std::optional<BatteryBank> batteries_;  ///< theft target (no drain here)
+  std::vector<FaultRecord> fault_scratch_;
 
   EventQueue events_;
   std::vector<std::deque<Packet>> queues_;

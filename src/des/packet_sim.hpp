@@ -15,6 +15,7 @@
 #include "core/cds.hpp"
 #include "net/space.hpp"
 #include "net/topology.hpp"
+#include "sim/faults.hpp"
 #include "sim/stats.hpp"
 
 namespace pacds::des {
@@ -43,6 +44,16 @@ struct PacketSimConfig {
   int max_retries = 3;
 
   int connect_retries = 500;
+
+  /// Optional fault plan (borrowed; must outlive the run). Crash/recover,
+  /// theft and blackout events apply at backbone-refresh boundaries — the
+  /// plan's interval t maps to the t-th backbone build. Down hosts leave
+  /// the radio graph, their queued and in-flight packets are dropped as
+  /// `crashed`, and they neither source nor sink new traffic. The plan
+  /// consumes no randomness, so the mobility/injection/loss streams match
+  /// the fault-free run of the same seed. Thefts only kill a host here when
+  /// `amount` >= 100 (the DES models no battery drain).
+  const FaultPlan* faults = nullptr;
 };
 
 /// Why a packet never reached its destination.
@@ -52,10 +63,12 @@ struct DropCounts {
   std::size_t route_break = 0;  ///< next hop out of range after an update
   std::size_t ttl = 0;          ///< exceeded max_hops
   std::size_t loss = 0;         ///< radio loss exhausted the retry budget
+  std::size_t crashed = 0;      ///< lost with a host that went down
   std::size_t in_flight = 0;    ///< still queued when the simulation ended
 
   [[nodiscard]] std::size_t total() const {
-    return no_route + queue_full + route_break + ttl + loss + in_flight;
+    return no_route + queue_full + route_break + ttl + loss + crashed +
+           in_flight;
   }
 };
 
@@ -67,6 +80,7 @@ struct PacketSimResult {
   Summary hops;             ///< path length of delivered packets
   double max_queue = 0.0;   ///< deepest FIFO observed (congestion)
   double avg_gateways = 0.0;
+  std::size_t fault_events = 0;  ///< injected fault events (0 without a plan)
 
   [[nodiscard]] double delivery_ratio() const {
     return injected == 0

@@ -1,0 +1,33 @@
+#pragma once
+// Channel-level fault knobs for the distributed protocol. Header-only plain
+// data on purpose: sim/faults.hpp embeds these in a FaultPlan without
+// linking pacds_dist, and dist/protocol.cpp consumes them to perturb frame
+// delivery. Semantics are specified in FAULTS.md ("channel" section).
+
+namespace pacds::dist {
+
+/// Per-frame fault probabilities of the shared radio channel. Every
+/// (sender, receiver) delivery draws independently, in a deterministic
+/// order, from one seeded stream — see run_faulty_protocol.
+struct ChannelFaultConfig {
+  double drop = 0.0;       ///< frame lost outright (triggers a retransmit)
+  double duplicate = 0.0;  ///< frame delivered twice (receivers idempotent)
+  double delay = 0.0;      ///< frame deferred to the next attempt boundary
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || delay > 0.0;
+  }
+};
+
+/// Bounded retry-with-timeout for one protocol phase: a sender retransmits
+/// to the neighbors that have not acknowledged, waiting
+/// min(backoff_base * 2^(attempt-1), backoff_cap) synchronous rounds between
+/// attempts. After max_attempts the remaining links stay undelivered and
+/// the phase proceeds degraded (FaultyProtocolResult::complete = false).
+struct RetryPolicy {
+  int max_attempts = 12;  ///< total transmissions per (frame, receiver) link
+  int backoff_base = 1;   ///< rounds waited after the first failed attempt
+  int backoff_cap = 8;    ///< ceiling of the exponential backoff
+};
+
+}  // namespace pacds::dist

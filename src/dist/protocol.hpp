@@ -14,6 +14,7 @@
 #include "core/cds.hpp"
 #include "core/graph.hpp"
 #include "dist/agent.hpp"
+#include "dist/channel.hpp"
 
 namespace pacds::dist {
 
@@ -58,6 +59,45 @@ struct LossyProtocolResult {
 
 [[nodiscard]] LossyProtocolResult run_lossy_protocol(
     const Graph& g, RuleSet rs, double loss, int repeats, std::uint64_t seed,
+    const std::vector<double>& energy = {});
+
+/// Outcome of an ARQ execution under a faulty channel. The embedded
+/// ProtocolResult's message tallies count every transmission including
+/// retransmits, so `protocol.total_msgs()` is the real airtime cost of
+/// converging under loss.
+struct FaultyProtocolResult {
+  ProtocolResult protocol;
+  std::size_t retransmissions = 0;   ///< extra broadcasts beyond attempt 1
+  std::size_t dropped_frames = 0;    ///< per-link frames lost to drop
+  std::size_t duplicate_frames = 0;  ///< per-link frames delivered twice
+  std::size_t delayed_frames = 0;    ///< per-link frames deferred one attempt
+  std::size_t backoff_rounds = 0;    ///< idle rounds spent backing off
+  std::size_t undelivered_links = 0; ///< links still missing a frame at the
+                                     ///< retry cap (any phase)
+  bool complete = true;              ///< every phase fully delivered
+  std::size_t status_disagreements = 0;  ///< hosts deciding differently from
+                                         ///< the reliable execution
+  bool valid_cds = false;            ///< result still passes check_cds
+};
+
+/// Retry-with-timeout execution: every protocol phase runs as an ARQ round
+/// — each broadcast must reach every radio neighbor of its sender, per-link
+/// acks are free and reliable, and senders retransmit (only to receivers
+/// that have not acked) with bounded exponential backoff until the phase is
+/// fully delivered or `retry.max_attempts` is exhausted. Delayed frames
+/// arrive at the next attempt boundary (before the retry timer, so they are
+/// acked in time); duplicated frames are received twice — harmless because
+/// HostAgent::receive is idempotent.
+///
+/// Invariant the tests pin: when `complete` is true, every agent's 2-hop
+/// knowledge and status view equals the reliable execution's, so the
+/// gateway set is IDENTICAL to run_protocol_scheme(g, rs, energy) — loss
+/// costs airtime and latency, never correctness. A zero-fault channel is
+/// exactly run_protocol_scheme (no RNG draws). Fully deterministic in
+/// (g, rs, channel, retry, seed, energy).
+[[nodiscard]] FaultyProtocolResult run_faulty_protocol(
+    const Graph& g, RuleSet rs, const ChannelFaultConfig& channel,
+    const RetryPolicy& retry, std::uint64_t seed,
     const std::vector<double>& energy = {});
 
 }  // namespace pacds::dist

@@ -1,6 +1,8 @@
 #include "io/json_parse.hpp"
 
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "io/json.hpp"
@@ -266,6 +268,20 @@ const JsonValue* JsonValue::find(const std::string& key) const {
 
 JsonValue parse_json(std::string_view text) {
   return Parser(text).parse_document();
+}
+
+JsonValue load_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(path + ": cannot open file");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse_json(text.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
 }
 
 void write_json(JsonWriter& writer, const JsonValue& value) {

@@ -71,6 +71,10 @@ class JsonValue {
 /// malformed input.
 [[nodiscard]] JsonValue parse_json(std::string_view text);
 
+/// Reads `path` and parses it as one JSON document. Throws
+/// std::runtime_error prefixed with the path on read or parse failure.
+[[nodiscard]] JsonValue load_json_file(const std::string& path);
+
 class JsonWriter;
 
 /// Re-emits a parsed value through a JsonWriter positioned to accept a

@@ -9,6 +9,7 @@ const char* phase_name(Phase phase) noexcept {
     case Phase::kRules: return "rules";
     case Phase::kDeltaExtract: return "delta_extract";
     case Phase::kDeltaApply: return "delta_apply";
+    case Phase::kFaultApply: return "fault_apply";
     case Phase::kCount_: break;
   }
   return "unknown";
@@ -22,6 +23,8 @@ const char* counter_name(Counter counter) noexcept {
     case Counter::kEdgesRemoved: return "edges_removed";
     case Counter::kFullRefreshes: return "full_refreshes";
     case Counter::kLocalizedUpdates: return "localized_updates";
+    case Counter::kFaultEvents: return "fault_events";
+    case Counter::kHostsDown: return "hosts_down";
     case Counter::kCount_: break;
   }
   return "unknown";

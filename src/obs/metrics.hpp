@@ -27,6 +27,7 @@ enum class Phase : std::uint8_t {
   kRules,         ///< Rule 1/2 (+ clique policy) pruning passes
   kDeltaExtract,  ///< position diff -> EdgeDelta (incremental engine)
   kDeltaApply,    ///< localized 4-hop re-evaluation of a delta
+  kFaultApply,    ///< fault-plan evaluation + injection (degraded mode)
   kCount_,
 };
 
@@ -38,6 +39,8 @@ enum class Counter : std::uint8_t {
   kEdgesRemoved,        ///< links vanishing in an EdgeDelta
   kFullRefreshes,       ///< whole-graph recomputations
   kLocalizedUpdates,    ///< delta-driven incremental advances
+  kFaultEvents,         ///< fault events applied this interval
+  kHostsDown,           ///< hosts down (crashed or dead) after injection
   kCount_,
 };
 

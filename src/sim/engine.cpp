@@ -59,31 +59,32 @@ FullRebuildEngine::FullRebuildEngine(const SimConfig& config)
 void FullRebuildEngine::update(const std::vector<Vec2>& positions,
                                const std::vector<double>& levels) {
   with_pool_accounting(pool_, [&] {
-    std::optional<Graph> g;
     {
       const obs::PhaseTimer timer(metrics_, obs::Phase::kLinkBuild);
-      g.emplace(build_links(positions, config_.radius, config_.link_model));
+      graph_.emplace(build_links(positions, config_.radius,
+                                 config_.link_model));
     }
+    const Graph& g = *graph_;
     const auto& keys =
         quantize_key_levels(levels, config_.energy_key_quantum, key_scratch_);
     const ExecContext ctx{pool_ ? &*pool_ : nullptr, &workspace_, metrics_};
     if (config_.custom_key && config_.use_rule_k) {
-      cds_ = compute_cds_rule_k(*g, *config_.custom_key, keys,
+      cds_ = compute_cds_rule_k(g, *config_.custom_key, keys,
                                 config_.cds_options.strategy,
                                 config_.cds_options.clique_policy, ctx);
       if (metrics_ != nullptr) {
         metrics_->add(obs::Counter::kFullRefreshes);
         metrics_->add(obs::Counter::kNodesTouched,
-                      static_cast<std::uint64_t>(g->num_nodes()));
+                      static_cast<std::uint64_t>(g.num_nodes()));
       }
     } else if (config_.custom_key) {
       RuleConfig rule_config;
       rule_config.rule2_form = config_.custom_rule2_form;
       rule_config.strategy = config_.cds_options.strategy;
-      cds_ = compute_cds_custom(*g, *config_.custom_key, rule_config, keys,
+      cds_ = compute_cds_custom(g, *config_.custom_key, rule_config, keys,
                                 config_.cds_options.clique_policy, ctx);
     } else {
-      cds_ = compute_cds(*g, config_.rule_set, keys, config_.cds_options, ctx);
+      cds_ = compute_cds(g, config_.rule_set, keys, config_.cds_options, ctx);
     }
   });
 }

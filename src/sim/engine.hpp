@@ -63,6 +63,10 @@ class LifetimeEngine {
                       const std::vector<double>& levels) = 0;
 
   [[nodiscard]] virtual const DynBitset& gateways() const = 0;
+  /// The link graph the last update computed against (null before the first
+  /// update). Degraded-mode health checks read it; down hosts appear as
+  /// isolated vertices because their parked positions have no links.
+  [[nodiscard]] virtual const Graph* graph() const = 0;
   [[nodiscard]] virtual IntervalCounts counts() const = 0;
   /// Nodes re-evaluated by the last update (n for a full rebuild).
   [[nodiscard]] virtual std::size_t last_touched() const = 0;
@@ -111,6 +115,9 @@ class FullRebuildEngine final : public LifetimeEngine {
   [[nodiscard]] const DynBitset& gateways() const override {
     return cds_.gateways;
   }
+  [[nodiscard]] const Graph* graph() const override {
+    return graph_ ? &*graph_ : nullptr;
+  }
   [[nodiscard]] IntervalCounts counts() const override {
     return {cds_.marked_count, cds_.gateway_count};
   }
@@ -119,6 +126,8 @@ class FullRebuildEngine final : public LifetimeEngine {
 
  private:
   SimConfig config_;
+  /// Last interval's link graph, kept for graph() (rebuilt every update).
+  std::optional<Graph> graph_;
   CdsResult cds_;
   std::vector<double> key_scratch_;
   /// Intra-interval pool (config.threads != 1) + reusable pass scratch.
@@ -137,6 +146,9 @@ class IncrementalEngine final : public LifetimeEngine {
               const std::vector<double>& levels) override;
   [[nodiscard]] const DynBitset& gateways() const override {
     return cds_->gateways();
+  }
+  [[nodiscard]] const Graph* graph() const override {
+    return cds_ ? &cds_->graph() : nullptr;
   }
   [[nodiscard]] IntervalCounts counts() const override {
     return {cds_->marked_only().count(), cds_->gateways().count()};

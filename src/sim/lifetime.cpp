@@ -1,6 +1,8 @@
 #include "sim/lifetime.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 #include <stdexcept>
 
 #include "energy/battery.hpp"
@@ -10,7 +12,8 @@
 namespace pacds {
 
 TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
-                               IntervalObserver* observer) {
+                               IntervalObserver* observer,
+                               const FaultPlan* faults) {
   if (config.n_hosts < 1) {
     throw std::invalid_argument("run_lifetime_trial: need at least one host");
   }
@@ -42,9 +45,10 @@ TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
   const std::unique_ptr<MobilityModel> mobility =
       make_mobility(config.mobility_kind, mobility_params);
 
-  // Placement and mobility are the only RNG consumers, so the choice of
-  // engine cannot perturb the random stream: both engines yield
-  // bit-identical trials wherever the incremental one is eligible.
+  // Placement and mobility are the only RNG consumers, so neither the choice
+  // of engine nor a fault plan can perturb the random stream: both engines
+  // yield bit-identical trials wherever the incremental one is eligible, and
+  // a faulted run shares its fault-free twin's placement and trajectories.
   const std::unique_ptr<LifetimeEngine> engine = make_lifetime_engine(config);
 
   // Metrics are gathered only when someone is listening; with no observer
@@ -52,26 +56,144 @@ TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
   obs::MetricsRegistry metrics;
   if (observer != nullptr) engine->set_metrics(&metrics);
 
+  // Degraded mode: only a plan with scheduled lifetime events changes the
+  // loop at all; an empty or null plan stays on the exact fault-free path.
+  const bool faulted = faults != nullptr && faults->has_lifetime_events();
+  std::optional<FaultInjector> injector;
+  std::vector<FaultRecord> fault_events;
+  DynBitset health_scratch;
+  if (faulted) {
+    validate_fault_plan(*faults, config.n_hosts);
+    injector.emplace(*faults, batteries.size(), config.field_width,
+                     config.radius);
+    health_scratch = DynBitset(batteries.size());
+  }
+
   double gateway_sum = 0.0;
   double marked_sum = 0.0;
+  bool attrition_stop = false;
   while (result.intervals < config.max_intervals) {
     metrics.reset();  // per-interval slice
-    engine->update(positions, batteries.levels());
+    const long interval = result.intervals + 1;
+
+    // 1. Inject this interval's scheduled faults (before the CDS update, so
+    //    the engine always computes against the post-event topology).
+    bool repair_due = false;
+    if (faulted) {
+      fault_events.clear();
+      {
+        const obs::PhaseTimer timer(observer != nullptr ? &metrics : nullptr,
+                                    obs::Phase::kFaultApply);
+        injector->apply(interval, positions, batteries, fault_events);
+      }
+      repair_due = injector->take_down_changed();
+    }
+
+    // 2. Bring the gateway set up to date. Down hosts enter parked (hence
+    //    isolated) — for the incremental engine the update IS the localized
+    //    repair: only the k-hop ball around the excised links re-evaluates.
+    const std::vector<Vec2>& radio_positions =
+        faulted ? injector->effective_positions(positions) : positions;
+    std::uint64_t repair_ns = 0;
+    if (repair_due) {
+      const auto start = std::chrono::steady_clock::now();
+      engine->update(radio_positions, batteries.levels());
+      repair_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    } else {
+      engine->update(radio_positions, batteries.levels());
+    }
     const DynBitset& gateways = engine->gateways();
-    const IntervalCounts counts = engine->counts();
+    IntervalCounts counts = engine->counts();
+
+    // 3. Degraded-mode health: domination + connectivity of the surviving
+    //    backbone. assess_backbone leaves the active gateway set in
+    //    health_scratch, which then also drives the drain step.
+    BackboneHealth health;
+    const DynBitset* drain_gateways = &gateways;
+    if (faulted) {
+      health = assess_backbone(*engine->graph(), gateways, injector->down(),
+                               health_scratch);
+      drain_gateways = &health_scratch;
+      counts.gateways = health.active_gateways;
+    }
     gateway_sum += static_cast<double>(counts.gateways);
     marked_sum += static_cast<double>(counts.marked);
 
+    // 4. Drain. Down hosts spend nothing (a crashed radio is off); gateway
+    //    duty is judged against the active set.
     const double d = gateway_drain(config.drain_model, batteries.size(),
                                    counts.gateways, config.drain_params);
     const double d_prime = config.drain_params.nongateway_drain;
     bool someone_died = false;
+    const std::size_t death_start = fault_events.size();
     for (std::size_t host = 0; host < batteries.size(); ++host) {
-      const bool is_gateway = gateways.test(host);
-      someone_died |= batteries.drain(host, is_gateway ? d : d_prime);
+      if (faulted && injector->down().test(host)) continue;
+      const bool is_gateway = drain_gateways->test(host);
+      if (batteries.drain(host, is_gateway ? d : d_prime)) {
+        someone_died = true;
+        if (faulted) injector->record_death(host, interval, fault_events);
+      }
     }
     ++result.intervals;
+
+    // 5. Degraded-mode bookkeeping: event tallies, health aggregates, and
+    //    the repair record for this interval's down-set change.
+    FaultRecord repair_record;
+    if (faulted) {
+      FaultStats& fs = result.faults;
+      for (const FaultRecord& event : fault_events) {
+        switch (event.kind) {
+          case FaultKind::kCrash:
+            ++fs.events;
+            ++fs.crashes;
+            break;
+          case FaultKind::kRecover:
+            ++fs.events;
+            ++fs.recoveries;
+            break;
+          case FaultKind::kTheft:
+            ++fs.events;
+            ++fs.thefts;
+            break;
+          case FaultKind::kDeath:
+            ++fs.deaths;
+            if (fs.first_death_interval == 0) {
+              fs.first_death_interval = event.interval;
+            }
+            break;
+          case FaultKind::kRepair:
+            break;
+        }
+      }
+      if (!health.backbone_ok) ++fs.disconnected_intervals;
+      if (health.coverage < 1.0) ++fs.uncovered_intervals;
+      fs.min_coverage = std::min(fs.min_coverage, health.coverage);
+      if (repair_due) {
+        ++fs.repairs;
+        fs.repair_ns_total += repair_ns;
+        fs.repair_touched_total += engine->last_touched();
+        repair_record = {interval,
+                         FaultKind::kRepair,
+                         FaultCause::kNone,
+                         -1,
+                         0.0,
+                         injector->down_count(),
+                         engine->last_touched(),
+                         repair_ns,
+                         health.backbone_ok,
+                         health.coverage,
+                         health.active_gateways};
+      }
+    }
+
     if (observer != nullptr) {
+      if (faulted) {
+        metrics.add(obs::Counter::kFaultEvents, fault_events.size());
+        metrics.add(obs::Counter::kHostsDown, injector->down_count());
+      }
       IntervalRecord record;
       record.interval = result.intervals;
       record.marked = counts.marked;
@@ -89,13 +211,36 @@ TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
       record.touched = engine->last_touched();
       record.phase_ns = metrics.phases();
       record.counters = metrics.counters();
+      // Emission order: injected events, the repair that healed them, the
+      // interval snapshot, then the drain deaths the interval caused.
+      if (faulted) {
+        for (std::size_t i = 0; i < death_start; ++i) {
+          observer->on_fault(fault_events[i]);
+        }
+        if (repair_due) observer->on_fault(repair_record);
+      }
       observer->on_interval(record);
+      if (faulted) {
+        for (std::size_t i = death_start; i < fault_events.size(); ++i) {
+          observer->on_fault(fault_events[i]);
+        }
+      }
     }
-    if (someone_died) break;
+
+    // 6. Stop: a degraded run keeps going until at most one host still
+    //    functions; the paper's run ends at the first death.
+    if (faulted) {
+      if (batteries.size() - injector->down_count() <= 1) {
+        attrition_stop = true;
+        break;
+      }
+    } else if (someone_died) {
+      attrition_stop = true;
+      break;
+    }
     mobility->step(positions, field, rng);
   }
-  result.hit_cap =
-      !batteries.any_dead() && result.intervals >= config.max_intervals;
+  result.hit_cap = !attrition_stop && result.intervals >= config.max_intervals;
   if (result.intervals > 0) {
     gateway_sum /= static_cast<double>(result.intervals);
     marked_sum /= static_cast<double>(result.intervals);

@@ -20,6 +20,7 @@
 #include "net/mobility.hpp"
 #include "net/space.hpp"
 #include "net/topology.hpp"
+#include "sim/faults.hpp"
 #include "sim/trace.hpp"
 
 namespace pacds {
@@ -104,14 +105,20 @@ struct SimConfig {
   long max_intervals = 200000;
 };
 
-/// Outcome of one simulated network lifetime.
+/// Outcome of one simulated network lifetime. In a fault-free run
+/// `intervals` is the paper's lifetime (intervals to first death). In a
+/// degraded-mode run (non-empty fault plan) the trial continues past deaths
+/// and crashes until at most one host still functions, so `intervals` is
+/// the degraded run length and `faults.first_death_interval` carries the
+/// paper metric; per-interval means then count only functioning hosts.
 struct TrialResult {
-  long intervals = 0;        ///< completed update intervals at first death
+  long intervals = 0;        ///< completed update intervals
   double avg_gateways = 0.0; ///< mean |G'| per interval (Figure 10's metric)
   double avg_marked = 0.0;   ///< mean marking-process set size (NR size)
-  bool hit_cap = false;      ///< stopped by max_intervals, not by a death
+  bool hit_cap = false;      ///< stopped by max_intervals, not by attrition
   bool initial_connected = true;  ///< whether placement retries succeeded
   int placement_attempts = 1;
+  FaultStats faults{};       ///< degraded-mode aggregates (zero when none)
 };
 
 /// Runs one trial, fully determined by (config, seed). When `observer` is
@@ -119,9 +126,21 @@ struct TrialResult {
 /// taken after each drain step) with the interval's metrics slice attached
 /// — pass a SimTrace to buffer, a JsonlIntervalObserver to stream. With a
 /// null observer no metrics are gathered at all (the zero-cost path).
+///
+/// `faults` switches the trial into degraded mode iff the plan schedules
+/// lifetime events (FaultPlan::has_lifetime_events): scheduled events apply
+/// at the start of their interval, down hosts leave the radio graph, the
+/// engine's localized update repairs the backbone, and each interval's
+/// health (check_cds + domination coverage of functioning hosts) lands in
+/// TrialResult::faults and in FaultRecords pushed through the observer. A
+/// null or event-free plan leaves the trial bit-identical to the fault-free
+/// path — the plan itself consumes no randomness, so faulted and fault-free
+/// twins of one seed share the same placement and mobility stream.
 [[nodiscard]] TrialResult run_lifetime_trial(const SimConfig& config,
                                              std::uint64_t seed,
                                              IntervalObserver* observer =
+                                                 nullptr,
+                                             const FaultPlan* faults =
                                                  nullptr);
 
 }  // namespace pacds

@@ -14,7 +14,8 @@ const char* clique_policy_name(CliquePolicy policy) {
 }  // namespace
 
 void write_run_manifest(obs::JsonlSink& sink, const SimConfig& config,
-                        std::uint64_t base_seed, std::size_t trials) {
+                        std::uint64_t base_seed, std::size_t trials,
+                        const FaultPlan* faults) {
   sink.record([&](JsonWriter& json) {
     json.key("type").value("run_manifest");
     json.key("schema").value(kMetricsSchemaVersion);
@@ -54,6 +55,12 @@ void write_run_manifest(obs::JsonlSink& sink, const SimConfig& config,
     json.key("connect_retries").value(config.connect_retries);
     json.key("max_intervals").value(static_cast<std::int64_t>(
         config.max_intervals));
+    if (faults != nullptr && !faults->empty()) {
+      json.key("faults");
+      write_fault_plan(json, *faults);
+    } else {
+      json.key("faults").null();
+    }
   });
 }
 
@@ -88,6 +95,33 @@ void JsonlIntervalObserver::on_interval(const IntervalRecord& record) {
     for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
       json.key(obs::counter_name(static_cast<obs::Counter>(i)))
           .value(static_cast<std::size_t>(record.counters[i]));
+    }
+  });
+}
+
+void JsonlIntervalObserver::on_fault(const FaultRecord& record) {
+  sink_->record([&](JsonWriter& json) {
+    json.key("type").value("fault_event");
+    json.key("schema").value(kMetricsSchemaVersion);
+    json.key("trial").value(trial_);
+    json.key("scheme").value(scheme_);
+    json.key("engine").value(engine_);
+    json.key("interval").value(static_cast<std::int64_t>(record.interval));
+    json.key("kind").value(to_string(record.kind));
+    json.key("cause").value(to_string(record.cause));
+    if (record.node >= 0) {
+      json.key("node").value(record.node);
+    } else {
+      json.key("node").null();
+    }
+    json.key("amount").value(record.amount);
+    json.key("down").value(record.down);
+    if (record.kind == FaultKind::kRepair) {
+      json.key("touched").value(record.touched);
+      json.key("repair_ns").value(static_cast<std::size_t>(record.repair_ns));
+      json.key("backbone_ok").value(record.backbone_ok);
+      json.key("coverage").value(record.coverage);
+      json.key("gateways").value(record.gateways);
     }
   });
 }

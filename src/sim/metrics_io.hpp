@@ -18,18 +18,23 @@ inline constexpr int kMetricsSchemaVersion = 1;
 
 /// Writes one `"type": "run_manifest"` line: every SimConfig knob (enums as
 /// their to_string names), the resolved engine, `base_seed`, and `trials`.
+/// A non-null, non-empty `faults` plan is embedded (normalized) under the
+/// `"faults"` key; otherwise the key is emitted as null.
 void write_run_manifest(obs::JsonlSink& sink, const SimConfig& config,
-                        std::uint64_t base_seed, std::size_t trials);
+                        std::uint64_t base_seed, std::size_t trials,
+                        const FaultPlan* faults = nullptr);
 
 /// Streams each interval as a `"type": "interval"` line tagged with the
 /// trial index, scheme, and resolved engine name (so multi-scheme /
-/// multi-trial files stay self-describing).
+/// multi-trial files stay self-describing). Degraded-mode runs additionally
+/// stream one `"type": "fault_event"` line per FaultRecord.
 class JsonlIntervalObserver final : public IntervalObserver {
  public:
   JsonlIntervalObserver(obs::JsonlSink& sink, const SimConfig& config,
                         std::size_t trial);
 
   void on_interval(const IntervalRecord& record) override;
+  void on_fault(const FaultRecord& record) override;
 
  private:
   obs::JsonlSink* sink_;

@@ -1,5 +1,6 @@
 #include "sim/montecarlo.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -18,11 +19,12 @@ SimConfig montecarlo_trial_config(const SimConfig& config, bool under_pool) {
 LifetimeSummary run_lifetime_trials(const SimConfig& config,
                                     std::size_t trials,
                                     std::uint64_t base_seed, ThreadPool* pool,
-                                    obs::JsonlSink* metrics) {
+                                    obs::JsonlSink* metrics,
+                                    const FaultPlan* faults) {
   const SimConfig trial_config =
       montecarlo_trial_config(config, pool != nullptr);
   if (metrics != nullptr) {
-    write_run_manifest(*metrics, trial_config, base_seed, trials);
+    write_run_manifest(*metrics, trial_config, base_seed, trials, faults);
   }
 
   std::vector<TrialResult> results(trials);
@@ -33,13 +35,14 @@ LifetimeSummary run_lifetime_trials(const SimConfig& config,
   const auto run_one = [&](std::size_t trial) {
     const std::uint64_t seed = derive_seed(base_seed, trial);
     if (metrics == nullptr) {
-      results[trial] = run_lifetime_trial(trial_config, seed);
+      results[trial] = run_lifetime_trial(trial_config, seed, nullptr, faults);
       return;
     }
     std::ostringstream buffer;
     obs::JsonlSink trial_sink(buffer);
     JsonlIntervalObserver observer(trial_sink, trial_config, trial);
-    results[trial] = run_lifetime_trial(trial_config, seed, &observer);
+    results[trial] =
+        run_lifetime_trial(trial_config, seed, &observer, faults);
     buffered_lines[trial] = buffer.str();
   };
   if (pool != nullptr) {
@@ -62,6 +65,23 @@ LifetimeSummary run_lifetime_trials(const SimConfig& config,
     marked.add(r.avg_marked);
     if (r.hit_cap) ++summary.capped_trials;
     if (!r.initial_connected) ++summary.disconnected_trials;
+    FaultStats& fs = summary.faults;
+    fs.events += r.faults.events;
+    fs.crashes += r.faults.crashes;
+    fs.recoveries += r.faults.recoveries;
+    fs.thefts += r.faults.thefts;
+    fs.deaths += r.faults.deaths;
+    fs.repairs += r.faults.repairs;
+    fs.disconnected_intervals += r.faults.disconnected_intervals;
+    fs.uncovered_intervals += r.faults.uncovered_intervals;
+    fs.min_coverage = std::min(fs.min_coverage, r.faults.min_coverage);
+    if (r.faults.first_death_interval > 0 &&
+        (fs.first_death_interval == 0 ||
+         r.faults.first_death_interval < fs.first_death_interval)) {
+      fs.first_death_interval = r.faults.first_death_interval;
+    }
+    fs.repair_ns_total += r.faults.repair_ns_total;
+    fs.repair_touched_total += r.faults.repair_touched_total;
   }
   summary.intervals = Summary::of(intervals);
   summary.avg_gateways = Summary::of(gateways);

@@ -19,6 +19,10 @@ struct LifetimeSummary {
   Summary avg_marked;     ///< marking-process set size (Figure 10's NR)
   std::size_t capped_trials = 0;        ///< trials stopped by the cap
   std::size_t disconnected_trials = 0;  ///< trials starting disconnected
+  /// Degraded-mode aggregates across trials: counts/ns sum; min_coverage is
+  /// the minimum over trials; first_death_interval the earliest first death
+  /// over trials that saw one (0 if none did). All-zero for fault-free runs.
+  FaultStats faults{};
 };
 
 /// The per-trial config run_lifetime_trials actually uses: identical to
@@ -39,8 +43,14 @@ struct LifetimeSummary {
 /// With `metrics` set, a run manifest plus every trial's interval records
 /// are emitted — in trial order regardless of pool scheduling (pooled
 /// trials buffer their lines and splice after the join).
+///
+/// A non-null `faults` plan is passed to every trial (see
+/// run_lifetime_trial) and embedded in the manifest; trial seeds and the
+/// record splice order are unchanged, so serial and pooled faulted runs
+/// emit identical streams modulo `*_ns` timing fields.
 [[nodiscard]] LifetimeSummary run_lifetime_trials(
     const SimConfig& config, std::size_t trials, std::uint64_t base_seed,
-    ThreadPool* pool = nullptr, obs::JsonlSink* metrics = nullptr);
+    ThreadPool* pool = nullptr, obs::JsonlSink* metrics = nullptr,
+    const FaultPlan* faults = nullptr);
 
 }  // namespace pacds

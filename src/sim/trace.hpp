@@ -28,20 +28,67 @@ struct IntervalRecord {
   obs::CounterArray counters{};  ///< event counts, indexed by obs::Counter
 };
 
+/// What happened to a host (or to the backbone) in a fault event.
+enum class FaultKind : std::uint8_t {
+  kCrash,    ///< host went down (scheduled crash or blackout entry)
+  kRecover,  ///< host came back (scheduled recovery or blackout exit)
+  kTheft,    ///< battery theft drained a host by `amount`
+  kDeath,    ///< battery reached zero (drain or theft)
+  kRepair,   ///< localized backbone repair round after the down set changed
+};
+
+/// Why a crash/recover event fired.
+enum class FaultCause : std::uint8_t {
+  kPlan,      ///< an explicit per-node entry in the fault plan
+  kBlackout,  ///< membership in a region blackout
+  kBattery,   ///< energy depletion
+  kNone,      ///< not applicable (repair records)
+};
+
+[[nodiscard]] std::string to_string(FaultKind kind);
+[[nodiscard]] std::string to_string(FaultCause cause);
+
+/// One fault event in a degraded-mode run. Events are published in the
+/// order they applied; `down` is the total number of non-functioning hosts
+/// immediately after the event. The repair-only fields describe the
+/// localized recomputation that healed the interval's down-set change
+/// (schema: the `fault_event` record, DESIGN.md §7 / FAULTS.md).
+struct FaultRecord {
+  long interval = 0;
+  FaultKind kind = FaultKind::kCrash;
+  FaultCause cause = FaultCause::kPlan;
+  int node = -1;          ///< affected host; -1 for repair records
+  double amount = 0.0;    ///< energy removed (theft records)
+  std::size_t down = 0;   ///< hosts down after the event
+  // Repair records only:
+  std::size_t touched = 0;        ///< nodes re-evaluated by the repair
+  std::uint64_t repair_ns = 0;    ///< wall time of the repair update
+  bool backbone_ok = true;        ///< surviving set passes check_cds
+  double coverage = 1.0;          ///< dominated fraction of active hosts
+  std::size_t gateways = 0;       ///< active gateways after the repair
+};
+
 /// Receives every interval's record as the simulator produces it. Records
 /// arrive in interval order; the referenced record dies with the call.
+/// on_fault fires only in degraded-mode runs (a non-empty fault plan) and
+/// defaults to ignoring the event, so interval-only consumers are untouched.
 class IntervalObserver {
  public:
   virtual ~IntervalObserver() = default;
   virtual void on_interval(const IntervalRecord& record) = 0;
+  virtual void on_fault(const FaultRecord& record) { (void)record; }
 };
 
 /// Whole-run trace: the buffering IntervalObserver.
 struct SimTrace : IntervalObserver {
   std::vector<IntervalRecord> records;
+  std::vector<FaultRecord> fault_records;
 
   void on_interval(const IntervalRecord& record) override {
     records.push_back(record);
+  }
+  void on_fault(const FaultRecord& record) override {
+    fault_records.push_back(record);
   }
 
   [[nodiscard]] static std::vector<std::string> csv_header();

@@ -308,5 +308,142 @@ TEST(CliTest, SimDeterministicAcrossRuns) {
   EXPECT_EQ(run_cli(cmd).out, run_cli(cmd).out);
 }
 
+std::string write_sample_plan() {
+  const std::string path = ::testing::TempDir() + "/pacds_cli_plan.json";
+  std::ofstream file(path);
+  file << R"({
+    "crashes": [{"node": 2, "at": 2, "recover_at": 6}, {"node": 4, "at": 3}],
+    "thefts": [{"node": 1, "at": 4, "amount": 30}],
+    "blackouts": [{"x0": 0, "y0": 0, "x1": 30, "y1": 30, "at": 5, "until": 8}]
+  })";
+  return path;
+}
+
+TEST(CliTest, FaultsPrintsResolvedSchedule) {
+  const std::string path = write_sample_plan();
+  const CliRun r = run_cli({"faults", "--plan", path, "--n", "20"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // 2 crashes + 1 recovery + 1 theft + blackout entry/exit = 6 events.
+  EXPECT_NE(r.out.find("schedule (6 events):"), std::string::npos);
+  EXPECT_NE(r.out.find("crash"), std::string::npos);
+  EXPECT_NE(r.out.find("theft"), std::string::npos);
+  EXPECT_NE(r.out.find("region 0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, FaultsJsonEchoesNormalizedPlan) {
+  const std::string path = write_sample_plan();
+  const CliRun r = run_cli({"faults", "--plan", path, "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const JsonValue plan = parse_json(r.out);  // throws on malformed output
+  ASSERT_NE(plan.find("crashes"), nullptr);
+  EXPECT_EQ(plan.find("crashes")->as_array().size(), 2u);
+  ASSERT_NE(plan.find("channel"), nullptr);  // defaults made explicit
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, FaultsRequiresPlan) {
+  const CliRun r = run_cli({"faults"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--plan is required"), std::string::npos);
+}
+
+TEST(CliTest, FaultsRejectsBadPlans) {
+  const CliRun missing = run_cli({"faults", "--plan", "/no/such/plan.json"});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("cannot open"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/pacds_cli_bad_plan.json";
+  {
+    std::ofstream file(path);
+    file << R"({"crashes": [{"node": 2, "at": 0}]})";  // interval < 1
+  }
+  const CliRun bad = run_cli({"faults", "--plan", path});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("error:"), std::string::npos);
+
+  // Node ids are range-checked against --n when given.
+  {
+    std::ofstream file(path);
+    file << R"({"crashes": [{"node": 50, "at": 2}]})";
+  }
+  EXPECT_EQ(run_cli({"faults", "--plan", path, "--n", "0"}).code, 0);
+  const CliRun range = run_cli({"faults", "--plan", path, "--n", "10"});
+  EXPECT_EQ(range.code, 1);
+  EXPECT_NE(range.err.find("out of range"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, SimFaultsPrintsDegradedTable) {
+  const std::string path = write_sample_plan();
+  const CliRun r = run_cli({"sim", "--n", "16", "--trials", "2", "--scheme",
+                            "EL1", "--seed", "4", "--faults", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("faults: " + path), std::string::npos);
+  for (const char* column : {"run len", "events", "repairs", "min cov"}) {
+    EXPECT_NE(r.out.find(column), std::string::npos) << column;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, SimFaultsValidatesPlanAgainstHostCount) {
+  const std::string path = ::testing::TempDir() + "/pacds_cli_range.json";
+  {
+    std::ofstream file(path);
+    file << R"({"thefts": [{"node": 30, "at": 2, "amount": 5}]})";
+  }
+  const CliRun r = run_cli({"sim", "--n", "10", "--trials", "1", "--faults",
+                            path});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("out of range"), std::string::npos);
+  std::remove(path.c_str());
+
+  const CliRun missing =
+      run_cli({"sim", "--n", "10", "--faults", "/no/such/plan.json"});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, SimMetricsDashStreamsJsonlToStdout) {
+  const std::string path = write_sample_plan();
+  const CliRun r = run_cli({"sim", "--n", "16", "--trials", "1", "--scheme",
+                            "EL1", "--seed", "4", "--faults", path,
+                            "--metrics", "-"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // Human report moved to stderr; stdout is pure JSONL.
+  EXPECT_NE(r.err.find("lifetime simulation"), std::string::npos);
+  EXPECT_EQ(r.out.front(), '{');
+  std::istringstream lines(r.out);
+  std::size_t fault_events = 0;
+  std::size_t line_count = 0;
+  for (std::string line; std::getline(lines, line); ++line_count) {
+    const JsonValue record = parse_json(line);  // throws on any table leak
+    ASSERT_NE(record.find("type"), nullptr);
+    const std::string& type = record.find("type")->as_string();
+    if (line_count == 0) {
+      EXPECT_EQ(type, "run_manifest");
+      ASSERT_NE(record.find("faults"), nullptr);
+      EXPECT_TRUE(record.find("faults")->is_object());
+    } else if (type == "fault_event") {
+      ++fault_events;
+      for (const char* key : {"trial", "interval", "kind", "cause", "down"}) {
+        EXPECT_NE(record.find(key), nullptr) << "missing " << key;
+      }
+    }
+  }
+  EXPECT_GT(fault_events, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, FaultsInUsage) {
+  const CliRun help = run_cli({"help"});
+  EXPECT_NE(help.out.find("faults"), std::string::npos);
+  const CliRun r = run_cli({"faults", "--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("--plan"), std::string::npos);
+  const CliRun sim_help = run_cli({"sim", "--help"});
+  EXPECT_NE(sim_help.out.find("--faults"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pacds::cli
