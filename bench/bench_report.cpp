@@ -13,10 +13,11 @@
 //
 // --validate-jsonl checks a metrics stream (pacds sim/sweep --metrics) line
 // by line against the schema v1 envelope: every line parses as a JSON
-// object carrying a "type" string and numeric "schema", and the stream
-// holds at least one run_manifest and one interval record. Prints per-type
-// record counts; exits 1 on any violation. CI's faults smoke job runs it
-// over `pacds sim --faults ... --metrics -`.
+// object carrying a "type" string and numeric "schema", no number anywhere
+// in a record is non-finite, and the stream holds at least one run_manifest
+// and one interval record. Prints per-type record counts; exits 1 on any
+// violation. CI's faults smoke job runs it over
+// `pacds sim --faults ... --metrics -`.
 
 #include <cmath>
 #include <fstream>
@@ -29,6 +30,7 @@
 
 #include "io/json.hpp"
 #include "io/json_parse.hpp"
+#include "obs/validate.hpp"
 
 namespace {
 
@@ -95,6 +97,9 @@ void write_speedup(JsonWriter& json, const std::string& key, double numer,
 }
 
 /// Schema-envelope check of one metrics JSONL stream ("-" = stdin).
+/// Delegates to the shared validator so this tool, the fuzz harness's JSONL
+/// oracle and the tests agree on what a well-formed stream is — including
+/// the rejection of non-finite numbers (e.g. an overflowing 1e999 literal).
 int validate_jsonl(const std::string& path) {
   std::ifstream file;
   if (path != "-") {
@@ -105,59 +110,17 @@ int validate_jsonl(const std::string& path) {
     }
   }
   std::istream& in = path == "-" ? std::cin : file;
-  // Type-name -> count, in first-seen order.
-  std::vector<std::pair<std::string, std::size_t>> counts;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    JsonValue record;
-    try {
-      record = parse_json(line);
-    } catch (const std::exception& e) {
-      std::cerr << "line " << line_no << ": " << e.what() << "\n";
-      return 1;
-    }
-    if (!record.is_object()) {
-      std::cerr << "line " << line_no << ": not a JSON object\n";
-      return 1;
-    }
-    const JsonValue* type = record.find("type");
-    if (type == nullptr || !type->is_string()) {
-      std::cerr << "line " << line_no << ": missing \"type\" string\n";
-      return 1;
-    }
-    const JsonValue* schema = record.find("schema");
-    if (schema == nullptr || !schema->is_number()) {
-      std::cerr << "line " << line_no << ": missing \"schema\" number\n";
-      return 1;
-    }
-    bool counted = false;
-    for (auto& [name, count] : counts) {
-      if (name == type->as_string()) {
-        ++count;
-        counted = true;
-        break;
-      }
-    }
-    if (!counted) counts.emplace_back(type->as_string(), 1);
-  }
+  const pacds::obs::StreamValidation result =
+      pacds::obs::validate_metrics_stream(in);
   std::size_t total = 0;
-  for (const auto& [name, count] : counts) {
+  for (const auto& [name, count] : result.type_counts) {
     std::cout << name << ": " << count << "\n";
     total += count;
   }
   std::cout << "total: " << total << "\n";
-  const auto count_of = [&](const std::string& name) {
-    for (const auto& [key, count] : counts) {
-      if (key == name) return count;
-    }
-    return std::size_t{0};
-  };
-  if (count_of("run_manifest") == 0 || count_of("interval") == 0) {
-    std::cerr << "error: stream needs at least one run_manifest and one "
-                 "interval record\n";
+  if (!result.ok) {
+    std::cerr << (result.error.rfind("line ", 0) == 0 ? "" : "error: ")
+              << result.error << "\n";
     return 1;
   }
   std::cout << "ok\n";

@@ -11,6 +11,7 @@
 #include "core/metrics.hpp"
 #include "core/rule_k.hpp"
 #include "core/verify.hpp"
+#include "fuzz/fuzzer.hpp"
 #include "io/dot.hpp"
 #include "io/edgelist.hpp"
 #include "io/json.hpp"
@@ -714,6 +715,49 @@ int cmd_faults(const std::vector<std::string>& tokens, std::ostream& out,
   return 0;
 }
 
+int cmd_fuzz(const std::vector<std::string>& tokens, std::ostream& out,
+             std::ostream& err) {
+  ArgParser parser("pacds fuzz",
+                   "differential fuzzing: random scenarios vs the "
+                   "invariant-oracle suite (DESIGN.md §9)");
+  parser.add_option("seed", "base seed of the scenario stream", "1");
+  parser.add_option("iters", "random scenarios to generate", "100");
+  parser.add_option("time-budget",
+                    "wall-clock cap in seconds (0 = iterations only)", "0");
+  parser.add_option("corpus",
+                    "reproducer directory: replayed first, new findings "
+                    "written here (empty = none)", "");
+  parser.add_flag("help", "show usage");
+  if (!parser.parse(tokens)) {
+    err << "error: " << parser.error() << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.flag("help")) {
+    out << parser.usage();
+    return 0;
+  }
+  const auto seed = parser.option_int("seed");
+  const auto iters = parser.option_int("iters");
+  const auto budget = parser.option_double("time-budget");
+  if (!seed || *seed < 0 || !iters || *iters < 0 || !budget || *budget < 0) {
+    err << "error: --seed/--iters/--time-budget must be non-negative "
+           "numbers\n";
+    return 2;
+  }
+  fuzz::FuzzOptions options;
+  options.seed = static_cast<std::uint64_t>(*seed);
+  options.iterations = static_cast<std::uint64_t>(*iters);
+  options.time_budget_seconds = *budget;
+  options.corpus_dir = parser.option("corpus");
+  try {
+    const fuzz::FuzzReport report = fuzz::run_fuzz(options, out);
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 std::string main_usage() {
   return "pacds — power-aware connected dominating sets "
          "(Wu-Gao-Stojmenovic, ICPP 2001)\n\n"
@@ -724,7 +768,8 @@ std::string main_usage() {
          "  route   route a packet through the gateway backbone\n"
          "  sim     run the paper's lifetime simulation\n"
          "  sweep   sweep host count x scheme (the figure harness)\n"
-         "  faults  inspect a fault plan's resolved schedule\n\n"
+         "  faults  inspect a fault plan's resolved schedule\n"
+         "  fuzz    differential fuzzing against the invariant oracles\n\n"
          "run 'pacds <command> --help' for command options\n";
 }
 
@@ -742,6 +787,7 @@ int run(const std::vector<std::string>& tokens, std::ostream& out,
   if (command == "sim") return cmd_sim(rest, out, err);
   if (command == "sweep") return cmd_sweep(rest, out, err);
   if (command == "faults") return cmd_faults(rest, out, err);
+  if (command == "fuzz") return cmd_fuzz(rest, out, err);
   err << "error: unknown command '" << command << "'\n\n" << main_usage();
   return 2;
 }

@@ -8,6 +8,7 @@
 //   pacds sim    — run the paper's lifetime simulation
 //   pacds sweep  — host-count x scheme sweep (the figure harness)
 //   pacds faults — inspect a fault plan's resolved schedule
+//   pacds fuzz   — differential fuzzing against the invariant oracles
 //
 // Each command returns a process exit code (0 = success).
 
@@ -33,6 +34,8 @@ int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
               std::ostream& err);
 int cmd_faults(const std::vector<std::string>& tokens, std::ostream& out,
                std::ostream& err);
+int cmd_fuzz(const std::vector<std::string>& tokens, std::ostream& out,
+             std::ostream& err);
 
 /// Top-level usage text.
 [[nodiscard]] std::string main_usage();

@@ -1,0 +1,140 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "fuzz/shrink.hpp"
+
+namespace pacds::fuzz {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The corpus directory's *.json files in lexicographic order, so replay
+/// order (and hence the log) is stable across platforms.
+std::vector<std::string> corpus_files(const std::string& dir) {
+  std::vector<std::string> paths;
+  if (dir.empty() || !fs::is_directory(dir)) return paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+void replay_corpus(const FuzzOptions& options, FuzzReport& report,
+                   std::ostream& log) {
+  const std::vector<std::string> paths = corpus_files(options.corpus_dir);
+  if (paths.empty()) return;
+  log << "replaying " << paths.size() << " corpus reproducer"
+      << (paths.size() == 1 ? "" : "s") << " from " << options.corpus_dir
+      << "\n";
+  const OracleOptions oracle_options{options.mutation};
+  for (const std::string& path : paths) {
+    FuzzScenario scenario;
+    try {
+      scenario = load_scenario(path);
+    } catch (const std::exception& e) {
+      report.corpus_errors.push_back(e.what());
+      log << "  CORRUPT " << path << ": " << e.what() << "\n";
+      continue;
+    }
+    ++report.corpus_replayed;
+    const std::vector<OracleFailure> failures =
+        run_oracles(scenario, oracle_options);
+    if (failures.empty()) {
+      log << "  ok " << path << "\n";
+      continue;
+    }
+    for (const OracleFailure& failure : failures) {
+      log << "  FAIL " << path << " [" << failure.oracle
+          << "]: " << failure.detail << "\n";
+      report.findings.push_back(
+          {failure.oracle, failure.detail, path, path, scenario});
+    }
+  }
+}
+
+/// Writes the minimized reproducer; returns its path ("" without a corpus).
+std::string write_reproducer(const FuzzOptions& options,
+                             const FuzzScenario& scenario,
+                             const std::string& oracle, std::ostream& log) {
+  if (options.corpus_dir.empty()) return {};
+  fs::create_directories(options.corpus_dir);
+  const std::string name = "repro-" + oracle + "-seed" +
+                           std::to_string(options.seed) + "-i" +
+                           std::to_string(scenario.id) + ".json";
+  const std::string path = (fs::path(options.corpus_dir) / name).string();
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("fuzz: cannot write reproducer " + path);
+  }
+  out << scenario_to_json(scenario);
+  log << "  wrote reproducer " << path << "\n";
+  return path;
+}
+
+void random_campaign(const FuzzOptions& options, FuzzReport& report,
+                     std::ostream& log) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const auto out_of_time = [&] {
+    if (options.time_budget_seconds <= 0.0) return false;
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    return elapsed.count() >= options.time_budget_seconds;
+  };
+  const OracleOptions oracle_options{options.mutation};
+  for (std::uint64_t i = 0; i < options.iterations; ++i) {
+    if (out_of_time()) {
+      log << "time budget reached after " << report.iterations
+          << " iterations\n";
+      break;
+    }
+    const FuzzScenario scenario = random_scenario(options.seed, i);
+    ++report.iterations;
+    const std::vector<OracleFailure> failures =
+        run_oracles(scenario, oracle_options);
+    if (failures.empty()) continue;
+    // Shrink against the first violated oracle; the others usually collapse
+    // to the same root cause and the replayed reproducer re-reports them.
+    const OracleFailure& first = failures.front();
+    log << "iteration " << i << " FAILED [" << first.oracle
+        << "]: " << first.detail << "\n";
+    const ShrinkResult shrunk =
+        shrink_scenario(scenario, first.oracle, oracle_options);
+    log << "  shrunk to n=" << shrunk.scenario.config.n_hosts << " ("
+        << shrunk.steps_kept << "/" << shrunk.steps_tried
+        << " transforms kept)\n";
+    const std::string path =
+        write_reproducer(options, shrunk.scenario, first.oracle, log);
+    report.findings.push_back({first.oracle, shrunk.detail,
+                               "iteration " + std::to_string(i), path,
+                               shrunk.scenario});
+  }
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzOptions& options, std::ostream& log) {
+  FuzzReport report;
+  replay_corpus(options, report, log);
+  random_campaign(options, report, log);
+  log << "fuzz: " << report.corpus_replayed << " corpus replays, "
+      << report.iterations << " random iterations, " << report.findings.size()
+      << " finding" << (report.findings.size() == 1 ? "" : "s");
+  if (!report.corpus_errors.empty()) {
+    log << ", " << report.corpus_errors.size() << " corrupt corpus file"
+        << (report.corpus_errors.size() == 1 ? "" : "s");
+  }
+  log << (report.ok() ? " — clean" : " — FAILURES") << "\n";
+  return report;
+}
+
+}  // namespace pacds::fuzz

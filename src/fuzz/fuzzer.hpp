@@ -1,0 +1,61 @@
+#pragma once
+// The fuzzing campaign driver behind `pacds fuzz`: replay the committed
+// corpus (regression reproducers must run clean), then generate seeded
+// random scenarios and run the oracle suite on each until the iteration or
+// time budget runs out. Every fresh failure is shrunk (see shrink.hpp) and
+// written to the corpus directory as a strict-JSON reproducer, so a red run
+// always leaves a minimized, replayable artifact behind.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace pacds::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;        ///< base seed of the scenario stream
+  std::uint64_t iterations = 100;
+  /// Wall-clock cap in seconds; 0 = iterations only. Whichever budget runs
+  /// out first ends the campaign (corpus replay is never skipped).
+  double time_budget_seconds = 0.0;
+  /// Directory of *.json reproducers: replayed before the random campaign,
+  /// and where new minimized reproducers are written. Empty = no corpus.
+  std::string corpus_dir;
+  /// Mutation-testing hook forwarded to every oracle pass (tests only).
+  int mutation = kMutateNone;
+};
+
+/// One finding: the minimized scenario, the oracle it violates, and where
+/// the reproducer was written ("" when there is no corpus directory).
+struct FuzzFinding {
+  std::string oracle;
+  std::string detail;        ///< diagnosis on the *minimized* scenario
+  std::string source;        ///< "iteration N" or the replayed corpus path
+  std::string reproducer;    ///< path of the written corpus file, or ""
+  FuzzScenario scenario;     ///< minimized (replay failures: as loaded)
+};
+
+struct FuzzReport {
+  std::size_t corpus_replayed = 0;
+  std::uint64_t iterations = 0;
+  std::vector<FuzzFinding> findings;
+  /// Corpus files that failed to parse (malformed reproducers are findings
+  /// too — a corrupt corpus must not pass silently).
+  std::vector<std::string> corpus_errors;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return findings.empty() && corpus_errors.empty();
+  }
+};
+
+/// Runs the campaign; progress and findings are narrated to `log`.
+/// Deterministic in (options) apart from the time budget's cutoff point.
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options,
+                                  std::ostream& log);
+
+}  // namespace pacds::fuzz

@@ -1,0 +1,370 @@
+#include "fuzz/scenario.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/json.hpp"
+#include "io/json_parse.hpp"
+#include "net/rng.hpp"
+
+namespace pacds::fuzz {
+
+namespace {
+
+/// Seeds must survive a JSON double round trip (the corpus number type), so
+/// generated ones are masked below 2^48.
+constexpr std::uint64_t kSeedMask = (std::uint64_t{1} << 48) - 1;
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("fuzz scenario: " + message);
+}
+
+const char* drain_name(DrainModel model) {
+  switch (model) {
+    case DrainModel::kConstantTotal:
+      return "constant";
+    case DrainModel::kLinearTotal:
+      return "linear";
+    case DrainModel::kQuadraticTotal:
+      return "quadratic";
+  }
+  return "?";
+}
+
+DrainModel parse_drain(const std::string& name) {
+  if (name == "constant") return DrainModel::kConstantTotal;
+  if (name == "linear") return DrainModel::kLinearTotal;
+  if (name == "quadratic") return DrainModel::kQuadraticTotal;
+  fail("unknown drain model \"" + name + "\"");
+}
+
+BoundaryPolicy parse_boundary(const std::string& name) {
+  if (name == "clamp") return BoundaryPolicy::kClamp;
+  if (name == "reflect") return BoundaryPolicy::kReflect;
+  if (name == "wrap") return BoundaryPolicy::kWrap;
+  fail("unknown boundary policy \"" + name + "\"");
+}
+
+LinkModel parse_link(const std::string& name) {
+  if (name == "unit-disk") return LinkModel::kUnitDisk;
+  if (name == "gabriel") return LinkModel::kGabriel;
+  if (name == "rng") return LinkModel::kRng;
+  fail("unknown link model \"" + name + "\"");
+}
+
+RuleSet parse_scheme(const std::string& name) {
+  if (name == "NR") return RuleSet::kNR;
+  if (name == "ID") return RuleSet::kID;
+  if (name == "ND") return RuleSet::kND;
+  if (name == "EL1") return RuleSet::kEL1;
+  if (name == "EL2") return RuleSet::kEL2;
+  fail("unknown scheme \"" + name + "\"");
+}
+
+Strategy parse_strategy(const std::string& name) {
+  if (name == "sequential") return Strategy::kSequential;
+  if (name == "simultaneous") return Strategy::kSimultaneous;
+  if (name == "verified") return Strategy::kVerified;
+  fail("unknown strategy \"" + name + "\"");
+}
+
+SimEngine parse_engine(const std::string& name) {
+  if (name == "auto") return SimEngine::kAuto;
+  if (name == "full") return SimEngine::kFullRebuild;
+  if (name == "incremental") return SimEngine::kIncremental;
+  fail("unknown engine \"" + name + "\"");
+}
+
+const std::string& string_of(const JsonValue& value, const std::string& what) {
+  if (!value.is_string()) fail(what + " must be a string");
+  return value.as_string();
+}
+
+double number_of(const JsonValue& value, const std::string& what) {
+  if (!value.is_number()) fail(what + " must be a number");
+  const double raw = value.as_number();
+  if (!std::isfinite(raw)) fail(what + " must be finite");
+  return raw;
+}
+
+long integer_of(const JsonValue& value, const std::string& what, double lo,
+                double hi) {
+  const double raw = number_of(value, what);
+  if (raw != std::floor(raw) || raw < lo || raw > hi) {
+    fail(what + " must be an integer in [" + JsonWriter::format_double(lo) +
+         ", " + JsonWriter::format_double(hi) + "]");
+  }
+  return static_cast<long>(raw);
+}
+
+void parse_config(const JsonValue& value, SimConfig& config) {
+  if (!value.is_object()) fail("config must be an object");
+  for (const auto& [key, member] : value.as_object()) {
+    if (key == "n") {
+      config.n_hosts = static_cast<int>(integer_of(member, "config.n", 1, 1e6));
+    } else if (key == "field_width") {
+      config.field_width = number_of(member, "config.field_width");
+    } else if (key == "field_height") {
+      config.field_height = number_of(member, "config.field_height");
+    } else if (key == "boundary") {
+      config.boundary = parse_boundary(string_of(member, "config.boundary"));
+    } else if (key == "radius") {
+      config.radius = number_of(member, "config.radius");
+    } else if (key == "link_model") {
+      config.link_model = parse_link(string_of(member, "config.link_model"));
+    } else if (key == "initial_energy") {
+      config.initial_energy = number_of(member, "config.initial_energy");
+    } else if (key == "drain_model") {
+      config.drain_model = parse_drain(string_of(member, "config.drain_model"));
+    } else if (key == "stay_probability") {
+      config.stay_probability = number_of(member, "config.stay_probability");
+    } else if (key == "jump_min") {
+      config.jump_min =
+          static_cast<int>(integer_of(member, "config.jump_min", 0, 1e6));
+    } else if (key == "jump_max") {
+      config.jump_max =
+          static_cast<int>(integer_of(member, "config.jump_max", 0, 1e6));
+    } else if (key == "scheme") {
+      config.rule_set = parse_scheme(string_of(member, "config.scheme"));
+    } else if (key == "strategy") {
+      config.cds_options.strategy =
+          parse_strategy(string_of(member, "config.strategy"));
+    } else if (key == "quantum") {
+      config.energy_key_quantum = number_of(member, "config.quantum");
+    } else if (key == "engine") {
+      config.engine = parse_engine(string_of(member, "config.engine"));
+    } else if (key == "threads") {
+      config.threads =
+          static_cast<int>(integer_of(member, "config.threads", 0, 256));
+    } else if (key == "max_intervals") {
+      config.max_intervals = integer_of(member, "config.max_intervals", 1, 1e9);
+    } else {
+      fail("config: unknown key \"" + key + "\"");
+    }
+  }
+  if (!(config.radius > 0.0)) fail("config.radius must be > 0");
+  if (!(config.field_width > 0.0) || !(config.field_height > 0.0)) {
+    fail("config field dimensions must be > 0");
+  }
+  if (!(config.initial_energy > 0.0)) {
+    fail("config.initial_energy must be > 0");
+  }
+  if (!(config.stay_probability >= 0.0) || config.stay_probability > 1.0) {
+    fail("config.stay_probability must be in [0, 1]");
+  }
+  if (config.jump_max < config.jump_min) {
+    fail("config.jump_max must be >= config.jump_min");
+  }
+  if (config.energy_key_quantum < 0.0) fail("config.quantum must be >= 0");
+}
+
+}  // namespace
+
+FuzzScenario random_scenario(std::uint64_t base_seed, std::uint64_t index) {
+  Xoshiro256 rng(derive_seed(base_seed, index));
+  FuzzScenario s;
+  s.id = index;
+  s.trial_seed = rng.next() & kSeedMask;
+  SimConfig& c = s.config;
+  c.n_hosts = static_cast<int>(rng.uniform_int(4, 48));
+  c.radius = rng.uniform(18.0, 45.0);
+  switch (rng.uniform_int(0, 2)) {
+    case 0: c.boundary = BoundaryPolicy::kClamp; break;
+    case 1: c.boundary = BoundaryPolicy::kReflect; break;
+    default: c.boundary = BoundaryPolicy::kWrap; break;
+  }
+  // Mostly unit disk (the only model the incremental engine covers), with a
+  // sparser-proximity-graph tail so the full-rebuild path also gets fuzzed.
+  if (rng.bernoulli(0.75)) {
+    c.link_model = LinkModel::kUnitDisk;
+  } else {
+    c.link_model = rng.bernoulli(0.5) ? LinkModel::kGabriel : LinkModel::kRng;
+  }
+  c.initial_energy = rng.uniform(20.0, 80.0);
+  switch (rng.uniform_int(0, 2)) {
+    case 0: c.drain_model = DrainModel::kConstantTotal; break;
+    case 1: c.drain_model = DrainModel::kLinearTotal; break;
+    default: c.drain_model = DrainModel::kQuadraticTotal; break;
+  }
+  c.stay_probability = rng.uniform(0.3, 0.95);
+  switch (rng.uniform_int(0, 4)) {
+    case 0: c.rule_set = RuleSet::kNR; break;
+    case 1: c.rule_set = RuleSet::kID; break;
+    case 2: c.rule_set = RuleSet::kND; break;
+    case 3: c.rule_set = RuleSet::kEL1; break;
+    default: c.rule_set = RuleSet::kEL2; break;
+  }
+  switch (rng.uniform_int(0, 2)) {
+    case 0: c.cds_options.strategy = Strategy::kSequential; break;
+    case 1: c.cds_options.strategy = Strategy::kSimultaneous; break;
+    default: c.cds_options.strategy = Strategy::kVerified; break;
+  }
+  switch (rng.uniform_int(0, 2)) {
+    case 0: c.energy_key_quantum = 0.0; break;
+    case 1: c.energy_key_quantum = 1.0; break;
+    default: c.energy_key_quantum = 7.0; break;
+  }
+  c.engine = SimEngine::kAuto;
+  switch (rng.uniform_int(0, 4)) {
+    case 0: c.threads = 2; break;
+    case 1: c.threads = 3; break;
+    case 2: c.threads = 8; break;
+    default: c.threads = 1; break;
+  }
+  // Short trials keep a 200-iteration run in seconds; degenerate
+  // configurations still terminate well below the cap.
+  c.max_intervals = 300;
+  c.connect_retries = 50;
+
+  if (rng.bernoulli(0.5)) {
+    const long crashes = rng.uniform_int(0, 2);
+    for (long i = 0; i < crashes; ++i) {
+      CrashSpec crash;
+      crash.node = static_cast<int>(rng.uniform_int(0, c.n_hosts - 1));
+      crash.at = rng.uniform_int(1, 15);
+      crash.recover_at =
+          rng.bernoulli(0.5) ? 0 : crash.at + rng.uniform_int(1, 10);
+      s.faults.crashes.push_back(crash);
+    }
+    const long thefts = rng.uniform_int(0, 2);
+    for (long i = 0; i < thefts; ++i) {
+      TheftSpec theft;
+      theft.node = static_cast<int>(rng.uniform_int(0, c.n_hosts - 1));
+      theft.at = rng.uniform_int(1, 15);
+      theft.amount = rng.uniform(5.0, 60.0);
+      s.faults.thefts.push_back(theft);
+    }
+    if (rng.bernoulli(0.25)) {
+      BlackoutSpec blackout;
+      const double xa = rng.uniform(0.0, c.field_width);
+      const double xb = rng.uniform(0.0, c.field_width);
+      const double ya = rng.uniform(0.0, c.field_height);
+      const double yb = rng.uniform(0.0, c.field_height);
+      blackout.x0 = std::min(xa, xb);
+      blackout.x1 = std::max(xa, xb);
+      blackout.y0 = std::min(ya, yb);
+      blackout.y1 = std::max(ya, yb);
+      blackout.at = rng.uniform_int(1, 10);
+      blackout.until = rng.bernoulli(0.5) ? 0 : blackout.at + rng.uniform_int(1, 8);
+      s.faults.blackouts.push_back(blackout);
+    }
+  }
+  if (rng.bernoulli(0.4)) {
+    s.faults.seed = rng.next() & kSeedMask;
+    s.faults.channel.drop = rng.uniform(0.0, 0.4);
+    s.faults.channel.duplicate = rng.uniform(0.0, 0.2);
+    s.faults.channel.delay = rng.uniform(0.0, 0.2);
+  }
+  return s;
+}
+
+std::string describe(const FuzzScenario& s) {
+  std::ostringstream out;
+  out << "id=" << s.id << " trial_seed=" << s.trial_seed << " n="
+      << s.config.n_hosts << " radius="
+      << JsonWriter::format_double(s.config.radius) << " scheme="
+      << to_string(s.config.rule_set) << " strategy="
+      << to_string(s.config.cds_options.strategy) << " threads="
+      << s.config.threads << " boundary=" << to_string(s.config.boundary)
+      << " link=" << to_string(s.config.link_model) << " drain="
+      << drain_name(s.config.drain_model) << " quantum="
+      << JsonWriter::format_double(s.config.energy_key_quantum) << " events="
+      << resolve_schedule(s.faults).size()
+      << (s.faults.channel.any() ? " channel=faulty" : "");
+  return out.str();
+}
+
+void write_scenario(JsonWriter& json, const FuzzScenario& s) {
+  json.begin_object();
+  json.key("format").value(kCorpusFormat);
+  json.key("schema").value(kCorpusSchemaVersion);
+  json.key("id").value(s.id);
+  json.key("trial_seed").value(s.trial_seed);
+  json.key("config").begin_object();
+  json.key("n").value(s.config.n_hosts);
+  json.key("field_width").value(s.config.field_width);
+  json.key("field_height").value(s.config.field_height);
+  json.key("boundary").value(to_string(s.config.boundary));
+  json.key("radius").value(s.config.radius);
+  json.key("link_model").value(to_string(s.config.link_model));
+  json.key("initial_energy").value(s.config.initial_energy);
+  json.key("drain_model").value(drain_name(s.config.drain_model));
+  json.key("stay_probability").value(s.config.stay_probability);
+  json.key("jump_min").value(s.config.jump_min);
+  json.key("jump_max").value(s.config.jump_max);
+  json.key("scheme").value(to_string(s.config.rule_set));
+  json.key("strategy").value(to_string(s.config.cds_options.strategy));
+  json.key("quantum").value(s.config.energy_key_quantum);
+  json.key("engine").value(to_string(s.config.engine));
+  json.key("threads").value(s.config.threads);
+  json.key("max_intervals").value(static_cast<std::int64_t>(
+      s.config.max_intervals));
+  json.end_object();
+  json.key("faults");
+  write_fault_plan(json, s.faults);
+  json.end_object();
+}
+
+std::string scenario_to_json(const FuzzScenario& s) {
+  std::ostringstream out;
+  JsonWriter json(out, 2);
+  write_scenario(json, s);
+  out << "\n";
+  return out.str();
+}
+
+FuzzScenario parse_scenario(std::string_view text) {
+  const JsonValue doc = parse_json(text);
+  if (!doc.is_object()) fail("document must be a JSON object");
+  FuzzScenario s;
+  bool have_format = false;
+  bool have_schema = false;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "format") {
+      if (string_of(value, "format") != kCorpusFormat) {
+        fail("format must be \"" + std::string(kCorpusFormat) + "\"");
+      }
+      have_format = true;
+    } else if (key == "schema") {
+      if (integer_of(value, "schema", 1, 1e6) != kCorpusSchemaVersion) {
+        fail("unsupported schema version");
+      }
+      have_schema = true;
+    } else if (key == "id") {
+      s.id = static_cast<std::uint64_t>(integer_of(value, "id", 0, 9e15));
+    } else if (key == "trial_seed") {
+      s.trial_seed =
+          static_cast<std::uint64_t>(integer_of(value, "trial_seed", 0, 9e15));
+    } else if (key == "config") {
+      parse_config(value, s.config);
+    } else if (key == "faults") {
+      // Re-serialize the sub-document and delegate to the fault-plan parser,
+      // so corpus files share exactly its strict schema and range rules.
+      std::ostringstream plan_text;
+      JsonWriter plan_json(plan_text);
+      write_json(plan_json, value);
+      s.faults = parse_fault_plan(plan_text.str());
+    } else {
+      fail("unknown top-level key \"" + key + "\"");
+    }
+  }
+  if (!have_format || !have_schema) fail("needs \"format\" and \"schema\"");
+  validate_fault_plan(s.faults, s.config.n_hosts);
+  return s;
+}
+
+FuzzScenario load_scenario(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error(path + ": cannot open");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  try {
+    return parse_scenario(buffer.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+}  // namespace pacds::fuzz

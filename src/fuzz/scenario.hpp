@@ -1,0 +1,65 @@
+#pragma once
+// Random scenario generation for the differential fuzzing harness, plus the
+// strict-JSON corpus (reproducer) format. A FuzzScenario bundles everything
+// one oracle pass needs — a SimConfig spanning the dimensions the harness
+// varies (n, radius, scheme, strategy, thread count, boundary policy, link
+// and drain models, key quantum) plus a FaultPlan and the trial seed — and
+// is fully determined by (base_seed, index), so every finding is replayable
+// from two integers. Corpus files are one pretty-printed JSON object each
+// (schema below); parsing is strict in the fault-plan style: unknown keys
+// are errors, so a typo in a hand-edited reproducer fails loudly instead of
+// silently testing something else.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/faults.hpp"
+#include "sim/lifetime.hpp"
+
+namespace pacds {
+class JsonWriter;
+}
+
+namespace pacds::fuzz {
+
+/// Bumped when a corpus field changes meaning; every reproducer carries it.
+inline constexpr int kCorpusSchemaVersion = 1;
+/// The corpus file magic ("format" key); guards against feeding the parser
+/// an arbitrary JSON document.
+inline constexpr const char* kCorpusFormat = "pacds-fuzz-repro";
+
+/// One fuzz instance. `id` is the generator iteration that produced it
+/// (diagnostics only); all seeds stay below 2^53 so the JSON corpus
+/// round-trips them exactly through double-typed numbers.
+struct FuzzScenario {
+  std::uint64_t id = 0;
+  std::uint64_t trial_seed = 1;
+  SimConfig config{};
+  FaultPlan faults{};
+};
+
+/// Deterministic generator: the scenario is a pure function of
+/// (base_seed, index). Engine stays kAuto — the full-vs-incremental
+/// comparison is the oracle's job, not the generator's.
+[[nodiscard]] FuzzScenario random_scenario(std::uint64_t base_seed,
+                                           std::uint64_t index);
+
+/// One-line knob summary for logs and failure details.
+[[nodiscard]] std::string describe(const FuzzScenario& scenario);
+
+/// Emits the scenario as one JSON object through a writer positioned to
+/// accept a value (the corpus schema; see DESIGN.md §9).
+void write_scenario(JsonWriter& json, const FuzzScenario& scenario);
+
+/// Pretty-printed corpus document, newline-terminated.
+[[nodiscard]] std::string scenario_to_json(const FuzzScenario& scenario);
+
+/// Strict parse of a corpus document: wrong "format"/"schema", unknown keys
+/// and out-of-range values all throw std::runtime_error naming the field.
+[[nodiscard]] FuzzScenario parse_scenario(std::string_view text);
+
+/// Reads and parses a corpus file; errors are prefixed with the path.
+[[nodiscard]] FuzzScenario load_scenario(const std::string& path);
+
+}  // namespace pacds::fuzz

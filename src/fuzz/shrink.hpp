@@ -1,0 +1,34 @@
+#pragma once
+// Greedy reproducer minimization. Given a scenario that fails some oracle,
+// repeatedly try simplifying transforms — halve the host count, drop fault
+// events, drop the channel faults, drop threads to 1, shorten the interval
+// cap — and keep a transform whenever the shrunk scenario still fails the
+// *same* oracle. The result is the smallest instance the greedy pass can
+// reach, which is what lands in the corpus as a reproducer.
+
+#include <cstddef>
+#include <string>
+
+#include "fuzz/oracles.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace pacds::fuzz {
+
+/// Outcome of one shrink run.
+struct ShrinkResult {
+  FuzzScenario scenario;   ///< the minimized failing instance
+  std::string oracle;      ///< the oracle it still fails (== the original)
+  std::string detail;      ///< that oracle's diagnosis on the shrunk instance
+  std::size_t steps_tried = 0;  ///< candidate transforms evaluated
+  std::size_t steps_kept = 0;   ///< transforms that preserved the failure
+};
+
+/// Minimizes `scenario`, which must currently fail oracle `oracle` under
+/// `options` (pass the OracleFailure::oracle string from run_oracles).
+/// Deterministic; every accepted step re-runs the full oracle suite, so the
+/// returned scenario is guaranteed to still reproduce the failure.
+[[nodiscard]] ShrinkResult shrink_scenario(const FuzzScenario& scenario,
+                                           const std::string& oracle,
+                                           const OracleOptions& options = {});
+
+}  // namespace pacds::fuzz

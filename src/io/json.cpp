@@ -123,6 +123,10 @@ JsonWriter& JsonWriter::value(const char* text) {
 }
 
 std::string JsonWriter::format_double(double number) {
+  // JSON has no inf/nan tokens; "%g" would happily print them and produce
+  // a document parse_json itself rejects, so non-finite maps to null here
+  // (the same mapping value(double) applies).
+  if (!std::isfinite(number)) return "null";
   // Shortest %g form that survives a strtod round trip. Default stream
   // precision (6 significant digits) silently truncated bench timings and
   // CI half-widths; max_digits10 (17) always round-trips but is noisy, so

@@ -29,8 +29,9 @@ class JsonWriter {
   explicit JsonWriter(std::ostream& os, unsigned indent = 0)
       : os_(&os), indent_(indent) {}
 
-  /// Shortest decimal string that strtod parses back to exactly `number`
-  /// (non-finite values are the caller's problem; value(double) emits null).
+  /// Shortest decimal string that strtod parses back to exactly `number`.
+  /// Non-finite values format as "null", matching value(double) — JSON has
+  /// no inf/nan, and an "inf" token would poison every downstream parse.
   [[nodiscard]] static std::string format_double(double number);
 
   JsonWriter& begin_object();

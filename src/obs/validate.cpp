@@ -1,0 +1,96 @@
+#include "obs/validate.hpp"
+
+#include <cmath>
+#include <istream>
+
+#include "io/json_parse.hpp"
+
+namespace pacds::obs {
+
+namespace {
+
+/// Depth-first search for a non-finite number; returns a dotted path to the
+/// first offender ("energy.mean", "counters[3]") or empty when clean.
+std::string find_non_finite(const JsonValue& value, const std::string& path) {
+  if (value.is_number()) {
+    return std::isfinite(value.as_number()) ? std::string{} : path;
+  }
+  if (value.is_array()) {
+    const JsonArray& items = value.as_array();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      std::string hit =
+          find_non_finite(items[i], path + "[" + std::to_string(i) + "]");
+      if (!hit.empty()) return hit;
+    }
+  }
+  if (value.is_object()) {
+    for (const auto& [key, member] : value.as_object()) {
+      std::string hit =
+          find_non_finite(member, path.empty() ? key : path + "." + key);
+      if (!hit.empty()) return hit;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::size_t StreamValidation::count_of(const std::string& type) const
+    noexcept {
+  for (const auto& [name, count] : type_counts) {
+    if (name == type) return count;
+  }
+  return 0;
+}
+
+StreamValidation validate_metrics_stream(std::istream& in) {
+  StreamValidation result;
+  std::string line;
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& what) {
+    result.error = "line " + std::to_string(line_no) + ": " + what;
+    return result;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue record;
+    try {
+      record = parse_json(line);
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+    if (!record.is_object()) return fail("not a JSON object");
+    const JsonValue* type = record.find("type");
+    if (type == nullptr || !type->is_string()) {
+      return fail("missing \"type\" string");
+    }
+    const JsonValue* schema = record.find("schema");
+    if (schema == nullptr || !schema->is_number()) {
+      return fail("missing \"schema\" number");
+    }
+    const std::string non_finite = find_non_finite(record, "");
+    if (!non_finite.empty()) {
+      return fail("non-finite number at \"" + non_finite + "\"");
+    }
+    ++result.lines;
+    bool counted = false;
+    for (auto& [name, count] : result.type_counts) {
+      if (name == type->as_string()) {
+        ++count;
+        counted = true;
+        break;
+      }
+    }
+    if (!counted) result.type_counts.emplace_back(type->as_string(), 1);
+  }
+  if (result.count_of("run_manifest") == 0 || result.count_of("interval") == 0) {
+    result.error =
+        "stream needs at least one run_manifest and one interval record";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace pacds::obs

@@ -1,0 +1,33 @@
+#pragma once
+// Schema-envelope validation of a metrics JSONL stream (pacds sim/sweep
+// --metrics): shared by `bench_report --validate-jsonl`, the fuzz harness's
+// JSONL oracle, and tests, so the three agree on what a well-formed stream
+// is. Checks, line by line: the line parses as one JSON object, carries a
+// "type" string and a numeric "schema", and contains no non-finite number
+// anywhere (JsonWriter maps non-finite doubles to null, so an inf/nan can
+// only enter via an overflowing literal like 1e999 — rejected here). The
+// stream as a whole needs at least one run_manifest and one interval record.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pacds::obs {
+
+/// Outcome of one stream validation. `error` names the first violation
+/// ("line N: ..."); `type_counts` holds per-type record counts in first-seen
+/// order (populated up to the failing line).
+struct StreamValidation {
+  bool ok = false;
+  std::string error;
+  std::size_t lines = 0;
+  std::vector<std::pair<std::string, std::size_t>> type_counts;
+
+  [[nodiscard]] std::size_t count_of(const std::string& type) const noexcept;
+};
+
+[[nodiscard]] StreamValidation validate_metrics_stream(std::istream& in);
+
+}  // namespace pacds::obs

@@ -143,7 +143,7 @@ struct FaultStats {
   long disconnected_intervals = 0;  ///< intervals failing check_cds
   long uncovered_intervals = 0;     ///< intervals with coverage < 1
   double min_coverage = 1.0;
-  long first_death_interval = 0;    ///< 0 = no battery death
+  long first_death_interval = -1;   ///< -1 = no battery death
   std::uint64_t repair_ns_total = 0;
   std::size_t repair_touched_total = 0;
 

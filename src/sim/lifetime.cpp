@@ -160,7 +160,7 @@ TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
             break;
           case FaultKind::kDeath:
             ++fs.deaths;
-            if (fs.first_death_interval == 0) {
+            if (fs.first_death_interval < 0) {
               fs.first_death_interval = event.interval;
             }
             break;

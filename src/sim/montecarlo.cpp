@@ -75,8 +75,8 @@ LifetimeSummary run_lifetime_trials(const SimConfig& config,
     fs.disconnected_intervals += r.faults.disconnected_intervals;
     fs.uncovered_intervals += r.faults.uncovered_intervals;
     fs.min_coverage = std::min(fs.min_coverage, r.faults.min_coverage);
-    if (r.faults.first_death_interval > 0 &&
-        (fs.first_death_interval == 0 ||
+    if (r.faults.first_death_interval >= 0 &&
+        (fs.first_death_interval < 0 ||
          r.faults.first_death_interval < fs.first_death_interval)) {
       fs.first_death_interval = r.faults.first_death_interval;
     }

@@ -20,8 +20,10 @@ struct LifetimeSummary {
   std::size_t capped_trials = 0;        ///< trials stopped by the cap
   std::size_t disconnected_trials = 0;  ///< trials starting disconnected
   /// Degraded-mode aggregates across trials: counts/ns sum; min_coverage is
-  /// the minimum over trials; first_death_interval the earliest first death
-  /// over trials that saw one (0 if none did). All-zero for fault-free runs.
+  /// the minimum over trials; `first_death_interval` the earliest first death
+  /// over trials that saw one (-1 if none did — a first-interval death is a
+  /// real value, so 0 cannot double as the sentinel). Counts are all-zero
+  /// for fault-free runs.
   FaultStats faults{};
 };
 

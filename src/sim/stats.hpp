@@ -7,6 +7,14 @@
 namespace pacds {
 
 /// Single-pass mean/variance/min/max accumulator.
+///
+/// Empty-accumulator contract (pinned by tests/stats_test): with no samples
+/// every statistic — mean, variance, stddev, stderr, ci95, min, max — reads
+/// exactly 0.0 and count() is 0. merge() with an empty operand is the
+/// identity in either direction (merge(empty, empty) stays empty), so
+/// parallel reductions over workers that happened to receive no samples
+/// need no special-casing. Note min()/max() read 0.0 when empty, NOT
+/// ±infinity — callers must gate on count() before interpreting them.
 class Welford {
  public:
   void add(double x);
@@ -39,6 +47,9 @@ class Welford {
 };
 
 /// Frozen snapshot of a Welford accumulator, convenient for result structs.
+/// Summary::of an empty accumulator is the all-zero Summary — identical to
+/// a value-initialized `Summary{}` — so serialized summaries of zero-trial
+/// runs carry finite numbers (never NaN) and compare equal to the default.
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;

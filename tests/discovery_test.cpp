@@ -71,6 +71,28 @@ TEST(DiscoveryTest, UnreachableDestination) {
   EXPECT_GT(r.transmissions, 0u);
 }
 
+TEST(DiscoveryTest, IsolatedDestinationFailsCleanly) {
+  // Fuzz-derived failure path: dst has degree 0, so no flood can reach it.
+  // The discovery must report a clean miss — never throw — and still
+  // account for the broadcasts it spent before giving up.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const DiscoveryResult plain = flood_discovery(g, 0, 4, nullptr);
+  EXPECT_FALSE(plain.found);
+  EXPECT_EQ(plain.hops, -1);
+  EXPECT_GT(plain.transmissions, 0u);
+
+  // Same under a relay restriction, and with the isolated node as source
+  // (its own broadcast reaches nobody).
+  const DynBitset relays = set_of(5, {1, 2, 3});
+  EXPECT_FALSE(flood_discovery(g, 0, 4, &relays).found);
+  const DiscoveryResult from_isolated = flood_discovery(g, 4, 0, nullptr);
+  EXPECT_FALSE(from_isolated.found);
+  EXPECT_EQ(from_isolated.receptions, 0u);
+}
+
 TEST(DiscoveryTest, OutOfRangeThrows) {
   const Graph g = path_graph(3);
   EXPECT_THROW((void)flood_discovery(g, 0, 5, nullptr), std::invalid_argument);

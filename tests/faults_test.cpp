@@ -511,6 +511,37 @@ TEST(DegradedModeTest, RunContinuesPastFirstDeathAndCountsIt) {
   EXPECT_EQ(faulted.faults.crashes, crashes);
 }
 
+TEST(DegradedModeTest, DeathInFirstIntervalIsNotTheNoDeathSentinel) {
+  // Regression: with the old 0-means-no-death sentinel, a death recorded at
+  // interval 1 was only representable because intervals are 1-based — but
+  // any code treating 0/"falsy" as "no death yet" could overwrite it with a
+  // later death. The sentinel is -1 now; interval 1 is a real value.
+  const SimConfig config = faulted_config(SimEngine::kAuto);
+  FaultPlan plan;
+  // A theft at interval 1 larger than the initial budget kills immediately.
+  plan.thefts = {{0, 1, config.initial_energy + 1.0}};
+  SimTrace trace;
+  const TrialResult faulted = run_lifetime_trial(config, 11, &trace, &plan);
+  EXPECT_EQ(faulted.faults.first_death_interval, 1);
+  EXPECT_GE(faulted.faults.deaths, 1u);
+  ASSERT_FALSE(trace.fault_records.empty());
+  const auto first_death = std::find_if(
+      trace.fault_records.begin(), trace.fault_records.end(),
+      [](const FaultRecord& r) { return r.kind == FaultKind::kDeath; });
+  ASSERT_NE(first_death, trace.fault_records.end());
+  EXPECT_EQ(first_death->interval, 1);
+
+  // And the no-death case reports -1, not 0: crash-only plan, short run.
+  FaultPlan crash_only;
+  crash_only.crashes = {{0, 1, 0}};
+  SimConfig short_config = config;
+  short_config.max_intervals = 3;
+  const TrialResult no_death =
+      run_lifetime_trial(short_config, 11, nullptr, &crash_only);
+  EXPECT_EQ(no_death.faults.deaths, 0u);
+  EXPECT_EQ(no_death.faults.first_death_interval, -1);
+}
+
 // ---- self-healing ----------------------------------------------------------
 
 TEST(SelfHealingTest, NonArticulationGatewayCrashHealsInOneRepairRound) {

@@ -1,0 +1,317 @@
+// Tests for the differential fuzzing subsystem: scenario generation and the
+// strict corpus format, the invariant-oracle suite, shrinking, and the
+// end-to-end catch -> shrink -> write-reproducer -> replay pipeline. The
+// oracle suite itself is mutation-tested: OracleOptions::mutation makes
+// run_oracles perturb one oracle's observed data, proving a real defect of
+// that class would be caught and minimized, not silently missed.
+
+#include "fuzz/fuzzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+#include "fuzz/scenario.hpp"
+#include "fuzz/shrink.hpp"
+#include "sim/engine.hpp"
+
+namespace pacds::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory under the test temp root.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("pacds_fuzz_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+bool same_scenario(const FuzzScenario& a, const FuzzScenario& b) {
+  return a.id == b.id && a.trial_seed == b.trial_seed &&
+         describe(a) == describe(b) &&
+         scenario_to_json(a) == scenario_to_json(b);
+}
+
+/// First generated scenario index satisfying `pred`; -1 when none found in
+/// the scan window (keeps mutation tests fast and deterministic).
+template <typename Pred>
+std::int64_t find_scenario(std::uint64_t seed, Pred pred, int window = 64) {
+  for (int i = 0; i < window; ++i) {
+    if (pred(random_scenario(seed, static_cast<std::uint64_t>(i)))) return i;
+  }
+  return -1;
+}
+
+bool fails_oracle(const FuzzScenario& s, int mutation,
+                  const std::string& oracle) {
+  for (const OracleFailure& f : run_oracles(s, OracleOptions{mutation})) {
+    if (f.oracle == oracle) return true;
+  }
+  return false;
+}
+
+// ---- scenario generation and corpus format --------------------------------
+
+TEST(FuzzScenarioTest, GenerationIsDeterministicAndSeedsFitJsonDoubles) {
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const FuzzScenario a = random_scenario(9, i);
+    const FuzzScenario b = random_scenario(9, i);
+    EXPECT_TRUE(same_scenario(a, b)) << describe(a);
+    EXPECT_EQ(a.id, i);
+    // Seeds must round-trip through the corpus' double-typed numbers.
+    EXPECT_LT(a.trial_seed, std::uint64_t{1} << 53);
+    EXPECT_LT(a.faults.seed, std::uint64_t{1} << 53);
+    EXPECT_GE(a.config.n_hosts, 4);
+  }
+  // Different indices produce different instances.
+  EXPECT_FALSE(same_scenario(random_scenario(9, 0), random_scenario(9, 1)));
+}
+
+TEST(FuzzScenarioTest, GeneratorPopulatesEveryOracleDomain) {
+  int threaded = 0;
+  int eligible = 0;
+  int faulted = 0;
+  int channel = 0;
+  int event_free = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const FuzzScenario s = random_scenario(3, i);
+    if (s.config.threads > 1) ++threaded;
+    if (incremental_engine_eligible(s.config)) ++eligible;
+    if (s.faults.has_lifetime_events()) ++faulted;
+    if (s.faults.channel.any()) ++channel;
+    if (!s.faults.has_lifetime_events()) ++event_free;
+  }
+  EXPECT_GT(threaded, 0);
+  EXPECT_GT(eligible, 0);
+  EXPECT_GT(faulted, 0);
+  EXPECT_GT(channel, 0);
+  EXPECT_GT(event_free, 0);
+}
+
+TEST(FuzzScenarioTest, CorpusRoundTripsExactly) {
+  for (const std::uint64_t i : {0u, 5u, 11u, 23u}) {
+    const FuzzScenario original = random_scenario(4, i);
+    const std::string text = scenario_to_json(original);
+    const FuzzScenario parsed = parse_scenario(text);
+    EXPECT_TRUE(same_scenario(original, parsed)) << text;
+  }
+}
+
+TEST(FuzzScenarioTest, ParserIsStrict) {
+  const std::string good = scenario_to_json(random_scenario(4, 0));
+  EXPECT_NO_THROW((void)parse_scenario(good));
+  // Unknown keys fail loudly (hand-edited reproducer typo protection).
+  EXPECT_THROW((void)parse_scenario("{\"format\":\"pacds-fuzz-repro\","
+                                    "\"schema\":1,\"oops\":1}"),
+               std::runtime_error);
+  // Wrong magic / missing schema / wrong version.
+  EXPECT_THROW((void)parse_scenario("{\"format\":\"other\",\"schema\":1}"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("{\"format\":\"pacds-fuzz-repro\"}"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("{\"format\":\"pacds-fuzz-repro\","
+                                    "\"schema\":999}"),
+               std::runtime_error);
+  // Bad enum value inside config.
+  EXPECT_THROW(
+      (void)parse_scenario("{\"format\":\"pacds-fuzz-repro\",\"schema\":1,"
+                           "\"config\":{\"scheme\":\"EL9\"}}"),
+      std::runtime_error);
+  // Fault plan validated against the host count (validate_fault_plan's
+  // exception type, not the parser's).
+  EXPECT_THROW(
+      (void)parse_scenario("{\"format\":\"pacds-fuzz-repro\",\"schema\":1,"
+                           "\"config\":{\"n\":4},"
+                           "\"faults\":{\"thefts\":[{\"node\":9,\"at\":1,"
+                           "\"amount\":5}]}}"),
+      std::invalid_argument);
+}
+
+// ---- oracle suite ---------------------------------------------------------
+
+TEST(FuzzOracleTest, CleanOnGeneratedScenarios) {
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    const FuzzScenario s = random_scenario(1, i);
+    const std::vector<OracleFailure> failures = run_oracles(s);
+    EXPECT_TRUE(failures.empty())
+        << failures.front().oracle << ": " << failures.front().detail;
+  }
+}
+
+TEST(FuzzOracleTest, EveryMutationIsCaughtByItsOracle) {
+  // For each mutation hook, scan for a scenario inside that oracle's domain
+  // and require (a) the mutated run reports exactly that oracle and (b) the
+  // unmutated run is clean — the catch is the mutation's doing.
+  struct Case {
+    int mutation;
+    const char* oracle;
+    bool (*in_domain)(const FuzzScenario&);
+  };
+  const Case cases[] = {
+      {kMutateCdsValidity, "cds-validity",
+       [](const FuzzScenario&) { return true; }},
+      {kMutateEngineIdentity, "engine-identity",
+       [](const FuzzScenario& s) {
+         return incremental_engine_eligible(s.config);
+       }},
+      {kMutateThreadsIdentity, "threads-identity",
+       [](const FuzzScenario& s) { return s.config.threads > 1; }},
+      {kMutateDistAgreement, "dist-agreement",
+       [](const FuzzScenario&) { return true; }},
+      {kMutateEnergyAccounting, "energy-conservation",
+       [](const FuzzScenario&) { return true; }},
+      {kMutateFaultStats, "fault-stats",
+       [](const FuzzScenario& s) { return s.faults.has_lifetime_events(); }},
+      {kMutateJsonl, "jsonl-schema", [](const FuzzScenario&) { return true; }},
+      {kMutateEmptyPlanIdentity, "empty-plan-identity",
+       [](const FuzzScenario& s) { return !s.faults.has_lifetime_events(); }},
+  };
+  for (const Case& c : cases) {
+    const std::int64_t index = find_scenario(1, c.in_domain);
+    ASSERT_GE(index, 0) << c.oracle << ": no in-domain scenario in window";
+    const FuzzScenario s =
+        random_scenario(1, static_cast<std::uint64_t>(index));
+    EXPECT_TRUE(fails_oracle(s, c.mutation, c.oracle))
+        << c.oracle << " mutation not caught on " << describe(s);
+    EXPECT_TRUE(run_oracles(s).empty())
+        << c.oracle << ": scenario fails even unmutated";
+  }
+}
+
+// ---- shrinking ------------------------------------------------------------
+
+TEST(FuzzShrinkTest, ShrinksWhilePreservingTheFailingOracle) {
+  // The energy-accounting mutation fails on every scenario, so shrinking
+  // must drive the instance down to the n=4 floor and strip the fault plan
+  // while the oracle keeps failing at every accepted step.
+  const std::int64_t index = find_scenario(1, [](const FuzzScenario& s) {
+    return s.config.n_hosts > 8 && s.faults.has_lifetime_events();
+  });
+  ASSERT_GE(index, 0);
+  const FuzzScenario original =
+      random_scenario(1, static_cast<std::uint64_t>(index));
+  const ShrinkResult shrunk = shrink_scenario(
+      original, "energy-conservation", OracleOptions{kMutateEnergyAccounting});
+  EXPECT_EQ(shrunk.oracle, "energy-conservation");
+  EXPECT_FALSE(shrunk.detail.empty());
+  EXPECT_EQ(shrunk.scenario.config.n_hosts, 4);
+  EXPECT_FALSE(shrunk.scenario.faults.has_lifetime_events());
+  EXPECT_GT(shrunk.steps_kept, 0u);
+  EXPECT_TRUE(fails_oracle(shrunk.scenario, kMutateEnergyAccounting,
+                           "energy-conservation"));
+}
+
+TEST(FuzzShrinkTest, RejectsTransformsThatLoseTheFailure) {
+  // The threads-identity mutation only fires for threads > 1, so the
+  // serial-threads transform must be rejected and the shrunk scenario keeps
+  // a multi-threaded config.
+  const std::int64_t index = find_scenario(
+      1, [](const FuzzScenario& s) { return s.config.threads > 1; });
+  ASSERT_GE(index, 0);
+  const FuzzScenario original =
+      random_scenario(1, static_cast<std::uint64_t>(index));
+  const ShrinkResult shrunk = shrink_scenario(
+      original, "threads-identity", OracleOptions{kMutateThreadsIdentity});
+  EXPECT_GT(shrunk.scenario.config.threads, 1);
+  EXPECT_TRUE(fails_oracle(shrunk.scenario, kMutateThreadsIdentity,
+                           "threads-identity"));
+}
+
+TEST(FuzzShrinkTest, ThrowsWhenScenarioDoesNotFail) {
+  EXPECT_THROW((void)shrink_scenario(random_scenario(1, 0), "cds-validity"),
+               std::invalid_argument);
+}
+
+// ---- end-to-end campaign --------------------------------------------------
+
+TEST(FuzzCampaignTest, CleanRunReportsOk) {
+  FuzzOptions options;
+  options.seed = 1;
+  options.iterations = 10;
+  std::ostringstream log;
+  const FuzzReport report = run_fuzz(options, log);
+  EXPECT_TRUE(report.ok()) << log.str();
+  EXPECT_EQ(report.iterations, 10u);
+  EXPECT_EQ(report.corpus_replayed, 0u);
+}
+
+TEST(FuzzCampaignTest, InjectedFaultIsCaughtShrunkWrittenAndReplays) {
+  // The acceptance pipeline: a deliberately injected defect (mutation hook)
+  // must be caught, shrunk, written as a strict-JSON reproducer, and that
+  // file must replay to the same oracle failure.
+  const fs::path corpus = scratch_dir("pipeline");
+  FuzzOptions options;
+  options.seed = 1;
+  options.iterations = 2;
+  options.corpus_dir = corpus.string();
+  options.mutation = kMutateEnergyAccounting;
+  std::ostringstream log;
+  const FuzzReport report = run_fuzz(options, log);
+  ASSERT_FALSE(report.findings.empty()) << log.str();
+  const FuzzFinding& finding = report.findings.front();
+  EXPECT_EQ(finding.oracle, "energy-conservation");
+  ASSERT_FALSE(finding.reproducer.empty());
+  ASSERT_TRUE(fs::exists(finding.reproducer));
+
+  // The written reproducer is strict JSON and replays to the same failure.
+  const FuzzScenario loaded = load_scenario(finding.reproducer);
+  EXPECT_TRUE(same_scenario(loaded, finding.scenario));
+  EXPECT_TRUE(
+      fails_oracle(loaded, kMutateEnergyAccounting, "energy-conservation"));
+
+  // A replay-only campaign over the written corpus re-reports it...
+  FuzzOptions replay = options;
+  replay.iterations = 0;
+  std::ostringstream replay_log;
+  const FuzzReport replayed = run_fuzz(replay, replay_log);
+  EXPECT_EQ(replayed.corpus_replayed, report.findings.size());
+  ASSERT_FALSE(replayed.findings.empty());
+  EXPECT_EQ(replayed.findings.front().oracle, "energy-conservation");
+
+  // ...and with the defect "fixed" (mutation off) the corpus runs clean —
+  // exactly how a committed regression reproducer behaves after the fix.
+  FuzzOptions fixed = replay;
+  fixed.mutation = kMutateNone;
+  std::ostringstream fixed_log;
+  const FuzzReport after_fix = run_fuzz(fixed, fixed_log);
+  EXPECT_TRUE(after_fix.ok()) << fixed_log.str();
+}
+
+TEST(FuzzCampaignTest, CorruptCorpusFileIsAFinding) {
+  const fs::path corpus = scratch_dir("corrupt");
+  std::ofstream(corpus / "broken.json") << "{\"format\":\"wrong\"}";
+  FuzzOptions options;
+  options.iterations = 0;
+  options.corpus_dir = corpus.string();
+  std::ostringstream log;
+  const FuzzReport report = run_fuzz(options, log);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.corpus_errors.size(), 1u);
+  EXPECT_NE(report.corpus_errors.front().find("broken.json"),
+            std::string::npos);
+}
+
+TEST(FuzzCampaignTest, CommittedCorpusReplaysClean) {
+  // The repo's regression reproducers (tests/corpus/) must stay green; CI's
+  // fuzz smoke job replays the same directory through the CLI.
+  const fs::path corpus = fs::path(PACDS_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(corpus)) << corpus;
+  FuzzOptions options;
+  options.iterations = 0;
+  options.corpus_dir = corpus.string();
+  std::ostringstream log;
+  const FuzzReport report = run_fuzz(options, log);
+  EXPECT_GT(report.corpus_replayed, 0u) << "committed corpus is empty";
+  EXPECT_TRUE(report.ok()) << log.str();
+}
+
+}  // namespace
+}  // namespace pacds::fuzz

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -86,6 +88,36 @@ TEST(JsonParseTest, NumberGrammarIsStrict) {
   EXPECT_EQ(parse_json("-0").as_number(), 0.0);
   EXPECT_EQ(parse_json("0.25").as_number(), 0.25);
   EXPECT_EQ(parse_json("1e+2").as_number(), 100.0);
+}
+
+TEST(JsonParseTest, NonFiniteDoublesRoundTripAsNull) {
+  // ±inf and NaN have no JSON representation; the writer maps them to null
+  // on both of its double paths (value() and format_double), and the parser
+  // must accept the result as a well-formed document with null members —
+  // never see an "inf"/"nan" token it would reject.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("pos").value(inf);
+  json.key("neg").value(-inf);
+  json.key("nan").value(std::numeric_limits<double>::quiet_NaN());
+  json.key("finite").value(2.5);
+  json.end_object();
+  const JsonValue doc = parse_json(out.str());
+  EXPECT_TRUE(doc.find("pos")->is_null());
+  EXPECT_TRUE(doc.find("neg")->is_null());
+  EXPECT_TRUE(doc.find("nan")->is_null());
+  EXPECT_EQ(doc.find("finite")->as_number(), 2.5);
+
+  // The parser itself refuses the raw tokens...
+  EXPECT_THROW((void)parse_json("inf"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("-inf"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("nan"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("Infinity"), std::runtime_error);
+  // ...but an overflowing literal is grammatically fine and lands as +inf —
+  // the stream validator's non-finite walk exists to catch exactly this.
+  EXPECT_TRUE(std::isinf(parse_json("1e999").as_number()));
 }
 
 TEST(JsonParseTest, MalformedDocumentsThrowWithByteOffset) {

@@ -122,6 +122,18 @@ TEST(JsonTest, NonFiniteNumbersBecomeNull) {
             "[null,null]");
 }
 
+TEST(JsonTest, FormatDoubleMapsNonFiniteToNull) {
+  // format_double is the raw path around value(double) — table cells, log
+  // lines, corpus files. It must never leak an "inf"/"nan" token that a
+  // strict JSON parser rejects.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(JsonWriter::format_double(inf), "null");
+  EXPECT_EQ(JsonWriter::format_double(-inf), "null");
+  EXPECT_EQ(JsonWriter::format_double(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(JsonWriter::format_double(1.5), "1.5");
+}
+
 TEST(JsonTest, MisuseThrows) {
   std::ostringstream os;
   {

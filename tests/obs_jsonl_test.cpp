@@ -14,6 +14,7 @@
 
 #include "io/json_parse.hpp"
 #include "obs/metrics.hpp"
+#include "obs/validate.hpp"
 #include "sim/lifetime.hpp"
 #include "sim/metrics_io.hpp"
 #include "sim/montecarlo.hpp"
@@ -166,6 +167,61 @@ TEST_F(MetricsSchemaTest, IntervalRecordsCarryLiveCountersAndTimers) {
     localized += parse_json(lines[i]).find("localized_updates")->as_number();
   }
   EXPECT_GT(localized, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Shared stream validator (obs/validate.hpp): the one schema check behind
+// `bench_report --validate-jsonl`, the fuzz harness's JSONL oracle, and CI.
+
+TEST(StreamValidatorTest, AcceptsARealMetricsStreamAndCountsTypes) {
+  SimConfig config;
+  config.n_hosts = 16;
+  config.max_intervals = 8;
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+  (void)run_lifetime_trials(config, 2, 5, nullptr, &sink);
+  std::istringstream in(out.str());
+  const obs::StreamValidation v = obs::validate_metrics_stream(in);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.count_of("run_manifest"), 1u);
+  EXPECT_GE(v.count_of("interval"), 2u);
+  EXPECT_EQ(v.lines, v.count_of("run_manifest") + v.count_of("interval"));
+}
+
+TEST(StreamValidatorTest, RejectsEnvelopeViolations) {
+  const auto validate = [](const std::string& text) {
+    std::istringstream in(text);
+    return obs::validate_metrics_stream(in);
+  };
+  const std::string manifest = "{\"type\":\"run_manifest\",\"schema\":1}\n";
+  const std::string interval = "{\"type\":\"interval\",\"schema\":1}\n";
+
+  EXPECT_FALSE(validate("").ok);  // needs manifest + interval
+  EXPECT_FALSE(validate(manifest).ok);
+  EXPECT_TRUE(validate(manifest + interval).ok);
+
+  const obs::StreamValidation bad_json = validate(manifest + "{oops\n");
+  EXPECT_FALSE(bad_json.ok);
+  EXPECT_NE(bad_json.error.find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(validate(manifest + "[1,2]\n").ok);        // not an object
+  EXPECT_FALSE(validate(manifest + "{\"schema\":1}\n").ok);  // no type
+  EXPECT_FALSE(
+      validate(manifest + "{\"type\":\"interval\"}\n").ok);  // no schema
+}
+
+TEST(StreamValidatorTest, RejectsNonFiniteNumbersAnywhereInARecord) {
+  // JsonWriter maps non-finite doubles to null, so the only way an inf
+  // reaches a stream is an overflowing literal — grammatically valid JSON
+  // that strtod turns into +inf. The validator must name where it hides.
+  std::istringstream in(
+      "{\"type\":\"run_manifest\",\"schema\":1}\n"
+      "{\"type\":\"interval\",\"schema\":1,"
+      "\"energy\":{\"mean\":3.5,\"levels\":[1.0,1e999]}}\n");
+  const obs::StreamValidation v = obs::validate_metrics_stream(in);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("line 2"), std::string::npos);
+  EXPECT_NE(v.error.find("energy.levels[1]"), std::string::npos);
 }
 
 }  // namespace

@@ -144,6 +144,28 @@ TEST(RoutingTest, DisconnectedBackboneFails) {
   EXPECT_FALSE(r.delivered);
 }
 
+TEST(RoutingTest, ConnectedGraphSplitBackboneFailsCleanly) {
+  // Fuzz-derived failure path: the *graph* is connected (P6) but the
+  // gateway-induced subgraph is not — gateways 1 and 4 are two backbone
+  // components with non-gateway 2-3 between them. Both endpoints have a
+  // source/destination gateway, so the failure must come from the backbone
+  // BFS, as a clean undelivered result (no throw, no partial path).
+  const Graph g = path_graph(6);
+  const DominatingSetRouter router(g, set_of(6, {1, 4}));
+  const RouteResult r = router.route(0, 5);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_FALSE(r.failure.empty());
+  EXPECT_TRUE(r.path.empty());
+  EXPECT_FALSE(router.route_hops(0, 5).has_value());
+  // Other cross-component pairs fail the same way — except adjacent hosts,
+  // which deliver one-hop without touching the backbone at all.
+  EXPECT_FALSE(router.route(0, 4).delivered);
+  EXPECT_FALSE(router.route(1, 5).delivered);
+  EXPECT_TRUE(router.route(2, 3).delivered);  // neighbor bypass
+  EXPECT_TRUE(router.route(0, 2).delivered);
+  EXPECT_TRUE(router.route(3, 5).delivered);
+}
+
 TEST(RoutingTest, FailedRouteHopsEmpty) {
   Graph g(4);
   g.add_edge(0, 1);

@@ -84,6 +84,57 @@ TEST(StatsTest, NumericalStabilityLargeOffset) {
   EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
 }
 
+TEST(StatsTest, EmptySummaryContractIsAllZero) {
+  // Summary::of an untouched accumulator must equal the value-initialized
+  // Summary: every field exactly 0.0 / 0, nothing NaN (stats.hpp pins this
+  // so zero-trial runs serialize finite numbers).
+  const Summary s = Summary::of(Welford{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_FALSE(std::isnan(s.mean));
+  EXPECT_FALSE(std::isnan(s.stddev));
+}
+
+TEST(StatsTest, MergeEmptyIntoEmptyStaysEmpty) {
+  Welford a;
+  const Welford b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  // Still behaves like a fresh accumulator afterwards.
+  a.add(5.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(StatsTest, MergeWithEmptyPreservesMinMax) {
+  // min()/max() sit at the 0.0 sentinel while empty; merging an empty
+  // operand must not drag a positive-only distribution's min to 0 (or a
+  // negative-only one's max).
+  Welford acc;
+  acc.add(4.0);
+  acc.add(9.0);
+  acc.merge(Welford{});
+  EXPECT_DOUBLE_EQ(acc.min(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+
+  Welford neg;
+  neg.add(-4.0);
+  Welford empty;
+  empty.merge(neg);
+  EXPECT_DOUBLE_EQ(empty.max(), -4.0);
+  EXPECT_DOUBLE_EQ(empty.min(), -4.0);
+}
+
 TEST(StatsTest, SummarySnapshot) {
   Welford acc;
   acc.add(1.0);
