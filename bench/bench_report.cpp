@@ -5,7 +5,7 @@
 // tools/bench_json.sh used to carry.
 //
 // usage: bench_report <micro_cds.json> <micro_engine.json>
-//                     <micro_parallel.json> <output.json>
+//                     <micro_parallel.json> <micro_tiles.json> <output.json>
 //        bench_report --validate-jsonl <metrics.jsonl | ->
 //
 // The output's "baseline" section, when present in an existing output file,
@@ -84,6 +84,15 @@ double lookup(const NsPerOp& table, const std::string& name) {
   return 0.0;
 }
 
+/// lookup that also accepts google-benchmark's pinned-iteration decoration
+/// ("<name>/iterations:N"), which Benchmark::Iterations appends to the name.
+double lookup_row(const NsPerOp& table, const std::string& name) {
+  for (const auto& [key, value] : table) {
+    if (key == name || key.rfind(name + "/iterations:", 0) == 0) return value;
+  }
+  return 0.0;
+}
+
 void write_table(JsonWriter& json, const NsPerOp& table) {
   json.begin_object();
   for (const auto& [name, value] : table) json.key(name).value(value);
@@ -133,9 +142,9 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::string(argv[1]) == "--validate-jsonl") {
     return validate_jsonl(argv[2]);
   }
-  if (argc != 5) {
+  if (argc != 6) {
     std::cerr << "usage: bench_report <cds.json> <engine.json> "
-                 "<parallel.json> <output.json>\n"
+                 "<parallel.json> <tiles.json> <output.json>\n"
                  "       bench_report --validate-jsonl <metrics.jsonl | ->\n";
     return 2;
   }
@@ -143,7 +152,8 @@ int main(int argc, char** argv) {
     const NsPerOp rule_pass = ns_per_op(argv[1]);
     const NsPerOp engine = ns_per_op(argv[2]);
     const NsPerOp parallel = ns_per_op(argv[3]);
-    const std::string out_path = argv[4];
+    const NsPerOp tiles = ns_per_op(argv[4]);
+    const std::string out_path = argv[5];
 
     // Preserve the previous baseline section, if the file parses.
     JsonValue baseline{pacds::JsonObject{}};
@@ -178,6 +188,11 @@ int main(int argc, char** argv) {
     // speedup is only physically possible beyond 1.
     json.key("parallel_interval_ns");
     write_table(json, parallel);
+    // Scaling rows of the tiled engine (micro_tiles): BM_IntervalTiled/<n>
+    // at n = 10k/100k/1M, plus the flat incremental engine at the sizes
+    // where running it is affordable (the speedup_tiles_* keys below).
+    json.key("tiles_interval_ns");
+    write_table(json, tiles);
     json.key("host_cpus")
         .value(static_cast<int>(std::thread::hardware_concurrency()));
     for (const int stay : {98, 95}) {
@@ -192,6 +207,22 @@ int main(int argc, char** argv) {
       write_speedup(json, "speedup_threads8_n" + std::to_string(n),
                     lookup(parallel, stem + "/1"),
                     lookup(parallel, stem + "/8"));
+    }
+    // Tiled vs both flat engines at matched n and stay probability (950 and
+    // 999 per-mille — see micro_tiles.cpp for why both regimes matter).
+    for (const int n : {10000, 100000}) {
+      for (const int stay : {950, 999}) {
+        const std::string suffix =
+            "/" + std::to_string(n) + "/" + std::to_string(stay);
+        const std::string tag =
+            "_n" + std::to_string(n) + "_stay" + std::to_string(stay);
+        write_speedup(json, "speedup_tiles_vs_incremental" + tag,
+                      lookup_row(tiles, "BM_IntervalFlatIncremental" + suffix),
+                      lookup_row(tiles, "BM_IntervalTiled" + suffix));
+        write_speedup(json, "speedup_tiles_vs_full" + tag,
+                      lookup_row(tiles, "BM_IntervalFlatFull" + suffix),
+                      lookup_row(tiles, "BM_IntervalTiled" + suffix));
+      }
     }
     json.end_object();
     out << "\n";

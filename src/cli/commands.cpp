@@ -1,9 +1,12 @@
 #include "cli/commands.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <optional>
 #include <ostream>
 #include <sstream>
+
+#include "core/workspace.hpp"
 
 #include "cli/args.hpp"
 #include "core/articulation.hpp"
@@ -23,6 +26,7 @@
 #include "obs/jsonl.hpp"
 #include "routing/routing.hpp"
 #include "sim/engine.hpp"
+#include "sim/tiled_engine.hpp"
 #include "sim/experiment.hpp"
 #include "sim/montecarlo.hpp"
 
@@ -372,8 +376,14 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
   parser.add_option("quantum", "energy-key quantization (0 = off)", "1");
   parser.add_option("strategy", "sequential | simultaneous | verified",
                     "sequential");
-  parser.add_option("engine", "per-interval engine: auto | full | incremental",
+  parser.add_option("engine",
+                    "per-interval engine: auto | full | incremental | tiled",
                     "auto");
+  parser.add_option("tiles",
+                    "tile count for --engine tiled (0 = auto: finest grid "
+                    "with tile side >= 2*radius); gateways are identical for "
+                    "every value",
+                    "0");
   parser.add_option("threads",
                     "worker threads for the CDS passes inside each interval "
                     "(1 = serial, 0 = all cores); results are identical for "
@@ -403,8 +413,10 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
   const auto seed = parser.option_int("seed");
   const auto quantum = parser.option_double("quantum");
   const auto threads = parser.option_int("threads");
+  const auto tiles = parser.option_int("tiles");
   if (!n || *n < 1 || !trials || *trials < 1 || !model || *model < 1 ||
-      *model > 3 || !seed || !quantum || !threads || *threads < 0) {
+      *model > 3 || !seed || !quantum || !threads || *threads < 0 || !tiles ||
+      *tiles < 0) {
     err << "error: bad numeric option\n" << parser.usage();
     return 2;
   }
@@ -428,13 +440,20 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
     config.engine = SimEngine::kFullRebuild;
   } else if (engine == "incremental") {
     config.engine = SimEngine::kIncremental;
+  } else if (engine == "tiled") {
+    config.engine = SimEngine::kTiled;
   } else {
     err << "error: unknown engine '" << engine << "'\n";
     return 2;
   }
+  config.tiles = static_cast<int>(*tiles);
   if (config.engine == SimEngine::kIncremental &&
       !incremental_engine_eligible(config)) {
     err << "error: --engine incremental needs --strategy simultaneous\n";
+    return 2;
+  }
+  if (config.engine == SimEngine::kTiled && !tiled_engine_eligible(config)) {
+    err << "error: --engine tiled needs --strategy simultaneous\n";
     return 2;
   }
 
@@ -506,13 +525,69 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
   return 0;
 }
 
+/// --sets: single-snapshot set-size study instead of lifetime trials.
+/// For each n, samples random unit-disk graphs at the paper's density
+/// (50 hosts per 100x100 field, r = 25; the field grows with n) and
+/// measures the marked set, the Rule 1+2 set (ID keys, the algorithm
+/// Hansen-Schmutz analyze in arXiv:cs/0408068) and the Rule k set
+/// (arXiv:cs/0408067). Both papers predict E[|set|] = Theta(n): the ratios
+/// printed here should level off at n-independent constants, with the
+/// Rule k constant below the Rule 2 constant (EXPERIMENTS.md, "Hansen-
+/// Schmutz check").
+int run_set_size_study(const std::vector<int>& hosts, std::size_t trials,
+                       std::uint64_t base_seed, std::ostream& out) {
+  out << "set sizes on random unit-disk snapshots (constant density: 50 "
+         "hosts per 100x100, r = 25; ID keys, simultaneous rules)\n";
+  TextTable table({"n", "avg deg", "marked/n", "rule2/n", "rulek/n",
+                   "rulek/rule2"});
+  CdsWorkspace workspace;
+  const ExecContext ctx{nullptr, &workspace, nullptr};
+  CdsOptions options;
+  options.strategy = Strategy::kSimultaneous;
+  for (const int n : hosts) {
+    double marked = 0.0;
+    double rule2 = 0.0;
+    double rulek = 0.0;
+    double degree = 0.0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      const std::uint64_t mix = std::uint64_t{0x9e3779b97f4a7c15} *
+                                (static_cast<std::uint64_t>(trial) + 1);
+      Xoshiro256 rng(base_seed + mix + static_cast<std::uint64_t>(n));
+      const double side = std::sqrt(static_cast<double>(n) / 50.0) * 100.0;
+      const Field field(side, side, BoundaryPolicy::kClamp);
+      const auto positions = random_placement(n, field, rng);
+      const Graph g =
+          build_links(positions, kPaperRadius, LinkModel::kUnitDisk);
+      const CdsResult r2 = compute_cds(g, RuleSet::kID, {}, options, ctx);
+      const CdsResult rk = compute_cds_rule_k(
+          g, KeyKind::kId, {}, Strategy::kSimultaneous, CliquePolicy::kNone,
+          ctx);
+      marked += static_cast<double>(r2.marked_count);
+      rule2 += static_cast<double>(r2.gateway_count);
+      rulek += static_cast<double>(rk.gateway_count);
+      degree += 2.0 * static_cast<double>(g.num_edges()) /
+                static_cast<double>(g.num_nodes());
+    }
+    const double den = static_cast<double>(trials) * n;
+    table.add_row({TextTable::fmt(n),
+                   TextTable::fmt(degree / static_cast<double>(trials)),
+                   TextTable::fmt(marked / den, 4),
+                   TextTable::fmt(rule2 / den, 4),
+                   TextTable::fmt(rulek / den, 4),
+                   TextTable::fmt(rulek / rule2, 4)});
+  }
+  table.print(out);
+  return 0;
+}
+
 int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
               std::ostream& err) {
   ArgParser parser("pacds sweep",
                    "sweep host count x scheme (the figure harness)");
   parser.add_option("hosts",
                     "comma-separated host counts, or 'paper' (3..100) / "
-                    "'quick' (10,30,50,80)",
+                    "'quick' (10,30,50,80) / 'hansen' (1k..100k ladder "
+                    "for --sets)",
                     "quick");
   parser.add_option("scheme", "NR | ID | ND | EL1 | EL2 | all", "all");
   parser.add_option("trials", "Monte-Carlo trials per (n, scheme) point",
@@ -533,6 +608,9 @@ int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
                     "(n, scheme) point + one record per interval)",
                     "");
   parser.add_flag("ci", "add ±95% confidence columns to the tables");
+  parser.add_flag("sets",
+                  "measure CDS set sizes on single snapshots instead of "
+                  "lifetimes (the Hansen-Schmutz check; see EXPERIMENTS.md)");
   parser.add_flag("help", "show usage");
   if (!parser.parse(tokens)) {
     err << "error: " << parser.error() << "\n" << parser.usage();
@@ -565,6 +643,10 @@ int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
     sweep.host_counts = paper_host_counts();
   } else if (hosts == "quick") {
     sweep.host_counts = quick_host_counts();
+  } else if (hosts == "hansen") {
+    // Geometric ladder for the --sets asymptotics; the top rung is the
+    // n = 1e5 point the Hansen-Schmutz comparison needs.
+    sweep.host_counts = {1000, 3162, 10000, 31623, 100000};
   } else {
     std::istringstream list(hosts);
     std::string item;
@@ -582,6 +664,11 @@ int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
       err << "error: --hosts needs at least one host count\n";
       return 2;
     }
+  }
+  if (parser.flag("sets")) {
+    return run_set_size_study(sweep.host_counts,
+                              static_cast<std::size_t>(*trials),
+                              static_cast<std::uint64_t>(*seed), out);
   }
   sweep.schemes = *schemes;
   sweep.trials = static_cast<std::size_t>(*trials);

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -135,6 +136,11 @@ class DynBitset {
       }
     }
   }
+
+  /// Read-only view of the packed words (padding bits beyond size() are
+  /// zero). Lets hot kernels run word-parallel scans — e.g. the Rule 2
+  /// residual fast path — without going through per-bit accessors.
+  [[nodiscard]] std::span<const Word> words() const noexcept { return words_; }
 
   /// Indices of all set bits, ascending.
   [[nodiscard]] std::vector<std::size_t> to_indices() const;

@@ -61,16 +61,22 @@ CdsResult compute_cds_custom(const Graph& g, KeyKind kind,
   }
   const PriorityKey key(kind, g, needs_energy ? &energy : nullptr);
 
+  // Give the whole pipeline one workspace even when the caller didn't pass
+  // any, so marking and both rule passes share a single dense-row sync.
+  CdsWorkspace local_ws;
+  ExecContext run_ctx = ctx;
+  if (run_ctx.workspace == nullptr) run_ctx.workspace = &local_ws;
+
   CdsResult result;
   {
     const obs::PhaseTimer timer(ctx.metrics, obs::Phase::kMarking);
-    marking_process_into(g, ctx.executor, result.marked_only);
+    marking_process_into(g, run_ctx, result.marked_only);
   }
   result.marked_count = result.marked_only.count();
   result.gateways = result.marked_only;
   {
     const obs::PhaseTimer timer(ctx.metrics, obs::Phase::kRules);
-    apply_rules(g, key, config, ctx, result.gateways);
+    apply_rules(g, key, config, run_ctx, result.gateways);
     apply_clique_policy(g, key, clique_policy, result.gateways);
   }
   result.gateway_count = result.gateways.count();

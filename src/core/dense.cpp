@@ -1,0 +1,20 @@
+#include "core/dense.hpp"
+
+namespace pacds {
+
+void DenseAdjacency::rebuild(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (rows_.size() < n) rows_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    DynBitset& row = rows_[v];
+    row.resize_clear(n);  // keeps capacity: allocation-free once warm
+    for (const NodeId x : g.neighbors(static_cast<NodeId>(v))) {
+      row.set(static_cast<std::size_t>(x));
+    }
+  }
+  version_ = g.version();
+  synced_ = true;
+  active_ = true;
+}
+
+}  // namespace pacds

@@ -1,0 +1,57 @@
+#pragma once
+// Lazily-materialized dense adjacency rows for small graphs. The Graph
+// substrate itself is CSR-only (O(n + m) bits — see graph.hpp), which keeps
+// million-node networks affordable but turns each coverage test into a
+// sorted-merge scan. For the flat full-graph passes at paper-scale n the
+// old word-parallel tests are still the fastest option, so this cache
+// rebuilds one DynBitset row per vertex on demand — keyed on
+// Graph::version(), so repeated passes over an unchanged graph pay the
+// O(n + m) build exactly once — and the kernels pick dense or merge per
+// call. Above kMaxNodes the cache refuses to build (that regime belongs to
+// the tiled engine, which materializes dense rows per tile instead).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+
+namespace pacds {
+
+class DenseAdjacency {
+ public:
+  /// Largest vertex count the cache will materialize: 4096 nodes = 2 MiB of
+  /// rows, roughly L2-resident; beyond that the O(n^2/64) build and footprint
+  /// start defeating the CSR substrate's point.
+  static constexpr NodeId kMaxNodes = 4096;
+
+  /// Brings the rows up to date with `g` (no-op when the version stamp
+  /// matches). Returns active(): whether dense rows are available.
+  bool sync(const Graph& g) {
+    if (g.num_nodes() > kMaxNodes) {
+      active_ = false;
+      synced_ = false;
+      return false;
+    }
+    if (synced_ && version_ == g.version()) return active_;
+    rebuild(g);
+    return active_;
+  }
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Open-neighborhood row N(v). Only valid while active().
+  [[nodiscard]] const DynBitset& row(NodeId v) const {
+    return rows_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  void rebuild(const Graph& g);
+
+  std::uint64_t version_ = 0;
+  bool synced_ = false;
+  bool active_ = false;
+  std::vector<DynBitset> rows_;
+};
+
+}  // namespace pacds

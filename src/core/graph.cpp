@@ -1,18 +1,37 @@
 #include "core/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <stdexcept>
 #include <string>
 
 namespace pacds {
 
+namespace {
+
+/// Global mutation clock backing Graph::version(): every constructed or
+/// mutated graph gets a stamp no other graph state ever carried, so equal
+/// stamps imply equal adjacency.
+std::atomic<std::uint64_t> g_graph_clock{0};
+
+std::uint64_t next_stamp() noexcept {
+  return g_graph_clock.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+constexpr NodeId kMinSliceCap = 4;
+
+}  // namespace
+
+void Graph::stamp() noexcept { version_ = next_stamp(); }
+
 Graph::Graph(NodeId n) {
   if (n < 0) throw std::invalid_argument("Graph: negative vertex count");
   n_ = n;
-  adj_.resize(static_cast<std::size_t>(n));
-  rows_.assign(static_cast<std::size_t>(n),
-               DynBitset(static_cast<std::size_t>(n)));
+  begin_.assign(static_cast<std::size_t>(n), 0);
+  cap_.assign(static_cast<std::size_t>(n), 0);
+  deg_.assign(static_cast<std::size_t>(n), 0);
+  stamp();
 }
 
 Graph Graph::from_edges(NodeId n,
@@ -30,18 +49,49 @@ void Graph::check_node(NodeId v, const char* what) const {
   }
 }
 
+void Graph::relocate(NodeId v, NodeId new_cap) {
+  const auto i = static_cast<std::size_t>(v);
+  const std::size_t old_begin = begin_[i];
+  const auto deg = static_cast<std::size_t>(deg_[i]);
+  dead_ += static_cast<std::size_t>(cap_[i]);
+  begin_[i] = arena_.size();
+  cap_[i] = new_cap;
+  arena_.resize(arena_.size() + static_cast<std::size_t>(new_cap));
+  std::copy_n(arena_.begin() + static_cast<std::ptrdiff_t>(old_begin), deg,
+              arena_.begin() + static_cast<std::ptrdiff_t>(begin_[i]));
+}
+
+void Graph::insert_neighbor(NodeId v, NodeId x) {
+  const auto i = static_cast<std::size_t>(v);
+  if (deg_[i] == cap_[i]) {
+    relocate(v, std::max(kMinSliceCap, cap_[i] * 2));
+  }
+  NodeId* base = arena_.data() + begin_[i];
+  NodeId* end = base + deg_[i];
+  NodeId* pos = std::lower_bound(base, end, x);
+  std::copy_backward(pos, end, end + 1);
+  *pos = x;
+  ++deg_[i];
+}
+
+void Graph::erase_neighbor(NodeId v, NodeId x) {
+  const auto i = static_cast<std::size_t>(v);
+  NodeId* base = arena_.data() + begin_[i];
+  NodeId* end = base + deg_[i];
+  NodeId* pos = std::lower_bound(base, end, x);
+  std::copy(pos + 1, end, pos);
+  --deg_[i];
+}
+
 bool Graph::add_edge(NodeId u, NodeId v) {
   check_node(u, "add_edge");
   check_node(v, "add_edge");
   if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
   if (has_edge(u, v)) return false;
-  auto& au = adj_[static_cast<std::size_t>(u)];
-  auto& av = adj_[static_cast<std::size_t>(v)];
-  au.insert(std::lower_bound(au.begin(), au.end(), v), v);
-  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
-  rows_[static_cast<std::size_t>(u)].set(static_cast<std::size_t>(v));
-  rows_[static_cast<std::size_t>(v)].set(static_cast<std::size_t>(u));
+  insert_neighbor(u, v);
+  insert_neighbor(v, u);
   ++m_;
+  stamp();
   return true;
 }
 
@@ -49,13 +99,10 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
   check_node(u, "remove_edge");
   check_node(v, "remove_edge");
   if (u == v || !has_edge(u, v)) return false;
-  auto& au = adj_[static_cast<std::size_t>(u)];
-  auto& av = adj_[static_cast<std::size_t>(v)];
-  au.erase(std::lower_bound(au.begin(), au.end(), v));
-  av.erase(std::lower_bound(av.begin(), av.end(), u));
-  rows_[static_cast<std::size_t>(u)].reset(static_cast<std::size_t>(v));
-  rows_[static_cast<std::size_t>(v)].reset(static_cast<std::size_t>(u));
+  erase_neighbor(u, v);
+  erase_neighbor(v, u);
   --m_;
+  stamp();
   return true;
 }
 
@@ -63,27 +110,28 @@ bool Graph::has_edge(NodeId u, NodeId v) const {
   check_node(u, "has_edge");
   check_node(v, "has_edge");
   if (u == v) return false;
-  return rows_[static_cast<std::size_t>(u)].test(static_cast<std::size_t>(v));
+  // Probe the smaller slice.
+  if (deg_[static_cast<std::size_t>(u)] > deg_[static_cast<std::size_t>(v)]) {
+    std::swap(u, v);
+  }
+  const auto s = slice(u);
+  return std::binary_search(s.begin(), s.end(), v);
 }
 
 std::span<const NodeId> Graph::neighbors(NodeId v) const {
   check_node(v, "neighbors");
-  return adj_[static_cast<std::size_t>(v)];
+  return slice(v);
 }
 
 NodeId Graph::degree(NodeId v) const {
   check_node(v, "degree");
-  return static_cast<NodeId>(adj_[static_cast<std::size_t>(v)].size());
-}
-
-const DynBitset& Graph::open_row(NodeId v) const {
-  check_node(v, "open_row");
-  return rows_[static_cast<std::size_t>(v)];
+  return deg_[static_cast<std::size_t>(v)];
 }
 
 DynBitset Graph::closed_row(NodeId v) const {
   check_node(v, "closed_row");
-  DynBitset row = rows_[static_cast<std::size_t>(v)];
+  DynBitset row(static_cast<std::size_t>(n_));
+  for (const NodeId x : slice(v)) row.set(static_cast<std::size_t>(x));
   row.set(static_cast<std::size_t>(v));
   return row;
 }
@@ -91,23 +139,64 @@ DynBitset Graph::closed_row(NodeId v) const {
 bool Graph::closed_covered_by(NodeId v, NodeId u) const {
   check_node(v, "closed_covered_by");
   check_node(u, "closed_covered_by");
-  // N[v] ⊆ N[u]  ⇔  v ∈ N[u]  ∧  (N(v) \ {u}) ⊆ N(u), word-parallel.
+  // N[v] ⊆ N[u]  ⇔  v ∈ N[u]  ∧  (N(v) \ {u}) ⊆ N(u), as one merge scan
+  // over the two sorted slices.
   if (v == u) return true;
-  if (!has_edge(u, v)) return false;  // v ∈ N[u] requires adjacency
-  return rows_[static_cast<std::size_t>(v)].is_subset_of_except(
-      rows_[static_cast<std::size_t>(u)], static_cast<std::size_t>(u));
+  const auto sv = slice(v);
+  const auto su = slice(u);
+  if (sv.size() > su.size() + 1) return false;
+  bool adjacent = false;
+  std::size_t j = 0;
+  for (const NodeId x : sv) {
+    if (x == u) {
+      adjacent = true;
+      continue;
+    }
+    while (j < su.size() && su[j] < x) ++j;
+    if (j == su.size() || su[j] != x) return false;
+    ++j;
+  }
+  return adjacent;
 }
 
 bool Graph::open_covered_by_pair(NodeId v, NodeId u, NodeId w) const {
   check_node(v, "open_covered_by_pair");
   check_node(u, "open_covered_by_pair");
   check_node(w, "open_covered_by_pair");
-  // N(v) ⊆ N(u) ∪ N(w), word-parallel. Note u, w themselves may appear in
-  // N(v); they are covered iff the edge {u, w} exists (u ∈ N(w)) — the
-  // rule's implicit "u and w are connected" consequence falls out of the
-  // raw set test.
-  return rows_[static_cast<std::size_t>(v)].is_subset_of_union(
-      rows_[static_cast<std::size_t>(u)], rows_[static_cast<std::size_t>(w)]);
+  // N(v) ⊆ N(u) ∪ N(w) as a three-pointer merge. Note u, w themselves may
+  // appear in N(v); they are covered iff the edge {u, w} exists (u ∈ N(w))
+  // — the rule's implicit "u and w are connected" consequence falls out of
+  // the raw set test.
+  const auto sv = slice(v);
+  const auto su = slice(u);
+  const auto sw = slice(w);
+  if (sv.size() > su.size() + sw.size()) return false;
+  std::size_t j = 0;
+  std::size_t k = 0;
+  for (const NodeId x : sv) {
+    while (j < su.size() && su[j] < x) ++j;
+    if (j < su.size() && su[j] == x) continue;
+    while (k < sw.size() && sw[k] < x) ++k;
+    if (k < sw.size() && sw[k] == x) continue;
+    return false;
+  }
+  return true;
+}
+
+bool Graph::open_covered_by_closed(NodeId v, NodeId u) const {
+  check_node(v, "open_covered_by_closed");
+  check_node(u, "open_covered_by_closed");
+  const auto sv = slice(v);
+  const auto su = slice(u);
+  if (sv.size() > su.size() + 1) return false;
+  std::size_t j = 0;
+  for (const NodeId x : sv) {
+    if (x == u) continue;
+    while (j < su.size() && su[j] < x) ++j;
+    if (j == su.size() || su[j] != x) return false;
+    ++j;
+  }
+  return true;
 }
 
 std::vector<NodeId> Graph::bfs_distances(NodeId src,
@@ -262,7 +351,13 @@ std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
 }
 
 bool Graph::operator==(const Graph& other) const {
-  return n_ == other.n_ && adj_ == other.adj_;
+  if (n_ != other.n_ || m_ != other.m_) return false;
+  for (NodeId v = 0; v < n_; ++v) {
+    const auto a = slice(v);
+    const auto b = other.slice(v);
+    if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) return false;
+  }
+  return true;
 }
 
 }  // namespace pacds

@@ -3,9 +3,16 @@
 // vertices are mobile hosts, an edge {u, v} means u and v are inside each
 // other's transmission range (the paper's unit-disk model, Section 1).
 //
-// The representation keeps both sorted adjacency vectors (cheap iteration)
-// and one DynBitset row per vertex (O(n/64) neighborhood subset tests, the
-// inner loop of every reduction rule).
+// Storage is a structure-of-arrays CSR arena: one shared neighbor array
+// (`arena_`) holding every vertex's sorted adjacency slice, plus per-vertex
+// (begin, capacity, degree) columns. Slices carry slack so edge churn stays
+// in place; a slice that outgrows its capacity is relocated to the end of
+// the arena with doubled capacity (the abandoned slot is dead space, bounded
+// by the geometric growth to less than the live allocation, so the arena is
+// O(n + m) bits total — no per-vertex O(n)-bit rows anywhere). Coverage
+// predicates run as sorted-merge scans over the slices; callers that want
+// word-parallel tests build dense rows per tile or via DenseAdjacency, never
+// globally.
 
 #include <cstdint>
 #include <optional>
@@ -23,7 +30,7 @@ using NodeId = std::int32_t;
 
 /// Undirected simple graph with a fixed vertex count.
 ///
-/// Mutations (add_edge/remove_edge) keep both representations coherent;
+/// Mutations (add_edge/remove_edge) keep the CSR slices sorted and coherent;
 /// self-loops and duplicate edges are rejected/ignored respectively.
 class Graph {
  public:
@@ -49,16 +56,14 @@ class Graph {
 
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
 
-  /// Open neighbor set N(v) as a sorted span.
+  /// Open neighbor set N(v) as a sorted span. Invalidated by mutations.
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const;
 
   /// Degree |N(v)| — the paper's nd(v).
   [[nodiscard]] NodeId degree(NodeId v) const;
 
-  /// Open neighborhood N(v) as a bitset row.
-  [[nodiscard]] const DynBitset& open_row(NodeId v) const;
-
-  /// Closed neighborhood N[v] = N(v) ∪ {v} (materialized copy).
+  /// Closed neighborhood N[v] = N(v) ∪ {v} (materialized n-bit copy; for
+  /// tests and cold paths — hot kernels use the merge predicates below).
   [[nodiscard]] DynBitset closed_row(NodeId v) const;
 
   /// True iff N[v] ⊆ N[u] — the coverage condition of Rule 1.
@@ -66,6 +71,16 @@ class Graph {
 
   /// True iff N(v) ⊆ N(u) ∪ N(w) — the coverage condition of Rule 2.
   [[nodiscard]] bool open_covered_by_pair(NodeId v, NodeId u, NodeId w) const;
+
+  /// True iff N(v) ⊆ N[u] = N(u) ∪ {u} — the marking process asks whether
+  /// some neighbor u fails this (then v has two non-adjacent neighbors).
+  [[nodiscard]] bool open_covered_by_closed(NodeId v, NodeId u) const;
+
+  /// Structure stamp: globally unique per mutation event, so two Graph
+  /// objects carrying the same stamp have identical adjacency (copies share
+  /// the stamp until one of them mutates). Caches key on this to detect
+  /// staleness without content hashing.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
   // ---- Traversal / structure -------------------------------------------
 
@@ -113,11 +128,27 @@ class Graph {
 
  private:
   void check_node(NodeId v, const char* what) const;
+  /// Sorted slice of vertex v without the bounds check.
+  [[nodiscard]] std::span<const NodeId> slice(NodeId v) const noexcept {
+    const auto i = static_cast<std::size_t>(v);
+    return {arena_.data() + begin_[i], static_cast<std::size_t>(deg_[i])};
+  }
+  /// Inserts x into v's sorted slice, relocating the slice when full.
+  void insert_neighbor(NodeId v, NodeId x);
+  /// Removes x from v's sorted slice (must be present).
+  void erase_neighbor(NodeId v, NodeId x);
+  /// Moves v's slice to the arena end with capacity `new_cap`.
+  void relocate(NodeId v, NodeId new_cap);
+  void stamp() noexcept;
 
   NodeId n_ = 0;
   std::size_t m_ = 0;
-  std::vector<std::vector<NodeId>> adj_;
-  std::vector<DynBitset> rows_;
+  std::vector<std::size_t> begin_;  ///< slice start offset into arena_
+  std::vector<NodeId> cap_;         ///< slice capacity (slack included)
+  std::vector<NodeId> deg_;         ///< live entries in the slice
+  std::vector<NodeId> arena_;       ///< bump arena of all neighbor slices
+  std::size_t dead_ = 0;            ///< abandoned slots from relocations
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace pacds

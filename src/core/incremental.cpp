@@ -39,7 +39,9 @@ IncrementalCds::IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy,
 void IncrementalCds::close_neighborhood(DynBitset& region) {
   grow_src_ = region;
   grow_src_.for_each_set([&](std::size_t i) {
-    region |= graph_.open_row(static_cast<NodeId>(i));
+    for (const NodeId x : graph_.neighbors(static_cast<NodeId>(i))) {
+      region.set(static_cast<std::size_t>(x));
+    }
   });
 }
 
@@ -131,9 +133,11 @@ void IncrementalCds::full_refresh() {
   const bool needs_energy = uses_energy(rule_set_);
   const PriorityKey key(key_kind_of(rule_set_), graph_,
                         needs_energy ? &energy_ : nullptr);
+  ExecContext pass_ctx = exec_;
+  pass_ctx.workspace = &workspace();
   {
     const obs::PhaseTimer timer(exec_.metrics, obs::Phase::kMarking);
-    marking_process_into(graph_, exec_.executor, marked_only_);
+    marking_process_into(graph_, pass_ctx, marked_only_);
   }
   {
     const obs::PhaseTimer timer(exec_.metrics, obs::Phase::kRules);
@@ -141,9 +145,7 @@ void IncrementalCds::full_refresh() {
       after_rule1_ = marked_only_;
       final_ = marked_only_;
     } else {
-      ExecContext pass_ctx = exec_;
-      pass_ctx.workspace = &workspace();
-      simultaneous_rule1_pass_into(graph_, key, marked_only_, exec_.executor,
+      simultaneous_rule1_pass_into(graph_, key, marked_only_, pass_ctx,
                                    after_rule1_);
       simultaneous_rule2_pass_into(graph_, key, rule2_form_of(rule_set_),
                                    after_rule1_, pass_ctx, final_);

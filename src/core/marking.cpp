@@ -6,28 +6,56 @@ namespace pacds {
 
 bool marks_itself(const Graph& g, NodeId v) {
   // v marks itself iff some pair of its neighbors is non-adjacent, i.e.
-  // some neighbor u fails to cover the rest of N(v): N(v) \ {u} ⊄ N(u).
-  // One word-parallel subset test per neighbor, early-exiting on the first
+  // some neighbor u fails to cover the rest of N(v): N(v) ⊄ N[u].
+  // One sorted-merge coverage scan per neighbor, early-exiting on the first
   // witness pair.
-  const DynBitset& nv = g.open_row(v);
   for (const NodeId u : g.neighbors(v)) {
-    if (!nv.is_subset_of_except(g.open_row(u), static_cast<std::size_t>(u))) {
+    if (!g.open_covered_by_closed(v, u)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Dense-row twin of marks_itself: same decision, word-parallel subset
+/// tests against the cached rows.
+bool marks_itself_dense(const Graph& g, const DenseAdjacency& dense,
+                        NodeId v) {
+  const DynBitset& nv = dense.row(v);
+  for (const NodeId u : g.neighbors(v)) {
+    if (!nv.is_subset_of_except(dense.row(u), static_cast<std::size_t>(u))) {
       return true;
     }
   }
   return false;
 }
 
-void marking_process_into(const Graph& g, Executor* exec, DynBitset& marked) {
+}  // namespace
+
+void marking_process_into(const Graph& g, const ExecContext& ctx,
+                          DynBitset& marked) {
   const auto n = static_cast<std::size_t>(g.num_nodes());
   marked.resize_clear(n);
-  auto body = [&g, &marked](std::size_t begin, std::size_t end,
-                            std::size_t /*lane*/) {
+  const DenseAdjacency* dense =
+      ctx.workspace != nullptr && ctx.workspace->dense.sync(g)
+          ? &ctx.workspace->dense
+          : nullptr;
+  auto body = [&g, &marked, dense](std::size_t begin, std::size_t end,
+                                   std::size_t /*lane*/) {
     for (std::size_t i = begin; i < end; ++i) {
-      if (marks_itself(g, static_cast<NodeId>(i))) marked.set(i);
+      const auto v = static_cast<NodeId>(i);
+      const bool m =
+          dense != nullptr ? marks_itself_dense(g, *dense, v) : marks_itself(g, v);
+      if (m) marked.set(i);
     }
   };
-  run_sharded(exec, n, DynBitset::kWordBits, body);
+  run_sharded(ctx.executor, n, DynBitset::kWordBits, body);
+}
+
+void marking_process_into(const Graph& g, Executor* exec, DynBitset& marked) {
+  ExecContext ctx;
+  ctx.executor = exec;
+  marking_process_into(g, ctx, marked);
 }
 
 DynBitset marking_process(const Graph& g) {

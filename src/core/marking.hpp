@@ -8,6 +8,7 @@
 #include "core/graph.hpp"
 #include "core/keys.hpp"
 #include "core/parallel.hpp"
+#include "core/workspace.hpp"
 
 namespace pacds {
 
@@ -25,6 +26,13 @@ namespace pacds {
 /// bit-identical to the serial pass for every executor (shards write
 /// disjoint 64-bit words of `marked`).
 void marking_process_into(const Graph& g, Executor* exec, DynBitset& marked);
+
+/// As above with a full execution context: when `ctx.workspace` is present
+/// and the graph is small enough, the pass runs against the workspace's
+/// DenseAdjacency rows (word-parallel subset tests) instead of CSR merge
+/// scans — bit-identical either way.
+void marking_process_into(const Graph& g, const ExecContext& ctx,
+                          DynBitset& marked);
 
 /// Marking decision for a single node (the distributed per-node step; each
 /// host needs only its 2-hop neighborhood, i.e. the N(u) lists its

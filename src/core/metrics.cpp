@@ -30,15 +30,33 @@ double edge_density(const Graph& g) {
   return static_cast<double>(g.num_edges()) / (n * (n - 1.0) / 2.0);
 }
 
+namespace {
+
+/// Number of elements of sorted `tail` present in sorted `row` (two-pointer
+/// merge — the CSR replacement for testing a dense row per pair).
+std::size_t sorted_overlap(std::span<const NodeId> row,
+                           std::span<const NodeId> tail) {
+  std::size_t hits = 0;
+  std::size_t j = 0;
+  for (const NodeId x : tail) {
+    while (j < row.size() && row[j] < x) ++j;
+    if (j == row.size()) break;
+    if (row[j] == x) {
+      ++hits;
+      ++j;
+    }
+  }
+  return hits;
+}
+
+}  // namespace
+
 double local_clustering(const Graph& g, NodeId v) {
   const auto nbrs = g.neighbors(v);
   if (nbrs.size() < 2) return 0.0;
   std::size_t closed = 0;
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    const DynBitset& row = g.open_row(nbrs[i]);
-    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
-      if (row.test(static_cast<std::size_t>(nbrs[j]))) ++closed;
-    }
+  for (std::size_t i = 0; i + 1 < nbrs.size(); ++i) {
+    closed += sorted_overlap(g.neighbors(nbrs[i]), nbrs.subspan(i + 1));
   }
   const double pairs =
       static_cast<double>(nbrs.size()) * (static_cast<double>(nbrs.size()) - 1.0) /
@@ -57,11 +75,8 @@ std::size_t triangle_count(const Graph& g) {
   std::size_t triple_counted = 0;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     const auto nbrs = g.neighbors(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const DynBitset& row = g.open_row(nbrs[i]);
-      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
-        if (row.test(static_cast<std::size_t>(nbrs[j]))) ++triple_counted;
-      }
+    for (std::size_t i = 0; i + 1 < nbrs.size(); ++i) {
+      triple_counted += sorted_overlap(g.neighbors(nbrs[i]), nbrs.subspan(i + 1));
     }
   }
   return triple_counted / 3;  // each triangle seen from all three corners

@@ -30,9 +30,8 @@ bool rule_k_would_unmark(const Graph& g, const DynBitset& marked,
     return x;
   };
   for (std::size_t i = 0; i < cands.size(); ++i) {
-    const DynBitset& row = g.open_row(cands[i]);
     for (std::size_t j = i + 1; j < cands.size(); ++j) {
-      if (row.test(static_cast<std::size_t>(cands[j]))) {
+      if (g.has_edge(cands[i], cands[j])) {
         parent[find(i)] = find(j);
       }
     }
@@ -45,13 +44,21 @@ bool rule_k_would_unmark(const Graph& g, const DynBitset& marked,
   for (std::size_t i = 0; i < cands.size(); ++i) {
     const std::size_t root = find(i);
     if (unions[root].size() == 0) unions[root] = DynBitset(n);
-    unions[root] |= g.open_row(cands[i]);
+    for (const NodeId x : g.neighbors(cands[i])) {
+      unions[root].set(static_cast<std::size_t>(x));
+    }
     unions[root].set(static_cast<std::size_t>(cands[i]));
   }
-  const DynBitset& nv = g.open_row(v);
   for (std::size_t i = 0; i < cands.size(); ++i) {
     if (find(i) != i) continue;  // not a component root
-    if (nv.is_subset_of(unions[i])) return true;
+    bool covered = true;
+    for (const NodeId x : g.neighbors(v)) {
+      if (!unions[i].test(static_cast<std::size_t>(x))) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) return true;
   }
   return false;
 }

@@ -1,5 +1,6 @@
 #include "core/rules.hpp"
 
+#include <bit>
 #include <vector>
 
 #include "core/verify.hpp"
@@ -49,21 +50,130 @@ void marked_neighbors(const Graph& g, const DynBitset& marked, NodeId v,
   }
 }
 
-/// The refined case analysis for one ordered arrangement (u, w) of a pair of
-/// marked neighbors, given that v is covered by {u, w}.
-///   cov_u: N(u) ⊆ N(v) ∪ N(w),  cov_w: N(w) ⊆ N(u) ∪ N(v).
-/// Case 1: neither competitor covered        -> v yields unconditionally.
-/// Case 2: exactly u covered                  -> v yields iff key(v) < key(u).
-/// Case 3: both covered                       -> v yields iff strict key-min.
-bool refined_cases(const PriorityKey& key, NodeId v, NodeId u, NodeId w,
-                   bool cov_u, bool cov_w) {
+// ---- Dense fast path -----------------------------------------------------
+// With cached DynBitset rows available (DenseAdjacency, small n), the pair
+// loop hoists the residual rem = N(v) \ N(u) out of the inner loop: v is
+// covered by {u, w} iff rem ⊆ N(w), testable over only rem's nonzero word
+// range after a popcount-vs-degree(w) gate. On unit-disk instances most
+// candidate pairs die on the gate or the first residual word.
+
+using Word = DynBitset::Word;
+
+/// One lazily-built residual N(a) \ N(b) with its nonzero word range and
+/// popcount; the backing buffer is a reusable workspace lane vector.
+class Residual {
+ public:
+  explicit Residual(std::vector<Word>& buf) : buf_(buf) {}
+
+  void build(const DynBitset& a, const DynBitset& b) {
+    const auto wa = a.words();
+    const auto wb = b.words();
+    buf_.resize(wa.size());
+    lo_ = wa.size();
+    hi_ = 0;
+    pop_ = 0;
+    for (std::size_t k = 0; k < wa.size(); ++k) {
+      const Word w = wa[k] & ~wb[k];
+      buf_[k] = w;
+      if (w != 0) {
+        if (pop_ == 0) lo_ = k;
+        hi_ = k;
+        pop_ += static_cast<std::size_t>(std::popcount(w));
+      }
+    }
+    built_ = true;
+  }
+
+  [[nodiscard]] bool built() const { return built_; }
+  [[nodiscard]] std::size_t pop() const { return pop_; }
+
+  /// Is the residual contained in `s`? Scans only the nonzero word range.
+  [[nodiscard]] bool subset_of(const DynBitset& s) const {
+    if (pop_ == 0) return true;
+    const auto ws = s.words();
+    for (std::size_t k = lo_; k <= hi_; ++k) {
+      if ((buf_[k] & ~ws[k]) != 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<Word>& buf_;
+  std::size_t lo_ = 0;
+  std::size_t hi_ = 0;
+  std::size_t pop_ = 0;
+  bool built_ = false;
+};
+
+/// Dense-row twin of rule1_would_unmark (v already known marked). With
+/// u ∈ N(v), N[v] ⊆ N[u] reduces to N(v) \ {u} ⊆ N(u).
+bool rule1_dense_would_unmark(const Graph& g, const DenseAdjacency& dense,
+                              const DynBitset& marked, const PriorityKey& key,
+                              NodeId v) {
+  const DynBitset& rv = dense.row(v);
+  for (const NodeId u : g.neighbors(v)) {
+    if (!marked.test(static_cast<std::size_t>(u))) continue;
+    if (key.less(v, u) &&
+        rv.is_subset_of_except(dense.row(u), static_cast<std::size_t>(u))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Dense-row twin of rule2_{simple,refined}_would_unmark (v already known
+/// marked). Decision-identical to the merge-based predicates: same pair
+/// order, same coverage tests, same refined case analysis.
+bool rule2_dense_would_unmark(const Graph& g, const DenseAdjacency& dense,
+                              const DynBitset& marked, const PriorityKey& key,
+                              Rule2Form form, NodeId v,
+                              std::vector<NodeId>& scratch,
+                              CdsWorkspace::Rule2Lane& lane) {
+  marked_neighbors(g, marked, v, scratch);
+  if (scratch.size() < 2) return false;
+  const DynBitset& rv = dense.row(v);
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    const NodeId u = scratch[i];
+    const DynBitset& ru = dense.row(u);
+    Residual rem(lane.rem);    // N(v) \ N(u), shared by every w of this u
+    Residual rem2(lane.rem2);  // N(u) \ N(v), refined coverage of u
+    for (std::size_t j = i + 1; j < scratch.size(); ++j) {
+      const NodeId w = scratch[j];
+      if (form == Rule2Form::kSimple && !key.is_min_of_three(v, u, w)) {
+        continue;
+      }
+      if (!rem.built()) rem.build(rv, ru);
+      const auto degw = static_cast<std::size_t>(g.degree(w));
+      if (rem.pop() > degw) continue;              // can't fit inside N(w)
+      if (!rem.subset_of(dense.row(w))) continue;  // v not covered by {u,w}
+      if (form == Rule2Form::kSimple) return true;
+      if (!rem2.built()) rem2.build(ru, rv);
+      const bool cov_u = rem2.pop() <= degw && rem2.subset_of(dense.row(w));
+      const bool cov_w = dense.row(w).is_subset_of_union(ru, rv);
+      if (rule2_refined_cases(key, v, u, w, cov_u, cov_w)) return true;
+    }
+  }
+  return false;
+}
+
+/// Syncs the workspace dense cache against `g` and returns it when usable.
+const DenseAdjacency* synced_dense(const ExecContext& ctx, const Graph& g) {
+  if (ctx.workspace == nullptr) return nullptr;
+  return ctx.workspace->dense.sync(g) ? &ctx.workspace->dense : nullptr;
+}
+
+}  // namespace
+
+/// Case 1: neither competitor covered -> v yields unconditionally.
+/// Case 2: exactly one covered        -> v yields iff it loses to that one.
+/// Case 3: both covered               -> v yields iff strict key-min.
+bool rule2_refined_cases(const PriorityKey& key, NodeId v, NodeId u, NodeId w,
+                         bool cov_u, bool cov_w) {
   if (!cov_u && !cov_w) return true;
   if (cov_u && !cov_w) return key.less(v, u);
   if (cov_w && !cov_u) return key.less(v, w);
   return key.less(v, u) && key.less(v, w);
 }
-
-}  // namespace
 
 bool rule2_simple_would_unmark(const Graph& g, const DynBitset& marked,
                                const PriorityKey& key, NodeId v,
@@ -93,7 +203,7 @@ bool rule2_refined_would_unmark(const Graph& g, const DynBitset& marked,
       if (!g.open_covered_by_pair(v, u, w)) continue;
       const bool cov_u = g.open_covered_by_pair(u, v, w);
       const bool cov_w = g.open_covered_by_pair(w, u, v);
-      if (refined_cases(key, v, u, w, cov_u, cov_w)) return true;
+      if (rule2_refined_cases(key, v, u, w, cov_u, cov_w)) return true;
     }
   }
   return false;
@@ -126,17 +236,28 @@ bool rule2_would_unmark(const Graph& g, const DynBitset& marked,
 }
 
 void simultaneous_rule1_pass_into(const Graph& g, const PriorityKey& key,
-                                  const DynBitset& marked, Executor* exec,
-                                  DynBitset& next) {
+                                  const DynBitset& marked,
+                                  const ExecContext& ctx, DynBitset& next) {
   next = marked;
+  const DenseAdjacency* dense = synced_dense(ctx, g);
   auto body = [&](std::size_t begin, std::size_t end, std::size_t /*lane*/) {
     marked.for_each_set_in_range(begin, end, [&](std::size_t i) {
-      if (rule1_would_unmark(g, marked, key, static_cast<NodeId>(i))) {
-        next.reset(i);
-      }
+      const auto v = static_cast<NodeId>(i);
+      const bool fires =
+          dense != nullptr ? rule1_dense_would_unmark(g, *dense, marked, key, v)
+                           : rule1_would_unmark(g, marked, key, v);
+      if (fires) next.reset(i);
     });
   };
-  run_sharded(exec, marked.size(), DynBitset::kWordBits, body);
+  run_sharded(ctx.executor, marked.size(), DynBitset::kWordBits, body);
+}
+
+void simultaneous_rule1_pass_into(const Graph& g, const PriorityKey& key,
+                                  const DynBitset& marked, Executor* exec,
+                                  DynBitset& next) {
+  ExecContext ctx;
+  ctx.executor = exec;
+  simultaneous_rule1_pass_into(g, key, marked, ctx, next);
 }
 
 void simultaneous_rule2_pass_into(const Graph& g, const PriorityKey& key,
@@ -144,24 +265,23 @@ void simultaneous_rule2_pass_into(const Graph& g, const PriorityKey& key,
                                   const ExecContext& ctx, DynBitset& next) {
   next = marked;
   const std::size_t lanes = ctx.lanes();
-  std::vector<std::vector<NodeId>> local_scratch;
-  std::vector<std::vector<NodeId>>* bufs;
-  if (ctx.workspace != nullptr) {
-    if (ctx.workspace->lane_neighbors.size() < lanes) {
-      ctx.workspace->lane_neighbors.resize(lanes);
-    }
-    bufs = &ctx.workspace->lane_neighbors;
-  } else {
-    local_scratch.resize(lanes);
-    bufs = &local_scratch;
-  }
+  CdsWorkspace local;
+  CdsWorkspace& ws = ctx.workspace != nullptr ? *ctx.workspace : local;
+  if (ws.lane_neighbors.size() < lanes) ws.lane_neighbors.resize(lanes);
+  if (ws.lane_residuals.size() < lanes) ws.lane_residuals.resize(lanes);
+  const DenseAdjacency* dense =
+      ws.dense.sync(g) ? &ws.dense : nullptr;
   auto body = [&](std::size_t begin, std::size_t end, std::size_t lane) {
-    std::vector<NodeId>& scratch = (*bufs)[lane];
+    std::vector<NodeId>& scratch = ws.lane_neighbors[lane];
+    CdsWorkspace::Rule2Lane& resid = ws.lane_residuals[lane];
     marked.for_each_set_in_range(begin, end, [&](std::size_t i) {
-      if (rule2_would_unmark(g, marked, key, form, static_cast<NodeId>(i),
-                             scratch)) {
-        next.reset(i);
-      }
+      const auto v = static_cast<NodeId>(i);
+      const bool fires =
+          dense != nullptr
+              ? rule2_dense_would_unmark(g, *dense, marked, key, form, v,
+                                         scratch, resid)
+              : rule2_would_unmark(g, marked, key, form, v, scratch);
+      if (fires) next.reset(i);
     });
   };
   run_sharded(ctx.executor, marked.size(), DynBitset::kWordBits, body);
@@ -219,7 +339,7 @@ void apply_rules(const Graph& g, const PriorityKey& key,
       // Stage double-buffering: build the next mark set in ws.stage, then
       // swap buffers — no per-pass bitset allocation once ws is warm.
       if (config.use_rule1) {
-        simultaneous_rule1_pass_into(g, key, marked, ctx.executor, ws.stage);
+        simultaneous_rule1_pass_into(g, key, marked, pass_ctx, ws.stage);
         std::swap(marked, ws.stage);
       }
       if (config.use_rule2) {

@@ -81,6 +81,13 @@ struct RuleConfig {
 [[nodiscard]] bool rule1_would_unmark(const Graph& g, const DynBitset& marked,
                                       const PriorityKey& key, NodeId v);
 
+/// The refined Rule 2 case analysis for one ordered pair (u, w) of marked
+/// neighbors covering v (cov_u: N(u) ⊆ N(v) ∪ N(w), cov_w symmetric).
+/// Exposed so the tiled kernels share the exact decision table.
+[[nodiscard]] bool rule2_refined_cases(const PriorityKey& key, NodeId v,
+                                       NodeId u, NodeId w, bool cov_u,
+                                       bool cov_w);
+
 [[nodiscard]] bool rule2_simple_would_unmark(const Graph& g,
                                              const DynBitset& marked,
                                              const PriorityKey& key, NodeId v);
@@ -136,6 +143,12 @@ struct RuleConfig {
 void simultaneous_rule1_pass_into(const Graph& g, const PriorityKey& key,
                                   const DynBitset& marked, Executor* exec,
                                   DynBitset& next);
+
+/// As above with a full context: when `ctx.workspace` carries an active
+/// DenseAdjacency (small n), coverage runs word-parallel on cached rows.
+void simultaneous_rule1_pass_into(const Graph& g, const PriorityKey& key,
+                                  const DynBitset& marked,
+                                  const ExecContext& ctx, DynBitset& next);
 
 /// Rule 2 needs a marked-neighbor buffer per concurrently running shard;
 /// `ctx.workspace` provides them keyed by executor lane (function-local

@@ -8,9 +8,11 @@
 // so lock-free indexed access is safe.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/bitset.hpp"
+#include "core/dense.hpp"
 #include "core/graph.hpp"
 #include "core/parallel.hpp"
 
@@ -24,16 +26,30 @@ class MetricsRegistry;  // full definition in obs/metrics.hpp
 /// IncrementalCds. Contents are clobbered by every pipeline call; only
 /// capacity persists.
 struct CdsWorkspace {
+  /// Per-lane word scratch for the Rule 2 residual fast path: rem holds
+  /// N(v) \ N(u), rem2 the lazily-built N(u) \ N(v) of the refined form's
+  /// symmetric coverage test.
+  struct Rule2Lane {
+    std::vector<std::uint64_t> rem;
+    std::vector<std::uint64_t> rem2;
+  };
+
   /// Per-executor-lane Rule 2 marked-neighbor buffers.
   std::vector<std::vector<NodeId>> lane_neighbors;
+  /// Per-executor-lane residual word buffers (dense Rule 2 fast path).
+  std::vector<Rule2Lane> lane_residuals;
   /// Double buffer for simultaneous passes (next mark set under
   /// construction).
   DynBitset stage;
+  /// Dense-row acceleration for the full-graph passes at small n; synced
+  /// on demand against Graph::version() (see dense.hpp).
+  DenseAdjacency dense;
 
   /// Ensures at least `lanes` neighbor buffers exist and `stage` ranges
   /// over `nbits` bits (cleared). Allocation-free once warm at these sizes.
   void prepare(std::size_t lanes, std::size_t nbits) {
     if (lane_neighbors.size() < lanes) lane_neighbors.resize(lanes);
+    if (lane_residuals.size() < lanes) lane_residuals.resize(lanes);
     stage.resize_clear(nbits);
   }
 };

@@ -17,6 +17,7 @@
 #include "obs/validate.hpp"
 #include "sim/engine.hpp"
 #include "sim/montecarlo.hpp"
+#include "sim/tiled_engine.hpp"
 #include "sim/trace.hpp"
 
 namespace pacds::fuzz {
@@ -256,6 +257,16 @@ void check_engine_identity(const FuzzScenario& s, const OracleOptions& opts,
       diff_runs("full-rebuild", a, "incremental", b, /*with_touched=*/false);
   if (!diff.empty()) {
     failures.push_back({"engine-identity", diff + " [" + describe(s) + "]"});
+  }
+  if (tiled_engine_eligible(s.config)) {
+    SimConfig tiled = s.config;
+    tiled.engine = SimEngine::kTiled;
+    const TrialRun c = run_trial(tiled, s.trial_seed, plan);
+    const std::string tdiff =
+        diff_runs("full-rebuild", a, "tiled", c, /*with_touched=*/false);
+    if (!tdiff.empty()) {
+      failures.push_back({"engine-identity", tdiff + " [" + describe(s) + "]"});
+    }
   }
 }
 

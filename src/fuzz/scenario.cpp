@@ -74,6 +74,7 @@ SimEngine parse_engine(const std::string& name) {
   if (name == "auto") return SimEngine::kAuto;
   if (name == "full") return SimEngine::kFullRebuild;
   if (name == "incremental") return SimEngine::kIncremental;
+  if (name == "tiled") return SimEngine::kTiled;
   fail("unknown engine \"" + name + "\"");
 }
 
@@ -135,6 +136,11 @@ void parse_config(const JsonValue& value, SimConfig& config) {
       config.energy_key_quantum = number_of(member, "config.quantum");
     } else if (key == "engine") {
       config.engine = parse_engine(string_of(member, "config.engine"));
+    } else if (key == "tiles") {
+      // Optional (older corpus entries predate the tiled engine): requested
+      // tile count, 0 = auto. The TileGrid clamps, so any value is safe.
+      config.tiles =
+          static_cast<int>(integer_of(member, "config.tiles", 0, 1e6));
     } else if (key == "threads") {
       config.threads =
           static_cast<int>(integer_of(member, "config.threads", 0, 256));
@@ -207,6 +213,15 @@ FuzzScenario random_scenario(std::uint64_t base_seed, std::uint64_t index) {
     default: c.energy_key_quantum = 7.0; break;
   }
   c.engine = SimEngine::kAuto;
+  // Tile-count dimension for the tiled-engine identity oracle: auto layout,
+  // degenerate single tile, small grids, and an over-request that must clamp.
+  switch (rng.uniform_int(0, 4)) {
+    case 0: c.tiles = 0; break;
+    case 1: c.tiles = 1; break;
+    case 2: c.tiles = 4; break;
+    case 3: c.tiles = 16; break;
+    default: c.tiles = 4096; break;
+  }
   switch (rng.uniform_int(0, 4)) {
     case 0: c.threads = 2; break;
     case 1: c.threads = 3; break;
@@ -267,7 +282,8 @@ std::string describe(const FuzzScenario& s) {
       << JsonWriter::format_double(s.config.radius) << " scheme="
       << to_string(s.config.rule_set) << " strategy="
       << to_string(s.config.cds_options.strategy) << " threads="
-      << s.config.threads << " boundary=" << to_string(s.config.boundary)
+      << s.config.threads << " tiles=" << s.config.tiles << " boundary="
+      << to_string(s.config.boundary)
       << " link=" << to_string(s.config.link_model) << " drain="
       << drain_name(s.config.drain_model) << " quantum="
       << JsonWriter::format_double(s.config.energy_key_quantum) << " events="
@@ -298,6 +314,7 @@ void write_scenario(JsonWriter& json, const FuzzScenario& s) {
   json.key("strategy").value(to_string(s.config.cds_options.strategy));
   json.key("quantum").value(s.config.energy_key_quantum);
   json.key("engine").value(to_string(s.config.engine));
+  json.key("tiles").value(s.config.tiles);
   json.key("threads").value(s.config.threads);
   json.key("max_intervals").value(static_cast<std::int64_t>(
       s.config.max_intervals));

@@ -7,15 +7,10 @@
 
 #include "core/rule_k.hpp"
 #include "net/geometric.hpp"
+#include "sim/tiled_engine.hpp"
 
 namespace pacds {
 
-namespace {
-
-/// Resolves SimConfig::threads into an intra-interval pool. `threads` counts
-/// lanes *including* the calling thread (the caller always participates in
-/// sharded passes), so N lanes need a pool of N - 1 workers; 0 means one
-/// lane per hardware thread; 1 — and anything negative — stays serial.
 void make_interval_pool(int threads, std::optional<ThreadPool>& pool) {
   std::size_t lanes = threads > 0 ? static_cast<std::size_t>(threads) : 1;
   if (threads == 0) {
@@ -23,8 +18,6 @@ void make_interval_pool(int threads, std::optional<ThreadPool>& pool) {
   }
   if (lanes > 1) pool.emplace(lanes - 1);
 }
-
-}  // namespace
 
 std::string to_string(SimEngine engine) {
   switch (engine) {
@@ -34,6 +27,8 @@ std::string to_string(SimEngine engine) {
       return "full";
     case SimEngine::kIncremental:
       return "incremental";
+    case SimEngine::kTiled:
+      return "tiled";
   }
   return "?";
 }
@@ -209,6 +204,8 @@ std::unique_ptr<LifetimeEngine> make_lifetime_engine(const SimConfig& config) {
       return std::make_unique<FullRebuildEngine>(config);
     case SimEngine::kIncremental:
       return std::make_unique<IncrementalEngine>(config);  // throws if unfit
+    case SimEngine::kTiled:
+      return std::make_unique<TiledEngine>(config);  // throws if unfit
     case SimEngine::kAuto:
       break;
   }
@@ -224,6 +221,8 @@ std::string resolved_engine_name(const SimConfig& config) {
       return "full-rebuild";
     case SimEngine::kIncremental:
       return "incremental";
+    case SimEngine::kTiled:
+      return "tiled";
     case SimEngine::kAuto:
       break;
   }

@@ -43,6 +43,12 @@ namespace pacds {
     const std::vector<double>& levels, double quantum,
     std::vector<double>& scratch);
 
+/// Resolves SimConfig::threads into an intra-interval pool. `threads` counts
+/// lanes *including* the calling thread (the caller always participates in
+/// sharded passes), so N lanes need a pool of N - 1 workers; 0 means one
+/// lane per hardware thread; 1 — and anything negative — stays serial.
+void make_interval_pool(int threads, std::optional<ThreadPool>& pool);
+
 /// Set sizes the simulator accumulates per interval.
 struct IntervalCounts {
   std::size_t marked = 0;    ///< marking-process set size

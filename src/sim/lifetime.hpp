@@ -37,6 +37,12 @@ enum class SimEngine : std::uint8_t {
   /// to IncrementalCds). Throws at trial start if the configuration is not
   /// eligible.
   kIncremental,
+  /// Spatial tiling: the field is cut into tiles (side >= 2 * radius), each
+  /// interval recomputes only the tiles near a change, and per-tile dense
+  /// adjacency rows keep coverage tests word-parallel without the global
+  /// O(n²) footprint. Bit-identical to the other engines where eligible
+  /// (see tiled_engine_eligible); throws at trial start otherwise.
+  kTiled,
 };
 
 [[nodiscard]] std::string to_string(SimEngine engine);
@@ -90,6 +96,11 @@ struct SimConfig {
   /// produce bit-identical TrialResults wherever kIncremental is eligible;
   /// equivalence is asserted by tests/engine_equivalence_test.
   SimEngine engine = SimEngine::kAuto;
+
+  /// Requested tile count for SimEngine::kTiled (0 = auto: the finest grid
+  /// whose tile side stays >= 2 * radius; requests are clamped to that same
+  /// constraint). Gateways are bit-identical for every value.
+  int tiles = 0;
 
   /// Worker threads for the CDS passes *inside* one interval (marking +
   /// simultaneous rule passes, sharded deterministically — gateway sets are

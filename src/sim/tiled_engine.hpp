@@ -1,0 +1,99 @@
+#pragma once
+// The tiled lifetime engine: spatial tiles (core/tiles.hpp) over a
+// persistent CSR graph. Each interval it
+//
+//   1. extracts the edge delta exactly like IncrementalEngine (spatial-grid
+//      re-file + sorted neighbor diff) and applies it to the global graph;
+//   2. marks dirty every tile whose rectangle intersects the 3r bounding
+//      box of a changed position or of a host whose quantized key changed —
+//      a superset of the tiles any stage decision can flip in (DESIGN.md
+//      §9, locality radii in core/tiles.hpp);
+//   3. re-files moved hosts between tile owned-lists;
+//   4. runs the three simultaneous stages over the dirty tiles: each stage
+//      computes every dirty tile's owned decisions in parallel against the
+//      frozen global stage input (per-tile dense rows, built once per dirty
+//      tile per interval), then a serial scatter commits them into the
+//      global stage bitset before the next stage reads it. Clean tiles keep
+//      their bits, which the locality argument proves unchanged.
+//
+// The result is bit-identical to the flat engines for every tile count and
+// thread count wherever tiled_engine_eligible holds; peak memory is
+// O(n + m + Σ_dirty L_t²/64) instead of the global-dense O(n²/64).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "core/tiles.hpp"
+#include "net/udg.hpp"
+#include "sim/engine.hpp"
+
+namespace pacds {
+
+class TiledEngine final : public LifetimeEngine {
+ public:
+  /// Throws std::invalid_argument when !tiled_engine_eligible(config).
+  explicit TiledEngine(const SimConfig& config);
+
+  void update(const std::vector<Vec2>& positions,
+              const std::vector<double>& levels) override;
+  [[nodiscard]] const DynBitset& gateways() const override {
+    return gateways_;
+  }
+  [[nodiscard]] const Graph* graph() const override {
+    return graph_ ? &*graph_ : nullptr;
+  }
+  [[nodiscard]] IntervalCounts counts() const override {
+    return {marked_.count(), gateways_.count()};
+  }
+  /// Owned hosts of the dirty tiles — the nodes re-evaluated this interval.
+  [[nodiscard]] std::size_t last_touched() const override {
+    return last_touched_;
+  }
+  [[nodiscard]] std::string name() const override { return "tiled"; }
+
+ private:
+  void initialize(const std::vector<Vec2>& positions);
+  /// Mover detection + grid re-file + sorted neighbor diff (mirrors
+  /// IncrementalEngine::extract_delta), plus tile re-files and 3r dirty
+  /// marking around every mover's old and new position.
+  void extract_delta(const std::vector<Vec2>& positions);
+  void run_stages(const std::vector<double>& keys);
+
+  SimConfig config_;
+  std::vector<Vec2> prev_positions_;
+  std::optional<SpatialGrid> grid_;
+  std::optional<ThreadPool> pool_;
+  std::optional<Graph> graph_;
+
+  TileGrid tiles_;
+  std::vector<TileLocal> tile_local_;
+  std::vector<TileLaneScratch> lane_scratch_;
+
+  // Global stage state (same staging as IncrementalCds).
+  DynBitset marked_;       ///< marking-process output
+  DynBitset after_rule1_;  ///< after the simultaneous Rule 1 pass
+  DynBitset final_;        ///< after the simultaneous Rule 2 pass
+  DynBitset gateways_;     ///< final_ (clique policy kNone by eligibility)
+
+  DynBitset dirty_tiles_;  ///< one bit per tile
+  std::vector<int> dirty_list_;
+  std::size_t last_touched_ = 0;
+
+  // Steady-state scratch — reused, never reallocated after warm-up.
+  EdgeDelta delta_;
+  std::vector<NodeId> movers_;
+  std::vector<NodeId> nbrs_;
+  DynBitset moved_;
+  std::vector<double> prev_keys_;
+  std::vector<double> key_scratch_;
+};
+
+/// True iff TiledEngine provably reproduces the full rebuild for this
+/// configuration: everything incremental_engine_eligible requires, plus no
+/// clique policy (electing a per-component maximum is a component-global
+/// decision, which tiles cannot evaluate locally).
+[[nodiscard]] bool tiled_engine_eligible(const SimConfig& config);
+
+}  // namespace pacds

@@ -51,6 +51,29 @@ class ModelGraph {
     }
     return out;
   }
+  /// N[v] ⊆ N[u], straight from the matrix.
+  [[nodiscard]] bool closed_covered_by(NodeId v, NodeId u) const {
+    for (NodeId x = 0; x < n_; ++x) {
+      const bool in_nv = x == v || has_edge(v, x);
+      const bool in_nu = x == u || has_edge(u, x);
+      if (in_nv && !in_nu) return false;
+    }
+    return true;
+  }
+  /// N(v) ⊆ N[u].
+  [[nodiscard]] bool open_covered_by_closed(NodeId v, NodeId u) const {
+    for (NodeId x = 0; x < n_; ++x) {
+      if (has_edge(v, x) && x != u && !has_edge(u, x)) return false;
+    }
+    return true;
+  }
+  /// N(v) ⊆ N(u) ∪ N(w).
+  [[nodiscard]] bool open_covered_by_pair(NodeId v, NodeId u, NodeId w) const {
+    for (NodeId x = 0; x < n_; ++x) {
+      if (has_edge(v, x) && !has_edge(u, x) && !has_edge(w, x)) return false;
+    }
+    return true;
+  }
 
  private:
   char& at(NodeId u, NodeId v) {
@@ -78,9 +101,16 @@ void expect_equivalent(const Graph& g, const ModelGraph& model, NodeId n) {
     for (NodeId u = 0; u < n; ++u) {
       ASSERT_EQ(g.has_edge(v, u), model.has_edge(v, u))
           << v << "-" << u;
-      ASSERT_EQ(g.open_row(v).test(static_cast<std::size_t>(u)),
-                model.has_edge(v, u))
-          << "row " << v << "-" << u;
+      ASSERT_EQ(g.closed_covered_by(v, u), model.closed_covered_by(v, u))
+          << "closed coverage " << v << "-" << u;
+      ASSERT_EQ(g.open_covered_by_closed(v, u),
+                model.open_covered_by_closed(v, u))
+          << "open-closed coverage " << v << "-" << u;
+      for (NodeId w = 0; w < n; ++w) {
+        ASSERT_EQ(g.open_covered_by_pair(v, u, w),
+                  model.open_covered_by_pair(v, u, w))
+            << "pair coverage " << v << " by " << u << "," << w;
+      }
     }
   }
 }

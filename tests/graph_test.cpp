@@ -97,9 +97,9 @@ TEST(GraphTest, NeighborsSorted) {
 TEST(GraphTest, RowsMirrorAdjacency) {
   Graph g(5);
   g.add_edge(1, 3);
-  EXPECT_TRUE(g.open_row(1).test(3));
-  EXPECT_TRUE(g.open_row(3).test(1));
-  EXPECT_FALSE(g.open_row(1).test(1));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(3, 1));
+  EXPECT_FALSE(g.has_edge(1, 1));
   const DynBitset closed = g.closed_row(1);
   EXPECT_TRUE(closed.test(1));
   EXPECT_TRUE(closed.test(3));
@@ -293,8 +293,8 @@ TEST(GraphTest, Equality) {
 TEST(GraphTest, RemoveKeepsRowsCoherent) {
   Graph g = complete_graph(4);
   g.remove_edge(0, 1);
-  EXPECT_FALSE(g.open_row(0).test(1));
-  EXPECT_FALSE(g.open_row(1).test(0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
   EXPECT_EQ(g.degree(0), 2);
   EXPECT_EQ(static_cast<std::size_t>(g.neighbors(0).size()), 2u);
 }

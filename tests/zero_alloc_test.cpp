@@ -112,6 +112,30 @@ INSTANTIATE_TEST_SUITE_P(SerialAndThreaded, ZeroAllocTest,
                            return "threads" + std::to_string(info.param);
                          });
 
+TEST(ZeroAllocTest, TiledSteadyStateAllocatesNothing) {
+  // Same audit for the tiled engine: dirty-tile rebuilds run entirely in
+  // persistent TileLocal / lane-scratch buffers once warm. Serial only —
+  // the threaded path hands chunk tasks to the pool queue every interval
+  // (unlike the incremental engine, whose localized updates bypass it), and
+  // queued std::function tasks may allocate.
+  SimConfig config = steady_config(1);
+  config.engine = SimEngine::kTiled;
+  const auto engine = make_lifetime_engine(config);
+  ASSERT_EQ(engine->name(), "tiled");
+
+  Xoshiro256 rng(2001);
+  const Field field(config.field_width, config.field_height, config.boundary);
+  const auto positions = random_placement(config.n_hosts, field, rng);
+  std::vector<double> levels(static_cast<std::size_t>(config.n_hosts),
+                             config.initial_energy);
+  run_intervals(*engine, positions, levels, 10);
+
+  const std::size_t allocs = count_allocations(
+      [&] { run_intervals(*engine, positions, levels, 50); });
+  EXPECT_EQ(allocs, 0u)
+      << allocs << " allocation(s) leaked into the tiled steady state";
+}
+
 TEST_P(ZeroAllocTest, MetricsRecordingStaysAllocationFree) {
   // The observability layer must not regress the steady state: recording
   // into an attached registry is plain array arithmetic (and with no

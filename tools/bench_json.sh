@@ -19,7 +19,8 @@ MIN_TIME=${PACDS_BENCH_MIN_TIME:-0.2}
 TMP_CDS=$(mktemp)
 TMP_ENGINE=$(mktemp)
 TMP_PARALLEL=$(mktemp)
-trap 'rm -f "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL"' EXIT
+TMP_TILES=$(mktemp)
+trap 'rm -f "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL" "$TMP_TILES"' EXIT
 
 "$BIN_DIR/micro_cds" --benchmark_filter='^BM_Rule(1|2Refined)Pass/' \
   --benchmark_min_time="$MIN_TIME" --benchmark_format=json >"$TMP_CDS"
@@ -27,5 +28,10 @@ trap 'rm -f "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL"' EXIT
   --benchmark_format=json >"$TMP_ENGINE"
 "$BIN_DIR/micro_parallel" --benchmark_min_time="$MIN_TIME" \
   --benchmark_format=json >"$TMP_PARALLEL"
+# The large rows pin their own iteration counts; min_time only drives the
+# n = 10k rows.
+"$BIN_DIR/micro_tiles" --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$TMP_TILES"
 
-"$BIN_DIR/bench_report" "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL" "$OUT"
+"$BIN_DIR/bench_report" "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL" \
+  "$TMP_TILES" "$OUT"
