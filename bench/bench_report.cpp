@@ -5,8 +5,14 @@
 // tools/bench_json.sh used to carry.
 //
 // usage: bench_report <micro_cds.json> <micro_engine.json>
-//                     <micro_parallel.json> <micro_tiles.json> <output.json>
+//                     <micro_parallel.json> <micro_tiles.json>
+//                     <micro_simd.json> <output.json>
 //        bench_report --validate-jsonl <metrics.jsonl | ->
+//
+// Regeneration is honest about coverage: a speedup row whose input rows are
+// missing warns on stderr instead of silently disappearing, and any key the
+// previous file carried that the fresh inputs no longer produce is reported
+// as stale (nothing is carried forward except the "baseline" section).
 //
 // The output's "baseline" section, when present in an existing output file,
 // is preserved verbatim so before/after comparisons survive regeneration.
@@ -28,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/simd.hpp"
 #include "io/json.hpp"
 #include "io/json_parse.hpp"
 #include "obs/validate.hpp"
@@ -101,8 +108,36 @@ void write_table(JsonWriter& json, const NsPerOp& table) {
 
 void write_speedup(JsonWriter& json, const std::string& key, double numer,
                    double denom) {
-  if (numer <= 0.0 || denom <= 0.0) return;
+  if (numer <= 0.0 || denom <= 0.0) {
+    std::cerr << "warning: speedup row '" << key
+              << "' skipped (missing input rows)\n";
+    return;
+  }
   json.key(key).value(std::round(numer / denom * 100.0) / 100.0);
+}
+
+/// Reports keys the previous file carried in `section` that the fresh run
+/// no longer produces — a stale row would otherwise vanish without notice.
+void warn_stale(const JsonValue& previous, const std::string& section,
+                const NsPerOp& fresh) {
+  const JsonValue* old_table = previous.find(section);
+  if (old_table == nullptr || !old_table->is_object()) return;
+  for (const auto& [key, value] : old_table->as_object()) {
+    (void)value;
+    bool found = false;
+    for (const auto& [name, ns] : fresh) {
+      (void)ns;
+      if (name == key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "warning: " << section << " key '" << key
+                << "' from the previous report has no fresh measurement "
+                   "(dropped, not carried forward)\n";
+    }
+  }
 }
 
 /// Schema-envelope check of one metrics JSONL stream ("-" = stdin).
@@ -142,9 +177,9 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::string(argv[1]) == "--validate-jsonl") {
     return validate_jsonl(argv[2]);
   }
-  if (argc != 6) {
+  if (argc != 7) {
     std::cerr << "usage: bench_report <cds.json> <engine.json> "
-                 "<parallel.json> <tiles.json> <output.json>\n"
+                 "<parallel.json> <tiles.json> <simd.json> <output.json>\n"
                  "       bench_report --validate-jsonl <metrics.jsonl | ->\n";
     return 2;
   }
@@ -153,15 +188,23 @@ int main(int argc, char** argv) {
     const NsPerOp engine = ns_per_op(argv[2]);
     const NsPerOp parallel = ns_per_op(argv[3]);
     const NsPerOp tiles = ns_per_op(argv[4]);
-    const std::string out_path = argv[5];
+    const NsPerOp simd_pass = ns_per_op(argv[5]);
+    const std::string out_path = argv[6];
 
-    // Preserve the previous baseline section, if the file parses.
+    // Preserve the previous baseline section, if the file parses, and
+    // diff the previous tables against the fresh measurements so rows that
+    // stop being produced are reported rather than silently dropped.
     JsonValue baseline{pacds::JsonObject{}};
     try {
       const JsonValue previous = parse_json(read_file(out_path));
       if (const JsonValue* section = previous.find("baseline")) {
         baseline = *section;
       }
+      warn_stale(previous, "rule_pass_ns", rule_pass);
+      warn_stale(previous, "engine_interval_ns", engine);
+      warn_stale(previous, "parallel_interval_ns", parallel);
+      warn_stale(previous, "tiles_interval_ns", tiles);
+      warn_stale(previous, "simd_rule_pass_ns", simd_pass);
     } catch (const std::exception&) {
       // First generation or unreadable previous file: empty baseline.
     }
@@ -193,6 +236,14 @@ int main(int argc, char** argv) {
     // where running it is affordable (the speedup_tiles_* keys below).
     json.key("tiles_interval_ns");
     write_table(json, tiles);
+    // Rule passes per simd dispatch level (micro_simd):
+    // BM_Rule{1,2Refined}PassSimd/<level>/<n>. simd_dispatch records the
+    // level this host resolved at measurement time; the speedup_simd_*
+    // rows below divide the scalar row by the best-level row.
+    json.key("simd_rule_pass_ns");
+    write_table(json, simd_pass);
+    json.key("simd_dispatch")
+        .value(pacds::simd::to_string(pacds::simd::active_level()));
     json.key("host_cpus")
         .value(static_cast<int>(std::thread::hardware_concurrency()));
     for (const int stay : {98, 95}) {
@@ -207,6 +258,20 @@ int main(int argc, char** argv) {
       write_speedup(json, "speedup_threads8_n" + std::to_string(n),
                     lookup(parallel, stem + "/1"),
                     lookup(parallel, stem + "/8"));
+    }
+    // Scalar vs the host's best vector level on the same instance; only
+    // meaningful (and only emitted) when a vector level exists.
+    if (pacds::simd::detect_best() != pacds::simd::Level::kScalar) {
+      const std::string best = pacds::simd::to_string(pacds::simd::detect_best());
+      for (const int n : {100, 400}) {
+        const std::string arg = "/" + std::to_string(n);
+        write_speedup(json, "speedup_simd_rule1_n" + std::to_string(n),
+                      lookup(simd_pass, "BM_Rule1PassSimd/scalar" + arg),
+                      lookup(simd_pass, "BM_Rule1PassSimd/" + best + arg));
+        write_speedup(json, "speedup_simd_rule2_n" + std::to_string(n),
+                      lookup(simd_pass, "BM_Rule2RefinedPassSimd/scalar" + arg),
+                      lookup(simd_pass, "BM_Rule2RefinedPassSimd/" + best + arg));
+      }
     }
     // Tiled vs both flat engines at matched n and stay probability (950 and
     // 999 per-mille — see micro_tiles.cpp for why both regimes matter).

@@ -1,0 +1,86 @@
+// Rule-pass microbenchmarks swept across the simd dispatch levels the host
+// supports: the same constant-density instances as micro_cds, each pass run
+// once per level via simd::set_level. bench_report divides the scalar row
+// by the best-level row to produce the speedup_simd_* entries, so names
+// embed the level: BM_Rule2RefinedPassSimd/<level>/<n>.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/cds.hpp"
+#include "core/simd.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace pacds;
+
+struct Instance {
+  Graph graph;
+  DynBitset marked;
+};
+
+/// Constant-density random unit-disk network with ~12 expected neighbors
+/// (same construction as micro_cds so rows are comparable across binaries).
+Instance make_instance(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const double side = std::sqrt(static_cast<double>(n) / 50.0) * 100.0;
+  const Field field(side, side);
+  Instance inst;
+  inst.graph = build_udg(random_placement(n, field, rng), kPaperRadius);
+  inst.marked = marking_process(inst.graph);
+  return inst;
+}
+
+void rule1_pass_at(benchmark::State& state, simd::Level level) {
+  const auto inst = make_instance(static_cast<int>(state.range(0)), 2);
+  const PriorityKey key(KeyKind::kId, inst.graph);
+  simd::set_level(level);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simultaneous_rule1_pass(inst.graph, key,
+                                                     inst.marked));
+  }
+  simd::set_level(simd::detect_best());
+}
+
+void rule2_pass_at(benchmark::State& state, simd::Level level) {
+  const auto inst = make_instance(static_cast<int>(state.range(0)), 3);
+  const PriorityKey key(KeyKind::kDegreeId, inst.graph);
+  simd::set_level(level);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simultaneous_rule2_pass(
+        inst.graph, key, Rule2Form::kRefined, inst.marked));
+  }
+  simd::set_level(simd::detect_best());
+}
+
+void register_levels() {
+  for (const simd::Level level : simd::available_levels()) {
+    const std::string name = simd::to_string(level);
+    benchmark::RegisterBenchmark(
+        ("BM_Rule1PassSimd/" + name).c_str(),
+        [level](benchmark::State& state) { rule1_pass_at(state, level); })
+        ->Arg(100)
+        ->Arg(400);
+    benchmark::RegisterBenchmark(
+        ("BM_Rule2RefinedPassSimd/" + name).c_str(),
+        [level](benchmark::State& state) { rule2_pass_at(state, level); })
+        ->Arg(100)
+        ->Arg(400);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_levels();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/simd.hpp"
+
 namespace pacds {
 
 namespace {
@@ -51,24 +53,17 @@ bool DynBitset::test(std::size_t i) const {
 }
 
 std::size_t DynBitset::count() const noexcept {
-  std::size_t total = 0;
-  for (const Word w : words_) total += static_cast<std::size_t>(std::popcount(w));
-  return total;
+  return simd::active().popcount(words_.data(), words_.size());
 }
 
 bool DynBitset::none() const noexcept {
-  for (const Word w : words_) {
-    if (w != 0) return false;
-  }
-  return true;
+  return simd::active().is_zero(words_.data(), words_.size());
 }
 
 bool DynBitset::is_subset_of(const DynBitset& other) const {
   check_same_size(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  }
-  return true;
+  return simd::active().is_subset(words_.data(), other.words_.data(),
+                                  words_.size());
 }
 
 bool DynBitset::is_subset_of_except(const DynBitset& other,
@@ -79,55 +74,49 @@ bool DynBitset::is_subset_of_except(const DynBitset& other,
                             std::to_string(ignore) + " >= size " +
                             std::to_string(nbits_));
   }
-  const std::size_t iw = ignore / kWordBits;
-  const Word imask = Word{1} << (ignore % kWordBits);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    Word uncovered = words_[i] & ~other.words_[i];
-    if (i == iw) uncovered &= ~imask;
-    if (uncovered != 0) return false;
-  }
-  return true;
+  return simd::active().is_subset_except(
+      words_.data(), other.words_.data(), words_.size(), ignore / kWordBits,
+      Word{1} << (ignore % kWordBits));
 }
 
 bool DynBitset::is_subset_of_union(const DynBitset& a,
                                    const DynBitset& b) const {
   check_same_size(a);
   check_same_size(b);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~(a.words_[i] | b.words_[i])) != 0) return false;
-  }
-  return true;
+  return simd::active().is_subset_union(words_.data(), a.words_.data(),
+                                        b.words_.data(), words_.size());
 }
 
 bool DynBitset::intersects(const DynBitset& other) const {
   check_same_size(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  }
-  return false;
+  return simd::active().intersects(words_.data(), other.words_.data(),
+                                   words_.size());
 }
 
 DynBitset& DynBitset::operator|=(const DynBitset& other) {
   check_same_size(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  simd::active().or_inplace(words_.data(), other.words_.data(), words_.size());
   return *this;
 }
 
 DynBitset& DynBitset::operator&=(const DynBitset& other) {
   check_same_size(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::active().and_inplace(words_.data(), other.words_.data(),
+                             words_.size());
   return *this;
 }
 
 DynBitset& DynBitset::operator^=(const DynBitset& other) {
   check_same_size(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  simd::active().xor_inplace(words_.data(), other.words_.data(),
+                             words_.size());
   return *this;
 }
 
 DynBitset& DynBitset::subtract(const DynBitset& other) {
   check_same_size(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  simd::active().andnot_inplace(words_.data(), other.words_.data(),
+                                words_.size());
   return *this;
 }
 

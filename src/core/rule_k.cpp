@@ -6,7 +6,8 @@
 namespace pacds {
 
 bool rule_k_would_unmark(const Graph& g, const DynBitset& marked,
-                         const PriorityKey& key, NodeId v) {
+                         const PriorityKey& key, NodeId v,
+                         const DenseAdjacency* dense) {
   if (!marked.test(static_cast<std::size_t>(v))) return false;
   // Candidate covers: marked neighbors with strictly higher priority.
   std::vector<NodeId> cands;
@@ -31,9 +32,11 @@ bool rule_k_would_unmark(const Graph& g, const DynBitset& marked,
   };
   for (std::size_t i = 0; i < cands.size(); ++i) {
     for (std::size_t j = i + 1; j < cands.size(); ++j) {
-      if (g.has_edge(cands[i], cands[j])) {
-        parent[find(i)] = find(j);
-      }
+      const bool adjacent =
+          dense != nullptr
+              ? dense->row(cands[i]).test(static_cast<std::size_t>(cands[j]))
+              : g.has_edge(cands[i], cands[j]);
+      if (adjacent) parent[find(i)] = find(j);
     }
   }
   // Per component, union the CLOSED neighborhoods and test coverage of
@@ -44,13 +47,21 @@ bool rule_k_would_unmark(const Graph& g, const DynBitset& marked,
   for (std::size_t i = 0; i < cands.size(); ++i) {
     const std::size_t root = find(i);
     if (unions[root].size() == 0) unions[root] = DynBitset(n);
-    for (const NodeId x : g.neighbors(cands[i])) {
-      unions[root].set(static_cast<std::size_t>(x));
+    if (dense != nullptr) {
+      unions[root] |= dense->row(cands[i]);
+    } else {
+      for (const NodeId x : g.neighbors(cands[i])) {
+        unions[root].set(static_cast<std::size_t>(x));
+      }
     }
     unions[root].set(static_cast<std::size_t>(cands[i]));
   }
   for (std::size_t i = 0; i < cands.size(); ++i) {
     if (find(i) != i) continue;  // not a component root
+    if (dense != nullptr) {
+      if (dense->row(v).is_subset_of(unions[i])) return true;
+      continue;
+    }
     bool covered = true;
     for (const NodeId x : g.neighbors(v)) {
       if (!unions[i].test(static_cast<std::size_t>(x))) {
@@ -64,17 +75,29 @@ bool rule_k_would_unmark(const Graph& g, const DynBitset& marked,
 }
 
 void simultaneous_rule_k_pass_into(const Graph& g, const PriorityKey& key,
-                                   const DynBitset& marked, Executor* exec,
-                                   DynBitset& next) {
+                                   const DynBitset& marked,
+                                   const ExecContext& ctx, DynBitset& next) {
   next = marked;
+  const DenseAdjacency* dense =
+      ctx.workspace != nullptr && ctx.workspace->dense.sync(g)
+          ? &ctx.workspace->dense
+          : nullptr;
   auto body = [&](std::size_t begin, std::size_t end, std::size_t /*lane*/) {
     marked.for_each_set_in_range(begin, end, [&](std::size_t i) {
-      if (rule_k_would_unmark(g, marked, key, static_cast<NodeId>(i))) {
+      if (rule_k_would_unmark(g, marked, key, static_cast<NodeId>(i), dense)) {
         next.reset(i);
       }
     });
   };
-  run_sharded(exec, marked.size(), DynBitset::kWordBits, body);
+  run_sharded(ctx.executor, marked.size(), DynBitset::kWordBits, body);
+}
+
+void simultaneous_rule_k_pass_into(const Graph& g, const PriorityKey& key,
+                                   const DynBitset& marked, Executor* exec,
+                                   DynBitset& next) {
+  ExecContext ctx;
+  ctx.executor = exec;
+  simultaneous_rule_k_pass_into(g, key, marked, ctx, next);
 }
 
 DynBitset simultaneous_rule_k_pass(const Graph& g, const PriorityKey& key,
@@ -94,7 +117,9 @@ void apply_rule_k(const Graph& g, const PriorityKey& key, Strategy strategy,
       // algorithm.
       CdsWorkspace local;
       CdsWorkspace& ws = ctx.workspace != nullptr ? *ctx.workspace : local;
-      simultaneous_rule_k_pass_into(g, key, marked, ctx.executor, ws.stage);
+      ExecContext pass_ctx = ctx;
+      pass_ctx.workspace = &ws;
+      simultaneous_rule_k_pass_into(g, key, marked, pass_ctx, ws.stage);
       std::swap(marked, ws.stage);
       return;
     }

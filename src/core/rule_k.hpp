@@ -24,9 +24,12 @@ namespace pacds {
 /// marked neighbors. Checks each connected component of the induced
 /// subgraph on {u ∈ N(v) : marked(u), key(v) < key(u)} — taking a whole
 /// component is the maximal connected candidate, so no subset search is
-/// needed.
+/// needed. With `dense` rows available the component unions and the
+/// coverage test run word-parallel through the simd kernel layer instead
+/// of per-bit; decisions are identical.
 [[nodiscard]] bool rule_k_would_unmark(const Graph& g, const DynBitset& marked,
-                                       const PriorityKey& key, NodeId v);
+                                       const PriorityKey& key, NodeId v,
+                                       const DenseAdjacency* dense = nullptr);
 
 /// One synchronous Rule-k pass (decisions against `marked`, committed
 /// together). Safe by the priority argument above.
@@ -35,8 +38,12 @@ namespace pacds {
                                                  const DynBitset& marked);
 
 /// Sharded/in-place variant: decisions are evaluated against the frozen
-/// input and committed into `next`, node range split across `exec` when
-/// non-null — bit-identical to the serial pass for any thread count.
+/// input and committed into `next`, node range split across the context's
+/// executor when non-null — bit-identical to the serial pass for any thread
+/// count. The context's workspace supplies the dense-row fast path.
+void simultaneous_rule_k_pass_into(const Graph& g, const PriorityKey& key,
+                                   const DynBitset& marked,
+                                   const ExecContext& ctx, DynBitset& next);
 void simultaneous_rule_k_pass_into(const Graph& g, const PriorityKey& key,
                                    const DynBitset& marked, Executor* exec,
                                    DynBitset& next);

@@ -50,60 +50,33 @@ void marked_neighbors(const Graph& g, const DynBitset& marked, NodeId v,
   }
 }
 
+/// Dense-row variant: N(v) ∧ marked word by word, iterating set bits. Same
+/// candidate SET as marked_neighbors, in ascending id order — the pair
+/// decision is existential over unordered pairs, so order is immaterial.
+void marked_neighbors_dense(const DynBitset& row, const DynBitset& marked,
+                            std::vector<NodeId>& out) {
+  out.clear();
+  const auto& rw = row.words();
+  const auto& mw = marked.words();
+  const std::size_t n = std::min(rw.size(), mw.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    simd::Word w = rw[i] & mw[i];
+    while (w != 0) {
+      out.push_back(static_cast<NodeId>(
+          i * 64 + static_cast<std::size_t>(std::countr_zero(w))));
+      w &= w - 1;
+    }
+  }
+}
+
 // ---- Dense fast path -----------------------------------------------------
 // With cached DynBitset rows available (DenseAdjacency, small n), the pair
-// loop hoists the residual rem = N(v) \ N(u) out of the inner loop: v is
-// covered by {u, w} iff rem ⊆ N(w), testable over only rem's nonzero word
-// range after a popcount-vs-degree(w) gate. On unit-disk instances most
-// candidate pairs die on the gate or the first residual word.
-
-using Word = DynBitset::Word;
-
-/// One lazily-built residual N(a) \ N(b) with its nonzero word range and
-/// popcount; the backing buffer is a reusable workspace lane vector.
-class Residual {
- public:
-  explicit Residual(std::vector<Word>& buf) : buf_(buf) {}
-
-  void build(const DynBitset& a, const DynBitset& b) {
-    const auto wa = a.words();
-    const auto wb = b.words();
-    buf_.resize(wa.size());
-    lo_ = wa.size();
-    hi_ = 0;
-    pop_ = 0;
-    for (std::size_t k = 0; k < wa.size(); ++k) {
-      const Word w = wa[k] & ~wb[k];
-      buf_[k] = w;
-      if (w != 0) {
-        if (pop_ == 0) lo_ = k;
-        hi_ = k;
-        pop_ += static_cast<std::size_t>(std::popcount(w));
-      }
-    }
-    built_ = true;
-  }
-
-  [[nodiscard]] bool built() const { return built_; }
-  [[nodiscard]] std::size_t pop() const { return pop_; }
-
-  /// Is the residual contained in `s`? Scans only the nonzero word range.
-  [[nodiscard]] bool subset_of(const DynBitset& s) const {
-    if (pop_ == 0) return true;
-    const auto ws = s.words();
-    for (std::size_t k = lo_; k <= hi_; ++k) {
-      if ((buf_[k] & ~ws[k]) != 0) return false;
-    }
-    return true;
-  }
-
- private:
-  std::vector<Word>& buf_;
-  std::size_t lo_ = 0;
-  std::size_t hi_ = 0;
-  std::size_t pop_ = 0;
-  bool built_ = false;
-};
+// loop runs through the blocked engine (rule2_blocked.hpp): residuals
+// N(v) \ N(u) are built once per candidate in L1-sized blocks and every
+// coverage row is streamed once per block instead of once per pair, with
+// all word traffic going through the simd kernel layer. On unit-disk
+// instances most candidate pairs still die on the popcount-vs-degree gate
+// or the first residual word.
 
 /// Dense-row twin of rule1_would_unmark (v already known marked). With
 /// u ∈ N(v), N[v] ⊆ N[u] reduces to N(v) \ {u} ⊆ N(u).
@@ -121,39 +94,48 @@ bool rule1_dense_would_unmark(const Graph& g, const DenseAdjacency& dense,
   return false;
 }
 
+/// Blocked-engine geometry over the dense full-graph rows: candidates are
+/// the marked neighbors of v (global ids in `scratch`).
+struct DenseRule2Env {
+  const Graph& g;
+  const DenseAdjacency& dense;
+  const PriorityKey& key;
+  NodeId v;
+  const std::vector<NodeId>& cands;
+
+  [[nodiscard]] const simd::Word* vrow() const {
+    return dense.row(v).words().data();
+  }
+  [[nodiscard]] const simd::Word* row(std::size_t i) const {
+    return dense.row(cands[i]).words().data();
+  }
+  [[nodiscard]] std::size_t degree(std::size_t i) const {
+    return static_cast<std::size_t>(g.degree(cands[i]));
+  }
+  [[nodiscard]] bool min3(std::size_t i, std::size_t j) const {
+    return key.is_min_of_three(v, cands[i], cands[j]);
+  }
+  [[nodiscard]] bool refined_cases(std::size_t i, std::size_t j, bool cov_u,
+                                   bool cov_w) const {
+    return rule2_refined_cases(key, v, cands[i], cands[j], cov_u, cov_w);
+  }
+};
+
 /// Dense-row twin of rule2_{simple,refined}_would_unmark (v already known
-/// marked). Decision-identical to the merge-based predicates: same pair
-/// order, same coverage tests, same refined case analysis.
+/// marked). Decision-identical to the merge-based predicates: the pair
+/// decision is existential, and each pair sees the same coverage tests and
+/// refined case analysis.
 bool rule2_dense_would_unmark(const Graph& g, const DenseAdjacency& dense,
                               const DynBitset& marked, const PriorityKey& key,
                               Rule2Form form, NodeId v,
                               std::vector<NodeId>& scratch,
                               CdsWorkspace::Rule2Lane& lane) {
-  marked_neighbors(g, marked, v, scratch);
+  marked_neighbors_dense(dense.row(v), marked, scratch);
   if (scratch.size() < 2) return false;
-  const DynBitset& rv = dense.row(v);
-  for (std::size_t i = 0; i < scratch.size(); ++i) {
-    const NodeId u = scratch[i];
-    const DynBitset& ru = dense.row(u);
-    Residual rem(lane.rem);    // N(v) \ N(u), shared by every w of this u
-    Residual rem2(lane.rem2);  // N(u) \ N(v), refined coverage of u
-    for (std::size_t j = i + 1; j < scratch.size(); ++j) {
-      const NodeId w = scratch[j];
-      if (form == Rule2Form::kSimple && !key.is_min_of_three(v, u, w)) {
-        continue;
-      }
-      if (!rem.built()) rem.build(rv, ru);
-      const auto degw = static_cast<std::size_t>(g.degree(w));
-      if (rem.pop() > degw) continue;              // can't fit inside N(w)
-      if (!rem.subset_of(dense.row(w))) continue;  // v not covered by {u,w}
-      if (form == Rule2Form::kSimple) return true;
-      if (!rem2.built()) rem2.build(ru, rv);
-      const bool cov_u = rem2.pop() <= degw && rem2.subset_of(dense.row(w));
-      const bool cov_w = dense.row(w).is_subset_of_union(ru, rv);
-      if (rule2_refined_cases(key, v, u, w, cov_u, cov_w)) return true;
-    }
-  }
-  return false;
+  const DenseRule2Env env{g, dense, key, v, scratch};
+  return rule2_blocked_fires(env, scratch.size(),
+                             dense.row(v).words().size(),
+                             form == Rule2Form::kSimple, lane);
 }
 
 /// Syncs the workspace dense cache against `g` and returns it when usable.
@@ -287,17 +269,35 @@ void simultaneous_rule2_pass_into(const Graph& g, const PriorityKey& key,
   run_sharded(ctx.executor, marked.size(), DynBitset::kWordBits, body);
 }
 
+namespace {
+
+/// Workspace for the convenience (context-free) pass entry points. Without
+/// it every call would rebuild the version-keyed dense row cache from
+/// scratch, defeating its "repeated passes over an unchanged graph pay the
+/// build exactly once" contract; a thread-local keeps the wrappers pure
+/// while letting back-to-back passes hit the cache.
+CdsWorkspace& convenience_workspace() {
+  static thread_local CdsWorkspace ws;
+  return ws;
+}
+
+}  // namespace
+
 DynBitset simultaneous_rule1_pass(const Graph& g, const PriorityKey& key,
                                   const DynBitset& marked) {
   DynBitset next;
-  simultaneous_rule1_pass_into(g, key, marked, nullptr, next);
+  ExecContext ctx;
+  ctx.workspace = &convenience_workspace();
+  simultaneous_rule1_pass_into(g, key, marked, ctx, next);
   return next;
 }
 
 DynBitset simultaneous_rule2_pass(const Graph& g, const PriorityKey& key,
                                   Rule2Form form, const DynBitset& marked) {
   DynBitset next;
-  simultaneous_rule2_pass_into(g, key, form, marked, ExecContext{}, next);
+  ExecContext ctx;
+  ctx.workspace = &convenience_workspace();
+  simultaneous_rule2_pass_into(g, key, form, marked, ctx, next);
   return next;
 }
 

@@ -1,0 +1,842 @@
+#include "core/simd.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PACDS_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define PACDS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace pacds::simd {
+
+namespace {
+
+// ---- Scalar fallback -----------------------------------------------------
+// The reference semantics every other level must match bit for bit. All
+// loops tolerate nwords == 0 with null pointers (they never dereference).
+
+void scalar_or(Word* dst, const Word* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+void scalar_and(Word* dst, const Word* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+void scalar_andnot(Word* dst, const Word* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+void scalar_xor(Word* dst, const Word* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+bool scalar_is_subset(const Word* a, const Word* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+bool scalar_is_subset_except(const Word* a, const Word* b, std::size_t n,
+                             std::size_t iw, Word imask) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Word uncovered = a[i] & ~b[i];
+    if (i == iw) uncovered &= ~imask;
+    if (uncovered != 0) return false;
+  }
+  return true;
+}
+bool scalar_is_subset_union(const Word* a, const Word* b, const Word* c,
+                            std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((a[i] & ~(b[i] | c[i])) != 0) return false;
+  }
+  return true;
+}
+bool scalar_intersects(const Word* a, const Word* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+std::size_t scalar_popcount(const Word* a, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i]));
+  }
+  return total;
+}
+bool scalar_is_zero(const Word* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != 0) return false;
+  }
+  return true;
+}
+std::size_t scalar_andnot_into(Word* dst, const Word* a, const Word* b,
+                               std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Word w = a[i] & ~b[i];
+    dst[i] = w;
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+std::size_t scalar_first_uncovered(const Word* a, const Word* b,
+                                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return i;
+  }
+  return n;
+}
+std::uint64_t scalar_subset_rows(const Word* rows, std::size_t nrows,
+                                 std::size_t n, const Word* b) {
+  std::uint64_t out = 0;
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const Word* a = rows + r * n;
+    std::size_t i = 0;
+    while (i < n && (a[i] & ~b[i]) == 0) ++i;
+    if (i == n) out |= std::uint64_t{1} << r;
+  }
+  return out;
+}
+
+constexpr Kernels kScalarKernels = {
+    Level::kScalar,       scalar_or,
+    scalar_and,           scalar_andnot,
+    scalar_xor,           scalar_is_subset,
+    scalar_is_subset_except, scalar_is_subset_union,
+    scalar_intersects,    scalar_popcount,
+    scalar_is_zero,       scalar_andnot_into,
+    scalar_first_uncovered, scalar_subset_rows};
+
+#if defined(PACDS_SIMD_X86)
+
+// ---- AVX2 (4 words per step) --------------------------------------------
+// Compiled with per-function target attributes so the default build (no
+// -mavx2) still carries the path; CPUID gates execution. Predicate kernels
+// lean on VPTEST: testc(b, a) sets CF iff (~b & a) == 0, which is exactly
+// the word-chunk subset test, and testz(a, b) sets ZF iff (a & b) == 0.
+
+#define PACDS_TARGET_AVX2 __attribute__((target("avx2,popcnt")))
+
+PACDS_TARGET_AVX2 inline __m256i load256(const Word* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+PACDS_TARGET_AVX2 inline void store256(Word* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+PACDS_TARGET_AVX2 void avx2_or(Word* dst, const Word* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    store256(dst + i, _mm256_or_si256(load256(dst + i), load256(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+PACDS_TARGET_AVX2 void avx2_and(Word* dst, const Word* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    store256(dst + i, _mm256_and_si256(load256(dst + i), load256(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+PACDS_TARGET_AVX2 void avx2_andnot(Word* dst, const Word* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // andnot(x, y) = ~x & y.
+    store256(dst + i, _mm256_andnot_si256(load256(src + i), load256(dst + i)));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+PACDS_TARGET_AVX2 void avx2_xor(Word* dst, const Word* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    store256(dst + i, _mm256_xor_si256(load256(dst + i), load256(src + i)));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+PACDS_TARGET_AVX2 bool avx2_is_subset(const Word* a, const Word* b,
+                                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (_mm256_testc_si256(load256(b + i), load256(a + i)) == 0) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+PACDS_TARGET_AVX2 bool avx2_is_subset_except(const Word* a, const Word* b,
+                                             std::size_t n, std::size_t iw,
+                                             Word imask) {
+  // The excused word is checked scalar; the vector loop skips the chunk
+  // holding it and handles that chunk wordwise.
+  if (iw < n && (a[iw] & ~b[iw] & ~imask) != 0) return false;
+  const std::size_t chunk = iw / 4 * 4;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (i == chunk) {
+      for (std::size_t j = i; j < i + 4; ++j) {
+        if (j != iw && (a[j] & ~b[j]) != 0) return false;
+      }
+      continue;
+    }
+    if (_mm256_testc_si256(load256(b + i), load256(a + i)) == 0) return false;
+  }
+  for (; i < n; ++i) {
+    if (i != iw && (a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+PACDS_TARGET_AVX2 bool avx2_is_subset_union(const Word* a, const Word* b,
+                                            const Word* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i cover = _mm256_or_si256(load256(b + i), load256(c + i));
+    if (_mm256_testc_si256(cover, load256(a + i)) == 0) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~(b[i] | c[i])) != 0) return false;
+  }
+  return true;
+}
+PACDS_TARGET_AVX2 bool avx2_intersects(const Word* a, const Word* b,
+                                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (_mm256_testz_si256(load256(a + i), load256(b + i)) == 0) return true;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+PACDS_TARGET_AVX2 std::size_t avx2_popcount(const Word* a, std::size_t n) {
+  // Hardware POPCNT on the word stream beats nibble-LUT shuffles at the
+  // row sizes the pipeline uses (<= 64 words); one count per cycle.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+  }
+  return total;
+}
+PACDS_TARGET_AVX2 bool avx2_is_zero(const Word* a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = load256(a + i);
+    if (_mm256_testz_si256(v, v) == 0) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != 0) return false;
+  }
+  return true;
+}
+PACDS_TARGET_AVX2 std::size_t avx2_andnot_into(Word* dst, const Word* a,
+                                               const Word* b, std::size_t n) {
+  std::size_t i = 0;
+  std::size_t total = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i w = _mm256_andnot_si256(load256(b + i), load256(a + i));
+    store256(dst + i, w);
+    total += static_cast<std::size_t>(__builtin_popcountll(dst[i]));
+    total += static_cast<std::size_t>(__builtin_popcountll(dst[i + 1]));
+    total += static_cast<std::size_t>(__builtin_popcountll(dst[i + 2]));
+    total += static_cast<std::size_t>(__builtin_popcountll(dst[i + 3]));
+  }
+  for (; i < n; ++i) {
+    const Word w = a[i] & ~b[i];
+    dst[i] = w;
+    total += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+PACDS_TARGET_AVX2 std::size_t avx2_first_uncovered(const Word* a,
+                                                   const Word* b,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (_mm256_testc_si256(load256(b + i), load256(a + i)) == 0) {
+      for (std::size_t j = i;; ++j) {
+        if ((a[j] & ~b[j]) != 0) return j;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return i;
+  }
+  return n;
+}
+
+PACDS_TARGET_AVX2 std::uint64_t avx2_subset_rows(const Word* rows,
+                                                 std::size_t nrows,
+                                                 std::size_t n,
+                                                 const Word* b) {
+  std::uint64_t out = 0;
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const Word* a = rows + r * n;
+    std::size_t i = 0;
+    bool covered = true;
+    for (; i + 4 <= n; i += 4) {
+      if (_mm256_testc_si256(load256(b + i), load256(a + i)) == 0) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) {
+      for (; i < n; ++i) {
+        if ((a[i] & ~b[i]) != 0) {
+          covered = false;
+          break;
+        }
+      }
+    }
+    if (covered) out |= std::uint64_t{1} << r;
+  }
+  return out;
+}
+
+constexpr Kernels kAvx2Kernels = {
+    Level::kAvx2,          avx2_or,
+    avx2_and,              avx2_andnot,
+    avx2_xor,              avx2_is_subset,
+    avx2_is_subset_except, avx2_is_subset_union,
+    avx2_intersects,       avx2_popcount,
+    avx2_is_zero,          avx2_andnot_into,
+    avx2_first_uncovered,  avx2_subset_rows};
+
+// ---- AVX-512 (8 words per step) -----------------------------------------
+// VPTERNLOGQ fuses a & ~(b | c) into one op; VPTESTMQ yields the per-word
+// nonzero mask the predicates branch on.
+
+#define PACDS_TARGET_AVX512 __attribute__((target("avx512f,avx512bw,popcnt")))
+
+PACDS_TARGET_AVX512 inline __m512i load512(const Word* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+PACDS_TARGET_AVX512 inline void store512(Word* p, __m512i v) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+}
+
+PACDS_TARGET_AVX512 void avx512_or(Word* dst, const Word* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store512(dst + i, _mm512_or_si512(load512(dst + i), load512(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+PACDS_TARGET_AVX512 void avx512_and(Word* dst, const Word* src,
+                                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store512(dst + i, _mm512_and_si512(load512(dst + i), load512(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+PACDS_TARGET_AVX512 void avx512_andnot(Word* dst, const Word* src,
+                                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store512(dst + i,
+             _mm512_andnot_epi64(load512(src + i), load512(dst + i)));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+PACDS_TARGET_AVX512 void avx512_xor(Word* dst, const Word* src,
+                                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store512(dst + i, _mm512_xor_si512(load512(dst + i), load512(src + i)));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+PACDS_TARGET_AVX512 bool avx512_is_subset(const Word* a, const Word* b,
+                                          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i uncovered =
+        _mm512_andnot_epi64(load512(b + i), load512(a + i));
+    if (_mm512_test_epi64_mask(uncovered, uncovered) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+PACDS_TARGET_AVX512 bool avx512_is_subset_except(const Word* a, const Word* b,
+                                                 std::size_t n, std::size_t iw,
+                                                 Word imask) {
+  if (iw < n && (a[iw] & ~b[iw] & ~imask) != 0) return false;
+  const std::size_t chunk = iw / 8 * 8;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    if (i == chunk) {
+      for (std::size_t j = i; j < i + 8; ++j) {
+        if (j != iw && (a[j] & ~b[j]) != 0) return false;
+      }
+      continue;
+    }
+    const __m512i uncovered =
+        _mm512_andnot_epi64(load512(b + i), load512(a + i));
+    if (_mm512_test_epi64_mask(uncovered, uncovered) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if (i != iw && (a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+PACDS_TARGET_AVX512 bool avx512_is_subset_union(const Word* a, const Word* b,
+                                                const Word* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // imm 0x10: output 1 only where a=1, b=0, c=0, i.e. a & ~(b | c).
+    const __m512i uncovered = _mm512_ternarylogic_epi64(
+        load512(a + i), load512(b + i), load512(c + i), 0x10);
+    if (_mm512_test_epi64_mask(uncovered, uncovered) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~(b[i] | c[i])) != 0) return false;
+  }
+  return true;
+}
+PACDS_TARGET_AVX512 bool avx512_intersects(const Word* a, const Word* b,
+                                           std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    if (_mm512_test_epi64_mask(load512(a + i), load512(b + i)) != 0) {
+      return true;
+    }
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+PACDS_TARGET_AVX512 std::size_t avx512_popcount(const Word* a, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+  }
+  return total;
+}
+PACDS_TARGET_AVX512 bool avx512_is_zero(const Word* a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = load512(a + i);
+    if (_mm512_test_epi64_mask(v, v) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != 0) return false;
+  }
+  return true;
+}
+PACDS_TARGET_AVX512 std::size_t avx512_andnot_into(Word* dst, const Word* a,
+                                                   const Word* b,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  std::size_t total = 0;
+  for (; i + 8 <= n; i += 8) {
+    store512(dst + i, _mm512_andnot_epi64(load512(b + i), load512(a + i)));
+    for (std::size_t j = i; j < i + 8; ++j) {
+      total += static_cast<std::size_t>(__builtin_popcountll(dst[j]));
+    }
+  }
+  for (; i < n; ++i) {
+    const Word w = a[i] & ~b[i];
+    dst[i] = w;
+    total += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+PACDS_TARGET_AVX512 std::size_t avx512_first_uncovered(const Word* a,
+                                                       const Word* b,
+                                                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i uncovered =
+        _mm512_andnot_epi64(load512(b + i), load512(a + i));
+    const auto mask =
+        static_cast<unsigned>(_mm512_test_epi64_mask(uncovered, uncovered));
+    if (mask != 0) {
+      return i + static_cast<std::size_t>(__builtin_ctz(mask));
+    }
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return i;
+  }
+  return n;
+}
+
+PACDS_TARGET_AVX512 std::uint64_t avx512_subset_rows(const Word* rows,
+                                                     std::size_t nrows,
+                                                     std::size_t n,
+                                                     const Word* b) {
+  // Masked tail loads let rows narrower than 8 words run the whole subset
+  // test in one 512-bit step, which is the common case (n <= 4096 nodes is
+  // at most 64 words, and the Rule 2 instances sit at a handful).
+  const unsigned tail = static_cast<unsigned>(n & 7);
+  const __mmask8 tmask = static_cast<__mmask8>((1u << tail) - 1u);
+  std::uint64_t out = 0;
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const Word* a = rows + r * n;
+    std::size_t i = 0;
+    bool covered = true;
+    for (; i + 8 <= n; i += 8) {
+      const __m512i uncovered =
+          _mm512_andnot_epi64(load512(b + i), load512(a + i));
+      if (_mm512_test_epi64_mask(uncovered, uncovered) != 0) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered && tail != 0) {
+      const __m512i va = _mm512_maskz_loadu_epi64(tmask, a + i);
+      const __m512i vb = _mm512_maskz_loadu_epi64(tmask, b + i);
+      const __m512i uncovered = _mm512_andnot_epi64(vb, va);
+      if (_mm512_test_epi64_mask(uncovered, uncovered) != 0) covered = false;
+    }
+    if (covered) out |= std::uint64_t{1} << r;
+  }
+  return out;
+}
+
+constexpr Kernels kAvx512Kernels = {
+    Level::kAvx512,          avx512_or,
+    avx512_and,              avx512_andnot,
+    avx512_xor,              avx512_is_subset,
+    avx512_is_subset_except, avx512_is_subset_union,
+    avx512_intersects,       avx512_popcount,
+    avx512_is_zero,          avx512_andnot_into,
+    avx512_first_uncovered,  avx512_subset_rows};
+
+#endif  // PACDS_SIMD_X86
+
+#if defined(PACDS_SIMD_NEON)
+
+// ---- NEON (2 words per step, aarch64 baseline) --------------------------
+
+void neon_or(Word* dst, const Word* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+void neon_and(Word* dst, const Word* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vandq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+void neon_andnot(Word* dst, const Word* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vbicq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+void neon_xor(Word* dst, const Word* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, veorq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+/// Horizontal "any bit set" of one 128-bit register.
+inline bool neon_any(uint64x2_t v) {
+  return (vgetq_lane_u64(v, 0) | vgetq_lane_u64(v, 1)) != 0;
+}
+
+bool neon_is_subset(const Word* a, const Word* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (neon_any(vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i)))) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+bool neon_is_subset_except(const Word* a, const Word* b, std::size_t n,
+                           std::size_t iw, Word imask) {
+  if (iw < n && (a[iw] & ~b[iw] & ~imask) != 0) return false;
+  const std::size_t chunk = iw / 2 * 2;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (i == chunk) {
+      for (std::size_t j = i; j < i + 2; ++j) {
+        if (j != iw && (a[j] & ~b[j]) != 0) return false;
+      }
+      continue;
+    }
+    if (neon_any(vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i)))) return false;
+  }
+  for (; i < n; ++i) {
+    if (i != iw && (a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+bool neon_is_subset_union(const Word* a, const Word* b, const Word* c,
+                          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t cover = vorrq_u64(vld1q_u64(b + i), vld1q_u64(c + i));
+    if (neon_any(vbicq_u64(vld1q_u64(a + i), cover))) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~(b[i] | c[i])) != 0) return false;
+  }
+  return true;
+}
+bool neon_intersects(const Word* a, const Word* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (neon_any(vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)))) return true;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+std::size_t neon_popcount(const Word* a, std::size_t n) {
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint8x16_t counts = vcntq_u8(vreinterpretq_u8_u64(vld1q_u64(a + i)));
+    total += vaddvq_u8(counts);
+  }
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i]));
+  }
+  return total;
+}
+bool neon_is_zero(const Word* a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (neon_any(vld1q_u64(a + i))) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != 0) return false;
+  }
+  return true;
+}
+std::size_t neon_andnot_into(Word* dst, const Word* a, const Word* b,
+                             std::size_t n) {
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t w = vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    vst1q_u64(dst + i, w);
+    total += vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(w)));
+  }
+  for (; i < n; ++i) {
+    const Word w = a[i] & ~b[i];
+    dst[i] = w;
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+std::size_t neon_first_uncovered(const Word* a, const Word* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (neon_any(vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i)))) {
+      return (a[i] & ~b[i]) != 0 ? i : i + 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return i;
+  }
+  return n;
+}
+
+std::uint64_t neon_subset_rows(const Word* rows, std::size_t nrows,
+                               std::size_t n, const Word* b) {
+  std::uint64_t out = 0;
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const Word* a = rows + r * n;
+    std::size_t i = 0;
+    bool covered = true;
+    for (; i + 2 <= n; i += 2) {
+      if (neon_any(vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i)))) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered && i < n && (a[i] & ~b[i]) != 0) covered = false;
+    if (covered) out |= std::uint64_t{1} << r;
+  }
+  return out;
+}
+
+constexpr Kernels kNeonKernels = {
+    Level::kNeon,          neon_or,
+    neon_and,              neon_andnot,
+    neon_xor,              neon_is_subset,
+    neon_is_subset_except, neon_is_subset_union,
+    neon_intersects,       neon_popcount,
+    neon_is_zero,          neon_andnot_into,
+    neon_first_uncovered,  neon_subset_rows};
+
+#endif  // PACDS_SIMD_NEON
+
+// ---- Dispatch ------------------------------------------------------------
+
+bool level_supported(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kNeon:
+#if defined(PACDS_SIMD_NEON)
+      return true;
+#else
+      return false;
+#endif
+    case Level::kAvx2:
+#if defined(PACDS_SIMD_X86)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Level::kAvx512:
+#if defined(PACDS_SIMD_X86)
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const Kernels* table_for(Level level) noexcept {
+  switch (level) {
+#if defined(PACDS_SIMD_X86)
+    case Level::kAvx512:
+      return &kAvx512Kernels;
+    case Level::kAvx2:
+      return &kAvx2Kernels;
+#endif
+#if defined(PACDS_SIMD_NEON)
+    case Level::kNeon:
+      return &kNeonKernels;
+#endif
+    default:
+      return &kScalarKernels;
+  }
+}
+
+/// Parses a PACDS_SIMD value; returns false on an unknown token. "auto"
+/// parses as the host's best level.
+bool parse_env_level(const char* text, Level& out) noexcept {
+  if (std::strcmp(text, "auto") == 0) {
+    out = detect_best();
+    return true;
+  }
+  if (std::strcmp(text, "scalar") == 0) {
+    out = Level::kScalar;
+    return true;
+  }
+  if (std::strcmp(text, "neon") == 0) {
+    out = Level::kNeon;
+    return true;
+  }
+  if (std::strcmp(text, "avx2") == 0) {
+    out = Level::kAvx2;
+    return true;
+  }
+  if (std::strcmp(text, "avx512") == 0) {
+    out = Level::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+/// Resolves the initial dispatch level: PACDS_SIMD override (with stderr
+/// warnings mirroring env_size_t's strictness), else the best the host
+/// supports. Allocation-free — the zero-alloc tests may trigger first use.
+const Kernels* resolve_initial() noexcept {
+  Level level = detect_best();
+  if (const char* env = std::getenv("PACDS_SIMD");
+      env != nullptr && *env != '\0') {
+    Level requested;
+    if (!parse_env_level(env, requested)) {
+      std::fprintf(stderr,
+                   "warning: PACDS_SIMD='%s' is not "
+                   "auto|scalar|neon|avx2|avx512; using %s\n",
+                   env, to_string(level));
+    } else if (!level_supported(requested)) {
+      std::fprintf(stderr,
+                   "warning: PACDS_SIMD=%s unsupported on this host; "
+                   "using %s\n",
+                   env, to_string(level));
+    } else {
+      level = requested;
+    }
+  }
+  return table_for(level);
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+}  // namespace
+
+const Kernels& active() noexcept {
+  const Kernels* table = g_active.load(std::memory_order_relaxed);
+  if (table == nullptr) {
+    // First use (possibly racing): every contender resolves the same table,
+    // the winner's warning (if any) prints once per contender at worst.
+    table = resolve_initial();
+    const Kernels* expected = nullptr;
+    if (!g_active.compare_exchange_strong(expected, table,
+                                          std::memory_order_acq_rel)) {
+      table = expected;
+    }
+  }
+  return *table;
+}
+
+Level active_level() noexcept { return active().level; }
+
+Level detect_best() noexcept {
+  for (const Level level : {Level::kAvx512, Level::kAvx2, Level::kNeon}) {
+    if (level_supported(level)) return level;
+  }
+  return Level::kScalar;
+}
+
+std::vector<Level> available_levels() {
+  std::vector<Level> out;
+  for (const Level level :
+       {Level::kScalar, Level::kNeon, Level::kAvx2, Level::kAvx512}) {
+    if (level_supported(level)) out.push_back(level);
+  }
+  return out;
+}
+
+bool set_level(Level level) noexcept {
+  if (!level_supported(level)) return false;
+  g_active.store(table_for(level), std::memory_order_release);
+  return true;
+}
+
+const char* to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kNeon:
+      return "neon";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+}  // namespace pacds::simd

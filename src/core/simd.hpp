@@ -1,0 +1,103 @@
+#pragma once
+// Vectorized kernels for the 64-bit word rows every coverage test in the
+// pipeline runs over. The primitives mirror exactly what DynBitset and the
+// dense rule kernels need — AND/AND-NOT/OR/XOR combines, subset and
+// subset-of-union tests, popcounts, and first-uncovered-word scans — and
+// every implementation is a pure word-wise function of its inputs, so all
+// dispatch levels are bit-identical by construction (the test suite sweeps
+// every level available on the host against the scalar path anyway).
+//
+// Dispatch ladder (highest available wins):
+//
+//   avx512  — 8 words per step, compiled with GCC/Clang target attributes,
+//             selected when the CPU reports AVX-512F + AVX-512BW
+//   avx2    — 4 words per step, selected on AVX2 hosts
+//   neon    — 2 words per step, aarch64 baseline (compile-time)
+//   scalar  — portable std::* fallback, always present
+//
+// The binary carries every path its compiler can emit (no -mavx2 build flag
+// needed; each function is annotated individually) and picks one at runtime
+// from CPUID. `PACDS_SIMD={auto,scalar,avx2,avx512,neon}` overrides the
+// choice for testing; asking for a level the host lacks warns on stderr and
+// falls back to the best available. Tests may also force a level through
+// set_level(), which swaps one atomic pointer — safe between runs, and safe
+// with concurrent readers (they see either full kernel table).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pacds::simd {
+
+using Word = std::uint64_t;
+
+enum class Level : std::uint8_t { kScalar = 0, kNeon = 1, kAvx2 = 2, kAvx512 = 3 };
+
+/// One fully-populated kernel table. All pointers are non-null for every
+/// level; `nwords` may be 0 (every primitive then returns its identity).
+struct Kernels {
+  Level level;
+
+  /// dst[i] |= src[i]
+  void (*or_inplace)(Word* dst, const Word* src, std::size_t nwords);
+  /// dst[i] &= src[i]
+  void (*and_inplace)(Word* dst, const Word* src, std::size_t nwords);
+  /// dst[i] &= ~src[i]
+  void (*andnot_inplace)(Word* dst, const Word* src, std::size_t nwords);
+  /// dst[i] ^= src[i]
+  void (*xor_inplace)(Word* dst, const Word* src, std::size_t nwords);
+
+  /// true iff a[i] & ~b[i] == 0 for all i (a ⊆ b).
+  bool (*is_subset)(const Word* a, const Word* b, std::size_t nwords);
+  /// is_subset with one bit excused: word `iw` of the uncovered residue is
+  /// masked by ~imask before the zero test (Rule 1's N(v) \ {u} ⊆ N(u)).
+  bool (*is_subset_except)(const Word* a, const Word* b, std::size_t nwords,
+                           std::size_t iw, Word imask);
+  /// true iff a[i] & ~(b[i] | c[i]) == 0 for all i (a ⊆ b ∪ c).
+  bool (*is_subset_union)(const Word* a, const Word* b, const Word* c,
+                          std::size_t nwords);
+  /// true iff a[i] & b[i] != 0 for some i.
+  bool (*intersects)(const Word* a, const Word* b, std::size_t nwords);
+  /// Σ popcount(a[i]).
+  std::size_t (*popcount)(const Word* a, std::size_t nwords);
+  /// true iff every a[i] == 0.
+  bool (*is_zero)(const Word* a, std::size_t nwords);
+  /// dst[i] = a[i] & ~b[i]; returns Σ popcount(dst[i]). The Rule 2 residual
+  /// builder (N(v) \ N(u)) fused with the popcount-vs-degree gate's input.
+  std::size_t (*andnot_into)(Word* dst, const Word* a, const Word* b,
+                             std::size_t nwords);
+  /// Smallest i with a[i] & ~b[i] != 0, or nwords if none — "first
+  /// uncovered word", the early-exit scan of the residual subset tests.
+  std::size_t (*first_uncovered_word)(const Word* a, const Word* b,
+                                      std::size_t nwords);
+  /// Bit r of the result is set iff row r of `rows` (rows + r*nwords,
+  /// nwords words) is a subset of b. nrows <= 64. The blocked Rule 2
+  /// engine's batch test: one call per streamed coverage row instead of
+  /// one dispatched call per candidate pair.
+  std::uint64_t (*subset_rows)(const Word* rows, std::size_t nrows,
+                               std::size_t nwords, const Word* b);
+};
+
+/// The dispatched kernel table. First call resolves the level: PACDS_SIMD
+/// override if set, else the best level CPUID reports. Subsequent calls are
+/// one relaxed atomic load.
+[[nodiscard]] const Kernels& active() noexcept;
+
+/// Level of the table active() currently returns.
+[[nodiscard]] Level active_level() noexcept;
+
+/// Highest level this host supports.
+[[nodiscard]] Level detect_best() noexcept;
+
+/// Every level this host can run, ascending (always starts with kScalar).
+[[nodiscard]] std::vector<Level> available_levels();
+
+/// Forces the active table to `level`. Returns false (and changes nothing)
+/// when the host lacks it. Intended for tests and benchmarks; call between
+/// pipeline runs, not concurrently with them.
+bool set_level(Level level) noexcept;
+
+/// "scalar", "neon", "avx2", "avx512".
+[[nodiscard]] const char* to_string(Level level) noexcept;
+
+}  // namespace pacds::simd

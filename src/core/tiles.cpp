@@ -193,6 +193,41 @@ void tile_rule1_stage(const PriorityKey& key, const DynBitset& marked,
   }
 }
 
+namespace {
+
+/// Blocked-engine geometry over one tile's local dense rows: candidates are
+/// local indices (tl.scratch); keys compare global ids. Candidate rows are
+/// complete (candidates sit within r of the tile rectangle — see the
+/// locality contract above), so the local row popcount equals the global
+/// degree and the popcount-vs-degree gate stays sound.
+struct TileRule2Env {
+  const TileLocal& tl;
+  const PriorityKey& key;
+  NodeId v;
+  const DynBitset& vrow_bits;
+
+  [[nodiscard]] const simd::Word* vrow() const {
+    return vrow_bits.words().data();
+  }
+  [[nodiscard]] const simd::Word* row(std::size_t i) const {
+    return tl.rows[tl.scratch[i]].words().data();
+  }
+  [[nodiscard]] std::size_t degree(std::size_t i) const {
+    return tl.rows[tl.scratch[i]].count();
+  }
+  [[nodiscard]] bool min3(std::size_t i, std::size_t j) const {
+    return key.is_min_of_three(v, tl.locals[tl.scratch[i]],
+                               tl.locals[tl.scratch[j]]);
+  }
+  [[nodiscard]] bool refined_cases(std::size_t i, std::size_t j, bool cov_u,
+                                   bool cov_w) const {
+    return rule2_refined_cases(key, v, tl.locals[tl.scratch[i]],
+                               tl.locals[tl.scratch[j]], cov_u, cov_w);
+  }
+};
+
+}  // namespace
+
 void tile_rule2_stage(const PriorityKey& key, bool form_simple,
                       const DynBitset& in, TileLocal& tl) {
   const std::size_t count = tl.locals.size();
@@ -208,32 +243,14 @@ void tile_rule2_stage(const PriorityKey& key, bool form_simple,
         tl.scratch.push_back(static_cast<std::uint32_t>(u));
       }
     }
-    bool fires = false;
-    for (std::size_t a = 0; a < tl.scratch.size() && !fires; ++a) {
-      const std::size_t lu = tl.scratch[a];
-      const NodeId gu = tl.locals[lu];
-      for (std::size_t b = a + 1; b < tl.scratch.size(); ++b) {
-        const std::size_t lw = tl.scratch[b];
-        const NodeId gw = tl.locals[lw];
-        if (form_simple) {
-          if (!key.is_min_of_three(v, gu, gw)) continue;
-          if (row.is_subset_of_union(tl.rows[lu], tl.rows[lw])) {
-            fires = true;
-            break;
-          }
-        } else {
-          if (!row.is_subset_of_union(tl.rows[lu], tl.rows[lw])) continue;
-          const bool cov_u = tl.rows[lu].is_subset_of_union(row, tl.rows[lw]);
-          const bool cov_w =
-              tl.rows[lw].is_subset_of_union(tl.rows[lu], row);
-          if (rule2_refined_cases(key, v, gu, gw, cov_u, cov_w)) {
-            fires = true;
-            break;
-          }
-        }
-      }
+    // Coverage booleans are the same as the old per-pair union tests
+    // (r ⊆ N(u) ∪ N(w) ⟺ r \ N(u) ⊆ N(w)), and the pair decision is
+    // existential, so the blocked engine is decision-identical.
+    const TileRule2Env env{tl, key, v, row};
+    if (!rule2_blocked_fires(env, tl.scratch.size(), row.words().size(),
+                             form_simple, tl.rule2_lane)) {
+      tl.out.set(i);
     }
-    if (!fires) tl.out.set(i);
   }
 }
 

@@ -33,6 +33,7 @@
 #include "core/bitset.hpp"
 #include "core/graph.hpp"
 #include "core/keys.hpp"
+#include "core/rule2_blocked.hpp"
 #include "net/vec2.hpp"
 
 namespace pacds {
@@ -103,6 +104,9 @@ struct TileLocal {
   DynBitset out;
   /// Marked-neighbor pair-loop buffer (local indices).
   std::vector<std::uint32_t> scratch;
+  /// Blocked Rule 2 residual scratch (rule2_blocked.hpp), persistent so
+  /// steady-state tile rebuilds allocate nothing.
+  Rule2BlockLane rule2_lane;
 };
 
 /// Per-executor-lane global→local translation used while building rows.

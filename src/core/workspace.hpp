@@ -15,6 +15,7 @@
 #include "core/dense.hpp"
 #include "core/graph.hpp"
 #include "core/parallel.hpp"
+#include "core/rule2_blocked.hpp"
 
 namespace pacds {
 
@@ -26,13 +27,10 @@ class MetricsRegistry;  // full definition in obs/metrics.hpp
 /// IncrementalCds. Contents are clobbered by every pipeline call; only
 /// capacity persists.
 struct CdsWorkspace {
-  /// Per-lane word scratch for the Rule 2 residual fast path: rem holds
-  /// N(v) \ N(u), rem2 the lazily-built N(u) \ N(v) of the refined form's
-  /// symmetric coverage test.
-  struct Rule2Lane {
-    std::vector<std::uint64_t> rem;
-    std::vector<std::uint64_t> rem2;
-  };
+  /// Per-lane scratch of the blocked Rule 2 pair engine: a block of
+  /// residuals N(v) \ N(u) plus the refined form's lazily-built reverse
+  /// residuals (see rule2_blocked.hpp).
+  using Rule2Lane = Rule2BlockLane;
 
   /// Per-executor-lane Rule 2 marked-neighbor buffers.
   std::vector<std::vector<NodeId>> lane_neighbors;

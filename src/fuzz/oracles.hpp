@@ -29,6 +29,10 @@
 //                         obs::validate_metrics_stream.
 //   empty-plan-identity — a trial with an event-free plan is bit-identical
 //                         to the fault-free twin.
+//   simd-identity       — the same trial forced through the scalar kernel
+//                         table vs the host's best dispatch level
+//                         (simd::set_level) is bit-identical; skipped when
+//                         the host has no vector path.
 //
 // Oracles that need preconditions (a connected snapshot, engine
 // eligibility, threads > 1, ...) skip silently when the scenario is outside
@@ -60,6 +64,7 @@ inline constexpr int kMutateEnergyAccounting = 5;
 inline constexpr int kMutateFaultStats = 6;
 inline constexpr int kMutateJsonl = 7;
 inline constexpr int kMutateEmptyPlanIdentity = 8;
+inline constexpr int kMutateSimdIdentity = 9;
 
 struct OracleOptions {
   int mutation = kMutateNone;

@@ -182,11 +182,26 @@ void TiledEngine::update(const std::vector<Vec2>& positions,
     for (const auto& [u, v] : delta_.removed) graph_->remove_edge(u, v);
     for (const auto& [u, v] : delta_.added) graph_->add_edge(u, v);
     if (uses_energy(config_.rule_set)) {
-      // A key change re-decides rules out to 2r around the host; 3r matches
-      // the position dirt radius and is a safe superset.
-      const double dirt = 3.0 * tiles_.radius();
+      // A key change re-decides rules out to 2r around the host: key(i) is
+      // read only by deciders within r (Rule 1 compares v against neighbor
+      // keys; Rule 2/k draw candidates from N(v)), and a flipped Rule 1
+      // decision at distance r can flip Rule 2 deciders one more hop out.
+      // Marking reads no keys, so 2r covers the whole cascade — position
+      // changes keep their 3r radius separately. Churn-aware filter
+      // (mirrors the flat incremental engine's marked-filtered key diffs):
+      // keys are only ever read for nodes in the marked set — Rule 1
+      // compares marked v against marked u, Rule 2 draws its candidate
+      // pairs from the post-Rule-1 set ⊆ marked — and marking itself is
+      // pure topology. So a key change at a host that was unmarked last
+      // interval flips no decision unless its marking flips too, and a
+      // marking flip needs a topology change within r of the host, whose
+      // mover endpoints (within r) already dirtied every tile within 3r —
+      // covering all deciders within 2r of the host. EL2's steady energy
+      // drain on non-backbone hosts therefore stops dirtying tiles
+      // (DESIGN.md §11 spells out the argument).
+      const double dirt = 2.0 * tiles_.radius();
       for (std::size_t i = 0; i < keys.size(); ++i) {
-        if (keys[i] != prev_keys_[i]) {
+        if (keys[i] != prev_keys_[i] && marked_.test(i)) {
           tiles_.mark_dirty_around(prev_positions_[i], dirt, dirty_tiles_);
         }
       }

@@ -1,0 +1,248 @@
+// Word-exact equivalence of every simd kernel against the scalar reference,
+// swept over every dispatch level the host supports and over widths that
+// cover the empty row, sub-word rows, exact vector-lane multiples, and the
+// ragged tails in between. The kernels operate on whole words (DynBitset
+// keeps its padding bits clear separately), so equality here is on raw
+// word arrays, including the full destination contents of the in-place ops.
+
+#include "core/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/bitset.hpp"
+
+namespace pacds {
+namespace {
+
+using simd::Kernels;
+using simd::Level;
+using simd::Word;
+
+constexpr std::size_t kWidths[] = {0, 1, 63, 64, 65, 127, 512, 1000};
+
+std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
+
+std::vector<Word> random_words(std::mt19937_64& rng, std::size_t nwords,
+                               int density_shift) {
+  // density_shift selects how sparse the row is: AND of k draws keeps
+  // roughly 2^-k of the bits, exercising both dense and near-empty rows.
+  std::vector<Word> w(nwords);
+  for (auto& x : w) {
+    x = rng();
+    for (int k = 0; k < density_shift; ++k) x &= rng();
+  }
+  return w;
+}
+
+const Kernels& table_at(Level level) {
+  EXPECT_TRUE(simd::set_level(level));
+  return simd::active();
+}
+
+class SimdLevelTest : public ::testing::TestWithParam<Level> {
+ protected:
+  void TearDown() override { simd::set_level(Level::kScalar); }
+};
+
+TEST_P(SimdLevelTest, InPlaceCombinesMatchScalar) {
+  const Kernels& scalar = table_at(Level::kScalar);
+  const Kernels& vec = table_at(GetParam());
+  std::mt19937_64 rng(0xC0FFEEu);
+  for (const std::size_t bits : kWidths) {
+    const std::size_t nwords = words_for(bits);
+    for (int density = 0; density < 3; ++density) {
+      const auto a = random_words(rng, nwords, density);
+      const auto b = random_words(rng, nwords, density);
+      for (const auto op : {&Kernels::or_inplace, &Kernels::and_inplace,
+                            &Kernels::andnot_inplace, &Kernels::xor_inplace}) {
+        auto want = a;
+        auto got = a;
+        (scalar.*op)(want.data(), b.data(), nwords);
+        (vec.*op)(got.data(), b.data(), nwords);
+        EXPECT_EQ(want, got) << "nwords=" << nwords;
+      }
+    }
+  }
+}
+
+TEST_P(SimdLevelTest, PredicatesMatchScalar) {
+  const Kernels& scalar = table_at(Level::kScalar);
+  const Kernels& vec = table_at(GetParam());
+  std::mt19937_64 rng(0xBEEFu);
+  for (const std::size_t bits : kWidths) {
+    const std::size_t nwords = words_for(bits);
+    for (int trial = 0; trial < 8; ++trial) {
+      auto a = random_words(rng, nwords, trial % 3);
+      auto b = random_words(rng, nwords, trial % 2);
+      // Half the trials force a ⊆ b so the true branch is exercised too.
+      if (trial % 2 == 0) {
+        for (std::size_t i = 0; i < nwords; ++i) b[i] |= a[i];
+      }
+      const auto c = random_words(rng, nwords, 1);
+      EXPECT_EQ(scalar.is_subset(a.data(), b.data(), nwords),
+                vec.is_subset(a.data(), b.data(), nwords));
+      EXPECT_EQ(scalar.is_subset_union(a.data(), b.data(), c.data(), nwords),
+                vec.is_subset_union(a.data(), b.data(), c.data(), nwords));
+      EXPECT_EQ(scalar.intersects(a.data(), b.data(), nwords),
+                vec.intersects(a.data(), b.data(), nwords));
+      EXPECT_EQ(scalar.is_zero(a.data(), nwords),
+                vec.is_zero(a.data(), nwords));
+      EXPECT_EQ(scalar.popcount(a.data(), nwords),
+                vec.popcount(a.data(), nwords));
+      if (bits > 0) {
+        // Excuse one random bit; also probe the exact bit that breaks the
+        // subset when only one residual bit exists.
+        const std::size_t ignore = rng() % bits;
+        const std::size_t iw = ignore / 64;
+        const Word imask = Word{1} << (ignore % 64);
+        EXPECT_EQ(scalar.is_subset_except(a.data(), b.data(), nwords, iw, imask),
+                  vec.is_subset_except(a.data(), b.data(), nwords, iw, imask));
+      }
+    }
+    // Degenerate rows: all-zero and all-ones.
+    const std::vector<Word> zero(nwords, 0);
+    const std::vector<Word> ones(nwords, ~Word{0});
+    EXPECT_EQ(scalar.is_zero(zero.data(), nwords),
+              vec.is_zero(zero.data(), nwords));
+    EXPECT_EQ(scalar.is_subset(ones.data(), ones.data(), nwords),
+              vec.is_subset(ones.data(), ones.data(), nwords));
+    EXPECT_EQ(scalar.popcount(ones.data(), nwords),
+              vec.popcount(ones.data(), nwords));
+  }
+}
+
+TEST_P(SimdLevelTest, AndnotIntoAndScanMatchScalar) {
+  const Kernels& scalar = table_at(Level::kScalar);
+  const Kernels& vec = table_at(GetParam());
+  std::mt19937_64 rng(0xABCDu);
+  for (const std::size_t bits : kWidths) {
+    const std::size_t nwords = words_for(bits);
+    for (int trial = 0; trial < 8; ++trial) {
+      auto a = random_words(rng, nwords, trial % 3);
+      auto b = random_words(rng, nwords, trial % 2);
+      if (trial % 3 == 0) {
+        for (std::size_t i = 0; i < nwords; ++i) b[i] |= a[i];  // empty residual
+      }
+      std::vector<Word> want(nwords, Word{0xAA});  // sentinel fill
+      std::vector<Word> got(nwords, Word{0x55});
+      const std::size_t want_pop =
+          scalar.andnot_into(want.data(), a.data(), b.data(), nwords);
+      const std::size_t got_pop =
+          vec.andnot_into(got.data(), a.data(), b.data(), nwords);
+      EXPECT_EQ(want_pop, got_pop) << "nwords=" << nwords;
+      EXPECT_EQ(want, got) << "nwords=" << nwords;
+      EXPECT_EQ(scalar.first_uncovered_word(a.data(), b.data(), nwords),
+                vec.first_uncovered_word(a.data(), b.data(), nwords))
+          << "nwords=" << nwords;
+    }
+  }
+}
+
+TEST_P(SimdLevelTest, SubsetRowsMatchesScalar) {
+  const Kernels& scalar = table_at(Level::kScalar);
+  const Kernels& vec = table_at(GetParam());
+  std::mt19937_64 rng(0xF00Du);
+  for (const std::size_t bits : kWidths) {
+    const std::size_t nwords = words_for(bits);
+    for (const std::size_t nrows : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{17}, std::size_t{64}}) {
+      std::vector<Word> rows(nrows * nwords);
+      const auto b = random_words(rng, nwords, 0);
+      for (std::size_t r = 0; r < nrows; ++r) {
+        // Mix forced-subset rows (b masked down) with free random rows so
+        // both mask polarities appear in every batch.
+        auto row = random_words(rng, nwords, static_cast<int>(r % 3));
+        if (r % 2 == 0) {
+          for (std::size_t i = 0; i < nwords; ++i) row[i] &= b[i];
+        }
+        std::copy(row.begin(), row.end(),
+                  rows.begin() + static_cast<std::ptrdiff_t>(r * nwords));
+      }
+      const std::uint64_t want =
+          scalar.subset_rows(rows.data(), nrows, nwords, b.data());
+      const std::uint64_t got =
+          vec.subset_rows(rows.data(), nrows, nwords, b.data());
+      EXPECT_EQ(want, got) << "nwords=" << nwords << " nrows=" << nrows;
+      if (nwords == 0) {
+        // Every empty row is vacuously a subset.
+        EXPECT_EQ(want, nrows == 64 ? ~std::uint64_t{0}
+                                    : (std::uint64_t{1} << nrows) - 1);
+      }
+    }
+  }
+}
+
+TEST_P(SimdLevelTest, DynBitsetOpsMatchScalar) {
+  // The same operations one level up: DynBitset routes through active(),
+  // so forcing levels and comparing whole bitsets covers the glue too.
+  const Level level = GetParam();
+  std::mt19937_64 rng(0x5EEDu);
+  for (const std::size_t bits : kWidths) {
+    if (bits == 0) continue;
+    DynBitset a(bits);
+    DynBitset b(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (rng() & 1) a.set(i);
+      if (rng() & 1) b.set(i);
+    }
+    ASSERT_TRUE(simd::set_level(Level::kScalar));
+    const bool want_subset = a.is_subset_of(b);
+    const bool want_inter = a.intersects(b);
+    const std::size_t want_count = a.count();
+    DynBitset want_or = a;
+    want_or |= b;
+    DynBitset want_sub = a;
+    want_sub.subtract(b);
+    ASSERT_TRUE(simd::set_level(level));
+    EXPECT_EQ(want_subset, a.is_subset_of(b));
+    EXPECT_EQ(want_inter, a.intersects(b));
+    EXPECT_EQ(want_count, a.count());
+    DynBitset got_or = a;
+    got_or |= b;
+    DynBitset got_sub = a;
+    got_sub.subtract(b);
+    EXPECT_EQ(want_or, got_or);
+    EXPECT_EQ(want_sub, got_sub);
+  }
+}
+
+std::string level_name(const ::testing::TestParamInfo<Level>& param_info) {
+  return simd::to_string(param_info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, SimdLevelTest,
+                         ::testing::ValuesIn(simd::available_levels()),
+                         level_name);
+
+TEST(SimdDispatchTest, SetLevelRejectsUnsupported) {
+  const auto avail = simd::available_levels();
+  ASSERT_FALSE(avail.empty());
+  EXPECT_EQ(avail.front(), Level::kScalar);
+  const Level best = simd::detect_best();
+  EXPECT_EQ(avail.back(), best);
+#if !defined(__aarch64__)
+  EXPECT_FALSE(simd::set_level(Level::kNeon));
+#endif
+  EXPECT_TRUE(simd::set_level(Level::kScalar));
+  EXPECT_EQ(simd::active_level(), Level::kScalar);
+  EXPECT_TRUE(simd::set_level(best));
+  EXPECT_EQ(simd::active_level(), best);
+  EXPECT_EQ(simd::active().level, best);
+  simd::set_level(Level::kScalar);
+}
+
+TEST(SimdDispatchTest, ToStringNamesAllLevels) {
+  EXPECT_STREQ("scalar", simd::to_string(Level::kScalar));
+  EXPECT_STREQ("neon", simd::to_string(Level::kNeon));
+  EXPECT_STREQ("avx2", simd::to_string(Level::kAvx2));
+  EXPECT_STREQ("avx512", simd::to_string(Level::kAvx512));
+}
+
+}  // namespace
+}  // namespace pacds
