@@ -4,15 +4,17 @@
 // its round-trip double formatting). Replaces the inline python step that
 // tools/bench_json.sh used to carry.
 //
-// usage: bench_report <micro_cds.json> <micro_engine.json>
+// usage: bench_report [--strict] <micro_cds.json> <micro_engine.json>
 //                     <micro_parallel.json> <micro_tiles.json>
-//                     <micro_simd.json> <output.json>
-//        bench_report --validate-jsonl <metrics.jsonl | ->
+//                     <micro_simd.json> <bench_serve.json> <output.json>
+//        bench_report [--strict] --validate-jsonl <metrics.jsonl | ->
 //
 // Regeneration is honest about coverage: a speedup row whose input rows are
 // missing warns on stderr instead of silently disappearing, and any key the
 // previous file carried that the fresh inputs no longer produce is reported
 // as stale (nothing is carried forward except the "baseline" section).
+// --strict turns those warnings into a nonzero exit, so CI's bench smoke
+// path fails on a stale or incomplete report instead of shipping it.
 //
 // The output's "baseline" section, when present in an existing output file,
 // is preserved verbatim so before/after comparisons survive regeneration.
@@ -44,6 +46,15 @@ namespace {
 using pacds::JsonValue;
 using pacds::JsonWriter;
 using pacds::parse_json;
+
+/// Warnings issued during assembly; --strict turns a nonzero count into a
+/// nonzero exit.
+int warning_count = 0;
+
+void warn(const std::string& message) {
+  ++warning_count;
+  std::cerr << "warning: " << message << "\n";
+}
 
 std::string read_file(const std::string& path) {
   std::ifstream file(path);
@@ -109,8 +120,7 @@ void write_table(JsonWriter& json, const NsPerOp& table) {
 void write_speedup(JsonWriter& json, const std::string& key, double numer,
                    double denom) {
   if (numer <= 0.0 || denom <= 0.0) {
-    std::cerr << "warning: speedup row '" << key
-              << "' skipped (missing input rows)\n";
+    warn("speedup row '" + key + "' skipped (missing input rows)");
     return;
   }
   json.key(key).value(std::round(numer / denom * 100.0) / 100.0);
@@ -133,9 +143,9 @@ void warn_stale(const JsonValue& previous, const std::string& section,
       }
     }
     if (!found) {
-      std::cerr << "warning: " << section << " key '" << key
-                << "' from the previous report has no fresh measurement "
-                   "(dropped, not carried forward)\n";
+      warn(section + " key '" + key +
+           "' from the previous report has no fresh measurement "
+           "(dropped, not carried forward)");
     }
   }
 }
@@ -174,22 +184,36 @@ int validate_jsonl(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 3 && std::string(argv[1]) == "--validate-jsonl") {
-    return validate_jsonl(argv[2]);
+  bool strict = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--strict") {
+      strict = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
   }
-  if (argc != 7) {
-    std::cerr << "usage: bench_report <cds.json> <engine.json> "
-                 "<parallel.json> <tiles.json> <simd.json> <output.json>\n"
-                 "       bench_report --validate-jsonl <metrics.jsonl | ->\n";
+  if (args.size() == 2 && args[0] == "--validate-jsonl") {
+    // --validate-jsonl already exits nonzero on every violation; --strict is
+    // accepted so callers can pass one flag set in both modes.
+    return validate_jsonl(args[1]);
+  }
+  if (args.size() != 7) {
+    std::cerr << "usage: bench_report [--strict] <cds.json> <engine.json> "
+                 "<parallel.json> <tiles.json> <simd.json> <serve.json> "
+                 "<output.json>\n"
+                 "       bench_report [--strict] --validate-jsonl "
+                 "<metrics.jsonl | ->\n";
     return 2;
   }
   try {
-    const NsPerOp rule_pass = ns_per_op(argv[1]);
-    const NsPerOp engine = ns_per_op(argv[2]);
-    const NsPerOp parallel = ns_per_op(argv[3]);
-    const NsPerOp tiles = ns_per_op(argv[4]);
-    const NsPerOp simd_pass = ns_per_op(argv[5]);
-    const std::string out_path = argv[6];
+    const NsPerOp rule_pass = ns_per_op(args[0]);
+    const NsPerOp engine = ns_per_op(args[1]);
+    const NsPerOp parallel = ns_per_op(args[2]);
+    const NsPerOp tiles = ns_per_op(args[3]);
+    const NsPerOp simd_pass = ns_per_op(args[4]);
+    const NsPerOp serve = ns_per_op(args[5]);
+    const std::string out_path = args[6];
 
     // Preserve the previous baseline section, if the file parses, and
     // diff the previous tables against the fresh measurements so rows that
@@ -205,6 +229,7 @@ int main(int argc, char** argv) {
       warn_stale(previous, "parallel_interval_ns", parallel);
       warn_stale(previous, "tiles_interval_ns", tiles);
       warn_stale(previous, "simd_rule_pass_ns", simd_pass);
+      warn_stale(previous, "serve_intervals_ns", serve);
     } catch (const std::exception&) {
       // First generation or unreadable previous file: empty baseline.
     }
@@ -242,6 +267,12 @@ int main(int argc, char** argv) {
     // rows below divide the scalar row by the best-level row.
     json.key("simd_rule_pass_ns");
     write_table(json, simd_pass);
+    // Serve-layer multiplexing (bench_serve): BM_ServeIntervals/<K> is one
+    // request batch advancing K resident tenants one interval each, through
+    // the full parse -> schedule -> compute -> serialize path. The derived
+    // serve_intervals_per_sec_k<K> rows below are K * 1e9 / ns_per_op.
+    json.key("serve_intervals_ns");
+    write_table(json, serve);
     json.key("simd_dispatch")
         .value(pacds::simd::to_string(pacds::simd::active_level()));
     json.key("host_cpus")
@@ -289,9 +320,25 @@ int main(int argc, char** argv) {
                       lookup_row(tiles, "BM_IntervalTiled" + suffix));
       }
     }
+    for (const int tenants : {1, 4, 16}) {
+      std::string row = "BM_ServeIntervals/";
+      row += std::to_string(tenants);
+      const double ns = lookup_row(serve, row);
+      if (ns <= 0.0) {
+        warn("serve row '" + row + "' missing; intervals/sec not emitted");
+        continue;
+      }
+      json.key("serve_intervals_per_sec_k" + std::to_string(tenants))
+          .value(std::round(tenants * 1e9 / ns * 10.0) / 10.0);
+    }
     json.end_object();
     out << "\n";
     std::cout << "wrote " << out_path << "\n";
+    if (strict && warning_count > 0) {
+      std::cerr << "error: --strict and " << warning_count
+                << " warning(s) above\n";
+      return 1;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "bench_report: " << e.what() << "\n";

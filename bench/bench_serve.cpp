@@ -1,0 +1,66 @@
+// Serve-layer multiplexing throughput: K resident tenants, each advanced
+// one update interval per request batch, through the same process_lines
+// path `pacds serve` drives from stdin. The per-op time therefore covers
+// request parsing, tenant scheduling, interval compute, and metrics
+// serialization (written to a discarding stream) — the full cost of one
+// multiplexed interval, not just the simulation kernel. bench_report turns
+// the K = {1, 4, 16} rows into serve_intervals_per_sec_k* in
+// BENCH_lifetime.json.
+
+#include <benchmark/benchmark.h>
+
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace {
+
+using pacds::serve::ServeOptions;
+using pacds::serve::Server;
+
+/// Discards everything written to it; the serialization work still runs.
+class NullBuf final : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+};
+
+void BM_ServeIntervals(benchmark::State& state) {
+  const int tenants = static_cast<int>(state.range(0));
+  NullBuf null_buf;
+  std::ostream null_stream(&null_buf);
+  ServeOptions options;
+  options.threads = 0;          // all cores; tenants are independent groups
+  options.max_tenants = 64;
+  Server server(options, null_stream);
+
+  std::vector<std::string> create_lines;
+  std::vector<std::string> tick_lines;
+  for (int t = 0; t < tenants; ++t) {
+    const std::string name = "bench" + std::to_string(t);
+    // trials is effectively unbounded so ticks never run out of work; each
+    // tenant gets its own seed so the instances are not clones.
+    create_lines.push_back("{\"op\":\"create\",\"tenant\":\"" + name +
+                           "\",\"config\":{\"n\":60,\"radius\":25},"
+                           "\"seed\":" + std::to_string(100 + t) +
+                           ",\"trials\":1000000}");
+    tick_lines.push_back("{\"op\":\"tick\",\"tenant\":\"" + name +
+                         "\",\"intervals\":1}");
+  }
+  server.process_lines(create_lines);
+
+  for (auto _ : state) {
+    server.process_lines(tick_lines);
+  }
+  state.SetItemsProcessed(state.iterations() * tenants);
+}
+BENCHMARK(BM_ServeIntervals)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

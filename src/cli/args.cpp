@@ -1,7 +1,8 @@
 #include "cli/args.hpp"
 
-#include <cstdlib>
 #include <sstream>
+
+#include "io/parse_num.hpp"
 
 namespace pacds {
 
@@ -79,19 +80,13 @@ std::optional<std::int64_t> ArgParser::option_int(
     const std::string& name) const {
   const std::string raw = option(name);
   if (raw.empty()) return std::nullopt;
-  char* end = nullptr;
-  const long long value = std::strtoll(raw.c_str(), &end, 10);
-  if (end == raw.c_str() || *end != '\0') return std::nullopt;
-  return value;
+  return parse_int64(raw);
 }
 
 std::optional<double> ArgParser::option_double(const std::string& name) const {
   const std::string raw = option(name);
   if (raw.empty()) return std::nullopt;
-  char* end = nullptr;
-  const double value = std::strtod(raw.c_str(), &end);
-  if (end == raw.c_str() || *end != '\0') return std::nullopt;
-  return value;
+  return parse_finite_double(raw);
 }
 
 std::string ArgParser::usage() const {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -23,7 +24,9 @@
 #include "net/rng.hpp"
 #include "net/topology.hpp"
 #include "io/csv.hpp"
+#include "io/parse_num.hpp"
 #include "obs/jsonl.hpp"
+#include "serve/server.hpp"
 #include "routing/routing.hpp"
 #include "sim/engine.hpp"
 #include "sim/tiled_engine.hpp"
@@ -647,22 +650,21 @@ int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
     // Geometric ladder for the --sets asymptotics; the top rung is the
     // n = 1e5 point the Hansen-Schmutz comparison needs.
     sweep.host_counts = {1000, 3162, 10000, 31623, 100000};
+  } else if (hosts.empty()) {
+    err << "error: --hosts needs at least one host count\n";
+    return 2;
   } else {
-    std::istringstream list(hosts);
-    std::string item;
-    while (std::getline(list, item, ',')) {
-      try {
-        const int n = std::stoi(item);
-        if (n < 1) throw std::invalid_argument(item);
-        sweep.host_counts.push_back(n);
-      } catch (const std::exception&) {
-        err << "error: bad --hosts entry '" << item << "'\n";
-        return 2;
-      }
-    }
-    if (sweep.host_counts.empty()) {
-      err << "error: --hosts needs at least one host count\n";
+    // Checked parse: std::stoi accepted partial tokens ("4x" -> 4) and threw
+    // on overflow; parse_int_list demands full-token integers in range.
+    std::string bad;
+    const auto counts = parse_int_list(hosts, 1, 1000000, &bad);
+    if (!counts) {
+      err << "error: bad --hosts entry '" << bad << "'\n";
       return 2;
+    }
+    sweep.host_counts.reserve(counts->size());
+    for (const std::int64_t n : *counts) {
+      sweep.host_counts.push_back(static_cast<int>(n));
     }
   }
   if (parser.flag("sets")) {
@@ -845,6 +847,78 @@ int cmd_fuzz(const std::vector<std::string>& tokens, std::ostream& out,
   }
 }
 
+int cmd_serve(const std::vector<std::string>& tokens, std::ostream& out,
+              std::ostream& err) {
+  ArgParser parser("pacds serve",
+                   "resident multi-tenant simulation server over JSONL "
+                   "requests (DESIGN.md §12)");
+  parser.add_option("socket",
+                    "serve on this Unix socket path instead of stdin/stdout",
+                    "");
+  parser.add_option("queue",
+                    "bounded admission queue length; lines arriving while "
+                    "the queue is full are shed with a queue_full error "
+                    "(default 1024, env PACDS_SERVE_QUEUE)",
+                    "");
+  parser.add_option("max-tenants",
+                    "resident tenant cap; creating beyond it evicts the "
+                    "least-recently-used tenant (default 64, env "
+                    "PACDS_SERVE_MAX_TENANTS)",
+                    "");
+  parser.add_option("threads",
+                    "executor threads for independent tenant groups "
+                    "(1 = serial, 0 = all cores); the output stream is "
+                    "identical for every value",
+                    "1");
+  parser.add_flag("help", "show usage");
+  if (!parser.parse(tokens)) {
+    err << "error: " << parser.error() << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.flag("help")) {
+    out << parser.usage();
+    return 0;
+  }
+  serve::ServeOptions options;
+  options.queue_limit = env_size_t("PACDS_SERVE_QUEUE", options.queue_limit);
+  options.max_tenants =
+      env_size_t("PACDS_SERVE_MAX_TENANTS", options.max_tenants);
+  if (!parser.option("queue").empty()) {
+    const auto queue = parser.option_int("queue");
+    if (!queue || *queue < 1) {
+      err << "error: --queue must be a positive integer\n";
+      return 2;
+    }
+    options.queue_limit = static_cast<std::size_t>(*queue);
+  }
+  if (!parser.option("max-tenants").empty()) {
+    const auto cap = parser.option_int("max-tenants");
+    if (!cap || *cap < 1) {
+      err << "error: --max-tenants must be a positive integer\n";
+      return 2;
+    }
+    options.max_tenants = static_cast<std::size_t>(*cap);
+  }
+  const auto threads = parser.option_int("threads");
+  if (!threads || *threads < 0 || *threads > 1024) {
+    err << "error: --threads must be an integer in [0, 1024]\n";
+    return 2;
+  }
+  options.threads = static_cast<int>(*threads);
+
+  serve::Server server(options, out);
+  const std::string socket_path = parser.option("socket");
+  if (!socket_path.empty()) {
+#ifdef __unix__
+    return server.run_unix_socket(socket_path);
+#else
+    err << "error: --socket needs a Unix platform; use stdin mode\n";
+    return 2;
+#endif
+  }
+  return server.run(std::cin);
+}
+
 std::string main_usage() {
   return "pacds — power-aware connected dominating sets "
          "(Wu-Gao-Stojmenovic, ICPP 2001)\n\n"
@@ -856,7 +930,8 @@ std::string main_usage() {
          "  sim     run the paper's lifetime simulation\n"
          "  sweep   sweep host count x scheme (the figure harness)\n"
          "  faults  inspect a fault plan's resolved schedule\n"
-         "  fuzz    differential fuzzing against the invariant oracles\n\n"
+         "  fuzz    differential fuzzing against the invariant oracles\n"
+         "  serve   resident multi-tenant server over JSONL requests\n\n"
          "run 'pacds <command> --help' for command options\n";
 }
 
@@ -875,6 +950,7 @@ int run(const std::vector<std::string>& tokens, std::ostream& out,
   if (command == "sweep") return cmd_sweep(rest, out, err);
   if (command == "faults") return cmd_faults(rest, out, err);
   if (command == "fuzz") return cmd_fuzz(rest, out, err);
+  if (command == "serve") return cmd_serve(rest, out, err);
   err << "error: unknown command '" << command << "'\n\n" << main_usage();
   return 2;
 }

@@ -9,6 +9,7 @@
 //   pacds sweep  — host-count x scheme sweep (the figure harness)
 //   pacds faults — inspect a fault plan's resolved schedule
 //   pacds fuzz   — differential fuzzing against the invariant oracles
+//   pacds serve  — resident multi-tenant server over JSONL requests
 //
 // Each command returns a process exit code (0 = success).
 
@@ -36,6 +37,8 @@ int cmd_faults(const std::vector<std::string>& tokens, std::ostream& out,
                std::ostream& err);
 int cmd_fuzz(const std::vector<std::string>& tokens, std::ostream& out,
              std::ostream& err);
+int cmd_serve(const std::vector<std::string>& tokens, std::ostream& out,
+              std::ostream& err);
 
 /// Top-level usage text.
 [[nodiscard]] std::string main_usage();

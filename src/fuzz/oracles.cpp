@@ -11,11 +11,14 @@
 #include "dist/protocol.hpp"
 #include "energy/traffic.hpp"
 #include "io/json.hpp"
+#include "io/json_parse.hpp"
 #include "net/geometric.hpp"
 #include "net/rng.hpp"
 #include "net/topology.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/validate.hpp"
+#include "serve/server.hpp"
+#include "sim/config_json.hpp"
 #include "sim/engine.hpp"
 #include "sim/montecarlo.hpp"
 #include "sim/tiled_engine.hpp"
@@ -487,6 +490,122 @@ void check_simd_identity(const FuzzScenario& s, const OracleOptions& opts,
   }
 }
 
+/// Canonical, timing-free form of a JSONL metrics stream: every record
+/// re-serialized with "*_ns" values zeroed, serve envelope records
+/// (serve_response / serve_error) dropped and the "tenant" tag removed —
+/// the same normalization tests/serve_test.cpp pins, so the serve path and
+/// a standalone run must agree byte for byte on what remains.
+std::string canonical_stream(const std::string& stream) {
+  std::ostringstream out;
+  std::istringstream in(stream);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const JsonValue record = parse_json(line);
+    const JsonValue* type = record.find("type");
+    if (type != nullptr && (type->as_string() == "serve_response" ||
+                            type->as_string() == "serve_error")) {
+      continue;
+    }
+    JsonWriter json(out);
+    json.begin_object();
+    for (const auto& [key, value] : record.as_object()) {
+      if (key == "tenant") continue;
+      json.key(key);
+      if (value.is_number() && key.size() > 3 &&
+          key.compare(key.size() - 3, 3, "_ns") == 0) {
+        json.value(0);
+      } else {
+        write_json(json, value);
+      }
+    }
+    json.end_object();
+    out << "\n";
+  }
+  return out.str();
+}
+
+void check_serve_identity(const FuzzScenario& s, const OracleOptions& opts,
+                          std::vector<OracleFailure>& failures) {
+  const auto fail = [&](const std::string& detail) {
+    failures.push_back({"serve-identity", detail + " [" + describe(s) + "]"});
+  };
+  // Two trials so a tick budget crosses the trial boundary mid-request —
+  // the cached-run rebuild between trials is exactly what can drift.
+  constexpr long kTrials = 2;
+  const FaultPlan* plan = s.faults.empty() ? nullptr : &s.faults;
+
+  // Standalone twin: serve forces per-trial threading to 1 (its parallelism
+  // is across tenants), so the reference run gets the same forced config.
+  std::ostringstream standalone;
+  {
+    obs::JsonlSink sink(standalone);
+    (void)run_lifetime_trials(montecarlo_trial_config(s.config, true),
+                              kTrials, s.trial_seed, nullptr, &sink, plan);
+  }
+
+  std::ostringstream create;
+  {
+    JsonWriter json(create);
+    json.begin_object();
+    json.key("op").value("create");
+    json.key("tenant").value("fuzz");
+    json.key("config");
+    write_sim_config_json(json, s.config);
+    json.key("seed").value(s.trial_seed);
+    json.key("trials").value(static_cast<std::int64_t>(kTrials));
+    if (plan != nullptr) {
+      json.key("faults");
+      write_fault_plan(json, s.faults);
+    }
+    json.end_object();
+  }
+  const std::string tick =
+      s.serve_ticks > 0
+          ? "{\"op\":\"tick\",\"tenant\":\"fuzz\",\"intervals\":" +
+                std::to_string(s.serve_ticks) + "}"
+          : "{\"op\":\"tick\",\"tenant\":\"fuzz\"}";
+
+  std::ostringstream served;
+  serve::Server server(serve::ServeOptions{}, served);
+  server.process_lines({create.str()});
+  // Tick until the response reports finished; the budget-0 spelling takes
+  // one request, chunked ticks at most total-intervals + one per trial.
+  const long cap = kTrials * (s.config.max_intervals + 2) + 2;
+  for (long i = 0; i < cap; ++i) {
+    const std::size_t before = served.str().size();
+    server.process_lines({tick});
+    if (served.str().find("\"finished\":true", before) != std::string::npos) {
+      break;
+    }
+  }
+
+  std::string serve_canonical = canonical_stream(served.str());
+  if (opts.mutation == kMutateServeIdentity) {
+    serve_canonical += "{\"type\":\"interval\",\"mutated\":true}\n";
+  }
+  const std::string standalone_canonical =
+      canonical_stream(standalone.str());
+  if (serve_canonical == standalone_canonical) return;
+  std::istringstream a(serve_canonical);
+  std::istringstream b(standalone_canonical);
+  std::string la;
+  std::string lb;
+  std::size_t line_no = 1;
+  while (true) {
+    const bool got_a = static_cast<bool>(std::getline(a, la));
+    const bool got_b = static_cast<bool>(std::getline(b, lb));
+    if (!got_a && !got_b) break;
+    if (!got_a || !got_b || la != lb) {
+      fail("serve stream diverges from run_lifetime_trials at canonical "
+           "line " + std::to_string(line_no) + ": serve=" +
+           (got_a ? la : "<eof>") + " standalone=" + (got_b ? lb : "<eof>"));
+      return;
+    }
+    ++line_no;
+  }
+}
+
 }  // namespace
 
 std::vector<OracleFailure> run_oracles(const FuzzScenario& scenario,
@@ -502,6 +621,7 @@ std::vector<OracleFailure> run_oracles(const FuzzScenario& scenario,
   check_jsonl_schema(scenario, options, failures);
   check_empty_plan_identity(scenario, options, failures);
   check_simd_identity(scenario, options, failures);
+  check_serve_identity(scenario, options, failures);
   return failures;
 }
 

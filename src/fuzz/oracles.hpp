@@ -33,6 +33,12 @@
 //                         table vs the host's best dispatch level
 //                         (simd::set_level) is bit-identical; skipped when
 //                         the host has no vector path.
+//   serve-identity      — the `pacds serve` tick path (create + ticks in
+//                         the scenario's serve_ticks granularity) emits a
+//                         canonically identical metrics stream to a
+//                         standalone run_lifetime_trials call: same records
+//                         byte for byte once the serve envelope, tenant
+//                         tags and wall-clock fields are stripped.
 //
 // Oracles that need preconditions (a connected snapshot, engine
 // eligibility, threads > 1, ...) skip silently when the scenario is outside
@@ -65,6 +71,7 @@ inline constexpr int kMutateFaultStats = 6;
 inline constexpr int kMutateJsonl = 7;
 inline constexpr int kMutateEmptyPlanIdentity = 8;
 inline constexpr int kMutateSimdIdentity = 9;
+inline constexpr int kMutateServeIdentity = 10;
 
 struct OracleOptions {
   int mutation = kMutateNone;

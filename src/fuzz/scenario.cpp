@@ -8,6 +8,7 @@
 #include "io/json.hpp"
 #include "io/json_parse.hpp"
 #include "net/rng.hpp"
+#include "sim/config_json.hpp"
 
 namespace pacds::fuzz {
 
@@ -19,63 +20,6 @@ constexpr std::uint64_t kSeedMask = (std::uint64_t{1} << 48) - 1;
 
 [[noreturn]] void fail(const std::string& message) {
   throw std::runtime_error("fuzz scenario: " + message);
-}
-
-const char* drain_name(DrainModel model) {
-  switch (model) {
-    case DrainModel::kConstantTotal:
-      return "constant";
-    case DrainModel::kLinearTotal:
-      return "linear";
-    case DrainModel::kQuadraticTotal:
-      return "quadratic";
-  }
-  return "?";
-}
-
-DrainModel parse_drain(const std::string& name) {
-  if (name == "constant") return DrainModel::kConstantTotal;
-  if (name == "linear") return DrainModel::kLinearTotal;
-  if (name == "quadratic") return DrainModel::kQuadraticTotal;
-  fail("unknown drain model \"" + name + "\"");
-}
-
-BoundaryPolicy parse_boundary(const std::string& name) {
-  if (name == "clamp") return BoundaryPolicy::kClamp;
-  if (name == "reflect") return BoundaryPolicy::kReflect;
-  if (name == "wrap") return BoundaryPolicy::kWrap;
-  fail("unknown boundary policy \"" + name + "\"");
-}
-
-LinkModel parse_link(const std::string& name) {
-  if (name == "unit-disk") return LinkModel::kUnitDisk;
-  if (name == "gabriel") return LinkModel::kGabriel;
-  if (name == "rng") return LinkModel::kRng;
-  fail("unknown link model \"" + name + "\"");
-}
-
-RuleSet parse_scheme(const std::string& name) {
-  if (name == "NR") return RuleSet::kNR;
-  if (name == "ID") return RuleSet::kID;
-  if (name == "ND") return RuleSet::kND;
-  if (name == "EL1") return RuleSet::kEL1;
-  if (name == "EL2") return RuleSet::kEL2;
-  fail("unknown scheme \"" + name + "\"");
-}
-
-Strategy parse_strategy(const std::string& name) {
-  if (name == "sequential") return Strategy::kSequential;
-  if (name == "simultaneous") return Strategy::kSimultaneous;
-  if (name == "verified") return Strategy::kVerified;
-  fail("unknown strategy \"" + name + "\"");
-}
-
-SimEngine parse_engine(const std::string& name) {
-  if (name == "auto") return SimEngine::kAuto;
-  if (name == "full") return SimEngine::kFullRebuild;
-  if (name == "incremental") return SimEngine::kIncremental;
-  if (name == "tiled") return SimEngine::kTiled;
-  fail("unknown engine \"" + name + "\"");
 }
 
 const std::string& string_of(const JsonValue& value, const std::string& what) {
@@ -98,72 +42,6 @@ long integer_of(const JsonValue& value, const std::string& what, double lo,
          ", " + JsonWriter::format_double(hi) + "]");
   }
   return static_cast<long>(raw);
-}
-
-void parse_config(const JsonValue& value, SimConfig& config) {
-  if (!value.is_object()) fail("config must be an object");
-  for (const auto& [key, member] : value.as_object()) {
-    if (key == "n") {
-      config.n_hosts = static_cast<int>(integer_of(member, "config.n", 1, 1e6));
-    } else if (key == "field_width") {
-      config.field_width = number_of(member, "config.field_width");
-    } else if (key == "field_height") {
-      config.field_height = number_of(member, "config.field_height");
-    } else if (key == "boundary") {
-      config.boundary = parse_boundary(string_of(member, "config.boundary"));
-    } else if (key == "radius") {
-      config.radius = number_of(member, "config.radius");
-    } else if (key == "link_model") {
-      config.link_model = parse_link(string_of(member, "config.link_model"));
-    } else if (key == "initial_energy") {
-      config.initial_energy = number_of(member, "config.initial_energy");
-    } else if (key == "drain_model") {
-      config.drain_model = parse_drain(string_of(member, "config.drain_model"));
-    } else if (key == "stay_probability") {
-      config.stay_probability = number_of(member, "config.stay_probability");
-    } else if (key == "jump_min") {
-      config.jump_min =
-          static_cast<int>(integer_of(member, "config.jump_min", 0, 1e6));
-    } else if (key == "jump_max") {
-      config.jump_max =
-          static_cast<int>(integer_of(member, "config.jump_max", 0, 1e6));
-    } else if (key == "scheme") {
-      config.rule_set = parse_scheme(string_of(member, "config.scheme"));
-    } else if (key == "strategy") {
-      config.cds_options.strategy =
-          parse_strategy(string_of(member, "config.strategy"));
-    } else if (key == "quantum") {
-      config.energy_key_quantum = number_of(member, "config.quantum");
-    } else if (key == "engine") {
-      config.engine = parse_engine(string_of(member, "config.engine"));
-    } else if (key == "tiles") {
-      // Optional (older corpus entries predate the tiled engine): requested
-      // tile count, 0 = auto. The TileGrid clamps, so any value is safe.
-      config.tiles =
-          static_cast<int>(integer_of(member, "config.tiles", 0, 1e6));
-    } else if (key == "threads") {
-      config.threads =
-          static_cast<int>(integer_of(member, "config.threads", 0, 256));
-    } else if (key == "max_intervals") {
-      config.max_intervals = integer_of(member, "config.max_intervals", 1, 1e9);
-    } else {
-      fail("config: unknown key \"" + key + "\"");
-    }
-  }
-  if (!(config.radius > 0.0)) fail("config.radius must be > 0");
-  if (!(config.field_width > 0.0) || !(config.field_height > 0.0)) {
-    fail("config field dimensions must be > 0");
-  }
-  if (!(config.initial_energy > 0.0)) {
-    fail("config.initial_energy must be > 0");
-  }
-  if (!(config.stay_probability >= 0.0) || config.stay_probability > 1.0) {
-    fail("config.stay_probability must be in [0, 1]");
-  }
-  if (config.jump_max < config.jump_min) {
-    fail("config.jump_max must be >= config.jump_min");
-  }
-  if (config.energy_key_quantum < 0.0) fail("config.quantum must be >= 0");
 }
 
 }  // namespace
@@ -272,6 +150,14 @@ FuzzScenario random_scenario(std::uint64_t base_seed, std::uint64_t index) {
     s.faults.channel.duplicate = rng.uniform(0.0, 0.2);
     s.faults.channel.delay = rng.uniform(0.0, 0.2);
   }
+  // Serve-tick granularity: single-interval, small odd chunks, and the
+  // run-everything spelling all exercised by the serve-identity oracle.
+  switch (rng.uniform_int(0, 3)) {
+    case 0: s.serve_ticks = 0; break;
+    case 1: s.serve_ticks = 1; break;
+    case 2: s.serve_ticks = 3; break;
+    default: s.serve_ticks = 7; break;
+  }
   return s;
 }
 
@@ -285,10 +171,11 @@ std::string describe(const FuzzScenario& s) {
       << s.config.threads << " tiles=" << s.config.tiles << " boundary="
       << to_string(s.config.boundary)
       << " link=" << to_string(s.config.link_model) << " drain="
-      << drain_name(s.config.drain_model) << " quantum="
+      << drain_model_name(s.config.drain_model) << " quantum="
       << JsonWriter::format_double(s.config.energy_key_quantum) << " events="
       << resolve_schedule(s.faults).size()
-      << (s.faults.channel.any() ? " channel=faulty" : "");
+      << (s.faults.channel.any() ? " channel=faulty" : "")
+      << " serve_ticks=" << s.serve_ticks;
   return out.str();
 }
 
@@ -298,27 +185,9 @@ void write_scenario(JsonWriter& json, const FuzzScenario& s) {
   json.key("schema").value(kCorpusSchemaVersion);
   json.key("id").value(s.id);
   json.key("trial_seed").value(s.trial_seed);
-  json.key("config").begin_object();
-  json.key("n").value(s.config.n_hosts);
-  json.key("field_width").value(s.config.field_width);
-  json.key("field_height").value(s.config.field_height);
-  json.key("boundary").value(to_string(s.config.boundary));
-  json.key("radius").value(s.config.radius);
-  json.key("link_model").value(to_string(s.config.link_model));
-  json.key("initial_energy").value(s.config.initial_energy);
-  json.key("drain_model").value(drain_name(s.config.drain_model));
-  json.key("stay_probability").value(s.config.stay_probability);
-  json.key("jump_min").value(s.config.jump_min);
-  json.key("jump_max").value(s.config.jump_max);
-  json.key("scheme").value(to_string(s.config.rule_set));
-  json.key("strategy").value(to_string(s.config.cds_options.strategy));
-  json.key("quantum").value(s.config.energy_key_quantum);
-  json.key("engine").value(to_string(s.config.engine));
-  json.key("tiles").value(s.config.tiles);
-  json.key("threads").value(s.config.threads);
-  json.key("max_intervals").value(static_cast<std::int64_t>(
-      s.config.max_intervals));
-  json.end_object();
+  json.key("serve_ticks").value(s.serve_ticks);
+  json.key("config");
+  write_sim_config_json(json, s.config);
   json.key("faults");
   write_fault_plan(json, s.faults);
   json.end_object();
@@ -354,8 +223,14 @@ FuzzScenario parse_scenario(std::string_view text) {
     } else if (key == "trial_seed") {
       s.trial_seed =
           static_cast<std::uint64_t>(integer_of(value, "trial_seed", 0, 9e15));
+    } else if (key == "serve_ticks") {
+      // Optional (default 0) so pre-serve corpus reproducers keep parsing.
+      s.serve_ticks =
+          static_cast<int>(integer_of(value, "serve_ticks", 0, 1e6));
     } else if (key == "config") {
-      parse_config(value, s.config);
+      // Shared wire format (sim/config_json), with this module's error
+      // prefix so corpus diagnostics read as before.
+      parse_sim_config_json(value, s.config, "fuzz scenario: ");
     } else if (key == "faults") {
       // Re-serialize the sub-document and delegate to the fault-plan parser,
       // so corpus files share exactly its strict schema and range rules.

@@ -35,6 +35,10 @@ inline constexpr const char* kCorpusFormat = "pacds-fuzz-repro";
 struct FuzzScenario {
   std::uint64_t id = 0;
   std::uint64_t trial_seed = 1;
+  /// Tick granularity for the serve-identity oracle: 0 drives the tenant
+  /// with one run-everything tick, K > 0 advances it K intervals per
+  /// request — the chunking must not change the emitted stream.
+  int serve_ticks = 0;
   SimConfig config{};
   FaultPlan faults{};
 };

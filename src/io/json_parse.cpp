@@ -85,7 +85,19 @@ class Parser {
     }
     while (true) {
       skip_whitespace();
+      const std::size_t key_offset = pos_;
       std::string key = parse_string();
+      // Duplicate keys are rejected outright: the wire formats built on this
+      // parser (fault plans, fuzz reproducers, serve requests) treat object
+      // keys as a schema, and a repeated key is how a validated value gets
+      // smuggled past a reader that checks the first occurrence while a
+      // last-wins consumer reads the second. Comparison is on the *decoded*
+      // key, so the escaped spelling "\u0061" collides with a literal "a".
+      for (const auto& [name, value] : members) {
+        if (name == key) {
+          fail(key_offset, "duplicate object key \"" + key + "\"");
+        }
+      }
       skip_whitespace();
       expect(':');
       members.emplace_back(std::move(key), parse_value(depth + 1));

@@ -3,8 +3,11 @@
 // JsonWriter. Exists so tests can validate every line the JSONL emitter
 // produces and so bench_report can consume google-benchmark output without
 // an external dependency. Strict RFC 8259 subset: one document per parse,
-// objects kept as ordered key/value vectors (duplicate keys preserved;
-// find() returns the first).
+// objects kept as ordered key/value vectors. Duplicate object keys are a
+// parse error (compared after escape decoding, so the escaped spelling
+// "\u0061" collides with a literal "a"): every schema built on this parser
+// treats keys as field names, and accepting repeats silently would let one
+// validator see the first value while a downstream consumer reads the last.
 
 #include <cstddef>
 #include <string>

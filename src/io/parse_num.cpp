@@ -1,0 +1,85 @@
+#include "io/parse_num.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace pacds {
+
+std::optional<std::int64_t> parse_int64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // strtoll skips leading whitespace and accepts "0x" prefixes in base 0;
+  // pin base 10 and reject whitespace/plus-sign oddities up front so the
+  // accepted grammar is exactly -?[0-9]+.
+  std::size_t i = 0;
+  if (text[i] == '-') ++i;
+  if (i == text.size()) return std::nullopt;
+  for (std::size_t k = i; k < text.size(); ++k) {
+    if (text[k] < '0' || text[k] > '9') return std::nullopt;
+  }
+  const std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(owned.c_str(), &end, 10);
+  if (errno == ERANGE || end != owned.c_str() + owned.size()) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+std::optional<std::int64_t> parse_int64_in(std::string_view text,
+                                           std::int64_t lo, std::int64_t hi) {
+  const auto value = parse_int64(text);
+  if (!value || *value < lo || *value > hi) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_finite_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // Reject leading whitespace and the hex/inf/nan spellings strtod accepts;
+  // the remaining grammar (decimal with optional exponent) is delegated.
+  const char first = text.front();
+  if (!(first == '-' || first == '+' || first == '.' ||
+        (first >= '0' && first <= '9'))) {
+    return std::nullopt;
+  }
+  for (const char c : text) {
+    const bool ok = (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                    c == '+' || c == 'e' || c == 'E';
+    if (!ok) return std::nullopt;
+  }
+  const std::string owned(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (errno == ERANGE || end != owned.c_str() + owned.size() ||
+      !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<std::vector<std::int64_t>> parse_int_list(std::string_view text,
+                                                        std::int64_t lo,
+                                                        std::int64_t hi,
+                                                        std::string* bad_item,
+                                                        char sep) {
+  std::vector<std::int64_t> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t stop = text.find(sep, start);
+    const std::string_view item = text.substr(
+        start, stop == std::string_view::npos ? stop : stop - start);
+    const auto value = parse_int64_in(item, lo, hi);
+    if (!value) {
+      if (bad_item != nullptr) *bad_item = std::string(item);
+      return std::nullopt;
+    }
+    out.push_back(*value);
+    if (stop == std::string_view::npos) break;
+    start = stop + 1;
+  }
+  return out;
+}
+
+}  // namespace pacds

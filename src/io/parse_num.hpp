@@ -1,0 +1,40 @@
+#pragma once
+// Checked string-to-number parsing shared by the CLI option layer and the
+// serve request parser. The std::sto* family is unusable for input
+// validation: it accepts partial tokens ("4x" parses as 4), throws on
+// malformed input, and std::stoi silently narrows. These helpers demand a
+// full-token match, reject out-of-range magnitudes (ERANGE), and report
+// failure through std::optional so callers print a diagnostic instead of
+// crashing on an uncaught exception.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pacds {
+
+/// Parses `text` as one base-10 signed integer. The whole token must be
+/// consumed (no trailing characters, no leading whitespace) and the value
+/// must fit std::int64_t; anything else is std::nullopt.
+[[nodiscard]] std::optional<std::int64_t> parse_int64(std::string_view text);
+
+/// Like parse_int64 with an inclusive range check.
+[[nodiscard]] std::optional<std::int64_t> parse_int64_in(std::string_view text,
+                                                         std::int64_t lo,
+                                                         std::int64_t hi);
+
+/// Parses `text` as one finite double (full-token match; inf/nan and
+/// overflowing literals are rejected).
+[[nodiscard]] std::optional<double> parse_finite_double(std::string_view text);
+
+/// Splits `text` on `sep` and parses every item with parse_int64_in.
+/// Empty list, empty items ("1,,2"), malformed or out-of-range entries all
+/// fail; on failure `bad_item` (when non-null) receives the offending item
+/// ("" for an empty list) so the caller can name it in the diagnostic.
+[[nodiscard]] std::optional<std::vector<std::int64_t>> parse_int_list(
+    std::string_view text, std::int64_t lo, std::int64_t hi,
+    std::string* bad_item = nullptr, char sep = ',');
+
+}  // namespace pacds

@@ -1,0 +1,230 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "io/json.hpp"
+#include "io/json_parse.hpp"
+#include "sim/config_json.hpp"
+
+namespace pacds::serve {
+
+namespace {
+
+constexpr std::string_view kPrefix = "serve: ";
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error(std::string(kPrefix) + message);
+}
+
+const std::string& string_of(const JsonValue& value, const std::string& what) {
+  if (!value.is_string()) fail(what + " must be a string");
+  return value.as_string();
+}
+
+long integer_of(const JsonValue& value, const std::string& what, double lo,
+                double hi) {
+  if (!value.is_number()) fail(what + " must be a number");
+  const double raw = value.as_number();
+  if (!std::isfinite(raw) || raw != std::floor(raw) || raw < lo || raw > hi) {
+    fail(what + " must be an integer in [" + JsonWriter::format_double(lo) +
+         ", " + JsonWriter::format_double(hi) + "]");
+  }
+  return static_cast<long>(raw);
+}
+
+Op parse_op(const std::string& name) {
+  if (name == "create") return Op::kCreate;
+  if (name == "tick") return Op::kTick;
+  if (name == "status") return Op::kStatus;
+  if (name == "evict") return Op::kEvict;
+  if (name == "sweep") return Op::kSweep;
+  if (name == "shutdown") return Op::kShutdown;
+  fail("unknown op \"" + name + "\"");
+}
+
+bool op_takes(Op op, const std::string& key) {
+  const bool configured = op == Op::kCreate || op == Op::kSweep;
+  if (key == "tenant") return op != Op::kShutdown;
+  if (key == "config" || key == "seed" || key == "trials" || key == "faults") {
+    return configured;
+  }
+  if (key == "intervals") return op == Op::kTick;
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kCreate: return "create";
+    case Op::kTick: return "tick";
+    case Op::kStatus: return "status";
+    case Op::kEvict: return "evict";
+    case Op::kSweep: return "sweep";
+    case Op::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kSchema: return "schema";
+    case ErrorCode::kUnknownTenant: return "unknown_tenant";
+    case ErrorCode::kTenantExists: return "tenant_exists";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+bool valid_tenant_name(std::string_view name) noexcept {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::optional<Request> parse_request(std::string_view line, std::uint64_t seq,
+                                     RequestError& error) {
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const std::exception& e) {
+    error = {ErrorCode::kParse, e.what()};
+    return std::nullopt;
+  }
+
+  Request request;
+  request.seq = seq;
+  try {
+    if (!doc.is_object()) fail("request must be a JSON object");
+    const JsonValue* op_value = doc.find("op");
+    if (op_value == nullptr) fail("request needs an \"op\" key");
+    request.op = parse_op(string_of(*op_value, "op"));
+
+    bool have_config = false;
+    for (const auto& [key, value] : doc.as_object()) {
+      if (key == "op") continue;
+      if (!op_takes(request.op, key)) {
+        fail("op \"" + std::string(to_string(request.op)) +
+             "\" does not take key \"" + key + "\"");
+      }
+      if (key == "tenant") {
+        request.tenant = string_of(value, "tenant");
+        if (!valid_tenant_name(request.tenant)) {
+          fail("tenant must be 1-64 chars of [A-Za-z0-9._-]");
+        }
+      } else if (key == "config") {
+        parse_sim_config_json(value, request.config, std::string(kPrefix));
+        have_config = true;
+      } else if (key == "seed") {
+        request.seed = static_cast<std::uint64_t>(
+            integer_of(value, "seed", 0, 9e15));
+      } else if (key == "trials") {
+        request.trials = integer_of(value, "trials", 1, 1e6);
+      } else if (key == "faults") {
+        // Re-serialize the sub-document and delegate to the fault-plan
+        // parser so serve shares its strict schema and range rules exactly.
+        std::ostringstream plan_text;
+        JsonWriter plan_json(plan_text);
+        write_json(plan_json, value);
+        request.faults = parse_fault_plan(plan_text.str());
+        request.has_faults = true;
+      } else if (key == "intervals") {
+        request.intervals = integer_of(value, "intervals", 0, 1e9);
+      }
+    }
+
+    if (request.op != Op::kShutdown && request.tenant.empty()) {
+      fail("op \"" + std::string(to_string(request.op)) +
+           "\" needs a \"tenant\" key");
+    }
+    if ((request.op == Op::kCreate || request.op == Op::kSweep) &&
+        !have_config) {
+      fail("op \"" + std::string(to_string(request.op)) +
+           "\" needs a \"config\" key");
+    }
+    if (request.has_faults) {
+      validate_fault_plan(request.faults, request.config.n_hosts);
+    }
+  } catch (const std::exception& e) {
+    error = {ErrorCode::kSchema, e.what()};
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::string tenant_digest(const SimConfig& config, std::uint64_t seed,
+                          long trials, const FaultPlan* faults) {
+  std::ostringstream canonical;
+  {
+    JsonWriter json(canonical);
+    json.begin_object();
+    json.key("config");
+    write_sim_config_json(json, config);
+    json.key("seed").value(static_cast<std::int64_t>(seed));
+    json.key("trials").value(static_cast<std::int64_t>(trials));
+    json.key("faults");
+    if (faults != nullptr && !faults->empty()) {
+      write_fault_plan(json, *faults);
+    } else {
+      json.null();
+    }
+    json.end_object();
+  }
+  const std::string text = canonical.str();
+  std::uint64_t hash = 14695981039346656037ULL;  // FNV-1a 64
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string digest(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    digest[static_cast<std::size_t>(i)] = kHex[hash & 0xF];
+    hash >>= 4;
+  }
+  return digest;
+}
+
+void write_error_record(obs::JsonlSink& sink, std::uint64_t seq,
+                        ErrorCode code, const std::string& message) {
+  sink.record([&](JsonWriter& json) {
+    json.key("type").value("serve_error");
+    json.key("schema").value(kServeSchemaVersion);
+    json.key("seq").value(static_cast<std::int64_t>(seq));
+    json.key("code").value(error_code_name(code));
+    json.key("error").value(message);
+  });
+}
+
+std::string tag_tenant_lines(const std::string& lines,
+                             const std::string& tenant) {
+  std::string out;
+  out.reserve(lines.size() + (tenant.size() + 16) * 8);
+  std::size_t start = 0;
+  while (start < lines.size()) {
+    std::size_t stop = lines.find('\n', start);
+    if (stop == std::string::npos) stop = lines.size();
+    const std::string_view line(lines.data() + start, stop - start);
+    if (!line.empty() && line.front() == '{') {
+      out += "{\"tenant\":\"";
+      out += tenant;
+      out += '"';
+      if (line.size() > 1 && line[1] != '}') out += ',';
+      out.append(line.substr(1));
+    } else {
+      out.append(line);
+    }
+    out += '\n';
+    start = stop + 1;
+  }
+  return out;
+}
+
+}  // namespace pacds::serve

@@ -1,0 +1,130 @@
+#pragma once
+// The `pacds serve` resident process: multiplexes many named tenants, each
+// holding a cached LifetimeRun (engine + batteries + mobility state) keyed
+// by config digest, over a JSONL request stream (serve/protocol.hpp).
+//
+// Concurrency model — sequential semantics, parallel schedule:
+//   * Requests are processed exactly as if handled one at a time in input
+//     order; the emitted stream is a pure function of the input lines (and
+//     of which lines admission control shed). This is what makes the
+//     serve-vs-standalone bit-identity oracle possible.
+//   * Within a batch, maximal runs of compute requests (tick / sweep) are
+//     grouped by tenant and the groups execute on the Executor in parallel
+//     — tenants share no state, so the schedule cannot change the output;
+//     each request's records go to a private buffer spliced back in seq
+//     order (the Monte-Carlo splice idiom). Control requests (create,
+//     status, evict, shutdown) are barriers: they run serially in order.
+//   * Per-trial intra-interval threading is forced to 1, exactly like the
+//     Monte-Carlo trial pool (montecarlo_trial_config): serve's parallelism
+//     is across tenants, and output is bit-identical for every --threads.
+//
+// Admission control (stream mode): a reader thread moves stdin lines into a
+// bounded queue and NEVER blocks on the worker — when the queue is full the
+// line is dropped on the floor and only its seq is kept, surfacing as a
+// queue_full serve_error in the output. Backpressure is therefore visible
+// to the client per-request instead of stalling the whole input stream.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "sim/threadpool.hpp"
+
+namespace pacds::serve {
+
+struct ServeOptions {
+  /// Bounded admission queue length (stream mode). Lines arriving while the
+  /// queue is full are shed with a queue_full error record.
+  std::size_t queue_limit = 1024;
+  /// Resident tenant cap; creating beyond it evicts the least-recently-used
+  /// tenant (the create response names the victim).
+  std::size_t max_tenants = 64;
+  /// Executor threads for independent tenant groups: 1 = serial (default),
+  /// 0 = hardware concurrency. Output is identical for every value.
+  int threads = 1;
+};
+
+class Server {
+ public:
+  /// `out` receives every output record; it must outlive the server.
+  Server(const ServeOptions& options, std::ostream& out);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// One raw input line as admission control saw it. `rejected` lines were
+  /// shed before parsing (their text is already gone).
+  struct RawLine {
+    std::uint64_t seq = 0;
+    std::string text;
+    bool rejected = false;
+  };
+
+  /// Processes one batch of admitted/shed lines in seq order (seqs must be
+  /// ascending). Returns false once a shutdown request has been processed —
+  /// every request after it is answered with a shutdown error.
+  bool process_batch(const std::vector<RawLine>& batch);
+
+  /// Convenience for tests and benches: assigns seqs from the internal line
+  /// counter and processes the lines as one fully-admitted batch.
+  bool process_lines(const std::vector<std::string>& lines);
+
+  /// Stream mode: reader thread + bounded queue until EOF or shutdown.
+  /// Returns the process exit code (0 on clean EOF/shutdown).
+  int run(std::istream& in);
+
+#ifdef __unix__
+  /// Unix-socket mode: accepts one client at a time on `path`, serving each
+  /// connection's JSONL synchronously until shutdown. Returns the process
+  /// exit code.
+  int run_unix_socket(const std::string& path);
+#endif
+
+  /// Live tenant count (probe for tests/benches).
+  [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
+  [[nodiscard]] bool shut_down() const { return shutdown_; }
+
+ private:
+  struct Tenant {
+    std::string name;
+    std::string digest;
+    SimConfig trial_config{};  // threads already forced to 1
+    std::uint64_t seed = 1;
+    long trials = 1;
+    FaultPlan faults{};
+    bool has_faults = false;
+    long trial = 0;            // index of the trial `run` belongs to
+    long total_intervals = 0;  // intervals stepped across all trials
+    std::uint64_t last_used = 0;  // seq of the last touching request (LRU)
+    std::unique_ptr<LifetimeRun> run;  // null between trials / when done
+  };
+
+  struct Item {
+    RawLine raw;
+    std::optional<Request> request;
+    RequestError error;
+    std::string output;  // this request's records, spliced in seq order
+  };
+
+  void execute_control(Item& item);
+  void execute_window(std::vector<Item>& items, std::size_t begin,
+                      std::size_t end);
+  void run_tick(Tenant& tenant, const Request& request, std::string& output);
+  void run_sweep(const Request& request, std::string& output);
+  void handle_create(Item& item);
+
+  ServeOptions options_;
+  std::ostream* out_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::unique_ptr<ThreadPool> pool_;  // null when options_.threads == 1
+  std::uint64_t line_counter_ = 0;    // process_lines convenience seqs
+  bool shutdown_ = false;
+};
+
+}  // namespace pacds::serve

@@ -1,0 +1,209 @@
+#include "sim/config_json.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "io/json.hpp"
+#include "io/json_parse.hpp"
+
+namespace pacds {
+namespace {
+
+[[noreturn]] void fail(const std::string& prefix, const std::string& message) {
+  throw std::runtime_error(prefix + message);
+}
+
+DrainModel parse_drain(const std::string& prefix, const std::string& name) {
+  if (name == "constant") return DrainModel::kConstantTotal;
+  if (name == "linear") return DrainModel::kLinearTotal;
+  if (name == "quadratic") return DrainModel::kQuadraticTotal;
+  fail(prefix, "unknown drain model \"" + name + "\"");
+}
+
+BoundaryPolicy parse_boundary(const std::string& prefix,
+                              const std::string& name) {
+  if (name == "clamp") return BoundaryPolicy::kClamp;
+  if (name == "reflect") return BoundaryPolicy::kReflect;
+  if (name == "wrap") return BoundaryPolicy::kWrap;
+  fail(prefix, "unknown boundary policy \"" + name + "\"");
+}
+
+LinkModel parse_link(const std::string& prefix, const std::string& name) {
+  if (name == "unit-disk") return LinkModel::kUnitDisk;
+  if (name == "gabriel") return LinkModel::kGabriel;
+  if (name == "rng") return LinkModel::kRng;
+  fail(prefix, "unknown link model \"" + name + "\"");
+}
+
+RuleSet parse_scheme(const std::string& prefix, const std::string& name) {
+  if (name == "NR") return RuleSet::kNR;
+  if (name == "ID") return RuleSet::kID;
+  if (name == "ND") return RuleSet::kND;
+  if (name == "EL1") return RuleSet::kEL1;
+  if (name == "EL2") return RuleSet::kEL2;
+  fail(prefix, "unknown scheme \"" + name + "\"");
+}
+
+Strategy parse_strategy(const std::string& prefix, const std::string& name) {
+  if (name == "sequential") return Strategy::kSequential;
+  if (name == "simultaneous") return Strategy::kSimultaneous;
+  if (name == "verified") return Strategy::kVerified;
+  fail(prefix, "unknown strategy \"" + name + "\"");
+}
+
+SimEngine parse_engine(const std::string& prefix, const std::string& name) {
+  if (name == "auto") return SimEngine::kAuto;
+  if (name == "full") return SimEngine::kFullRebuild;
+  if (name == "incremental") return SimEngine::kIncremental;
+  if (name == "tiled") return SimEngine::kTiled;
+  fail(prefix, "unknown engine \"" + name + "\"");
+}
+
+const std::string& string_of(const std::string& prefix, const JsonValue& value,
+                             const std::string& what) {
+  if (!value.is_string()) fail(prefix, what + " must be a string");
+  return value.as_string();
+}
+
+double number_of(const std::string& prefix, const JsonValue& value,
+                 const std::string& what) {
+  if (!value.is_number()) fail(prefix, what + " must be a number");
+  const double raw = value.as_number();
+  if (!std::isfinite(raw)) fail(prefix, what + " must be finite");
+  return raw;
+}
+
+long integer_of(const std::string& prefix, const JsonValue& value,
+                const std::string& what, double lo, double hi) {
+  const double raw = number_of(prefix, value, what);
+  if (raw != std::floor(raw) || raw < lo || raw > hi) {
+    fail(prefix, what + " must be an integer in [" +
+                     JsonWriter::format_double(lo) + ", " +
+                     JsonWriter::format_double(hi) + "]");
+  }
+  return static_cast<long>(raw);
+}
+
+}  // namespace
+
+void parse_sim_config_json(const JsonValue& value, SimConfig& config,
+                           const std::string& prefix) {
+  if (!value.is_object()) fail(prefix, "config must be an object");
+  for (const auto& [key, member] : value.as_object()) {
+    if (key == "n") {
+      config.n_hosts =
+          static_cast<int>(integer_of(prefix, member, "config.n", 1, 1e6));
+    } else if (key == "field_width") {
+      config.field_width = number_of(prefix, member, "config.field_width");
+    } else if (key == "field_height") {
+      config.field_height = number_of(prefix, member, "config.field_height");
+    } else if (key == "boundary") {
+      config.boundary = parse_boundary(
+          prefix, string_of(prefix, member, "config.boundary"));
+    } else if (key == "radius") {
+      config.radius = number_of(prefix, member, "config.radius");
+    } else if (key == "link_model") {
+      config.link_model =
+          parse_link(prefix, string_of(prefix, member, "config.link_model"));
+    } else if (key == "initial_energy") {
+      config.initial_energy =
+          number_of(prefix, member, "config.initial_energy");
+    } else if (key == "drain_model") {
+      config.drain_model = parse_drain(
+          prefix, string_of(prefix, member, "config.drain_model"));
+    } else if (key == "stay_probability") {
+      config.stay_probability =
+          number_of(prefix, member, "config.stay_probability");
+    } else if (key == "jump_min") {
+      config.jump_min = static_cast<int>(
+          integer_of(prefix, member, "config.jump_min", 0, 1e6));
+    } else if (key == "jump_max") {
+      config.jump_max = static_cast<int>(
+          integer_of(prefix, member, "config.jump_max", 0, 1e6));
+    } else if (key == "scheme") {
+      config.rule_set =
+          parse_scheme(prefix, string_of(prefix, member, "config.scheme"));
+    } else if (key == "strategy") {
+      config.cds_options.strategy = parse_strategy(
+          prefix, string_of(prefix, member, "config.strategy"));
+    } else if (key == "quantum") {
+      config.energy_key_quantum =
+          number_of(prefix, member, "config.quantum");
+    } else if (key == "engine") {
+      config.engine =
+          parse_engine(prefix, string_of(prefix, member, "config.engine"));
+    } else if (key == "tiles") {
+      // Optional (older corpus entries predate the tiled engine): requested
+      // tile count, 0 = auto. The TileGrid clamps, so any value is safe.
+      config.tiles = static_cast<int>(
+          integer_of(prefix, member, "config.tiles", 0, 1e6));
+    } else if (key == "threads") {
+      config.threads = static_cast<int>(
+          integer_of(prefix, member, "config.threads", 0, 256));
+    } else if (key == "max_intervals") {
+      config.max_intervals =
+          integer_of(prefix, member, "config.max_intervals", 1, 1e9);
+    } else if (key == "connect_retries") {
+      config.connect_retries = static_cast<int>(
+          integer_of(prefix, member, "config.connect_retries", 1, 1e6));
+    } else {
+      fail(prefix, "config: unknown key \"" + key + "\"");
+    }
+  }
+  if (!(config.radius > 0.0)) fail(prefix, "config.radius must be > 0");
+  if (!(config.field_width > 0.0) || !(config.field_height > 0.0)) {
+    fail(prefix, "config field dimensions must be > 0");
+  }
+  if (!(config.initial_energy > 0.0)) {
+    fail(prefix, "config.initial_energy must be > 0");
+  }
+  if (!(config.stay_probability >= 0.0) || config.stay_probability > 1.0) {
+    fail(prefix, "config.stay_probability must be in [0, 1]");
+  }
+  if (config.jump_max < config.jump_min) {
+    fail(prefix, "config.jump_max must be >= config.jump_min");
+  }
+  if (config.energy_key_quantum < 0.0) {
+    fail(prefix, "config.quantum must be >= 0");
+  }
+}
+
+void write_sim_config_json(JsonWriter& json, const SimConfig& config) {
+  json.begin_object();
+  json.key("n").value(config.n_hosts);
+  json.key("field_width").value(config.field_width);
+  json.key("field_height").value(config.field_height);
+  json.key("boundary").value(to_string(config.boundary));
+  json.key("radius").value(config.radius);
+  json.key("link_model").value(to_string(config.link_model));
+  json.key("initial_energy").value(config.initial_energy);
+  json.key("drain_model").value(drain_model_name(config.drain_model));
+  json.key("stay_probability").value(config.stay_probability);
+  json.key("jump_min").value(config.jump_min);
+  json.key("jump_max").value(config.jump_max);
+  json.key("scheme").value(to_string(config.rule_set));
+  json.key("strategy").value(to_string(config.cds_options.strategy));
+  json.key("quantum").value(config.energy_key_quantum);
+  json.key("engine").value(to_string(config.engine));
+  json.key("tiles").value(config.tiles);
+  json.key("threads").value(config.threads);
+  json.key("max_intervals")
+      .value(static_cast<std::int64_t>(config.max_intervals));
+  json.key("connect_retries").value(config.connect_retries);
+  json.end_object();
+}
+
+const char* drain_model_name(DrainModel model) noexcept {
+  switch (model) {
+    case DrainModel::kConstantTotal:
+      return "constant";
+    case DrainModel::kLinearTotal:
+      return "linear";
+    case DrainModel::kQuadraticTotal:
+      return "quadratic";
+  }
+  return "?";
+}
+
+}  // namespace pacds

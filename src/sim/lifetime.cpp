@@ -11,243 +11,265 @@
 
 namespace pacds {
 
-TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
-                               IntervalObserver* observer,
-                               const FaultPlan* faults) {
-  if (config.n_hosts < 1) {
+LifetimeRun::LifetimeRun(const SimConfig& config, std::uint64_t seed,
+                         IntervalObserver* observer, const FaultPlan* faults)
+    : config_(config),
+      rng_(seed),
+      field_(config.field_width, config.field_height, config.boundary),
+      observer_(observer),
+      batteries_(static_cast<std::size_t>(std::max(config.n_hosts, 1)),
+                 config.initial_energy) {
+  if (config_.n_hosts < 1) {
     throw std::invalid_argument("run_lifetime_trial: need at least one host");
   }
-  Xoshiro256 rng(seed);
-  const Field field(config.field_width, config.field_height, config.boundary);
-
-  TrialResult result;
-  std::vector<Vec2> positions;
-  if (auto placed = random_connected_placement(
-          config.n_hosts, field, config.radius, rng, config.connect_retries)) {
-    positions = std::move(placed->positions);
-    result.placement_attempts = placed->attempts;
+  if (auto placed =
+          random_connected_placement(config_.n_hosts, field_, config_.radius,
+                                     rng_, config_.connect_retries)) {
+    positions_ = std::move(placed->positions);
+    result_.placement_attempts = placed->attempts;
   } else {
     // No connected placement found (tiny n or sparse density): proceed with
     // a plain placement; the marking/rules handle components independently.
-    positions = random_placement(config.n_hosts, field, rng);
-    result.initial_connected = false;
-    result.placement_attempts = config.connect_retries;
+    positions_ = random_placement(config_.n_hosts, field_, rng_);
+    result_.initial_connected = false;
+    result_.placement_attempts = config_.connect_retries;
   }
 
-  BatteryBank batteries(static_cast<std::size_t>(config.n_hosts),
-                        config.initial_energy);
-  MobilityParams mobility_params = config.mobility_params;
-  if (config.mobility_kind == MobilityKind::kPaperJump) {
-    mobility_params.stay_probability = config.stay_probability;
-    mobility_params.jump_min = config.jump_min;
-    mobility_params.jump_max = config.jump_max;
+  MobilityParams mobility_params = config_.mobility_params;
+  if (config_.mobility_kind == MobilityKind::kPaperJump) {
+    mobility_params.stay_probability = config_.stay_probability;
+    mobility_params.jump_min = config_.jump_min;
+    mobility_params.jump_max = config_.jump_max;
   }
-  const std::unique_ptr<MobilityModel> mobility =
-      make_mobility(config.mobility_kind, mobility_params);
+  mobility_ = make_mobility(config_.mobility_kind, mobility_params);
 
   // Placement and mobility are the only RNG consumers, so neither the choice
   // of engine nor a fault plan can perturb the random stream: both engines
   // yield bit-identical trials wherever the incremental one is eligible, and
   // a faulted run shares its fault-free twin's placement and trajectories.
-  const std::unique_ptr<LifetimeEngine> engine = make_lifetime_engine(config);
+  engine_ = make_lifetime_engine(config_);
 
   // Metrics are gathered only when someone is listening; with no observer
   // the engine keeps its null registry and every timer/counter is skipped.
-  obs::MetricsRegistry metrics;
-  if (observer != nullptr) engine->set_metrics(&metrics);
+  if (observer_ != nullptr) engine_->set_metrics(&metrics_);
 
   // Degraded mode: only a plan with scheduled lifetime events changes the
   // loop at all; an empty or null plan stays on the exact fault-free path.
-  const bool faulted = faults != nullptr && faults->has_lifetime_events();
-  std::optional<FaultInjector> injector;
-  std::vector<FaultRecord> fault_events;
-  DynBitset health_scratch;
-  if (faulted) {
-    validate_fault_plan(*faults, config.n_hosts);
-    injector.emplace(*faults, batteries.size(), config.field_width,
-                     config.radius);
-    health_scratch = DynBitset(batteries.size());
+  faulted_ = faults != nullptr && faults->has_lifetime_events();
+  if (faulted_) {
+    fault_plan_ = *faults;
+    validate_fault_plan(fault_plan_, config_.n_hosts);
+    injector_.emplace(fault_plan_, batteries_.size(), config_.field_width,
+                      config_.radius);
+    health_scratch_ = DynBitset(batteries_.size());
+  }
+}
+
+LifetimeRun::~LifetimeRun() = default;
+
+bool LifetimeRun::finished() const {
+  return attrition_stop_ || result_.intervals >= config_.max_intervals;
+}
+
+void LifetimeRun::set_observer(IntervalObserver* observer) {
+  observer_ = observer;
+  engine_->set_metrics(observer_ != nullptr ? &metrics_ : nullptr);
+}
+
+bool LifetimeRun::step() {
+  if (finished()) return false;
+  metrics_.reset();  // per-interval slice
+  const long interval = result_.intervals + 1;
+
+  // 1. Inject this interval's scheduled faults (before the CDS update, so
+  //    the engine always computes against the post-event topology).
+  bool repair_due = false;
+  if (faulted_) {
+    fault_events_.clear();
+    {
+      const obs::PhaseTimer timer(observer_ != nullptr ? &metrics_ : nullptr,
+                                  obs::Phase::kFaultApply);
+      injector_->apply(interval, positions_, batteries_, fault_events_);
+    }
+    repair_due = injector_->take_down_changed();
   }
 
-  double gateway_sum = 0.0;
-  double marked_sum = 0.0;
-  bool attrition_stop = false;
-  while (result.intervals < config.max_intervals) {
-    metrics.reset();  // per-interval slice
-    const long interval = result.intervals + 1;
+  // 2. Bring the gateway set up to date. Down hosts enter parked (hence
+  //    isolated) — for the incremental engine the update IS the localized
+  //    repair: only the k-hop ball around the excised links re-evaluates.
+  const std::vector<Vec2>& radio_positions =
+      faulted_ ? injector_->effective_positions(positions_) : positions_;
+  std::uint64_t repair_ns = 0;
+  if (repair_due) {
+    const auto start = std::chrono::steady_clock::now();
+    engine_->update(radio_positions, batteries_.levels());
+    repair_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  } else {
+    engine_->update(radio_positions, batteries_.levels());
+  }
+  const DynBitset& gateways = engine_->gateways();
+  IntervalCounts counts = engine_->counts();
 
-    // 1. Inject this interval's scheduled faults (before the CDS update, so
-    //    the engine always computes against the post-event topology).
-    bool repair_due = false;
-    if (faulted) {
-      fault_events.clear();
-      {
-        const obs::PhaseTimer timer(observer != nullptr ? &metrics : nullptr,
-                                    obs::Phase::kFaultApply);
-        injector->apply(interval, positions, batteries, fault_events);
-      }
-      repair_due = injector->take_down_changed();
+  // 3. Degraded-mode health: domination + connectivity of the surviving
+  //    backbone. assess_backbone leaves the active gateway set in
+  //    health_scratch_, which then also drives the drain step.
+  BackboneHealth health;
+  const DynBitset* drain_gateways = &gateways;
+  if (faulted_) {
+    health = assess_backbone(*engine_->graph(), gateways, injector_->down(),
+                             health_scratch_);
+    drain_gateways = &health_scratch_;
+    counts.gateways = health.active_gateways;
+  }
+  gateway_sum_ += static_cast<double>(counts.gateways);
+  marked_sum_ += static_cast<double>(counts.marked);
+
+  // 4. Drain. Down hosts spend nothing (a crashed radio is off); gateway
+  //    duty is judged against the active set.
+  const double d = gateway_drain(config_.drain_model, batteries_.size(),
+                                 counts.gateways, config_.drain_params);
+  const double d_prime = config_.drain_params.nongateway_drain;
+  bool someone_died = false;
+  const std::size_t death_start = fault_events_.size();
+  for (std::size_t host = 0; host < batteries_.size(); ++host) {
+    if (faulted_ && injector_->down().test(host)) continue;
+    const bool is_gateway = drain_gateways->test(host);
+    if (batteries_.drain(host, is_gateway ? d : d_prime)) {
+      someone_died = true;
+      if (faulted_) injector_->record_death(host, interval, fault_events_);
     }
+  }
+  ++result_.intervals;
 
-    // 2. Bring the gateway set up to date. Down hosts enter parked (hence
-    //    isolated) — for the incremental engine the update IS the localized
-    //    repair: only the k-hop ball around the excised links re-evaluates.
-    const std::vector<Vec2>& radio_positions =
-        faulted ? injector->effective_positions(positions) : positions;
-    std::uint64_t repair_ns = 0;
+  // 5. Degraded-mode bookkeeping: event tallies, health aggregates, and
+  //    the repair record for this interval's down-set change.
+  FaultRecord repair_record;
+  if (faulted_) {
+    FaultStats& fs = result_.faults;
+    for (const FaultRecord& event : fault_events_) {
+      switch (event.kind) {
+        case FaultKind::kCrash:
+          ++fs.events;
+          ++fs.crashes;
+          break;
+        case FaultKind::kRecover:
+          ++fs.events;
+          ++fs.recoveries;
+          break;
+        case FaultKind::kTheft:
+          ++fs.events;
+          ++fs.thefts;
+          break;
+        case FaultKind::kDeath:
+          ++fs.deaths;
+          if (fs.first_death_interval < 0) {
+            fs.first_death_interval = event.interval;
+          }
+          break;
+        case FaultKind::kRepair:
+          break;
+      }
+    }
+    if (!health.backbone_ok) ++fs.disconnected_intervals;
+    if (health.coverage < 1.0) ++fs.uncovered_intervals;
+    fs.min_coverage = std::min(fs.min_coverage, health.coverage);
     if (repair_due) {
-      const auto start = std::chrono::steady_clock::now();
-      engine->update(radio_positions, batteries.levels());
-      repair_ns = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - start)
-              .count());
-    } else {
-      engine->update(radio_positions, batteries.levels());
+      ++fs.repairs;
+      fs.repair_ns_total += repair_ns;
+      fs.repair_touched_total += engine_->last_touched();
+      repair_record = {interval,
+                       FaultKind::kRepair,
+                       FaultCause::kNone,
+                       -1,
+                       0.0,
+                       injector_->down_count(),
+                       engine_->last_touched(),
+                       repair_ns,
+                       health.backbone_ok,
+                       health.coverage,
+                       health.active_gateways};
     }
-    const DynBitset& gateways = engine->gateways();
-    IntervalCounts counts = engine->counts();
-
-    // 3. Degraded-mode health: domination + connectivity of the surviving
-    //    backbone. assess_backbone leaves the active gateway set in
-    //    health_scratch, which then also drives the drain step.
-    BackboneHealth health;
-    const DynBitset* drain_gateways = &gateways;
-    if (faulted) {
-      health = assess_backbone(*engine->graph(), gateways, injector->down(),
-                               health_scratch);
-      drain_gateways = &health_scratch;
-      counts.gateways = health.active_gateways;
-    }
-    gateway_sum += static_cast<double>(counts.gateways);
-    marked_sum += static_cast<double>(counts.marked);
-
-    // 4. Drain. Down hosts spend nothing (a crashed radio is off); gateway
-    //    duty is judged against the active set.
-    const double d = gateway_drain(config.drain_model, batteries.size(),
-                                   counts.gateways, config.drain_params);
-    const double d_prime = config.drain_params.nongateway_drain;
-    bool someone_died = false;
-    const std::size_t death_start = fault_events.size();
-    for (std::size_t host = 0; host < batteries.size(); ++host) {
-      if (faulted && injector->down().test(host)) continue;
-      const bool is_gateway = drain_gateways->test(host);
-      if (batteries.drain(host, is_gateway ? d : d_prime)) {
-        someone_died = true;
-        if (faulted) injector->record_death(host, interval, fault_events);
-      }
-    }
-    ++result.intervals;
-
-    // 5. Degraded-mode bookkeeping: event tallies, health aggregates, and
-    //    the repair record for this interval's down-set change.
-    FaultRecord repair_record;
-    if (faulted) {
-      FaultStats& fs = result.faults;
-      for (const FaultRecord& event : fault_events) {
-        switch (event.kind) {
-          case FaultKind::kCrash:
-            ++fs.events;
-            ++fs.crashes;
-            break;
-          case FaultKind::kRecover:
-            ++fs.events;
-            ++fs.recoveries;
-            break;
-          case FaultKind::kTheft:
-            ++fs.events;
-            ++fs.thefts;
-            break;
-          case FaultKind::kDeath:
-            ++fs.deaths;
-            if (fs.first_death_interval < 0) {
-              fs.first_death_interval = event.interval;
-            }
-            break;
-          case FaultKind::kRepair:
-            break;
-        }
-      }
-      if (!health.backbone_ok) ++fs.disconnected_intervals;
-      if (health.coverage < 1.0) ++fs.uncovered_intervals;
-      fs.min_coverage = std::min(fs.min_coverage, health.coverage);
-      if (repair_due) {
-        ++fs.repairs;
-        fs.repair_ns_total += repair_ns;
-        fs.repair_touched_total += engine->last_touched();
-        repair_record = {interval,
-                         FaultKind::kRepair,
-                         FaultCause::kNone,
-                         -1,
-                         0.0,
-                         injector->down_count(),
-                         engine->last_touched(),
-                         repair_ns,
-                         health.backbone_ok,
-                         health.coverage,
-                         health.active_gateways};
-      }
-    }
-
-    if (observer != nullptr) {
-      if (faulted) {
-        metrics.add(obs::Counter::kFaultEvents, fault_events.size());
-        metrics.add(obs::Counter::kHostsDown, injector->down_count());
-      }
-      IntervalRecord record;
-      record.interval = result.intervals;
-      record.marked = counts.marked;
-      record.gateways = counts.gateways;
-      record.alive = batteries.alive_count();
-      record.min_energy = batteries.min_level();
-      double sum = 0.0;
-      double max_level = 0.0;
-      for (const double level : batteries.levels()) {
-        sum += level;
-        max_level = std::max(max_level, level);
-      }
-      record.mean_energy = sum / static_cast<double>(batteries.size());
-      record.max_energy = max_level;
-      record.touched = engine->last_touched();
-      record.phase_ns = metrics.phases();
-      record.counters = metrics.counters();
-      // Emission order: injected events, the repair that healed them, the
-      // interval snapshot, then the drain deaths the interval caused.
-      if (faulted) {
-        for (std::size_t i = 0; i < death_start; ++i) {
-          observer->on_fault(fault_events[i]);
-        }
-        if (repair_due) observer->on_fault(repair_record);
-      }
-      observer->on_interval(record);
-      if (faulted) {
-        for (std::size_t i = death_start; i < fault_events.size(); ++i) {
-          observer->on_fault(fault_events[i]);
-        }
-      }
-    }
-
-    // 6. Stop: a degraded run keeps going until at most one host still
-    //    functions; the paper's run ends at the first death.
-    if (faulted) {
-      if (batteries.size() - injector->down_count() <= 1) {
-        attrition_stop = true;
-        break;
-      }
-    } else if (someone_died) {
-      attrition_stop = true;
-      break;
-    }
-    mobility->step(positions, field, rng);
   }
-  result.hit_cap = !attrition_stop && result.intervals >= config.max_intervals;
-  if (result.intervals > 0) {
-    gateway_sum /= static_cast<double>(result.intervals);
-    marked_sum /= static_cast<double>(result.intervals);
+
+  if (observer_ != nullptr) {
+    if (faulted_) {
+      metrics_.add(obs::Counter::kFaultEvents, fault_events_.size());
+      metrics_.add(obs::Counter::kHostsDown, injector_->down_count());
+    }
+    IntervalRecord record;
+    record.interval = result_.intervals;
+    record.marked = counts.marked;
+    record.gateways = counts.gateways;
+    record.alive = batteries_.alive_count();
+    record.min_energy = batteries_.min_level();
+    double sum = 0.0;
+    double max_level = 0.0;
+    for (const double level : batteries_.levels()) {
+      sum += level;
+      max_level = std::max(max_level, level);
+    }
+    record.mean_energy = sum / static_cast<double>(batteries_.size());
+    record.max_energy = max_level;
+    record.touched = engine_->last_touched();
+    record.phase_ns = metrics_.phases();
+    record.counters = metrics_.counters();
+    // Emission order: injected events, the repair that healed them, the
+    // interval snapshot, then the drain deaths the interval caused.
+    if (faulted_) {
+      for (std::size_t i = 0; i < death_start; ++i) {
+        observer_->on_fault(fault_events_[i]);
+      }
+      if (repair_due) observer_->on_fault(repair_record);
+    }
+    observer_->on_interval(record);
+    if (faulted_) {
+      for (std::size_t i = death_start; i < fault_events_.size(); ++i) {
+        observer_->on_fault(fault_events_[i]);
+      }
+    }
   }
-  result.avg_gateways = gateway_sum;
-  result.avg_marked = marked_sum;
-  return result;
+
+  // 6. Stop: a degraded run keeps going until at most one host still
+  //    functions; the paper's run ends at the first death. Mobility steps
+  //    exactly as in the original loop: after every non-terminal interval,
+  //    including the one the max_intervals cap then cuts off.
+  if (faulted_) {
+    if (batteries_.size() - injector_->down_count() <= 1) {
+      attrition_stop_ = true;
+      return true;
+    }
+  } else if (someone_died) {
+    attrition_stop_ = true;
+    return true;
+  }
+  mobility_->step(positions_, field_, rng_);
+  return true;
+}
+
+TrialResult LifetimeRun::result() const {
+  TrialResult out = result_;
+  out.hit_cap = !attrition_stop_ && out.intervals >= config_.max_intervals;
+  double gateways = gateway_sum_;
+  double marked = marked_sum_;
+  if (out.intervals > 0) {
+    gateways /= static_cast<double>(out.intervals);
+    marked /= static_cast<double>(out.intervals);
+  }
+  out.avg_gateways = gateways;
+  out.avg_marked = marked;
+  return out;
+}
+
+TrialResult run_lifetime_trial(const SimConfig& config, std::uint64_t seed,
+                               IntervalObserver* observer,
+                               const FaultPlan* faults) {
+  LifetimeRun run(config, seed, observer, faults);
+  while (run.step()) {
+  }
+  return run.result();
 }
 
 }  // namespace pacds

@@ -10,6 +10,7 @@
 //      interval begins.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,12 +19,15 @@
 #include "energy/traffic.hpp"
 #include "net/geometric.hpp"
 #include "net/mobility.hpp"
+#include "net/rng.hpp"
 #include "net/space.hpp"
 #include "net/topology.hpp"
 #include "sim/faults.hpp"
 #include "sim/trace.hpp"
 
 namespace pacds {
+
+class LifetimeEngine;
 
 /// Which per-interval recomputation engine drives a lifetime trial.
 enum class SimEngine : std::uint8_t {
@@ -130,6 +134,80 @@ struct TrialResult {
   bool initial_connected = true;  ///< whether placement retries succeeded
   int placement_attempts = 1;
   FaultStats faults{};       ///< degraded-mode aggregates (zero when none)
+};
+
+/// One lifetime trial as a resumable object: construction does placement and
+/// engine setup, each step() runs exactly one update interval, and result()
+/// finalizes the aggregates at any point. `while (run.step()) {}` is
+/// bit-identical to run_lifetime_trial (which is now implemented that way) —
+/// the class exists so a resident process (`pacds serve`) can hold a trial's
+/// engine/battery/mobility state cached between requests and advance it a
+/// few intervals per tick instead of replaying the trial from scratch.
+///
+/// Determinism contract: the trial is a pure function of (config, seed) plus
+/// the fault plan; the observer only watches. Placement (constructor) and
+/// mobility (inside step) are the only RNG consumers, so tick granularity —
+/// how many step() calls happen per scheduler batch — cannot perturb the
+/// stream.
+class LifetimeRun {
+ public:
+  /// Validates the config/plan (throws std::invalid_argument or the fault
+  /// plan's errors) and performs placement + engine construction. The
+  /// config and plan are copied; the observer is borrowed and must outlive
+  /// the run or be replaced via set_observer.
+  explicit LifetimeRun(const SimConfig& config, std::uint64_t seed,
+                       IntervalObserver* observer = nullptr,
+                       const FaultPlan* faults = nullptr);
+  // Not movable: the engine holds the address of the embedded metrics
+  // registry. Long-lived holders (serve tenants) keep a unique_ptr instead.
+  LifetimeRun(const LifetimeRun&) = delete;
+  LifetimeRun& operator=(const LifetimeRun&) = delete;
+  ~LifetimeRun();
+
+  /// Runs one update interval. Returns false (doing nothing) once the run
+  /// has finished — by attrition or by the max_intervals cap.
+  bool step();
+
+  /// True once the stop condition has been reached (first death, degraded
+  /// attrition, or the interval cap).
+  [[nodiscard]] bool finished() const;
+
+  /// Completed update intervals so far.
+  [[nodiscard]] long intervals() const { return result_.intervals; }
+
+  /// Aggregated trial outcome. Callable at any point; before finished() it
+  /// reports the averages over the intervals completed so far with
+  /// hit_cap = false.
+  [[nodiscard]] TrialResult result() const;
+
+  /// Swaps the observer between steps (serve re-points each trial's stream
+  /// at a fresh per-request buffer). Passing nullptr detaches metrics
+  /// gathering entirely; attaching one re-enables it from the next step.
+  void set_observer(IntervalObserver* observer);
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+ private:
+  SimConfig config_;
+  Xoshiro256 rng_;
+  Field field_;
+  IntervalObserver* observer_ = nullptr;
+  FaultPlan fault_plan_{};
+  bool faulted_ = false;
+
+  TrialResult result_;
+  std::vector<Vec2> positions_;
+  BatteryBank batteries_;
+  std::unique_ptr<MobilityModel> mobility_;
+  std::unique_ptr<LifetimeEngine> engine_;
+  obs::MetricsRegistry metrics_;
+  std::optional<FaultInjector> injector_;
+  std::vector<FaultRecord> fault_events_;
+  DynBitset health_scratch_;
+
+  double gateway_sum_ = 0.0;
+  double marked_sum_ = 0.0;
+  bool attrition_stop_ = false;
 };
 
 /// Runs one trial, fully determined by (config, seed). When `observer` is

@@ -1,8 +1,11 @@
-// Tests for the CLI argument parser.
+// Tests for the CLI argument parser and the checked number parsing it
+// (and the serve request parser) rides on.
 
 #include "cli/args.hpp"
 
 #include <gtest/gtest.h>
+
+#include "io/parse_num.hpp"
 
 namespace pacds {
 namespace {
@@ -88,6 +91,74 @@ TEST(ArgsTest, NegativeNumbersAsValues) {
   ArgParser parser = make_parser();
   ASSERT_TRUE(parser.parse({"--seed", "-5"}));
   EXPECT_EQ(parser.option_int("seed").value(), -5);
+}
+
+TEST(ArgsTest, PartialTokensAreRejected) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--seed", "4x"}));
+  EXPECT_FALSE(parser.option_int("seed").has_value());
+  ASSERT_TRUE(parser.parse({"--seed", " 5"}));
+  EXPECT_FALSE(parser.option_int("seed").has_value());
+}
+
+TEST(ArgsTest, OverflowIsRejectedNotClamped) {
+  // strtoll clamps an overflowing literal to INT64_MAX and only reports it
+  // via errno; the checked parser must treat it as malformed.
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parser.parse({"--seed", "99999999999999999999"}));
+  EXPECT_FALSE(parser.option_int("seed").has_value());
+  ASSERT_TRUE(parser.parse({"--seed", "-99999999999999999999"}));
+  EXPECT_FALSE(parser.option_int("seed").has_value());
+}
+
+TEST(ArgsTest, DoubleRejectsNonFiniteAndHexSpellings) {
+  ArgParser parser("p", "d");
+  parser.add_option("x", "a double", "");
+  for (const char* bad : {"inf", "-inf", "nan", "NaN", "0x10", "1e999",
+                          "1.5junk", ""}) {
+    ASSERT_TRUE(parser.parse({"--x", bad}));
+    EXPECT_FALSE(parser.option_double("x").has_value()) << bad;
+  }
+}
+
+TEST(ParseNumTest, Int64DemandsFullToken) {
+  EXPECT_EQ(parse_int64("42").value(), 42);
+  EXPECT_EQ(parse_int64("-7").value(), -7);
+  EXPECT_FALSE(parse_int64("").has_value());
+  EXPECT_FALSE(parse_int64("4x").has_value());
+  EXPECT_FALSE(parse_int64("0x10").has_value());
+  EXPECT_FALSE(parse_int64("4.0").has_value());
+  EXPECT_FALSE(parse_int64(" 4").has_value());
+  EXPECT_FALSE(parse_int64("4 ").has_value());
+  EXPECT_FALSE(parse_int64("+4").has_value());
+  EXPECT_FALSE(parse_int64("99999999999999999999").has_value());
+}
+
+TEST(ParseNumTest, Int64RangeWindowIsInclusive) {
+  EXPECT_EQ(parse_int64_in("3", 1, 6).value(), 3);
+  EXPECT_EQ(parse_int64_in("1", 1, 6).value(), 1);
+  EXPECT_EQ(parse_int64_in("6", 1, 6).value(), 6);
+  EXPECT_FALSE(parse_int64_in("0", 1, 6).has_value());
+  EXPECT_FALSE(parse_int64_in("7", 1, 6).has_value());
+}
+
+TEST(ParseNumTest, IntListNamesTheOffender) {
+  std::string bad;
+  const auto ok = parse_int_list("3,5,80", 1, 100, &bad);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, (std::vector<std::int64_t>{3, 5, 80}));
+
+  EXPECT_FALSE(parse_int_list("3,banana,5", 1, 100, &bad).has_value());
+  EXPECT_EQ(bad, "banana");
+  EXPECT_FALSE(parse_int_list("3,,5", 1, 100, &bad).has_value());
+  EXPECT_EQ(bad, "");
+  EXPECT_FALSE(parse_int_list("", 1, 100, &bad).has_value());
+  EXPECT_EQ(bad, "");
+  EXPECT_FALSE(parse_int_list("3,500", 1, 100, &bad).has_value());
+  EXPECT_EQ(bad, "500");
+  EXPECT_FALSE(
+      parse_int_list("3,99999999999999999999", 1, 100, &bad).has_value());
+  EXPECT_EQ(bad, "99999999999999999999");
 }
 
 TEST(ArgsTest, UsageMentionsOptionsAndDefaults) {

@@ -281,8 +281,19 @@ TEST(CliTest, SweepWritesCsvAndMetrics) {
 }
 
 TEST(CliTest, SweepRejectsBadHosts) {
-  const CliRun r = run_cli({"sweep", "--hosts", "8,banana"});
-  EXPECT_EQ(r.code, 2);
+  // Every malformed entry exits 2 with a diagnostic naming the offender —
+  // including the partial tokens ("4x") and overflowing literals the old
+  // std::stoi path silently accepted or clamped.
+  for (const char* hosts :
+       {"8,banana", "4x", "8,4x", "0", "8,-3", "8,,10",
+        "99999999999999999999", "8,2000000000000"}) {
+    const CliRun r = run_cli({"sweep", "--hosts", hosts});
+    EXPECT_EQ(r.code, 2) << hosts;
+    EXPECT_NE(r.err.find("bad --hosts entry '"), std::string::npos) << hosts;
+  }
+  const CliRun empty = run_cli({"sweep", "--hosts", ""});
+  EXPECT_EQ(empty.code, 2);
+  EXPECT_NE(empty.err.find("at least one host count"), std::string::npos);
 }
 
 TEST(CliTest, SweepInUsage) {
@@ -433,6 +444,30 @@ TEST(CliTest, SimMetricsDashStreamsJsonlToStdout) {
   }
   EXPECT_GT(fault_events, 0u);
   std::remove(path.c_str());
+}
+
+TEST(CliTest, ServeInUsage) {
+  const CliRun help = run_cli({"help"});
+  EXPECT_NE(help.out.find("serve"), std::string::npos);
+  const CliRun r = run_cli({"serve", "--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("--socket"), std::string::npos);
+  EXPECT_NE(r.out.find("--queue"), std::string::npos);
+  EXPECT_NE(r.out.find("--max-tenants"), std::string::npos);
+  EXPECT_NE(r.out.find("--threads"), std::string::npos);
+}
+
+TEST(CliTest, ServeRejectsBadOptions) {
+  for (const std::vector<std::string> tokens :
+       {std::vector<std::string>{"serve", "--queue", "0"},
+        {"serve", "--queue", "abc"},
+        {"serve", "--max-tenants", "0"},
+        {"serve", "--threads", "-1"},
+        {"serve", "--threads", "4096"}}) {
+    const CliRun r = run_cli(tokens);
+    EXPECT_EQ(r.code, 2) << tokens[1] << " " << tokens[2];
+    EXPECT_NE(r.err.find("error:"), std::string::npos);
+  }
 }
 
 TEST(CliTest, FaultsInUsage) {

@@ -82,6 +82,8 @@ TEST(FuzzScenarioTest, GeneratorPopulatesEveryOracleDomain) {
   int faulted = 0;
   int channel = 0;
   int event_free = 0;
+  int chunked_ticks = 0;
+  int one_shot_ticks = 0;
   for (std::uint64_t i = 0; i < 64; ++i) {
     const FuzzScenario s = random_scenario(3, i);
     if (s.config.threads > 1) ++threaded;
@@ -89,12 +91,16 @@ TEST(FuzzScenarioTest, GeneratorPopulatesEveryOracleDomain) {
     if (s.faults.has_lifetime_events()) ++faulted;
     if (s.faults.channel.any()) ++channel;
     if (!s.faults.has_lifetime_events()) ++event_free;
+    if (s.serve_ticks > 0) ++chunked_ticks;
+    if (s.serve_ticks == 0) ++one_shot_ticks;
   }
   EXPECT_GT(threaded, 0);
   EXPECT_GT(eligible, 0);
   EXPECT_GT(faulted, 0);
   EXPECT_GT(channel, 0);
   EXPECT_GT(event_free, 0);
+  EXPECT_GT(chunked_ticks, 0);
+  EXPECT_GT(one_shot_ticks, 0);
 }
 
 TEST(FuzzScenarioTest, CorpusRoundTripsExactly) {
@@ -136,6 +142,23 @@ TEST(FuzzScenarioTest, ParserIsStrict) {
       std::invalid_argument);
 }
 
+TEST(FuzzScenarioTest, ServeTicksIsOptionalAndRangeChecked) {
+  // Pre-serve corpus reproducers carry no "serve_ticks"; they must keep
+  // parsing with the one-shot default.
+  const FuzzScenario bare =
+      parse_scenario("{\"format\":\"pacds-fuzz-repro\",\"schema\":1}");
+  EXPECT_EQ(bare.serve_ticks, 0);
+  const FuzzScenario chunked = parse_scenario(
+      "{\"format\":\"pacds-fuzz-repro\",\"schema\":1,\"serve_ticks\":5}");
+  EXPECT_EQ(chunked.serve_ticks, 5);
+  EXPECT_THROW((void)parse_scenario("{\"format\":\"pacds-fuzz-repro\","
+                                    "\"schema\":1,\"serve_ticks\":-1}"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario("{\"format\":\"pacds-fuzz-repro\","
+                                    "\"schema\":1,\"serve_ticks\":2.5}"),
+               std::runtime_error);
+}
+
 // ---- oracle suite ---------------------------------------------------------
 
 TEST(FuzzOracleTest, CleanOnGeneratedScenarios) {
@@ -174,6 +197,8 @@ TEST(FuzzOracleTest, EveryMutationIsCaughtByItsOracle) {
       {kMutateJsonl, "jsonl-schema", [](const FuzzScenario&) { return true; }},
       {kMutateEmptyPlanIdentity, "empty-plan-identity",
        [](const FuzzScenario& s) { return !s.faults.has_lifetime_events(); }},
+      {kMutateServeIdentity, "serve-identity",
+       [](const FuzzScenario&) { return true; }},
   };
   for (const Case& c : cases) {
     const std::int64_t index = find_scenario(1, c.in_domain);
@@ -312,6 +337,28 @@ TEST(FuzzCampaignTest, CorruptCorpusFileIsAFinding) {
   ASSERT_EQ(report.corpus_errors.size(), 1u);
   EXPECT_NE(report.corpus_errors.front().find("broken.json"),
             std::string::npos);
+}
+
+TEST(FuzzCampaignTest, DuplicateKeyCorpusFileIsRejectedNotReplayed) {
+  // Companion to json_parse_test's duplicate-key rejection: a reproducer
+  // whose document smuggles a second "trial_seed" is refused by the strict
+  // parser before any scenario logic sees it, and the replay reports it as
+  // a corrupt-corpus finding instead of silently testing one of the values.
+  const fs::path corpus = scratch_dir("dupkey");
+  std::ofstream(corpus / "dup.json")
+      << "{\"format\":\"pacds-fuzz-repro\",\"schema\":1,"
+         "\"trial_seed\":1,\"trial_seed\":2}";
+  FuzzOptions options;
+  options.iterations = 0;
+  options.corpus_dir = corpus.string();
+  std::ostringstream log;
+  const FuzzReport report = run_fuzz(options, log);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.corpus_replayed, 0u);
+  ASSERT_EQ(report.corpus_errors.size(), 1u);
+  EXPECT_NE(report.corpus_errors.front().find("duplicate object key"),
+            std::string::npos)
+      << report.corpus_errors.front();
 }
 
 TEST(FuzzCampaignTest, CommittedCorpusReplaysClean) {

@@ -32,13 +32,12 @@ TEST(JsonParseTest, ScalarValues) {
 
 TEST(JsonParseTest, ContainersPreserveOrderAndNesting) {
   const JsonValue doc =
-      parse_json(R"({"b": 1, "a": [true, null, {"deep": "yes"}], "b": 2})");
+      parse_json(R"({"b": 1, "a": [true, null, {"deep": "yes"}], "c": 2})");
   const JsonObject& members = doc.as_object();
   ASSERT_EQ(members.size(), 3u);
   EXPECT_EQ(members[0].first, "b");
   EXPECT_EQ(members[1].first, "a");
-  EXPECT_EQ(members[2].first, "b");
-  // find() returns the first duplicate.
+  EXPECT_EQ(members[2].first, "c");
   EXPECT_EQ(doc.find("b")->as_number(), 1.0);
   const JsonArray& items = doc.find("a")->as_array();
   ASSERT_EQ(items.size(), 3u);
@@ -138,6 +137,27 @@ TEST(JsonParseTest, MalformedDocumentsThrowWithByteOffset) {
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("offset 4"), std::string::npos)
         << e.what();
+  }
+}
+
+TEST(JsonParseTest, DuplicateObjectKeysAreRejected) {
+  EXPECT_THROW((void)parse_json(R"({"a": 1, "a": 2})"), std::runtime_error);
+  // Compared after escape decoding: "\u0061" is another spelling of "a",
+  // so it cannot smuggle a second value past a validator that saw the
+  // first.
+  EXPECT_THROW((void)parse_json(R"({"a": 1, "\u0061": 2})"),
+               std::runtime_error);
+  // Each object has its own key space — repeats across nesting are fine.
+  const JsonValue doc = parse_json(R"({"x": {"k": 1}, "y": {"k": 2}})");
+  EXPECT_EQ(doc.find("y")->find("k")->as_number(), 2.0);
+
+  try {
+    (void)parse_json(R"({"k": 1, "k": 2})");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate object key"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset 9"), std::string::npos) << what;
   }
 }
 

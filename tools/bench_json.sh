@@ -14,6 +14,8 @@
 #                             micro_parallel/micro_tiles/micro_simd/
 #                             bench_report (default: build/bench)
 #        PACDS_BENCH_MIN_TIME --benchmark_min_time value (default: 0.2)
+#        PACDS_BENCH_STRICT   1 = pass --strict to bench_report, failing on
+#                             stale/missing rows (CI's bench smoke path)
 set -eu
 
 OUT=${1:-BENCH_lifetime.json}
@@ -25,7 +27,8 @@ TMP_ENGINE=$(mktemp)
 TMP_PARALLEL=$(mktemp)
 TMP_TILES=$(mktemp)
 TMP_SIMD=$(mktemp)
-trap 'rm -f "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL" "$TMP_TILES" "$TMP_SIMD"' EXIT
+TMP_SERVE=$(mktemp)
+trap 'rm -f "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL" "$TMP_TILES" "$TMP_SIMD" "$TMP_SERVE"' EXIT
 
 "$BIN_DIR/micro_cds" --benchmark_filter='^BM_Rule(1|2Refined)Pass/' \
   --benchmark_min_time="$MIN_TIME" --benchmark_format=json >"$TMP_CDS"
@@ -39,6 +42,10 @@ trap 'rm -f "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL" "$TMP_TILES" "$TMP_SIMD"' E
   --benchmark_format=json >"$TMP_TILES"
 "$BIN_DIR/micro_simd" --benchmark_min_time="$MIN_TIME" \
   --benchmark_format=json >"$TMP_SIMD"
+"$BIN_DIR/bench_serve" --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$TMP_SERVE"
 
-"$BIN_DIR/bench_report" "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL" \
-  "$TMP_TILES" "$TMP_SIMD" "$OUT"
+STRICT=
+if [ "${PACDS_BENCH_STRICT:-0}" = "1" ]; then STRICT=--strict; fi
+"$BIN_DIR/bench_report" $STRICT "$TMP_CDS" "$TMP_ENGINE" "$TMP_PARALLEL" \
+  "$TMP_TILES" "$TMP_SIMD" "$TMP_SERVE" "$OUT"
