@@ -8,6 +8,7 @@
 //                     <micro_parallel.json> <micro_tiles.json>
 //                     <micro_simd.json> <bench_serve.json> <output.json>
 //        bench_report [--strict] --validate-jsonl <metrics.jsonl | ->
+//        bench_report [--strict] --gap-report <gap.jsonl | ->
 //
 // Regeneration is honest about coverage: a speedup row whose input rows are
 // missing warns on stderr instead of silently disappearing, and any key the
@@ -26,6 +27,12 @@
 // and one interval record. Prints per-type record counts; exits 1 on any
 // violation. CI's faults smoke job runs it over
 // `pacds sim --faults ... --metrics -`.
+//
+// --gap-report renders the approximation-ratio table from a `pacds gap`
+// JSONL stream (gap_manifest + gap_point records): per (n, radius) point it
+// averages size/optimum of every heuristic over the instances the
+// branch-and-bound solver proved, and reports how many instances stayed
+// unproven. CI's gap smoke job pipes a tiny grid through it.
 
 #include <cmath>
 #include <fstream>
@@ -39,6 +46,7 @@
 #include "core/simd.hpp"
 #include "io/json.hpp"
 #include "io/json_parse.hpp"
+#include "io/table.hpp"
 #include "obs/validate.hpp"
 
 namespace {
@@ -181,6 +189,148 @@ int validate_jsonl(const std::string& path) {
   return 0;
 }
 
+/// One (n, radius) cell of the --gap-report table.
+struct GapCell {
+  double n = 0.0;
+  double radius = 0.0;
+  std::size_t attempted = 0;  ///< gap_point records seen
+  std::size_t proven = 0;     ///< instances with a proven nonzero optimum
+  double opt_sum = 0.0;
+  // Ratio sums in the heuristic column order below.
+  double ratio_sum[8] = {};
+};
+
+constexpr const char* kGapColumns[] = {"size_id",     "size_nd",
+                                       "size_el1",    "size_el2",
+                                       "size_greedy", "size_mis",
+                                       "size_tree",   "size_cds22"};
+
+/// Renders the approximation-ratio table from a `pacds gap` JSONL stream.
+/// With `strict`, any unproven instance fails the run: CI's smoke grid is
+/// sized so the solver always finishes, and a budget exhaustion there means
+/// the solver regressed.
+int gap_report(const std::string& path, bool strict) {
+  std::ifstream file;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::cerr << "error: cannot open " << path << "\n";
+      return 1;
+    }
+  }
+  std::istream& in = path == "-" ? std::cin : file;
+  std::vector<GapCell> cells;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t manifests = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue record;
+    try {
+      record = parse_json(line);
+    } catch (const std::exception& e) {
+      std::cerr << "error: line " << line_no << ": " << e.what() << "\n";
+      return 1;
+    }
+    const JsonValue* type = record.find("type");
+    if (type == nullptr || !type->is_string()) {
+      std::cerr << "error: line " << line_no << ": missing \"type\"\n";
+      return 1;
+    }
+    if (type->as_string() == "gap_manifest") {
+      ++manifests;
+      continue;
+    }
+    if (type->as_string() != "gap_point") continue;
+    const JsonValue* n = record.find("n");
+    const JsonValue* radius = record.find("radius");
+    if (n == nullptr || !n->is_number() || radius == nullptr ||
+        !radius->is_number()) {
+      std::cerr << "error: line " << line_no << ": gap_point needs numeric "
+                << "\"n\" and \"radius\"\n";
+      return 1;
+    }
+    GapCell* cell = nullptr;
+    for (GapCell& existing : cells) {
+      if (existing.n == n->as_number() &&
+          existing.radius == radius->as_number()) {
+        cell = &existing;
+        break;
+      }
+    }
+    if (cell == nullptr) {
+      cells.push_back({n->as_number(), radius->as_number(), 0, 0, 0.0, {}});
+      cell = &cells.back();
+    }
+    ++cell->attempted;
+    const JsonValue* optimum = record.find("optimum");
+    const JsonValue* proven = record.find("proven");
+    if (optimum == nullptr || !optimum->is_number() || proven == nullptr ||
+        !proven->as_bool() || optimum->as_number() <= 0.0) {
+      continue;  // unproven (or degenerate) instance: excluded from ratios
+    }
+    const double opt = optimum->as_number();
+    double ratios[8];
+    bool complete = true;
+    for (std::size_t h = 0; h < 8; ++h) {
+      const JsonValue* size = record.find(kGapColumns[h]);
+      if (size == nullptr || !size->is_number()) {
+        complete = false;
+        break;
+      }
+      ratios[h] = size->as_number() / opt;
+    }
+    if (!complete) {
+      std::cerr << "error: line " << line_no
+                << ": gap_point missing a size_* column\n";
+      return 1;
+    }
+    ++cell->proven;
+    cell->opt_sum += opt;
+    for (std::size_t h = 0; h < 8; ++h) cell->ratio_sum[h] += ratios[h];
+  }
+  if (manifests == 0 || cells.empty()) {
+    std::cerr << "error: stream has no gap_manifest + gap_point records "
+              << "(generate one with `pacds gap --metrics`)\n";
+    return 1;
+  }
+  pacds::TextTable table({"n", "radius", "solved", "opt", "ID", "ND", "EL1",
+                          "EL2", "greedy", "MIS", "tree", "cds22"});
+  for (const GapCell& cell : cells) {
+    std::vector<std::string> row{
+        pacds::TextTable::fmt(cell.n, 0),
+        pacds::TextTable::fmt(cell.radius, 0),
+        std::to_string(cell.proven) + "/" + std::to_string(cell.attempted)};
+    if (cell.proven == 0) {
+      row.insert(row.end(), 9, "-");
+    } else {
+      const auto denom = static_cast<double>(cell.proven);
+      row.push_back(pacds::TextTable::fmt(cell.opt_sum / denom));
+      for (std::size_t h = 0; h < 8; ++h) {
+        row.push_back(pacds::TextTable::fmt(cell.ratio_sum[h] / denom));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "(mean size/optimum over proven instances; 1.00 = optimal)\n";
+  for (const GapCell& cell : cells) {
+    if (cell.proven < cell.attempted) {
+      warn("n=" + pacds::TextTable::fmt(cell.n, 0) + " radius=" +
+           pacds::TextTable::fmt(cell.radius, 0) + ": " +
+           std::to_string(cell.attempted - cell.proven) +
+           " instance(s) unproven within the node budget");
+    }
+  }
+  if (strict && warning_count > 0) {
+    std::cerr << "error: --strict and " << warning_count
+              << " warning(s) above\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -198,12 +348,17 @@ int main(int argc, char** argv) {
     // accepted so callers can pass one flag set in both modes.
     return validate_jsonl(args[1]);
   }
+  if (args.size() == 2 && args[0] == "--gap-report") {
+    return gap_report(args[1], strict);
+  }
   if (args.size() != 7) {
     std::cerr << "usage: bench_report [--strict] <cds.json> <engine.json> "
                  "<parallel.json> <tiles.json> <simd.json> <serve.json> "
                  "<output.json>\n"
                  "       bench_report [--strict] --validate-jsonl "
-                 "<metrics.jsonl | ->\n";
+                 "<metrics.jsonl | ->\n"
+                 "       bench_report [--strict] --gap-report "
+                 "<gap.jsonl | ->\n";
     return 2;
   }
   try {

@@ -1,0 +1,50 @@
+#pragma once
+// Exact minimum connected dominating set by branch and bound — the solver
+// that scales past exact_mcds' Gosper-hack bitmask cap (n <= 20) to random
+// geometric instances at n ≈ 60–80 within seconds. Same component-wise
+// semantics as check_cds / exact_min_cds: complete components are exempt
+// and contribute nothing; every other component gets a minimum set whose
+// members dominate it and induce a connected subgraph.
+//
+// Search shape (per non-complete component, DESIGN.md §13):
+//   - every articulation point is force-included up front (any CDS of a
+//     connected non-complete graph contains every cut vertex);
+//   - at the root (S empty) branch on the surviving dominators of the
+//     undominated vertex with the fewest; afterwards always on the free
+//     frontier N(S)\X — any connected strict superset of S enters it, so
+//     the enumeration stays complete while S grows as one blob
+//     (include-candidate / exclude-previous, ordered by fresh coverage);
+//   - once dominating but disconnected, branch on the free neighbors of the
+//     component of G[S] holding the lowest member (any connected superset
+//     must leave that component through one of them);
+//   - prune with |S| + max(ceil(|U| / best cover), greedy 2-packing of U)
+//     against the incumbent (initially the best of greedy / BFS-tree / MIS
+//     heuristics), plus BFS connector-distance and reachability checks.
+
+#include <cstdint>
+#include <optional>
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+
+namespace pacds {
+
+struct BbOptions {
+  /// Search-tree node budget shared across components; exhausting it
+  /// abandons the optimality proof and returns nullopt (with a stderr
+  /// diagnostic, so a gap sweep can't silently drop the optimum column).
+  std::uint64_t node_budget = 50'000'000;
+};
+
+struct BbStats {
+  std::uint64_t nodes = 0;  ///< search-tree nodes expanded
+  bool proven = false;      ///< true iff the returned set is provably optimal
+};
+
+/// Smallest set passing check_cds(g, set). Returns nullopt only when the
+/// node budget runs out before the proof completes.
+[[nodiscard]] std::optional<DynBitset> bb_min_cds(const Graph& g,
+                                                  const BbOptions& options = {},
+                                                  BbStats* stats = nullptr);
+
+}  // namespace pacds

@@ -1,0 +1,52 @@
+#pragma once
+// Greedy minimum (2,2)-connected dominating set, after the algorithm family
+// in arXiv:1705.09643: a backbone D that is biconnected (G[D] has no
+// articulation point) and 2-dominating (every non-member has at least two
+// neighbors in D). Such a backbone survives the crash of ANY single member
+// as a plain connected dominating set — no repair round needed — which is
+// what the fault loop's cds22 backbone mode exploits (DESIGN.md §13).
+//
+// Pipeline per non-complete component: greedy CDS seed → 2-domination
+// augmentation (add the non-member covering the most deficient vertices) →
+// connector restitch → biconnectivity augmentation (while G[D] has a cut
+// vertex c, add the interior of a shortest c-avoiding path between two of
+// the split parts). A (2,2) set only exists when the component itself is
+// 2-connected; when it is not (cut vertices, degree-1 hosts), the greedy
+// still returns a valid plain CDS and reports full_22 = false.
+
+#include <string>
+
+#include "core/bitset.hpp"
+#include "core/graph.hpp"
+
+namespace pacds {
+
+/// Outcome of a (2,2)-connected dominating set check.
+struct Cds22Check {
+  bool two_dominating = true;  ///< every non-member has >= 2 member neighbors
+  bool biconnected = true;     ///< members connected, no articulation point
+  std::string message;         ///< first violation, for test diagnostics
+
+  [[nodiscard]] bool ok() const { return two_dominating && biconnected; }
+};
+
+/// Checks the (2,2) invariants component-wise, mirroring check_cds:
+/// components with no member pass only when complete (or singletons);
+/// within every other component each non-member needs two distinct member
+/// neighbors and the members must induce a connected subgraph with no
+/// articulation point (two members joined by an edge count as biconnected).
+[[nodiscard]] Cds22Check check_cds22(const Graph& g, const DynBitset& set);
+
+struct Cds22Result {
+  DynBitset backbone;
+  /// True iff check_cds22 passes — i.e. every non-complete component really
+  /// got a biconnected, 2-dominating backbone. False means the graph lacks
+  /// the connectivity for one (the backbone is still a valid plain CDS).
+  bool full_22 = false;
+};
+
+/// Greedy (2,2)-connected dominating set per component (complete components
+/// exempt, as in check_cds). The backbone always passes check_cds.
+[[nodiscard]] Cds22Result greedy_cds22(const Graph& g);
+
+}  // namespace pacds

@@ -1,5 +1,7 @@
 #include "baselines/exact_mcds.hpp"
 
+#include <iostream>
+
 #include "core/verify.hpp"
 
 namespace pacds {
@@ -30,7 +32,14 @@ std::uint64_t next_same_popcount(std::uint64_t mask, std::uint64_t limit) {
 
 std::optional<DynBitset> exact_min_cds(const Graph& g, int max_nodes) {
   const NodeId n = g.num_nodes();
-  if (n > max_nodes || n > 62) return std::nullopt;
+  if (n > max_nodes || n > 62) {
+    // Loud, not silent: a dropped optimum column in a gap sweep is a data
+    // bug. Same stderr convention as env_size_t in sim/experiment.
+    std::cerr << "warning: exact_min_cds skipping n=" << n
+              << " (cap max_nodes=" << (max_nodes < 62 ? max_nodes : 62)
+              << "); use bb_min_cds for larger graphs\n";
+    return std::nullopt;
+  }
   const auto nn = static_cast<std::size_t>(n);
   const std::uint64_t limit = n == 0 ? 1 : (std::uint64_t{1} << n);
 

@@ -28,9 +28,15 @@
 #include "obs/jsonl.hpp"
 #include "serve/server.hpp"
 #include "routing/routing.hpp"
+#include "baselines/bb_mcds.hpp"
+#include "baselines/cds22.hpp"
+#include "baselines/greedy_mcds.hpp"
+#include "baselines/mis_cds.hpp"
+#include "baselines/tree_cds.hpp"
 #include "sim/engine.hpp"
 #include "sim/tiled_engine.hpp"
 #include "sim/experiment.hpp"
+#include "sim/metrics_io.hpp"
 #include "sim/montecarlo.hpp"
 
 namespace pacds::cli {
@@ -382,6 +388,12 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
   parser.add_option("engine",
                     "per-interval engine: auto | full | incremental | tiled",
                     "auto");
+  parser.add_option("backbone",
+                    "backbone family: scheme (the paper's rules, "
+                    "recomputed each interval) | cds22 (greedy "
+                    "(2,2)-connected set, kept while it still verifies; "
+                    "survives single gateway crashes without repair)",
+                    "scheme");
   parser.add_option("tiles",
                     "tile count for --engine tiled (0 = auto: finest grid "
                     "with tile side >= 2*radius); gateways are identical for "
@@ -449,7 +461,22 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
     err << "error: unknown engine '" << engine << "'\n";
     return 2;
   }
+  const std::string backbone = parser.option("backbone");
+  if (backbone == "scheme") {
+    config.backbone = BackboneMode::kScheme;
+  } else if (backbone == "cds22") {
+    config.backbone = BackboneMode::kCds22;
+  } else {
+    err << "error: unknown backbone '" << backbone << "'\n";
+    return 2;
+  }
   config.tiles = static_cast<int>(*tiles);
+  if (config.backbone == BackboneMode::kCds22 &&
+      (config.engine == SimEngine::kIncremental ||
+       config.engine == SimEngine::kTiled)) {
+    err << "error: --backbone cds22 needs --engine auto or full\n";
+    return 2;
+  }
   if (config.engine == SimEngine::kIncremental &&
       !incremental_engine_eligible(config)) {
     err << "error: --engine incremental needs --strategy simultaneous\n";
@@ -718,6 +745,211 @@ int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
   return 0;
 }
 
+/// Comma-separated list of positive finite doubles (radius grids).
+std::optional<std::vector<double>> parse_double_list(const std::string& text,
+                                                     std::string* bad_item) {
+  std::vector<double> values;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    const auto value = parse_finite_double(item);
+    if (!value || *value <= 0.0) {
+      if (bad_item != nullptr) *bad_item = item;
+      return std::nullopt;
+    }
+    values.push_back(*value);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+int cmd_gap(const std::vector<std::string>& tokens, std::ostream& out,
+            std::ostream& err) {
+  ArgParser parser("pacds gap",
+                   "approximation ratios of the distributed schemes and the "
+                   "centralized heuristics against the branch-and-bound "
+                   "exact minimum CDS (see EXPERIMENTS.md, 'Optimality "
+                   "gap')");
+  parser.add_option("hosts", "comma-separated host counts", "20,40,60");
+  parser.add_option("radius", "comma-separated transmission radii", "25");
+  parser.add_option("trials", "instances per (n, radius) point", "3");
+  parser.add_option("seed", "base RNG seed", "2001");
+  parser.add_option("budget",
+                    "branch-and-bound node budget per instance (instances "
+                    "that exhaust it are reported unproven and excluded "
+                    "from the ratios)",
+                    "50000000");
+  parser.add_option("metrics",
+                    "stream JSONL gap records to this file (one gap_manifest "
+                    "+ one gap_point per instance); '-' streams to stdout "
+                    "and moves the ratio table to stderr",
+                    "");
+  parser.add_flag("help", "show usage");
+  if (!parser.parse(tokens)) {
+    err << "error: " << parser.error() << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.flag("help")) {
+    out << parser.usage();
+    return 0;
+  }
+  const auto trials = parser.option_int("trials");
+  const auto seed = parser.option_int("seed");
+  const auto budget = parser.option_int("budget");
+  if (!trials || *trials < 1 || !seed || !budget || *budget < 1) {
+    err << "error: bad numeric option\n" << parser.usage();
+    return 2;
+  }
+  std::string bad;
+  const auto host_list = parse_int_list(parser.option("hosts"), 2, 2000, &bad);
+  if (!host_list) {
+    err << "error: bad --hosts entry '" << bad << "'\n";
+    return 2;
+  }
+  const auto radius_list = parse_double_list(parser.option("radius"), &bad);
+  if (!radius_list) {
+    err << "error: bad --radius entry '" << bad << "'\n";
+    return 2;
+  }
+
+  const std::string metrics_path = parser.option("metrics");
+  const bool metrics_to_stdout = metrics_path == "-";
+  std::ofstream metrics_file;
+  std::optional<obs::JsonlSink> metrics;
+  if (metrics_to_stdout) {
+    metrics.emplace(out);
+  } else if (!open_metrics(metrics_path, metrics_file, metrics, err)) {
+    return 1;
+  }
+  std::ostream& report = metrics_to_stdout ? err : out;
+
+  if (metrics) {
+    metrics->record([&](JsonWriter& json) {
+      json.key("type").value("gap_manifest");
+      json.key("schema").value(kMetricsSchemaVersion);
+      json.key("base_seed").value(static_cast<std::size_t>(*seed));
+      json.key("trials").value(static_cast<std::size_t>(*trials));
+      json.key("node_budget").value(static_cast<std::size_t>(*budget));
+      json.key("hosts").begin_array();
+      for (const std::int64_t n : *host_list) {
+        json.value(static_cast<std::int64_t>(n));
+      }
+      json.end_array();
+      json.key("radii").begin_array();
+      for (const double r : *radius_list) json.value(r);
+      json.end_array();
+    });
+  }
+
+  report << "optimality gap: size / exact optimum on random connected "
+            "unit-disk networks; "
+         << *trials << " instances per point, node budget " << *budget
+         << "\n";
+  TextTable table({"n", "radius", "solved", "opt", "ID", "ND", "EL1", "EL2",
+                   "greedy", "MIS", "tree", "cds22"});
+  struct Metered {
+    const char* label;
+    Welford ratio;
+  };
+  for (std::size_t ni = 0; ni < host_list->size(); ++ni) {
+    const int n = static_cast<int>((*host_list)[ni]);
+    for (std::size_t ri = 0; ri < radius_list->size(); ++ri) {
+      const double radius = (*radius_list)[ri];
+      Welford opt;
+      Metered heuristics[] = {{"ID", {}},     {"ND", {}},   {"EL1", {}},
+                              {"EL2", {}},    {"greedy", {}}, {"MIS", {}},
+                              {"tree", {}},   {"cds22", {}}};
+      int attempted = 0;
+      for (int trial = 0; trial < static_cast<int>(*trials); ++trial) {
+        const std::uint64_t instance =
+            (ni * radius_list->size() + ri) * static_cast<std::uint64_t>(
+                                                 *trials) +
+            static_cast<std::uint64_t>(trial);
+        Xoshiro256 rng(derive_seed(static_cast<std::uint64_t>(*seed),
+                                   0xa11u * instance + 1));
+        const auto placed = random_connected_placement(
+            n, Field::paper_field(), radius, rng, 5000);
+        if (!placed) continue;
+        const Graph& g = placed->graph;
+        ++attempted;
+        std::vector<double> energy;
+        energy.reserve(static_cast<std::size_t>(n));
+        for (int v = 0; v < n; ++v) {
+          energy.push_back(static_cast<double>(rng.uniform_int(1, 100)));
+        }
+        BbStats stats;
+        const auto exact = bb_min_cds(
+            g, BbOptions{static_cast<std::uint64_t>(*budget)}, &stats);
+        const std::size_t sizes[] = {
+            compute_cds(g, RuleSet::kID, energy).gateway_count,
+            compute_cds(g, RuleSet::kND, energy).gateway_count,
+            compute_cds(g, RuleSet::kEL1, energy).gateway_count,
+            compute_cds(g, RuleSet::kEL2, energy).gateway_count,
+            greedy_mcds(g).count(),
+            mis_cds(g).count(),
+            bfs_tree_cds(g).count(),
+            0};
+        const Cds22Result backbone = greedy_cds22(g);
+        const std::size_t cds22_size = backbone.backbone.count();
+        if (metrics) {
+          metrics->record([&](JsonWriter& json) {
+            json.key("type").value("gap_point");
+            json.key("schema").value(kMetricsSchemaVersion);
+            json.key("n").value(n);
+            json.key("radius").value(radius);
+            json.key("trial").value(trial);
+            json.key("edges").value(g.num_edges());
+            json.key("proven").value(stats.proven);
+            json.key("bb_nodes").value(
+                static_cast<std::size_t>(stats.nodes));
+            if (exact) {
+              json.key("optimum").value(exact->count());
+            } else {
+              json.key("optimum").null();
+            }
+            json.key("size_id").value(sizes[0]);
+            json.key("size_nd").value(sizes[1]);
+            json.key("size_el1").value(sizes[2]);
+            json.key("size_el2").value(sizes[3]);
+            json.key("size_greedy").value(sizes[4]);
+            json.key("size_mis").value(sizes[5]);
+            json.key("size_tree").value(sizes[6]);
+            json.key("size_cds22").value(cds22_size);
+            json.key("cds22_full").value(backbone.full_22);
+          });
+        }
+        if (!exact || exact->count() == 0) continue;
+        const auto optimum = static_cast<double>(exact->count());
+        opt.add(optimum);
+        for (std::size_t h = 0; h < 8; ++h) {
+          const std::size_t size = h == 7 ? cds22_size : sizes[h];
+          heuristics[h].ratio.add(static_cast<double>(size) / optimum);
+        }
+      }
+      std::vector<std::string> row{
+          TextTable::fmt(n), TextTable::fmt(radius, 0),
+          std::to_string(opt.count()) + "/" + std::to_string(attempted),
+          TextTable::fmt(opt.mean())};
+      for (const Metered& h : heuristics) {
+        row.push_back(h.ratio.count() > 0 ? TextTable::fmt(h.ratio.mean())
+                                          : "-");
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  table.print(report);
+  report << "(ratios are mean size/optimum over the proven instances; "
+            "1.00 = optimal)\n";
+  if (metrics && !metrics_to_stdout) {
+    report << "wrote " << metrics->records() << " gap records to "
+           << metrics_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_faults(const std::vector<std::string>& tokens, std::ostream& out,
                std::ostream& err) {
   ArgParser parser("pacds faults",
@@ -929,6 +1161,7 @@ std::string main_usage() {
          "  route   route a packet through the gateway backbone\n"
          "  sim     run the paper's lifetime simulation\n"
          "  sweep   sweep host count x scheme (the figure harness)\n"
+         "  gap     approximation ratios vs the exact minimum CDS\n"
          "  faults  inspect a fault plan's resolved schedule\n"
          "  fuzz    differential fuzzing against the invariant oracles\n"
          "  serve   resident multi-tenant server over JSONL requests\n\n"
@@ -948,6 +1181,7 @@ int run(const std::vector<std::string>& tokens, std::ostream& out,
   if (command == "route") return cmd_route(rest, out, err);
   if (command == "sim") return cmd_sim(rest, out, err);
   if (command == "sweep") return cmd_sweep(rest, out, err);
+  if (command == "gap") return cmd_gap(rest, out, err);
   if (command == "faults") return cmd_faults(rest, out, err);
   if (command == "fuzz") return cmd_fuzz(rest, out, err);
   if (command == "serve") return cmd_serve(rest, out, err);

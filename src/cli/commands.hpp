@@ -7,6 +7,7 @@
 //   pacds route  — route a packet through the backbone
 //   pacds sim    — run the paper's lifetime simulation
 //   pacds sweep  — host-count x scheme sweep (the figure harness)
+//   pacds gap    — approximation ratios vs the exact minimum CDS
 //   pacds faults — inspect a fault plan's resolved schedule
 //   pacds fuzz   — differential fuzzing against the invariant oracles
 //   pacds serve  — resident multi-tenant server over JSONL requests
@@ -33,6 +34,8 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
             std::ostream& err);
 int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
               std::ostream& err);
+int cmd_gap(const std::vector<std::string>& tokens, std::ostream& out,
+            std::ostream& err);
 int cmd_faults(const std::vector<std::string>& tokens, std::ostream& out,
                std::ostream& err);
 int cmd_fuzz(const std::vector<std::string>& tokens, std::ostream& out,

@@ -107,4 +107,10 @@ double forced_gateway_fraction(const Graph& g, const DynBitset& set) {
   return static_cast<double>(forced) / static_cast<double>(total);
 }
 
+bool is_biconnected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  if (!g.is_connected()) return false;
+  return articulation_points(g).none();
+}
+
 }  // namespace pacds

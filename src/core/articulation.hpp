@@ -26,4 +26,10 @@ namespace pacds {
 [[nodiscard]] double forced_gateway_fraction(const Graph& g,
                                              const DynBitset& set);
 
+/// True iff g is connected and has no articulation point (2-connected for
+/// n >= 3; K2 and trivial graphs count as biconnected). A biconnected
+/// backbone survives the loss of any single member — the invariant behind
+/// the (2,2)-connected dominating sets in baselines/cds22.
+[[nodiscard]] bool is_biconnected(const Graph& g);
+
 }  // namespace pacds

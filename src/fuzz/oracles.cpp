@@ -5,6 +5,12 @@
 #include <sstream>
 #include <vector>
 
+#include "baselines/bb_mcds.hpp"
+#include "baselines/cds22.hpp"
+#include "baselines/exact_mcds.hpp"
+#include "baselines/greedy_mcds.hpp"
+#include "baselines/mis_cds.hpp"
+#include "baselines/tree_cds.hpp"
 #include "core/cds.hpp"
 #include "core/simd.hpp"
 #include "core/verify.hpp"
@@ -200,6 +206,88 @@ void check_cds_validity(const FuzzScenario& s, const Snapshot& snap,
            to_string(s.config.cds_options.strategy) + ": " +
            final_set.message);
     }
+  }
+}
+
+void check_gap_bound(const FuzzScenario& s, const Snapshot& snap,
+                     const OracleOptions& opts,
+                     std::vector<OracleFailure>& failures) {
+  const auto fail = [&](const std::string& detail) {
+    failures.push_back({"gap-bound", detail + " [" + describe(s) + "]"});
+  };
+  const Graph& g = snap.graph;
+  // Modest budget: fuzz graphs top out at n = 48, where the solver needs
+  // well under a million nodes; a pathological instance skips instead of
+  // stalling the run.
+  BbStats stats;
+  const auto bb = bb_min_cds(g, BbOptions{2'000'000}, &stats);
+  if (!bb) return;
+  if (!check_cds(g, *bb).ok()) {
+    fail("branch-and-bound output is not a valid CDS");
+    return;
+  }
+  std::size_t optimum = bb->count();
+  if (opts.mutation == kMutateGapBound) ++optimum;
+  if (g.num_nodes() <= 20) {
+    const auto exact = exact_min_cds(g, 20);
+    if (exact && exact->count() != optimum) {
+      fail("branch-and-bound optimum " + std::to_string(optimum) +
+           " disagrees with the bitmask optimum " +
+           std::to_string(exact->count()));
+      return;
+    }
+  }
+  const Cds22Result backbone = greedy_cds22(g);
+  const struct {
+    const char* name;
+    std::size_t size;
+  } bounded[] = {
+      {"greedy", greedy_mcds(g).count()},
+      {"MIS", mis_cds(g).count()},
+      {"tree", bfs_tree_cds(g).count()},
+      {"(2,2)", backbone.backbone.count()},
+      {"marking", compute_cds(g, s.config.rule_set, snap.energy,
+                              s.config.cds_options)
+                      .marked_count},
+  };
+  for (const auto& h : bounded) {
+    if (h.size < optimum) {
+      fail(std::string(h.name) + " CDS size " + std::to_string(h.size) +
+           " undercuts the proven optimum " + std::to_string(optimum));
+      return;
+    }
+  }
+  if (!check_cds(g, backbone.backbone).ok()) {
+    fail("(2,2) backbone is not a valid plain CDS");
+    return;
+  }
+  const Cds22Check check22 = check_cds22(g, backbone.backbone);
+  if (backbone.full_22 != check22.ok()) {
+    fail("full_22 flag disagrees with check_cds22: " +
+         (check22.message.empty() ? std::string("(no message)")
+                                  : check22.message));
+    return;
+  }
+  if (backbone.full_22) {
+    // The survival property the backbone is for: losing any one member
+    // still leaves a valid plain CDS (the crashed host drops out as an
+    // exempt isolated singleton).
+    bool survived = true;
+    backbone.backbone.for_each_set([&](std::size_t v) {
+      if (!survived) return;
+      Graph crashed = g;
+      const auto vid = static_cast<NodeId>(v);
+      while (!crashed.neighbors(vid).empty()) {
+        crashed.remove_edge(vid, crashed.neighbors(vid).front());
+      }
+      DynBitset survivors = backbone.backbone;
+      survivors.reset(v);
+      if (!check_cds(crashed, survivors).ok()) {
+        survived = false;
+        fail("(2,2) backbone does not survive the loss of member " +
+             std::to_string(v));
+      }
+    });
   }
 }
 
@@ -613,6 +701,7 @@ std::vector<OracleFailure> run_oracles(const FuzzScenario& scenario,
   std::vector<OracleFailure> failures;
   if (const auto snap = make_snapshot(scenario)) {
     check_cds_validity(scenario, *snap, options, failures);
+    check_gap_bound(scenario, *snap, options, failures);
     check_dist_agreement(scenario, *snap, options, failures);
   }
   check_engine_identity(scenario, options, failures);

@@ -33,6 +33,14 @@
 //                         table vs the host's best dispatch level
 //                         (simd::set_level) is bit-identical; skipped when
 //                         the host has no vector path.
+//   gap-bound           — the branch-and-bound exact optimum is a true
+//                         lower bound: it matches the exhaustive bitmask
+//                         optimum where that is computable (n <= 20), every
+//                         valid heuristic CDS (greedy/MIS/tree/(2,2)/the
+//                         marking process) is at least as large, and the
+//                         greedy (2,2) backbone passes its own validity
+//                         predicate — including single-member-loss survival
+//                         when the full (2,2) property holds.
 //   serve-identity      — the `pacds serve` tick path (create + ticks in
 //                         the scenario's serve_ticks granularity) emits a
 //                         canonically identical metrics stream to a
@@ -72,6 +80,7 @@ inline constexpr int kMutateJsonl = 7;
 inline constexpr int kMutateEmptyPlanIdentity = 8;
 inline constexpr int kMutateSimdIdentity = 9;
 inline constexpr int kMutateServeIdentity = 10;
+inline constexpr int kMutateGapBound = 11;
 
 struct OracleOptions {
   int mutation = kMutateNone;

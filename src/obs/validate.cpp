@@ -84,9 +84,17 @@ StreamValidation validate_metrics_stream(std::istream& in) {
     }
     if (!counted) result.type_counts.emplace_back(type->as_string(), 1);
   }
-  if (result.count_of("run_manifest") == 0 || result.count_of("interval") == 0) {
+  // Two stream shapes pass: a simulation stream (manifest + per-interval
+  // records) or an optimality-gap stream (gap_manifest + per-instance
+  // gap_point records from `pacds gap` / bench/ablation_gap).
+  const bool sim_stream = result.count_of("run_manifest") > 0 &&
+                          result.count_of("interval") > 0;
+  const bool gap_stream = result.count_of("gap_manifest") > 0 &&
+                          result.count_of("gap_point") > 0;
+  if (!sim_stream && !gap_stream) {
     result.error =
-        "stream needs at least one run_manifest and one interval record";
+        "stream needs a run_manifest plus interval records, or a "
+        "gap_manifest plus gap_point records";
     return result;
   }
   result.ok = true;

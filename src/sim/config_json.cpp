@@ -52,6 +52,13 @@ Strategy parse_strategy(const std::string& prefix, const std::string& name) {
   fail(prefix, "unknown strategy \"" + name + "\"");
 }
 
+BackboneMode parse_backbone(const std::string& prefix,
+                            const std::string& name) {
+  if (name == "scheme") return BackboneMode::kScheme;
+  if (name == "cds22") return BackboneMode::kCds22;
+  fail(prefix, "unknown backbone \"" + name + "\"");
+}
+
 SimEngine parse_engine(const std::string& prefix, const std::string& name) {
   if (name == "auto") return SimEngine::kAuto;
   if (name == "full") return SimEngine::kFullRebuild;
@@ -133,6 +140,10 @@ void parse_sim_config_json(const JsonValue& value, SimConfig& config,
     } else if (key == "engine") {
       config.engine =
           parse_engine(prefix, string_of(prefix, member, "config.engine"));
+    } else if (key == "backbone") {
+      // Optional (older corpus entries predate the (2,2) backbone).
+      config.backbone = parse_backbone(
+          prefix, string_of(prefix, member, "config.backbone"));
     } else if (key == "tiles") {
       // Optional (older corpus entries predate the tiled engine): requested
       // tile count, 0 = auto. The TileGrid clamps, so any value is safe.
@@ -186,6 +197,7 @@ void write_sim_config_json(JsonWriter& json, const SimConfig& config) {
   json.key("strategy").value(to_string(config.cds_options.strategy));
   json.key("quantum").value(config.energy_key_quantum);
   json.key("engine").value(to_string(config.engine));
+  json.key("backbone").value(to_string(config.backbone));
   json.key("tiles").value(config.tiles);
   json.key("threads").value(config.threads);
   json.key("max_intervals")

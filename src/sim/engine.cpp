@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "baselines/cds22.hpp"
 #include "core/rule_k.hpp"
+#include "core/verify.hpp"
 #include "net/geometric.hpp"
 #include "sim/tiled_engine.hpp"
 
@@ -29,6 +31,16 @@ std::string to_string(SimEngine engine) {
       return "incremental";
     case SimEngine::kTiled:
       return "tiled";
+  }
+  return "?";
+}
+
+std::string to_string(BackboneMode mode) {
+  switch (mode) {
+    case BackboneMode::kScheme:
+      return "scheme";
+    case BackboneMode::kCds22:
+      return "cds22";
   }
   return "?";
 }
@@ -190,15 +202,61 @@ void IncrementalEngine::update(const std::vector<Vec2>& positions,
   });
 }
 
+// ---- Cds22Engine -----------------------------------------------------------
+
+Cds22Engine::Cds22Engine(const SimConfig& config) : config_(config) {}
+
+void Cds22Engine::update(const std::vector<Vec2>& positions,
+                         const std::vector<double>& /*levels*/) {
+  {
+    const obs::PhaseTimer timer(metrics_, obs::Phase::kLinkBuild);
+    graph_.emplace(
+        build_links(positions, config_.radius, config_.link_model));
+  }
+  // Keep the cached backbone while it still verifies as a plain CDS of the
+  // current links. Deliberately *not* check_cds22: after a member crash the
+  // survivors are no longer (2,2) but are still a valid CDS — demanding the
+  // full property back would force exactly the repair round the (2,2)
+  // backbone exists to avoid.
+  if (have_backbone_ && check_cds(*graph_, backbone_).ok()) {
+    last_recomputed_ = false;
+    return;
+  }
+  const Cds22Result result = greedy_cds22(*graph_);
+  backbone_ = result.backbone;
+  full_22_ = result.full_22;
+  have_backbone_ = true;
+  last_recomputed_ = true;
+  if (metrics_ != nullptr) {
+    metrics_->add(obs::Counter::kFullRefreshes);
+    metrics_->add(obs::Counter::kNodesTouched,
+                  static_cast<std::uint64_t>(graph_->num_nodes()));
+  }
+}
+
+std::size_t Cds22Engine::last_touched() const {
+  return last_recomputed_ && graph_ ? graph_->num_nodes() : 0;
+}
+
 // ---- Selection -------------------------------------------------------------
 
 bool incremental_engine_eligible(const SimConfig& config) {
   return config.cds_options.strategy == Strategy::kSimultaneous &&
          !config.custom_key.has_value() &&
-         config.link_model == LinkModel::kUnitDisk;
+         config.link_model == LinkModel::kUnitDisk &&
+         config.backbone == BackboneMode::kScheme;
 }
 
 std::unique_ptr<LifetimeEngine> make_lifetime_engine(const SimConfig& config) {
+  if (config.backbone == BackboneMode::kCds22) {
+    if (config.engine == SimEngine::kIncremental ||
+        config.engine == SimEngine::kTiled) {
+      throw std::invalid_argument(
+          "make_lifetime_engine: the cds22 backbone has no incremental or "
+          "tiled form (use engine auto or full)");
+    }
+    return std::make_unique<Cds22Engine>(config);
+  }
   switch (config.engine) {
     case SimEngine::kFullRebuild:
       return std::make_unique<FullRebuildEngine>(config);
@@ -216,6 +274,7 @@ std::unique_ptr<LifetimeEngine> make_lifetime_engine(const SimConfig& config) {
 }
 
 std::string resolved_engine_name(const SimConfig& config) {
+  if (config.backbone == BackboneMode::kCds22) return "cds22";
   switch (config.engine) {
     case SimEngine::kFullRebuild:
       return "full-rebuild";

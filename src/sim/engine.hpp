@@ -78,6 +78,12 @@ class LifetimeEngine {
   [[nodiscard]] virtual std::size_t last_touched() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Whether the last update() actually recomputed the gateway set. The
+  /// rule-based engines re-derive it every interval (always true); the
+  /// (2,2) backbone engine keeps its cached set while it still verifies,
+  /// and the fault loop counts a repair round only when this reports true.
+  [[nodiscard]] virtual bool last_update_recomputed() const { return true; }
+
   /// Attaches a metrics registry (null detaches). Subsequent update() calls
   /// record phase timings and counters into it; with null everything stays
   /// on the zero-cost path. The registry is borrowed and must outlive the
@@ -190,10 +196,55 @@ class IncrementalEngine final : public LifetimeEngine {
   std::vector<double> key_scratch_;
 };
 
+/// Crash-tolerant backbone engine: maintains the greedy (2,2)-connected
+/// dominating set (baselines/cds22) instead of a rule-derived gateway set.
+/// Each update rebuilds the link graph, then keeps the cached backbone
+/// verbatim while it still passes the plain check_cds against the current
+/// links — a crashed member drops out as an exempt isolated singleton and
+/// the survivors carry on with zero repair rounds (the (2,2) survival
+/// property; tests/faults_test demonstrates it). Only when the cached set
+/// fails validation (mobility tore it, or it never existed) does the
+/// engine recompute greedy_cds22 from scratch.
+class Cds22Engine final : public LifetimeEngine {
+ public:
+  explicit Cds22Engine(const SimConfig& config);
+
+  void update(const std::vector<Vec2>& positions,
+              const std::vector<double>& levels) override;
+  [[nodiscard]] const DynBitset& gateways() const override {
+    return backbone_;
+  }
+  [[nodiscard]] const Graph* graph() const override {
+    return graph_ ? &*graph_ : nullptr;
+  }
+  [[nodiscard]] IntervalCounts counts() const override {
+    return {backbone_.count(), backbone_.count()};
+  }
+  [[nodiscard]] std::size_t last_touched() const override;
+  [[nodiscard]] std::string name() const override { return "cds22"; }
+  [[nodiscard]] bool last_update_recomputed() const override {
+    return last_recomputed_;
+  }
+
+  /// Whether the current backbone satisfies the full (2,2) property
+  /// (biconnected + 2-dominating); false when the topology cannot support
+  /// one and greedy_cds22 degraded to a plain CDS.
+  [[nodiscard]] bool full_22() const { return full_22_; }
+
+ private:
+  SimConfig config_;
+  std::optional<Graph> graph_;
+  DynBitset backbone_;
+  bool have_backbone_ = false;
+  bool full_22_ = false;
+  bool last_recomputed_ = false;
+};
+
 /// True iff IncrementalEngine provably reproduces the full rebuild for this
 /// configuration: simultaneous strategy (the only semantics IncrementalCds
-/// maintains), scheme-driven keys (no custom key / Rule k), and unit-disk
-/// links (Gabriel/RNG pruning is not locally updatable).
+/// maintains), scheme-driven keys (no custom key / Rule k), unit-disk
+/// links (Gabriel/RNG pruning is not locally updatable), and the scheme
+/// backbone (the (2,2) backbone has no incremental form).
 [[nodiscard]] bool incremental_engine_eligible(const SimConfig& config);
 
 /// Builds the engine selected by config.engine; kAuto picks the incremental

@@ -112,6 +112,10 @@ bool LifetimeRun::step() {
   }
   const DynBitset& gateways = engine_->gateways();
   IntervalCounts counts = engine_->counts();
+  // A repair round happened only if the engine actually re-derived the set.
+  // The cds22 backbone keeps its cached set through a member crash (the
+  // survivors still verify), so a down-set change need not cost a repair.
+  const bool repaired = repair_due && engine_->last_update_recomputed();
 
   // 3. Degraded-mode health: domination + connectivity of the surviving
   //    backbone. assess_backbone leaves the active gateway set in
@@ -176,7 +180,7 @@ bool LifetimeRun::step() {
     if (!health.backbone_ok) ++fs.disconnected_intervals;
     if (health.coverage < 1.0) ++fs.uncovered_intervals;
     fs.min_coverage = std::min(fs.min_coverage, health.coverage);
-    if (repair_due) {
+    if (repaired) {
       ++fs.repairs;
       fs.repair_ns_total += repair_ns;
       fs.repair_touched_total += engine_->last_touched();
@@ -222,7 +226,7 @@ bool LifetimeRun::step() {
       for (std::size_t i = 0; i < death_start; ++i) {
         observer_->on_fault(fault_events_[i]);
       }
-      if (repair_due) observer_->on_fault(repair_record);
+      if (repaired) observer_->on_fault(repair_record);
     }
     observer_->on_interval(record);
     if (faulted_) {

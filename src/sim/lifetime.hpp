@@ -51,6 +51,22 @@ enum class SimEngine : std::uint8_t {
 
 [[nodiscard]] std::string to_string(SimEngine engine);
 
+/// What kind of backbone each interval maintains.
+enum class BackboneMode : std::uint8_t {
+  /// The paper's marking + pruning rules (rule_set / custom_key / Rule k):
+  /// recompute the gateway set every interval. The default.
+  kScheme,
+  /// Greedy (2,2)-connected dominating set (baselines/cds22): biconnected
+  /// and 2-dominating where the topology allows, so any single gateway
+  /// crash leaves a valid plain CDS with zero repair rounds. The cached
+  /// backbone is kept verbatim while it still passes check_cds against the
+  /// current links and only rebuilt when it fails — the fault-tolerance
+  /// trade: a bigger standing backbone for fewer recomputations.
+  kCds22,
+};
+
+[[nodiscard]] std::string to_string(BackboneMode mode);
+
 /// All knobs of one lifetime simulation; defaults are the paper's settings.
 struct SimConfig {
   int n_hosts = 50;
@@ -100,6 +116,12 @@ struct SimConfig {
   /// produce bit-identical TrialResults wherever kIncremental is eligible;
   /// equivalence is asserted by tests/engine_equivalence_test.
   SimEngine engine = SimEngine::kAuto;
+
+  /// Backbone family (see BackboneMode). kCds22 overrides the scheme with
+  /// the greedy (2,2)-connected backbone; engine must then be kAuto or
+  /// kFullRebuild (the incremental/tiled fast paths maintain rule-based
+  /// semantics only — make_lifetime_engine throws if they are forced).
+  BackboneMode backbone = BackboneMode::kScheme;
 
   /// Requested tile count for SimEngine::kTiled (0 = auto: the finest grid
   /// whose tile side stays >= 2 * radius; requests are clamped to that same

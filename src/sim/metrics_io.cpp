@@ -24,6 +24,7 @@ void write_run_manifest(obs::JsonlSink& sink, const SimConfig& config,
     json.key("scheme").value(to_string(config.rule_set));
     json.key("engine").value(resolved_engine_name(config));
     json.key("engine_config").value(to_string(config.engine));
+    json.key("backbone").value(to_string(config.backbone));
     json.key("threads").value(config.threads);
     json.key("n_hosts").value(config.n_hosts);
     json.key("field_width").value(config.field_width);

@@ -1,0 +1,111 @@
+// Tests for the branch-and-bound exact minimum-CDS solver: known optima,
+// bit-identical optimum sizes vs the bitmask solver on every n <= 20, and
+// proven optimality at n = 60 — the scale the bitmask search cannot reach.
+
+#include "baselines/bb_mcds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_mcds.hpp"
+#include "baselines/greedy_mcds.hpp"
+#include "core/verify.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::figure1_graph;
+using testing::path_graph;
+using testing::star_graph;
+
+TEST(BbMcdsTest, KnownOptima) {
+  EXPECT_EQ(bb_min_cds(path_graph(5))->count(), 3u);
+  EXPECT_EQ(bb_min_cds(star_graph(6))->count(), 1u);
+  EXPECT_EQ(bb_min_cds(cycle_graph(5))->count(), 3u);
+  EXPECT_EQ(bb_min_cds(complete_graph(4))->count(), 0u);
+  EXPECT_EQ(bb_min_cds(figure1_graph())->count(), 2u);
+}
+
+TEST(BbMcdsTest, EmptyAndTinyGraphs) {
+  EXPECT_EQ(bb_min_cds(Graph(0))->count(), 0u);
+  EXPECT_EQ(bb_min_cds(Graph(1))->count(), 0u);  // singleton exempt
+  EXPECT_EQ(bb_min_cds(Graph(3))->count(), 0u);  // isolated singletons
+  EXPECT_EQ(bb_min_cds(complete_graph(2))->count(), 0u);
+}
+
+TEST(BbMcdsTest, DisconnectedComponents) {
+  // Two P3s: each needs its middle -> optimum 2.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  EXPECT_EQ(bb_min_cds(g)->count(), 2u);
+}
+
+// The acceptance bar: on seeded random geometric graphs at every n <= 20,
+// the branch-and-bound optimum size must be bit-identical to the exhaustive
+// bitmask optimum.
+TEST(BbMcdsTest, MatchesBitmaskSolverAtEverySmallN) {
+  int instances = 0;
+  for (int n = 1; n <= 20; ++n) {
+    for (std::uint64_t seed = 401; seed <= 403; ++seed) {
+      Xoshiro256 rng(seed * 131 + static_cast<std::uint64_t>(n));
+      const auto placed = random_connected_placement(
+          n, Field::paper_field(), kPaperRadius * 2.0, rng, 5000);
+      if (!placed.has_value()) continue;
+      const Graph& g = placed->graph;
+      const auto exact = exact_min_cds(g, 20);
+      ASSERT_TRUE(exact.has_value());
+      BbStats stats;
+      const auto bb = bb_min_cds(g, BbOptions{}, &stats);
+      ASSERT_TRUE(bb.has_value()) << "n=" << n << " seed=" << seed;
+      EXPECT_TRUE(stats.proven);
+      EXPECT_TRUE(check_cds(g, *bb).ok()) << "n=" << n << " seed=" << seed;
+      EXPECT_EQ(bb->count(), exact->count())
+          << "n=" << n << " seed=" << seed;
+      ++instances;
+    }
+  }
+  EXPECT_GE(instances, 40);  // the sweep must actually exercise the grid
+}
+
+// Past the bitmask cap: proven optimality on n = 60 random geometric
+// instances at the paper's radius, within the default node budget.
+TEST(BbMcdsTest, ProvenOptimalAtSixtyNodes) {
+  int solved = 0;
+  for (std::uint64_t seed = 501; seed <= 503; ++seed) {
+    Xoshiro256 rng(seed);
+    const auto placed = random_connected_placement(
+        60, Field::paper_field(), kPaperRadius, rng, 5000);
+    if (!placed.has_value()) continue;
+    const Graph& g = placed->graph;
+    BbStats stats;
+    const auto bb = bb_min_cds(g, BbOptions{}, &stats);
+    ASSERT_TRUE(bb.has_value()) << "seed=" << seed;
+    EXPECT_TRUE(stats.proven);
+    EXPECT_TRUE(check_cds(g, *bb).ok());
+    EXPECT_LE(bb->count(), greedy_mcds(g).count());
+    ++solved;
+  }
+  EXPECT_GE(solved, 2);
+}
+
+TEST(BbMcdsTest, NodeBudgetExhaustionReturnsNullopt) {
+  Xoshiro256 rng(601);
+  const auto placed = random_connected_placement(
+      40, Field::paper_field(), kPaperRadius, rng, 5000);
+  ASSERT_TRUE(placed.has_value());
+  BbStats stats;
+  const auto bb = bb_min_cds(placed->graph, BbOptions{.node_budget = 3},
+                             &stats);
+  EXPECT_FALSE(bb.has_value());
+  EXPECT_FALSE(stats.proven);
+}
+
+}  // namespace
+}  // namespace pacds

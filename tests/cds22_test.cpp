@@ -1,0 +1,136 @@
+// Tests for the greedy (2,2)-connected dominating set and its validity
+// predicate: check_cds22 accepts greedy output on 2-connected graphs,
+// rejects single-node-removal counterexamples, and a full (2,2) backbone
+// survives the loss of any single member as a plain CDS.
+
+#include "baselines/cds22.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/articulation.hpp"
+#include "core/verify.hpp"
+#include "net/rng.hpp"
+#include "net/topology.hpp"
+#include "test_graphs.hpp"
+
+namespace pacds {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::path_graph;
+using testing::star_graph;
+
+TEST(IsBiconnectedTest, Basics) {
+  EXPECT_TRUE(is_biconnected(Graph(0)));
+  EXPECT_TRUE(is_biconnected(Graph(1)));
+  EXPECT_TRUE(is_biconnected(complete_graph(2)));
+  EXPECT_TRUE(is_biconnected(cycle_graph(5)));
+  EXPECT_TRUE(is_biconnected(complete_graph(6)));
+  EXPECT_FALSE(is_biconnected(path_graph(3)));   // middle is a cut vertex
+  EXPECT_FALSE(is_biconnected(star_graph(4)));   // center is a cut vertex
+  EXPECT_FALSE(is_biconnected(Graph(2)));        // disconnected
+}
+
+TEST(CheckCds22Test, AcceptsFullCycleBackbone) {
+  const Graph g = cycle_graph(6);
+  DynBitset all(6);
+  all.set_all();
+  EXPECT_TRUE(check_cds22(g, all).ok());
+}
+
+TEST(CheckCds22Test, RejectsSingleNodeRemovalFromCycle) {
+  // C6 minus any one member leaves a member path: still dominating, still
+  // 2-dominating (the removed vertex has both path endpoints as neighbors),
+  // but the path has articulation points — biconnectivity must flag it.
+  const Graph g = cycle_graph(6);
+  for (std::size_t v = 0; v < 6; ++v) {
+    DynBitset set(6);
+    set.set_all();
+    set.reset(v);
+    const Cds22Check check = check_cds22(g, set);
+    EXPECT_FALSE(check.ok()) << "removed " << v;
+    EXPECT_FALSE(check.biconnected);
+    EXPECT_TRUE(check.two_dominating);
+  }
+}
+
+TEST(CheckCds22Test, RejectsSingleDomination) {
+  // C5 with members {0,1,2}: node 3 sees only member 2 -> 2-domination
+  // fails before biconnectivity is even considered.
+  const Graph g = cycle_graph(5);
+  DynBitset set(5);
+  set.set(0);
+  set.set(1);
+  set.set(2);
+  const Cds22Check check = check_cds22(g, set);
+  EXPECT_FALSE(check.ok());
+  EXPECT_FALSE(check.two_dominating);
+}
+
+TEST(CheckCds22Test, ExemptsCompleteComponents) {
+  const Graph g = complete_graph(4);
+  EXPECT_TRUE(check_cds22(g, DynBitset(4)).ok());
+  // A non-complete memberless component is not exempt.
+  EXPECT_FALSE(check_cds22(path_graph(3), DynBitset(3)).ok());
+}
+
+TEST(GreedyCds22Test, FullBackboneOnTwoConnectedGeometricGraphs) {
+  int exercised = 0;
+  for (std::uint64_t seed = 701; seed <= 712; ++seed) {
+    Xoshiro256 rng(seed);
+    const auto placed = random_connected_placement(
+        30, Field::paper_field(), kPaperRadius * 1.5, rng, 5000);
+    if (!placed.has_value()) continue;
+    const Graph& g = placed->graph;
+    if (!is_biconnected(g)) continue;  // no (2,2)-CDS can exist
+    const Cds22Result result = greedy_cds22(g);
+    EXPECT_TRUE(result.full_22) << "seed=" << seed;
+    EXPECT_TRUE(check_cds22(g, result.backbone).ok()) << "seed=" << seed;
+    EXPECT_TRUE(check_cds(g, result.backbone).ok()) << "seed=" << seed;
+    ++exercised;
+  }
+  EXPECT_GE(exercised, 3);
+}
+
+TEST(GreedyCds22Test, BackboneSurvivesAnySingleMemberLoss) {
+  Xoshiro256 rng(707);
+  const auto placed = random_connected_placement(
+      30, Field::paper_field(), kPaperRadius * 1.5, rng, 5000);
+  ASSERT_TRUE(placed.has_value());
+  const Graph& g = placed->graph;
+  if (!is_biconnected(g)) GTEST_SKIP() << "placement not 2-connected";
+  const Cds22Result result = greedy_cds22(g);
+  ASSERT_TRUE(result.full_22);
+  // Crash each member in turn: the survivors must still be a valid plain
+  // CDS of the graph without the crashed host (modelled by stripping its
+  // edges; the isolated host becomes an exempt singleton).
+  result.backbone.for_each_set([&](std::size_t v) {
+    Graph crashed = g;
+    const auto vid = static_cast<NodeId>(v);
+    while (!crashed.neighbors(vid).empty()) {
+      crashed.remove_edge(vid, crashed.neighbors(vid).front());
+    }
+    DynBitset survivors = result.backbone;
+    survivors.reset(v);
+    EXPECT_TRUE(check_cds(crashed, survivors).ok()) << "crashed member " << v;
+  });
+}
+
+TEST(GreedyCds22Test, DegradesGracefullyWithoutTwoConnectivity) {
+  // A path has cut vertices everywhere: no (2,2)-CDS exists, but the greedy
+  // must still hand back a valid plain CDS and say so via full_22 = false.
+  const Graph g = path_graph(7);
+  const Cds22Result result = greedy_cds22(g);
+  EXPECT_FALSE(result.full_22);
+  EXPECT_TRUE(check_cds(g, result.backbone).ok());
+}
+
+TEST(GreedyCds22Test, CompleteComponentsContributeNothing) {
+  const Cds22Result result = greedy_cds22(complete_graph(5));
+  EXPECT_TRUE(result.full_22);
+  EXPECT_EQ(result.backbone.count(), 0u);
+}
+
+}  // namespace
+}  // namespace pacds

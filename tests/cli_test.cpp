@@ -305,6 +305,55 @@ TEST(CliTest, SweepInUsage) {
   EXPECT_NE(r.out.find("--metrics"), std::string::npos);
 }
 
+TEST(CliTest, GapReportsRatiosAndWritesMetrics) {
+  const std::string jsonl_path = ::testing::TempDir() + "/pacds_cli_gap.jsonl";
+  const CliRun r = run_cli({"gap", "--hosts", "10,14", "--radius", "30",
+                            "--trials", "2", "--seed", "7", "--metrics",
+                            jsonl_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("opt"), std::string::npos);
+  EXPECT_NE(r.out.find("cds22"), std::string::npos);
+
+  // One gap_manifest, then one gap_point per (n, radius, trial) instance.
+  std::ifstream jsonl(jsonl_path);
+  ASSERT_TRUE(jsonl.good());
+  std::size_t manifests = 0;
+  std::size_t points = 0;
+  for (std::string line; std::getline(jsonl, line);) {
+    const JsonValue record = parse_json(line);
+    const std::string type = record.find("type")->as_string();
+    if (type == "gap_manifest") ++manifests;
+    if (type == "gap_point") ++points;
+  }
+  EXPECT_EQ(manifests, 1u);
+  EXPECT_EQ(points, 4u);  // 2 host counts x 1 radius x 2 trials
+  std::remove(jsonl_path.c_str());
+}
+
+TEST(CliTest, GapRejectsBadLists) {
+  const CliRun hosts = run_cli({"gap", "--hosts", "10,banana"});
+  EXPECT_EQ(hosts.code, 2);
+  EXPECT_NE(hosts.err.find("bad --hosts entry '"), std::string::npos);
+  const CliRun radius = run_cli({"gap", "--radius", "0"});
+  EXPECT_EQ(radius.code, 2);
+  EXPECT_NE(radius.err.find("bad --radius entry '"), std::string::npos);
+}
+
+TEST(CliTest, SimBackboneOption) {
+  const CliRun ok =
+      run_cli({"sim", "--n", "12", "--trials", "1", "--backbone", "cds22"});
+  EXPECT_EQ(ok.code, 0) << ok.err;
+  const CliRun clash = run_cli({"sim", "--n", "12", "--trials", "1",
+                                "--backbone", "cds22", "--engine",
+                                "incremental"});
+  EXPECT_EQ(clash.code, 2);
+  EXPECT_NE(clash.err.find("needs --engine auto or full"), std::string::npos);
+  const CliRun unknown = run_cli(
+      {"sim", "--n", "12", "--trials", "1", "--backbone", "mesh"});
+  EXPECT_EQ(unknown.code, 2);
+  EXPECT_NE(unknown.err.find("unknown backbone"), std::string::npos);
+}
+
 TEST(CliTest, MetricsUnwritablePathFails) {
   const CliRun r = run_cli({"sim", "--n", "10", "--trials", "1", "--metrics",
                             "/nonexistent_dir_zz/m.jsonl"});

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "baselines/cds22.hpp"
 #include "core/articulation.hpp"
 #include "core/bitset.hpp"
 #include "core/cds.hpp"
@@ -604,6 +605,77 @@ TEST(SelfHealingTest, NonArticulationGatewayCrashHealsInOneRepairRound) {
     ++tested;
   }
   ASSERT_GE(tested, 3) << "not enough usable seeds";
+}
+
+TEST(SelfHealingTest, Cds22BackboneSurvivesAnySingleCrashWithoutRepair) {
+  // The (2,2)-connected backbone is crash-proof by construction: when
+  // greedy_cds22 achieves the full (2,2) property, removing any single
+  // member leaves a set that still dominates and connects the survivors.
+  // The engine keeps its cached backbone through the crash, so the trial
+  // charges zero repair rounds and the backbone stays healthy the whole
+  // run — unlike the per-interval scheme, which recomputes.
+  int tested = 0;
+  for (std::uint64_t seed = 1; seed <= 24 && tested < 1; ++seed) {
+    SimConfig config;
+    config.n_hosts = 30;
+    config.mobility_kind = MobilityKind::kStatic;
+    config.backbone = BackboneMode::kCds22;
+    config.max_intervals = 6;
+
+    // Reproduce the trial's placement (the seed's first RNG consumer) and
+    // its backbone; the survival claim only holds when full_22 is true.
+    Xoshiro256 rng(seed);
+    const Field field(config.field_width, config.field_height,
+                      config.boundary);
+    const auto placed = random_connected_placement(
+        config.n_hosts, field, config.radius, rng, config.connect_retries);
+    if (!placed) continue;
+    const Graph& g = placed->graph;
+    if (g.is_complete()) continue;
+    const Cds22Result backbone = greedy_cds22(g);
+    if (!backbone.full_22) continue;
+    const Cds22Check check = check_cds22(g, backbone.backbone);
+    ASSERT_TRUE(check.ok()) << check.message << " (seed " << seed << ")";
+
+    // Crash every backbone member in turn: no single loss may cost a
+    // repair round or degrade coverage or connectivity.
+    backbone.backbone.for_each_set([&](std::size_t member) {
+      FaultPlan plan;
+      plan.crashes = {{static_cast<int>(member), 2, 0}};
+      SimTrace trace;
+      const TrialResult result =
+          run_lifetime_trial(config, seed, &trace, &plan);
+      EXPECT_EQ(result.faults.repairs, 0u)
+          << "seed " << seed << " victim " << member;
+      EXPECT_EQ(result.faults.disconnected_intervals, 0)
+          << "seed " << seed << " victim " << member;
+      EXPECT_EQ(result.faults.uncovered_intervals, 0)
+          << "seed " << seed << " victim " << member;
+      EXPECT_DOUBLE_EQ(result.faults.min_coverage, 1.0)
+          << "seed " << seed << " victim " << member;
+      for (const FaultRecord& record : trace.fault_records) {
+        EXPECT_NE(record.kind, FaultKind::kRepair)
+            << "seed " << seed << " victim " << member;
+      }
+    });
+
+    // Contrast: the scheme backbone pays a repair round for the same
+    // crash, because every down-set change re-derives the gateway set.
+    SimConfig scheme = config;
+    scheme.backbone = BackboneMode::kScheme;
+    int victim = -1;
+    backbone.backbone.for_each_set([&](std::size_t member) {
+      if (victim < 0) victim = static_cast<int>(member);
+    });
+    ASSERT_GE(victim, 0) << "seed " << seed;
+    FaultPlan plan;
+    plan.crashes = {{victim, 2, 0}};
+    const TrialResult repaired = run_lifetime_trial(scheme, seed, nullptr,
+                                                    &plan);
+    EXPECT_GE(repaired.faults.repairs, 1u) << "seed " << seed;
+    ++tested;
+  }
+  ASSERT_GE(tested, 1) << "not enough usable seeds";
 }
 
 }  // namespace

@@ -199,6 +199,16 @@ TEST(FuzzOracleTest, EveryMutationIsCaughtByItsOracle) {
        [](const FuzzScenario& s) { return !s.faults.has_lifetime_events(); }},
       {kMutateServeIdentity, "serve-identity",
        [](const FuzzScenario&) { return true; }},
+      // gap-bound's mutation is caught unconditionally by the bitmask
+      // differential, which needs the exhaustive solver's n <= 20 domain
+      // and a scenario dense enough that the connected snapshot the oracle
+      // runs on actually exists (the 100x100 field is the generator's
+      // default).
+      {kMutateGapBound, "gap-bound",
+       [](const FuzzScenario& s) {
+         return s.config.n_hosts >= 8 && s.config.n_hosts <= 20 &&
+                s.config.radius >= 35.0;
+       }},
   };
   for (const Case& c : cases) {
     const std::int64_t index = find_scenario(1, c.in_domain);

@@ -108,6 +108,7 @@ TEST_F(MetricsSchemaTest, EveryLineParsesManifestFirstThenIntervals) {
   EXPECT_EQ(manifest.find("n_hosts")->as_number(), 20.0);
   EXPECT_EQ(manifest.find("scheme")->as_string(), "EL2");
   EXPECT_EQ(manifest.find("engine")->as_string(), "incremental");
+  EXPECT_EQ(manifest.find("backbone")->as_string(), "scheme");
   for (const char* key :
        {"threads", "field_width", "field_height", "boundary", "radius",
         "link_model", "initial_energy", "drain_model", "mobility",
@@ -208,6 +209,27 @@ TEST(StreamValidatorTest, RejectsEnvelopeViolations) {
   EXPECT_FALSE(validate(manifest + "{\"schema\":1}\n").ok);  // no type
   EXPECT_FALSE(
       validate(manifest + "{\"type\":\"interval\"}\n").ok);  // no schema
+}
+
+TEST(StreamValidatorTest, AcceptsAGapStreamWithoutIntervalRecords) {
+  // `pacds gap` emits gap_manifest + gap_point records — a second valid
+  // stream shape alongside run_manifest + interval. A manifest of either
+  // kind without its points is still incomplete.
+  const auto validate = [](const std::string& text) {
+    std::istringstream in(text);
+    return obs::validate_metrics_stream(in);
+  };
+  const std::string manifest = "{\"type\":\"gap_manifest\",\"schema\":1}\n";
+  const std::string point =
+      "{\"type\":\"gap_point\",\"schema\":1,\"n\":20,\"optimum\":7}\n";
+
+  const obs::StreamValidation v = validate(manifest + point);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.count_of("gap_manifest"), 1u);
+  EXPECT_EQ(v.count_of("gap_point"), 1u);
+
+  EXPECT_FALSE(validate(manifest).ok);  // manifest without points
+  EXPECT_FALSE(validate(point).ok);     // points without a manifest
 }
 
 TEST(StreamValidatorTest, RejectsNonFiniteNumbersAnywhereInARecord) {
