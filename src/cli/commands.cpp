@@ -125,6 +125,7 @@ std::optional<RuleSet> parse_scheme(const std::string& name) {
   if (name == "ND") return RuleSet::kND;
   if (name == "EL1") return RuleSet::kEL1;
   if (name == "EL2") return RuleSet::kEL2;
+  if (name == "SEL") return RuleSet::kSEL;
   return std::nullopt;
 }
 
@@ -140,10 +141,29 @@ std::optional<KeyKind> parse_key(const std::string& name) {
   if (name == "ND") return KeyKind::kDegreeId;
   if (name == "EL1") return KeyKind::kEnergyId;
   if (name == "EL2") return KeyKind::kEnergyDegreeId;
+  if (name == "SEL") return KeyKind::kStabilityEnergyId;
+  return std::nullopt;
+}
+
+std::optional<MobilityKind> parse_mobility_kind(const std::string& name) {
+  if (name == "paper-jump") return MobilityKind::kPaperJump;
+  if (name == "random-walk") return MobilityKind::kRandomWalk;
+  if (name == "random-waypoint") return MobilityKind::kRandomWaypoint;
+  if (name == "gauss-markov") return MobilityKind::kGaussMarkov;
+  if (name == "static") return MobilityKind::kStatic;
+  return std::nullopt;
+}
+
+std::optional<RadioKind> parse_radio_kind(const std::string& name) {
+  if (name == "unit-disk") return RadioKind::kUnitDisk;
+  if (name == "shadowing") return RadioKind::kShadowing;
+  if (name == "probabilistic") return RadioKind::kProbabilistic;
   return std::nullopt;
 }
 
 /// Parses --scheme for the simulation commands: "all" or one scheme name.
+/// "all" stays the paper's five schemes; SEL is opt-in by name so the
+/// default sweeps keep reproducing the paper's tables unchanged.
 std::optional<std::vector<RuleSet>> parse_scheme_list(const std::string& name,
                                                       std::ostream& err) {
   std::vector<RuleSet> schemes;
@@ -179,9 +199,9 @@ int cmd_cds(const std::vector<std::string>& tokens, std::ostream& out,
             std::ostream& err) {
   ArgParser parser("pacds cds", "compute a connected dominating set");
   add_graph_options(parser);
-  parser.add_option("scheme", "NR | ID | ND | EL1 | EL2 | RULEK", "ID");
+  parser.add_option("scheme", "NR | ID | ND | EL1 | EL2 | SEL | RULEK", "ID");
   parser.add_option("key", "priority key for --scheme RULEK "
-                           "(ID | ND | EL1 | EL2)", "ND");
+                           "(ID | ND | EL1 | EL2 | SEL)", "ND");
   parser.add_option("strategy", "sequential | simultaneous | verified",
                     "sequential");
   parser.add_flag("dot", "emit Graphviz instead of a summary");
@@ -326,7 +346,7 @@ int cmd_route(const std::vector<std::string>& tokens, std::ostream& out,
   ArgParser parser("pacds route",
                    "route a packet through the gateway backbone");
   add_graph_options(parser);
-  parser.add_option("scheme", "NR | ID | ND | EL1 | EL2", "ID");
+  parser.add_option("scheme", "NR | ID | ND | EL1 | EL2 | SEL", "ID");
   parser.add_option("src", "source host id", "0");
   parser.add_option("dst", "destination host id", "1");
   parser.add_flag("help", "show usage");
@@ -380,9 +400,36 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
   parser.add_option("trials", "Monte-Carlo trials", "30");
   parser.add_option("model", "gateway drain model: 1 (d=2/|G'|), "
                              "2 (d=N/|G'|), 3 (d=N(N-1)/2/(10|G'|))", "2");
-  parser.add_option("scheme", "NR | ID | ND | EL1 | EL2 | all", "all");
+  parser.add_option("scheme", "NR | ID | ND | EL1 | EL2 | SEL | all "
+                              "('all' = the paper's five; SEL is opt-in)",
+                    "all");
   parser.add_option("seed", "base RNG seed", "2001");
   parser.add_option("quantum", "energy-key quantization (0 = off)", "1");
+  parser.add_option("mobility",
+                    "mobility model: paper-jump | random-walk | "
+                    "random-waypoint | gauss-markov | static (non-paper-jump "
+                    "kinds use MobilityParams defaults; use a config JSON for "
+                    "full control)",
+                    "paper-jump");
+  parser.add_option("depth",
+                    "field z extent (0 = the paper's planar world; > 0 lifts "
+                    "placement, mobility and link distances into 3-D)",
+                    "0");
+  parser.add_option("radio",
+                    "propagation model gating unit-disk links: unit-disk | "
+                    "shadowing | probabilistic (deterministic per-pair "
+                    "fading; params from RadioParams defaults)",
+                    "unit-disk");
+  parser.add_option("fading-seed",
+                    "per-pair fading seed for --radio shadowing | "
+                    "probabilistic",
+                    "1");
+  parser.add_option("stability-beta",
+                    "SEL churn EWMA memory in [0, 1] (0 = latest interval "
+                    "only, 1 = frozen)",
+                    "0.5");
+  parser.add_option("stability-quantum",
+                    "SEL churn bucket width (0 = raw EWMA values)", "1");
   parser.add_option("strategy", "sequential | simultaneous | verified",
                     "sequential");
   parser.add_option("engine",
@@ -429,9 +476,15 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
   const auto quantum = parser.option_double("quantum");
   const auto threads = parser.option_int("threads");
   const auto tiles = parser.option_int("tiles");
+  const auto depth = parser.option_double("depth");
+  const auto fading_seed = parser.option_int("fading-seed");
+  const auto stability_beta = parser.option_double("stability-beta");
+  const auto stability_quantum = parser.option_double("stability-quantum");
   if (!n || *n < 1 || !trials || *trials < 1 || !model || *model < 1 ||
       *model > 3 || !seed || !quantum || !threads || *threads < 0 || !tiles ||
-      *tiles < 0) {
+      *tiles < 0 || !depth || *depth < 0.0 || !fading_seed ||
+      *fading_seed < 0 || !stability_beta || *stability_beta < 0.0 ||
+      *stability_beta > 1.0 || !stability_quantum || *stability_quantum < 0.0) {
     err << "error: bad numeric option\n" << parser.usage();
     return 2;
   }
@@ -448,6 +501,23 @@ int cmd_sim(const std::vector<std::string>& tokens, std::ostream& out,
   config.energy_key_quantum = *quantum;
   config.cds_options.strategy = *strategy;
   config.threads = static_cast<int>(*threads);
+  config.field_depth = *depth;
+  config.stability_beta = *stability_beta;
+  config.stability_quantum = *stability_quantum;
+  const auto mobility = parse_mobility_kind(parser.option("mobility"));
+  if (!mobility) {
+    err << "error: unknown mobility '" << parser.option("mobility") << "'\n";
+    return 2;
+  }
+  config.mobility_kind = *mobility;
+  const auto radio = parse_radio_kind(parser.option("radio"));
+  if (!radio) {
+    err << "error: unknown radio '" << parser.option("radio") << "'\n";
+    return 2;
+  }
+  config.radio = *radio;
+  config.radio_params.fading_seed =
+      static_cast<std::uint64_t>(*fading_seed);
   const std::string engine = parser.option("engine");
   if (engine == "auto") {
     config.engine = SimEngine::kAuto;
@@ -619,7 +689,9 @@ int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out,
                     "'quick' (10,30,50,80) / 'hansen' (1k..100k ladder "
                     "for --sets)",
                     "quick");
-  parser.add_option("scheme", "NR | ID | ND | EL1 | EL2 | all", "all");
+  parser.add_option("scheme", "NR | ID | ND | EL1 | EL2 | SEL | all "
+                              "('all' = the paper's five; SEL is opt-in)",
+                    "all");
   parser.add_option("trials", "Monte-Carlo trials per (n, scheme) point",
                     "10");
   parser.add_option("model", "gateway drain model: 1 (d=2/|G'|), "

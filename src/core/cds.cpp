@@ -18,12 +18,20 @@ std::string to_string(RuleSet rs) {
       return "EL1";
     case RuleSet::kEL2:
       return "EL2";
+    case RuleSet::kSEL:
+      return "SEL";
   }
   return "?";
 }
 
 bool uses_energy(RuleSet rs) {
-  return rs == RuleSet::kEL1 || rs == RuleSet::kEL2;
+  return rs == RuleSet::kEL1 || rs == RuleSet::kEL2 || rs == RuleSet::kSEL;
+}
+
+bool uses_stability(RuleSet rs) { return rs == RuleSet::kSEL; }
+
+bool uses_stability(KeyKind kind) {
+  return kind == KeyKind::kStabilityEnergyId;
 }
 
 KeyKind key_kind_of(RuleSet rs) {
@@ -37,6 +45,8 @@ KeyKind key_kind_of(RuleSet rs) {
       return KeyKind::kEnergyId;
     case RuleSet::kEL2:
       return KeyKind::kEnergyDegreeId;
+    case RuleSet::kSEL:
+      return KeyKind::kStabilityEnergyId;
   }
   return KeyKind::kId;
 }
@@ -50,16 +60,27 @@ Rule2Form rule2_form_of(RuleSet rs) {
 CdsResult compute_cds_custom(const Graph& g, KeyKind kind,
                              const RuleConfig& config,
                              const std::vector<double>& energy,
-                             CliquePolicy clique_policy,
-                             const ExecContext& ctx) {
-  const bool needs_energy =
-      kind == KeyKind::kEnergyId || kind == KeyKind::kEnergyDegreeId;
+                             CliquePolicy clique_policy, const ExecContext& ctx,
+                             const std::vector<double>& stability) {
+  const bool needs_energy = kind == KeyKind::kEnergyId ||
+                            kind == KeyKind::kEnergyDegreeId ||
+                            kind == KeyKind::kStabilityEnergyId;
   if (needs_energy &&
       energy.size() != static_cast<std::size_t>(g.num_nodes())) {
     throw std::invalid_argument(
         "compute_cds: energy-based scheme needs one level per node");
   }
-  const PriorityKey key(kind, g, needs_energy ? &energy : nullptr);
+  if (!stability.empty() && !uses_stability(kind)) {
+    throw std::invalid_argument(
+        "compute_cds: stability vector given but the key ignores it");
+  }
+  if (!stability.empty() &&
+      stability.size() != static_cast<std::size_t>(g.num_nodes())) {
+    throw std::invalid_argument(
+        "compute_cds: stability vector needs one estimate per node");
+  }
+  const PriorityKey key(kind, g, needs_energy ? &energy : nullptr,
+                        stability.empty() ? nullptr : &stability);
 
   // Give the whole pipeline one workspace even when the caller didn't pass
   // any, so marking and both rule passes share a single dense-row sync.
@@ -90,14 +111,15 @@ CdsResult compute_cds_custom(const Graph& g, KeyKind kind,
 
 CdsResult compute_cds(const Graph& g, RuleSet rs,
                       const std::vector<double>& energy,
-                      const CdsOptions& options, const ExecContext& ctx) {
+                      const CdsOptions& options, const ExecContext& ctx,
+                      const std::vector<double>& stability) {
   RuleConfig config;
   config.use_rule1 = rs != RuleSet::kNR;
   config.use_rule2 = rs != RuleSet::kNR;
   config.rule2_form = rule2_form_of(rs);
   config.strategy = options.strategy;
   return compute_cds_custom(g, key_kind_of(rs), config, energy,
-                            options.clique_policy, ctx);
+                            options.clique_policy, ctx, stability);
 }
 
 }  // namespace pacds

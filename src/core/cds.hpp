@@ -17,16 +17,20 @@
 
 namespace pacds {
 
-/// The five schemes compared in the paper's evaluation (Figures 10-13).
+/// The five schemes compared in the paper's evaluation (Figures 10-13),
+/// plus the scenario pack's stability-aware extension.
 enum class RuleSet : std::uint8_t {
   kNR,   ///< marking process only, no reduction rules
   kID,   ///< Rules 1 + 2 (node-id keys) — Wu & Li
   kND,   ///< Rules 1a + 2a (degree keys)
   kEL1,  ///< Rules 1b + 2b (energy keys, id tie-break) — paper's proposal
   kEL2,  ///< Rules 1b' + 2b' (energy keys, degree then id tie-break)
+  kSEL,  ///< refined rules with (stability, energy, id) keys — see KeyKind
 };
 
-/// All five schemes in paper order, for sweeps.
+/// The paper's five schemes in paper order, for sweeps ("--scheme all").
+/// kSEL is deliberately not in here: the ablation harness opts into it by
+/// name so paper-reproduction sweeps stay exactly the paper's five.
 inline constexpr RuleSet kAllRuleSets[] = {RuleSet::kNR, RuleSet::kID,
                                            RuleSet::kND, RuleSet::kEL1,
                                            RuleSet::kEL2};
@@ -35,6 +39,10 @@ inline constexpr RuleSet kAllRuleSets[] = {RuleSet::kNR, RuleSet::kID,
 
 /// True iff the scheme's priority key reads node energy levels.
 [[nodiscard]] bool uses_energy(RuleSet rs);
+
+/// True iff the scheme's priority key reads the per-node stability estimate.
+[[nodiscard]] bool uses_stability(RuleSet rs);
+[[nodiscard]] bool uses_stability(KeyKind kind);
 
 /// Key kind used by a scheme (meaningless for kNR, which applies no rules;
 /// returns kId there so clique election still has a total order).
@@ -70,16 +78,21 @@ struct CdsResult {
 /// and (under the simultaneous strategy) the rule passes are sharded across
 /// its workers — the gateway set is bit-identical to the serial computation
 /// for every thread count. A workspace makes repeated calls reuse scratch.
+///
+/// `stability` feeds the kSEL key (one churn estimate per node); an empty
+/// vector means "all equally stable" and is the only accepted shape for the
+/// other schemes.
 [[nodiscard]] CdsResult compute_cds(const Graph& g, RuleSet rs,
                                     const std::vector<double>& energy = {},
                                     const CdsOptions& options = {},
-                                    const ExecContext& ctx = {});
+                                    const ExecContext& ctx = {},
+                                    const std::vector<double>& stability = {});
 
 /// Fully custom variant: any key kind + rule configuration.
 [[nodiscard]] CdsResult compute_cds_custom(
     const Graph& g, KeyKind kind, const RuleConfig& config,
     const std::vector<double>& energy = {},
     CliquePolicy clique_policy = CliquePolicy::kNone,
-    const ExecContext& ctx = {});
+    const ExecContext& ctx = {}, const std::vector<double>& stability = {});
 
 }  // namespace pacds

@@ -9,10 +9,12 @@
 namespace pacds {
 
 IncrementalCds::IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy,
-                               CdsOptions options, ExecContext exec)
+                               CdsOptions options, ExecContext exec,
+                               std::vector<double> stability)
     : graph_(std::move(g)),
       rule_set_(rs),
       energy_(std::move(energy)),
+      stability_(std::move(stability)),
       options_(options),
       exec_(exec),
       marked_only_(static_cast<std::size_t>(graph_.num_nodes())),
@@ -32,6 +34,19 @@ IncrementalCds::IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy,
       energy_.size() != static_cast<std::size_t>(graph_.num_nodes())) {
     throw std::invalid_argument(
         "IncrementalCds: energy-based scheme needs one level per node");
+  }
+  if (uses_stability(rule_set_)) {
+    // Empty = "no churn observed yet": a fresh network starts all-stable.
+    if (stability_.empty()) {
+      stability_.assign(static_cast<std::size_t>(graph_.num_nodes()), 0.0);
+    } else if (stability_.size() !=
+               static_cast<std::size_t>(graph_.num_nodes())) {
+      throw std::invalid_argument(
+          "IncrementalCds: stability needs one estimate per node");
+    }
+  } else if (!stability_.empty()) {
+    throw std::invalid_argument(
+        "IncrementalCds: stability vector given but the scheme ignores it");
   }
   full_refresh();
 }
@@ -53,7 +68,8 @@ void IncrementalCds::propagate() {
   const obs::PhaseTimer timer(exec_.metrics, obs::Phase::kDeltaApply);
   const bool needs_energy = uses_energy(rule_set_);
   const PriorityKey key(key_kind_of(rule_set_), graph_,
-                        needs_energy ? &energy_ : nullptr);
+                        needs_energy ? &energy_ : nullptr,
+                        uses_stability(rule_set_) ? &stability_ : nullptr);
 
   // Stage 1 — marking over N[P]. Marking reads topology only, so key
   // changes (X) cannot flip it. seed_ accumulates the inputs of the next
@@ -132,7 +148,8 @@ void IncrementalCds::full_refresh() {
   // outputs are bit-identical either way.
   const bool needs_energy = uses_energy(rule_set_);
   const PriorityKey key(key_kind_of(rule_set_), graph_,
-                        needs_energy ? &energy_ : nullptr);
+                        needs_energy ? &energy_ : nullptr,
+                        uses_stability(rule_set_) ? &stability_ : nullptr);
   ExecContext pass_ctx = exec_;
   pass_ctx.workspace = &workspace();
   {
@@ -205,6 +222,29 @@ void IncrementalCds::ingest_energy(const std::vector<double>& energy) {
   energy_.assign(energy.begin(), energy.end());
 }
 
+void IncrementalCds::ingest_stability(const std::vector<double>& stability) {
+  if (!uses_stability(rule_set_)) {
+    if (!stability.empty()) {
+      throw std::invalid_argument(
+          "IncrementalCds: stability vector given but the scheme ignores it");
+    }
+    return;
+  }
+  if (stability.size() != static_cast<std::size_t>(graph_.num_nodes())) {
+    throw std::invalid_argument(
+        "IncrementalCds: stability needs one estimate per node");
+  }
+  for (std::size_t i = 0; i < stability.size(); ++i) {
+    // Same reasoning as ingest_energy: keys are only compared between
+    // marked nodes, so only a marked node's changed estimate can flip a
+    // decision; stability_ itself is refreshed in full below.
+    if (stability[i] != stability_[i] && marked_only_.test(i)) {
+      dirty_keys_.set(i);
+    }
+  }
+  stability_.assign(stability.begin(), stability.end());
+}
+
 void IncrementalCds::apply_delta(const EdgeDelta& delta) {
   ingest_delta(delta);
   propagate();
@@ -238,6 +278,15 @@ void IncrementalCds::advance(const EdgeDelta& delta,
   // see the post-delta graph, then resolve everything in one pass.
   ingest_delta(delta);
   ingest_energy(energy);
+  propagate();
+}
+
+void IncrementalCds::advance(const EdgeDelta& delta,
+                             const std::vector<double>& energy,
+                             const std::vector<double>& stability) {
+  ingest_delta(delta);
+  ingest_energy(energy);
+  ingest_stability(stability);
   propagate();
 }
 

@@ -65,8 +65,13 @@ class IncrementalCds {
   /// always run serially (their regions are small by construction). Both
   /// referents of `exec` are borrowed and must outlive this object; results
   /// are bit-identical for every executor.
+  ///
+  /// `stability` seeds the per-node churn estimates for RuleSet::kSEL; an
+  /// empty vector means "no churn observed yet" (all zeros). Ignored — and
+  /// required empty-or-n — for the other schemes.
   IncrementalCds(Graph g, RuleSet rs, std::vector<double> energy = {},
-                 CdsOptions options = {}, ExecContext exec = {});
+                 CdsOptions options = {}, ExecContext exec = {},
+                 std::vector<double> stability = {});
 
   [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] const DynBitset& gateways() const noexcept { return gateways_; }
@@ -105,6 +110,13 @@ class IncrementalCds {
   /// propagation pass (keys are always read on the post-delta graph).
   void advance(const EdgeDelta& delta, const std::vector<double>& energy);
 
+  /// kSEL variant of advance: also replaces the per-node stability
+  /// estimates, dirtying marked nodes whose (typically already-quantized)
+  /// estimate changed — exactly the energy-diff treatment, applied to the
+  /// key's stability component.
+  void advance(const EdgeDelta& delta, const std::vector<double>& energy,
+               const std::vector<double>& stability);
+
   /// Full recomputation from scratch (also used internally).
   void full_refresh();
 
@@ -122,6 +134,8 @@ class IncrementalCds {
   /// Diffs `energy` against energy_, accumulating changed nodes into
   /// dirty_keys_ (only for energy-based schemes), and stores the new levels.
   void ingest_energy(const std::vector<double>& energy);
+  /// Same diff-and-store for the stability estimates (kSEL only).
+  void ingest_stability(const std::vector<double>& stability);
   /// Re-evaluates the three stages from dirty_rows_ / dirty_keys_, then
   /// clears both. Updates last_touched_.
   void propagate();
@@ -136,6 +150,7 @@ class IncrementalCds {
   Graph graph_;
   RuleSet rule_set_;
   std::vector<double> energy_;
+  std::vector<double> stability_;  ///< kSEL churn estimates (else empty)
   CdsOptions options_;
   ExecContext exec_;
   CdsWorkspace own_ws_;

@@ -16,15 +16,19 @@ std::string to_string(KeyKind kind) {
       return "EL1";
     case KeyKind::kEnergyDegreeId:
       return "EL2";
+    case KeyKind::kStabilityEnergyId:
+      return "SEL";
   }
   return "?";
 }
 
 PriorityKey::PriorityKey(KeyKind kind, const Graph& graph,
-                         const std::vector<double>* energy)
-    : kind_(kind), graph_(&graph), energy_(energy) {
-  const bool needs_energy =
-      kind == KeyKind::kEnergyId || kind == KeyKind::kEnergyDegreeId;
+                         const std::vector<double>* energy,
+                         const std::vector<double>* stability)
+    : kind_(kind), graph_(&graph), energy_(energy), stability_(stability) {
+  const bool needs_energy = kind == KeyKind::kEnergyId ||
+                            kind == KeyKind::kEnergyDegreeId ||
+                            kind == KeyKind::kStabilityEnergyId;
   if (needs_energy) {
     if (energy_ == nullptr) {
       throw std::invalid_argument(
@@ -35,10 +39,21 @@ PriorityKey::PriorityKey(KeyKind kind, const Graph& graph,
           "PriorityKey: energy vector size does not match node count");
     }
   }
+  if (stability_ != nullptr &&
+      stability_->size() != static_cast<std::size_t>(graph.num_nodes())) {
+    throw std::invalid_argument(
+        "PriorityKey: stability vector size does not match node count");
+  }
 }
 
 double PriorityKey::energy_of(NodeId v) const {
   return (*energy_)[static_cast<std::size_t>(v)];
+}
+
+double PriorityKey::stability_of(NodeId v) const {
+  // Null = no churn observed anywhere: everyone is equally stable.
+  return stability_ == nullptr ? 0.0
+                               : (*stability_)[static_cast<std::size_t>(v)];
 }
 
 bool PriorityKey::less(NodeId v, NodeId u) const {
@@ -65,6 +80,16 @@ bool PriorityKey::less(NodeId v, NodeId u) const {
       const NodeId dv = graph_->degree(v);
       const NodeId du = graph_->degree(u);
       if (dv != du) return dv < du;
+      return v < u;
+    }
+    case KeyKind::kStabilityEnergyId: {
+      // Higher churn = less stable = lower priority (yields first).
+      const double sv = stability_of(v);
+      const double su = stability_of(u);
+      if (sv != su) return sv > su;
+      const double ev = energy_of(v);
+      const double eu = energy_of(u);
+      if (ev != eu) return ev < eu;
       return v < u;
     }
   }

@@ -8,11 +8,19 @@
 //   ND   (Rules 1a, 2a)  — (degree, id)                     lexicographic
 //   EL1  (Rules 1b, 2b)  — (energy level, id)               lexicographic
 //   EL2  (Rules 1b',2b') — (energy level, degree, id)       lexicographic
+//   SEL                  — (stability, energy, id)          lexicographic
 //
 // A *smaller* key means the node is the one that yields (unmarks itself);
 // i.e. the paper's "el(v) < el(u)" style conditions translate to
 // less(v, u) == true. Ids are distinct, so every comparator below is a
 // strict total order.
+//
+// SEL is the scenario pack's stability-aware extension (after the stable-CDS
+// route-discovery line of work): each node carries a predicted link
+// *instability* — an EWMA of its neighborhood churn — and nodes with higher
+// churn yield first, so the backbone prefers hosts whose neighborhoods are
+// quiet and changes less under mobility. With an all-equal stability vector
+// SEL degenerates to exactly EL1.
 
 #include <cstdint>
 #include <string>
@@ -24,10 +32,11 @@ namespace pacds {
 
 /// Which node attribute chain decides yielding priority.
 enum class KeyKind : std::uint8_t {
-  kId,              ///< id — Rules 1/2
-  kDegreeId,        ///< (degree, id) — Rules 1a/2a
-  kEnergyId,        ///< (energy, id) — Rules 1b/2b
-  kEnergyDegreeId,  ///< (energy, degree, id) — Rules 1b'/2b'
+  kId,                 ///< id — Rules 1/2
+  kDegreeId,           ///< (degree, id) — Rules 1a/2a
+  kEnergyId,           ///< (energy, id) — Rules 1b/2b
+  kEnergyDegreeId,     ///< (energy, degree, id) — Rules 1b'/2b'
+  kStabilityEnergyId,  ///< (stability, energy, id) — scenario-pack SEL
 };
 
 [[nodiscard]] std::string to_string(KeyKind kind);
@@ -41,9 +50,13 @@ enum class KeyKind : std::uint8_t {
 class PriorityKey {
  public:
   /// `energy` may be null for kId / kDegreeId; it is required (and must have
-  /// one entry per node) for the energy-based kinds.
+  /// one entry per node) for the energy-based kinds. `stability` carries the
+  /// per-node churn estimate for kStabilityEnergyId; null means "all equal"
+  /// (a fresh network with no observed churn), which makes SEL coincide with
+  /// EL1 — distributed snapshots that have no tracker use exactly that.
   PriorityKey(KeyKind kind, const Graph& graph,
-              const std::vector<double>* energy = nullptr);
+              const std::vector<double>* energy = nullptr,
+              const std::vector<double>* stability = nullptr);
 
   [[nodiscard]] KeyKind kind() const noexcept { return kind_; }
 
@@ -59,10 +72,12 @@ class PriorityKey {
 
  private:
   [[nodiscard]] double energy_of(NodeId v) const;
+  [[nodiscard]] double stability_of(NodeId v) const;
 
   KeyKind kind_;
   const Graph* graph_;
   const std::vector<double>* energy_;
+  const std::vector<double>* stability_;
 };
 
 }  // namespace pacds

@@ -152,15 +152,23 @@ void apply_rule_k(const Graph& g, const PriorityKey& key, Strategy strategy,
 CdsResult compute_cds_rule_k(const Graph& g, KeyKind kind,
                              const std::vector<double>& energy,
                              Strategy strategy, CliquePolicy clique_policy,
-                             const ExecContext& ctx) {
-  const bool needs_energy =
-      kind == KeyKind::kEnergyId || kind == KeyKind::kEnergyDegreeId;
+                             const ExecContext& ctx,
+                             const std::vector<double>& stability) {
+  const bool needs_energy = kind == KeyKind::kEnergyId ||
+                            kind == KeyKind::kEnergyDegreeId ||
+                            kind == KeyKind::kStabilityEnergyId;
   if (needs_energy &&
       energy.size() != static_cast<std::size_t>(g.num_nodes())) {
     throw std::invalid_argument(
         "compute_cds_rule_k: energy-based key needs one level per node");
   }
-  const PriorityKey key(kind, g, needs_energy ? &energy : nullptr);
+  if (!stability.empty() &&
+      stability.size() != static_cast<std::size_t>(g.num_nodes())) {
+    throw std::invalid_argument(
+        "compute_cds_rule_k: stability vector needs one estimate per node");
+  }
+  const PriorityKey key(kind, g, needs_energy ? &energy : nullptr,
+                        stability.empty() ? nullptr : &stability);
   CdsResult result;
   marking_process_into(g, ctx.executor, result.marked_only);
   result.marked_count = result.marked_only.count();

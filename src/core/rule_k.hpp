@@ -63,6 +63,6 @@ void apply_rule_k(const Graph& g, const PriorityKey& key, Strategy strategy,
     const Graph& g, KeyKind kind, const std::vector<double>& energy = {},
     Strategy strategy = Strategy::kSimultaneous,
     CliquePolicy clique_policy = CliquePolicy::kNone,
-    const ExecContext& ctx = {});
+    const ExecContext& ctx = {}, const std::vector<double>& stability = {});
 
 }  // namespace pacds

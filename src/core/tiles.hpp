@@ -25,6 +25,12 @@
 // sit within r of it. Halo nodes in (r, 2r] appear only as bits in other
 // rows. One ring of neighboring tiles supplies the whole 2r halo because
 // the tile side never drops below 2r (enforced by TileGrid::reset).
+//
+// The tiling stays 2D (xy) even on a 3D field: xy distance lower-bounds 3D
+// distance, so every ball(v, kr) above projects into the same xy disc and
+// the rectangle-distance dirt tests and halo memberships remain supersets
+// of the true 3D ones. A deep field wastes some locality (a column of
+// hosts shares a tile) but never correctness.
 
 #include <cstdint>
 #include <span>

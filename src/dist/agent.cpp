@@ -106,6 +106,16 @@ bool HostAgent::less(KeyKind kind, NodeId a, NodeId b) const {
       if (da != db) return da < db;
       return a < b;
     }
+    case KeyKind::kStabilityEnergyId: {
+      // One protocol round is a single snapshot: no churn history exists, so
+      // every host is equally stable and SEL collapses to (energy, id) —
+      // exactly what the centralized comparator does with a null stability
+      // vector (the dist-agreement oracle relies on this match).
+      const double ea = energy_of(a);
+      const double eb = energy_of(b);
+      if (ea != eb) return ea < eb;
+      return a < b;
+    }
   }
   return false;
 }

@@ -190,13 +190,15 @@ class ArqChannel {
  public:
   ArqChannel(const Graph& g, std::vector<HostAgent>& agents,
              const ChannelFaultConfig& channel, const RetryPolicy& retry,
-             Xoshiro256& rng, FaultyProtocolResult& result)
+             Xoshiro256& rng, FaultyProtocolResult& result,
+             const RadioModel* radio)
       : g_(&g),
         agents_(&agents),
         channel_(&channel),
         retry_(&retry),
         rng_(&rng),
-        result_(&result) {}
+        result_(&result),
+        radio_(radio) {}
 
   /// Runs one phase to completion or the retry cap. `sent` receives one
   /// count per transmission (first attempts and retransmits alike), keeping
@@ -243,7 +245,16 @@ class ArqChannel {
   void transmit_pending(const std::vector<Message>& msgs) {
     next_.clear();
     for (const PendingLink& link : pending_) {
-      if (channel_->drop > 0.0 && rng_->bernoulli(channel_->drop)) {
+      // A faded pair's channel compounds with the global drop rate: the
+      // frame survives only if both the channel and the pair's radio let it
+      // through. radio_ == nullptr draws exactly the plain-channel stream.
+      double drop = channel_->drop;
+      if (radio_ != nullptr) {
+        const double extra =
+            radio_->arq_drop(msgs[link.msg].from, link.to);
+        drop = 1.0 - (1.0 - drop) * (1.0 - extra);
+      }
+      if (drop > 0.0 && rng_->bernoulli(drop)) {
         ++result_->dropped_frames;
         next_.push_back(link);  // no ack; retried next attempt
         continue;
@@ -294,6 +305,7 @@ class ArqChannel {
   const RetryPolicy* retry_;
   Xoshiro256* rng_;
   FaultyProtocolResult* result_;
+  const RadioModel* radio_;
   std::vector<PendingLink> pending_;
   std::vector<PendingLink> next_;
   std::vector<PendingLink> deferred_;
@@ -305,7 +317,8 @@ FaultyProtocolResult run_faulty_protocol(const Graph& g, RuleSet rs,
                                          const ChannelFaultConfig& channel,
                                          const RetryPolicy& retry,
                                          std::uint64_t seed,
-                                         const std::vector<double>& energy) {
+                                         const std::vector<double>& energy,
+                                         const RadioModel* radio) {
   if (channel.drop < 0.0 || channel.drop >= 1.0 || channel.duplicate < 0.0 ||
       channel.duplicate >= 1.0 || channel.delay < 0.0 ||
       channel.delay >= 1.0) {
@@ -329,7 +342,7 @@ FaultyProtocolResult run_faulty_protocol(const Graph& g, RuleSet rs,
   }
   FaultyProtocolResult result;
   result.protocol.gateways = DynBitset(n);
-  ArqChannel arq(g, agents, channel, retry, rng, result);
+  ArqChannel arq(g, agents, channel, retry, rng, result, radio);
 
   const KeyKind kind = key_kind_of(rs);
   const Rule2Form form = rule2_form_of(rs);

@@ -15,6 +15,7 @@
 #include "core/graph.hpp"
 #include "dist/agent.hpp"
 #include "dist/channel.hpp"
+#include "net/radio.hpp"
 
 namespace pacds::dist {
 
@@ -95,9 +96,15 @@ struct FaultyProtocolResult {
 /// costs airtime and latency, never correctness. A zero-fault channel is
 /// exactly run_protocol_scheme (no RNG draws). Fully deterministic in
 /// (g, rs, channel, retry, seed, energy).
+///
+/// `radio` (optional, borrowed) degrades each link's channel by the pair's
+/// deterministic fade: a frame on (u, v) is lost with probability
+/// 1 - (1 - channel.drop) * (1 - radio->arq_drop(u, v)), so deeply faded
+/// pairs retransmit more. The arq_drop cap keeps every compound rate < 1,
+/// and a null radio (or RadioKind::kUnitDisk) is exactly the plain channel.
 [[nodiscard]] FaultyProtocolResult run_faulty_protocol(
     const Graph& g, RuleSet rs, const ChannelFaultConfig& channel,
     const RetryPolicy& retry, std::uint64_t seed,
-    const std::vector<double>& energy = {});
+    const std::vector<double>& energy = {}, const RadioModel* radio = nullptr);
 
 }  // namespace pacds::dist

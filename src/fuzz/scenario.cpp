@@ -59,12 +59,30 @@ FuzzScenario random_scenario(std::uint64_t base_seed, std::uint64_t index) {
     case 1: c.boundary = BoundaryPolicy::kReflect; break;
     default: c.boundary = BoundaryPolicy::kWrap; break;
   }
+  // Mostly planar, with a 3-D tail so placement, the spatial grid's z cells,
+  // lifted mobility and the tile engine's xy-projection contract all get
+  // fuzzed.
+  c.field_depth = rng.bernoulli(0.3) ? rng.uniform(20.0, 80.0) : 0.0;
   // Mostly unit disk (the only model the incremental engine covers), with a
   // sparser-proximity-graph tail so the full-rebuild path also gets fuzzed.
   if (rng.bernoulli(0.75)) {
     c.link_model = LinkModel::kUnitDisk;
   } else {
     c.link_model = rng.bernoulli(0.5) ? LinkModel::kGabriel : LinkModel::kRng;
+  }
+  // Radio dimension, gated on the unit-disk link model (the config schema —
+  // and every engine — rejects a non-trivial radio stacked on a sparsified
+  // proximity graph).
+  if (c.link_model == LinkModel::kUnitDisk && rng.bernoulli(0.4)) {
+    if (rng.bernoulli(0.5)) {
+      c.radio = RadioKind::kShadowing;
+      c.radio_params.sigma_db = rng.uniform(1.0, 8.0);
+      c.radio_params.path_loss_exp = rng.uniform(2.0, 4.0);
+    } else {
+      c.radio = RadioKind::kProbabilistic;
+      c.radio_params.link_prob = rng.uniform(0.5, 1.0);
+    }
+    c.radio_params.fading_seed = rng.next() & kSeedMask;
   }
   c.initial_energy = rng.uniform(20.0, 80.0);
   switch (rng.uniform_int(0, 2)) {
@@ -73,12 +91,48 @@ FuzzScenario random_scenario(std::uint64_t base_seed, std::uint64_t index) {
     default: c.drain_model = DrainModel::kQuadraticTotal; break;
   }
   c.stay_probability = rng.uniform(0.3, 0.95);
-  switch (rng.uniform_int(0, 4)) {
+  // Mobility dimension: weighted toward the paper's jump model, with every
+  // alternative in the tail — these are exactly the configurations whose
+  // wire keys used to be silently dropped, so the serve-identity oracle's
+  // config round trip must see them. Each branch draws only its own model's
+  // parameters; per-scenario streams are independent, so the uneven draw
+  // counts are harmless.
+  switch (rng.uniform_int(0, 7)) {
+    case 0:
+      c.mobility_kind = MobilityKind::kRandomWalk;
+      c.mobility_params.step_min = rng.uniform(0.5, 2.0);
+      c.mobility_params.step_max =
+          c.mobility_params.step_min + rng.uniform(0.0, 6.0);
+      break;
+    case 1:
+      c.mobility_kind = MobilityKind::kRandomWaypoint;
+      c.mobility_params.speed_min = rng.uniform(0.5, 2.0);
+      c.mobility_params.speed_max =
+          c.mobility_params.speed_min + rng.uniform(0.0, 6.0);
+      c.mobility_params.pause_intervals =
+          static_cast<int>(rng.uniform_int(0, 3));
+      break;
+    case 2:
+      c.mobility_kind = MobilityKind::kGaussMarkov;
+      c.mobility_params.mean_speed = rng.uniform(1.0, 5.0);
+      c.mobility_params.alpha = rng.uniform(0.0, 1.0);
+      c.mobility_params.speed_stddev = rng.uniform(0.2, 2.0);
+      c.mobility_params.heading_stddev = rng.uniform(0.1, 1.0);
+      break;
+    case 3:
+      c.mobility_kind = MobilityKind::kStatic;
+      break;
+    default:
+      c.mobility_kind = MobilityKind::kPaperJump;
+      break;
+  }
+  switch (rng.uniform_int(0, 5)) {
     case 0: c.rule_set = RuleSet::kNR; break;
     case 1: c.rule_set = RuleSet::kID; break;
     case 2: c.rule_set = RuleSet::kND; break;
     case 3: c.rule_set = RuleSet::kEL1; break;
-    default: c.rule_set = RuleSet::kEL2; break;
+    case 4: c.rule_set = RuleSet::kEL2; break;
+    default: c.rule_set = RuleSet::kSEL; break;
   }
   switch (rng.uniform_int(0, 2)) {
     case 0: c.cds_options.strategy = Strategy::kSequential; break;
@@ -89,6 +143,15 @@ FuzzScenario random_scenario(std::uint64_t base_seed, std::uint64_t index) {
     case 0: c.energy_key_quantum = 0.0; break;
     case 1: c.energy_key_quantum = 1.0; break;
     default: c.energy_key_quantum = 7.0; break;
+  }
+  // Stability-key EWMA shape (read only by SEL runs, always round-tripped).
+  // Quantum 0 keeps raw EWMA values; coarse buckets force ties so the
+  // energy/id tie-break chain below the stability key is exercised too.
+  c.stability_beta = rng.uniform(0.0, 1.0);
+  switch (rng.uniform_int(0, 2)) {
+    case 0: c.stability_quantum = 0.0; break;
+    case 1: c.stability_quantum = 0.5; break;
+    default: c.stability_quantum = 2.0; break;
   }
   c.engine = SimEngine::kAuto;
   // Tile-count dimension for the tiled-engine identity oracle: auto layout,
@@ -170,7 +233,10 @@ std::string describe(const FuzzScenario& s) {
       << to_string(s.config.cds_options.strategy) << " threads="
       << s.config.threads << " tiles=" << s.config.tiles << " boundary="
       << to_string(s.config.boundary)
-      << " link=" << to_string(s.config.link_model) << " drain="
+      << " link=" << to_string(s.config.link_model) << " radio="
+      << to_string(s.config.radio) << " mobility="
+      << to_string(s.config.mobility_kind) << " depth="
+      << JsonWriter::format_double(s.config.field_depth) << " drain="
       << drain_model_name(s.config.drain_model) << " quantum="
       << JsonWriter::format_double(s.config.energy_key_quantum) << " events="
       << resolve_schedule(s.faults).size()

@@ -38,13 +38,25 @@ Vec2 PaperJumpMobility::direction(int code) {
 
 void PaperJumpMobility::step(std::vector<Vec2>& positions, const Field& field,
                              Xoshiro256& rng) {
+  constexpr double kDiag = std::numbers::sqrt2 / 2.0;
   for (auto& pos : positions) {
     // rand(0,1) < c means the host remains stable this interval.
     if (rng.uniform01() < stay_probability_) continue;
     const auto code = static_cast<int>(rng.uniform_int(1, 8));
     const auto len = static_cast<double>(
         rng.uniform_int(jump_min_, jump_max_));
-    pos = field.move(pos, direction(code) * len);
+    Vec3 dir = direction(code);
+    if (field.is_3d()) {
+      // 3-D lift: an extra pitch draw (0 = level, 1 = up 45°, 2 = down 45°)
+      // after the planar draws, so the planar RNG stream is untouched when
+      // the field has no depth. Diagonal pitch is normalized like the
+      // compass diagonals: |displacement| == len either way.
+      const auto pitch = static_cast<int>(rng.uniform_int(0, 2));
+      if (pitch != 0) {
+        dir = {dir.x * kDiag, dir.y * kDiag, pitch == 1 ? kDiag : -kDiag};
+      }
+    }
+    pos = field.move(pos, dir * len);
   }
 }
 
@@ -60,7 +72,15 @@ void RandomWalkMobility::step(std::vector<Vec2>& positions, const Field& field,
   for (auto& pos : positions) {
     const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
     const double len = rng.uniform(step_min_, step_max_);
-    pos = field.move(pos, Vec2{std::cos(angle), std::sin(angle)} * len);
+    Vec3 dir{std::cos(angle), std::sin(angle)};
+    if (field.is_3d()) {
+      // Uniform direction on the sphere: cos(polar) ~ U(-1, 1), drawn after
+      // the planar draws so 2-D streams are bit-identical to before.
+      const double cz = rng.uniform(-1.0, 1.0);
+      const double sz = std::sqrt(std::max(0.0, 1.0 - cz * cz));
+      dir = {dir.x * sz, dir.y * sz, cz};
+    }
+    pos = field.move(pos, dir * len);
   }
 }
 
@@ -88,21 +108,39 @@ void GaussMarkovMobility::step(std::vector<Vec2>& positions,
            std::cos(2.0 * std::numbers::pi * u2);
   };
   const double memory = std::sqrt(1.0 - alpha_ * alpha_);
+  // Angles are folded into [0, 2π) every step. The AR recurrence only ever
+  // adds increments, so an unfolded angle grows without bound over a long
+  // lifetime and sin/cos progressively lose precision; folding keeps the
+  // argument small while the 2π-periodicity keeps the trajectory the same.
+  constexpr double kTau = 2.0 * std::numbers::pi;
+  const auto fold_angle = [](double a) {
+    double m = std::fmod(a, kTau);
+    if (m < 0.0) m += kTau;
+    return m;
+  };
   for (std::size_t i = 0; i < positions.size(); ++i) {
     auto& st = states_[i];
     if (!st.initialized) {
       st.speed = mean_speed_;
-      st.heading = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      st.heading = rng.uniform(0.0, kTau);
+      st.pitch = 0.0;  // level start; only evolves in a 3-D field
       st.initialized = true;
     }
     st.speed = alpha_ * st.speed + (1.0 - alpha_) * mean_speed_ +
                memory * speed_stddev_ * normal();
     st.speed = std::max(0.0, st.speed);
     // Mean heading drifts toward the current heading (no global bias).
-    st.heading = st.heading + memory * heading_stddev_ * normal();
-    positions[i] = field.move(
-        positions[i],
-        Vec2{std::cos(st.heading), std::sin(st.heading)} * st.speed);
+    st.heading = fold_angle(st.heading + memory * heading_stddev_ * normal());
+    Vec3 dir{std::cos(st.heading), std::sin(st.heading)};
+    if (field.is_3d()) {
+      // Pitch follows the same zero-mean AR recurrence as heading (the
+      // extra normal draw comes after the planar ones, so planar streams
+      // are unchanged by the 3-D lift).
+      st.pitch = fold_angle(st.pitch + memory * heading_stddev_ * normal());
+      const double cp = std::cos(st.pitch);
+      dir = {cp * dir.x, cp * dir.y, std::sin(st.pitch)};
+    }
+    positions[i] = field.move(positions[i], dir * st.speed);
   }
 }
 
@@ -168,6 +206,10 @@ void RandomWaypointMobility::step(std::vector<Vec2>& positions,
     if (!st.has_target) {
       st.target = {rng.uniform(0.0, field.width()),
                    rng.uniform(0.0, field.height())};
+      // Waypoints in a 3-D field are drawn in the full box; the z draw sits
+      // between the planar target and the speed so planar streams keep
+      // their historical order.
+      if (field.is_3d()) st.target.z = rng.uniform(0.0, field.depth());
       st.speed = rng.uniform(speed_min_, speed_max_);
       st.has_target = true;
     }

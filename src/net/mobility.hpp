@@ -1,8 +1,11 @@
 #pragma once
 // Host mobility models. The paper's model (Section 4): in each update
 // interval a host stays put with probability c, otherwise jumps l ∈ [1..6]
-// units in one of the eight compass directions. Random-walk and
-// random-waypoint models are provided as extensions for sensitivity studies.
+// units in one of the eight compass directions. Random-walk, random-waypoint
+// and Gauss-Markov models are provided as extensions for sensitivity
+// studies. Every model lifts to 3-D when the field has depth: the extra
+// vertical draws happen strictly after the planar ones, so a planar field
+// consumes exactly the RNG stream it always did.
 
 #include <memory>
 #include <string>
@@ -105,6 +108,7 @@ class GaussMarkovMobility final : public MobilityModel {
   struct HostState {
     double speed = 0.0;
     double heading = 0.0;
+    double pitch = 0.0;  ///< vertical angle; stays 0 in a planar field
     bool initialized = false;
   };
 

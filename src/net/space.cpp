@@ -19,14 +19,21 @@ std::string to_string(BoundaryPolicy policy) {
 }
 
 Field::Field(double width, double height, BoundaryPolicy policy)
-    : width_(width), height_(height), policy_(policy) {
+    : Field(width, height, 0.0, policy) {}
+
+Field::Field(double width, double height, double depth, BoundaryPolicy policy)
+    : width_(width), height_(height), depth_(depth), policy_(policy) {
   if (!(width > 0.0) || !(height > 0.0)) {
     throw std::invalid_argument("Field: dimensions must be positive");
   }
+  if (!(depth >= 0.0)) {
+    throw std::invalid_argument("Field: depth must be non-negative");
+  }
 }
 
-bool Field::contains(Vec2 p) const noexcept {
-  return p.x >= 0.0 && p.x <= width_ && p.y >= 0.0 && p.y <= height_;
+bool Field::contains(Vec3 p) const noexcept {
+  return p.x >= 0.0 && p.x <= width_ && p.y >= 0.0 && p.y <= height_ &&
+         p.z >= 0.0 && p.z <= depth_;
 }
 
 double Field::fold(double v, double limit, BoundaryPolicy policy) {
@@ -50,10 +57,14 @@ double Field::fold(double v, double limit, BoundaryPolicy policy) {
   return v;
 }
 
-Vec2 Field::confine(Vec2 p) const {
-  return {fold(p.x, width_, policy_), fold(p.y, height_, policy_)};
+Vec3 Field::confine(Vec3 p) const {
+  // A planar field pins z to exactly 0 rather than folding: fmod(v, 0) is
+  // NaN and reflect's period would be 0, so folding only makes sense for a
+  // positive extent.
+  const double z = is_3d() ? fold(p.z, depth_, policy_) : 0.0;
+  return {fold(p.x, width_, policy_), fold(p.y, height_, policy_), z};
 }
 
-Vec2 Field::move(Vec2 pos, Vec2 delta) const { return confine(pos + delta); }
+Vec3 Field::move(Vec3 pos, Vec3 delta) const { return confine(pos + delta); }
 
 }  // namespace pacds

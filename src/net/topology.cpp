@@ -10,8 +10,12 @@ std::vector<Vec2> random_placement(int n, const Field& field,
   std::vector<Vec2> positions;
   positions.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    positions.push_back(
-        {rng.uniform(0.0, field.width()), rng.uniform(0.0, field.height())});
+    // The z draw happens after x and y and only for a 3-D field, so planar
+    // runs consume exactly the RNG stream they always did.
+    const double x = rng.uniform(0.0, field.width());
+    const double y = rng.uniform(0.0, field.height());
+    const double z = field.is_3d() ? rng.uniform(0.0, field.depth()) : 0.0;
+    positions.push_back({x, y, z});
   }
   return positions;
 }

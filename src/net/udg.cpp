@@ -17,6 +17,7 @@ SpatialGrid::SpatialGrid(const std::vector<Vec2>& positions, double cell_size)
   while (n_buckets < positions.size() * 2) n_buckets *= 2;
   buckets_.resize(n_buckets);
   for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (positions[i].z != 0.0) any_z_ = true;
     const CellKey key = cell_of(positions[i]);
     buckets_[bucket_of(key)].push_back({key, static_cast<NodeId>(i)});
   }
@@ -24,13 +25,15 @@ SpatialGrid::SpatialGrid(const std::vector<Vec2>& positions, double cell_size)
 
 SpatialGrid::CellKey SpatialGrid::cell_of(Vec2 p) const {
   return {static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
-          static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
+          static_cast<std::int64_t>(std::floor(p.y / cell_size_)),
+          static_cast<std::int64_t>(std::floor(p.z / cell_size_))};
 }
 
 std::size_t SpatialGrid::bucket_of(CellKey key) const {
-  // 2-D -> 1-D mix (large odd constants, then avalanche).
+  // 3-D -> 1-D mix (large odd constants, then avalanche).
   auto h = static_cast<std::uint64_t>(key.cx) * 0x9e3779b97f4a7c15ULL;
   h ^= static_cast<std::uint64_t>(key.cy) * 0xc2b2ae3d27d4eb4fULL;
+  h ^= static_cast<std::uint64_t>(key.cz) * 0xd6e8feb86659fd93ULL;
   h ^= h >> 33;
   h *= 0xff51afd7ed558ccdULL;
   h ^= h >> 33;
@@ -46,15 +49,20 @@ void SpatialGrid::query_into(Vec2 center, double radius, NodeId exclude,
   out.clear();
   const double r2 = radius * radius;
   const CellKey c = cell_of(center);
+  // Planar grids hold every entry in the cz == 0 layer, so the z ring would
+  // only probe provably empty cells.
+  const std::int64_t dz_ring = any_z_ ? 1 : 0;
   for (std::int64_t dx = -1; dx <= 1; ++dx) {
     for (std::int64_t dy = -1; dy <= 1; ++dy) {
-      const CellKey probe{c.cx + dx, c.cy + dy};
-      for (const Entry& e : buckets_[bucket_of(probe)]) {
-        if (!(e.cell == probe)) continue;  // hash collision with other cell
-        if (e.node == exclude) continue;
-        if (distance2((*positions_)[static_cast<std::size_t>(e.node)],
-                      center) <= r2) {
-          out.push_back(e.node);
+      for (std::int64_t dz = -dz_ring; dz <= dz_ring; ++dz) {
+        const CellKey probe{c.cx + dx, c.cy + dy, c.cz + dz};
+        for (const Entry& e : buckets_[bucket_of(probe)]) {
+          if (!(e.cell == probe)) continue;  // hash collision with other cell
+          if (e.node == exclude) continue;
+          if (distance2((*positions_)[static_cast<std::size_t>(e.node)],
+                        center) <= r2) {
+            out.push_back(e.node);
+          }
         }
       }
     }
@@ -70,6 +78,7 @@ std::vector<NodeId> SpatialGrid::query(Vec2 center, double radius,
 }
 
 void SpatialGrid::move(NodeId node, Vec2 old_pos, Vec2 new_pos) {
+  if (new_pos.z != 0.0) any_z_ = true;
   const CellKey from = cell_of(old_pos);
   const CellKey to = cell_of(new_pos);
   if (from == to) return;

@@ -23,9 +23,11 @@ enum class UdgMethod : std::uint8_t { kNaive, kGrid };
                               UdgMethod method = UdgMethod::kGrid);
 
 /// Uniform-grid spatial index over a point set; cells are radius-sized so a
-/// disk query only inspects the 3x3 cell neighborhood. Cells hash into a
-/// fixed bucket table; each entry keeps its exact cell key so hash
-/// collisions never produce duplicate or missing candidates.
+/// ball query only inspects the 3x3 (planar) or 3x3x3 (3-D) cell
+/// neighborhood. Cells hash into a fixed bucket table; each entry keeps its
+/// exact cell key so hash collisions never produce duplicate or missing
+/// candidates. A grid that has only ever seen z == 0 points skips the z cell
+/// ring entirely, so planar workloads pay nothing for the third dimension.
 class SpatialGrid {
  public:
   SpatialGrid(const std::vector<Vec2>& positions, double cell_size);
@@ -51,6 +53,7 @@ class SpatialGrid {
   struct CellKey {
     std::int64_t cx = 0;
     std::int64_t cy = 0;
+    std::int64_t cz = 0;
     bool operator==(const CellKey&) const = default;
   };
   struct Entry {
@@ -63,6 +66,11 @@ class SpatialGrid {
 
   const std::vector<Vec2>* positions_;
   double cell_size_;
+  // True once any filed point has had a non-zero z; until then queries probe
+  // only the cz == 0 plane (which provably holds every entry). Sticky by
+  // design: a point returning to z == 0 keeps its cz == 0 cell, so probing
+  // the extra ring stays correct, merely no longer minimal.
+  bool any_z_ = false;
   std::vector<std::vector<Entry>> buckets_;
 };
 

@@ -1,35 +1,52 @@
 #pragma once
-// Plain 2-D point/vector type for host positions in the simulation field.
+// Point/vector type for host positions in the simulation field. The type is
+// 3-D with z defaulting to 0, so the classic 2-D paper field and the 3-D
+// scenario-pack fields share one representation: a 2-D run simply never
+// writes a non-zero z, and every distance below degrades to the planar one.
 
 #include <cmath>
 
 namespace pacds {
 
-struct Vec2 {
+struct Vec3 {
   double x = 0.0;
   double y = 0.0;
+  double z = 0.0;
 
-  constexpr Vec2() = default;
-  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_ = 0.0)
+      : x(x_), y(y_), z(z_) {}
 
-  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
-  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
-  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec3 operator+(Vec3 o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(Vec3 o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
 
-  constexpr bool operator==(const Vec2&) const = default;
+  constexpr bool operator==(const Vec3&) const = default;
 
-  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
-  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  [[nodiscard]] constexpr double dot(Vec3 o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr double norm2() const {
+    return x * x + y * y + z * z;
+  }
   [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
 };
 
+/// Historical alias: most of the codebase predates the 3-D lift and speaks
+/// Vec2. Both names are the same type, so positions flow freely.
+using Vec2 = Vec3;
+
 /// Squared Euclidean distance — the unit-disk test compares this against
 /// radius² to avoid the sqrt.
-[[nodiscard]] constexpr double distance2(Vec2 a, Vec2 b) {
+[[nodiscard]] constexpr double distance2(Vec3 a, Vec3 b) {
   return (a - b).norm2();
 }
 
-[[nodiscard]] inline double distance(Vec2 a, Vec2 b) {
+[[nodiscard]] inline double distance(Vec3 a, Vec3 b) {
   return std::sqrt(distance2(a, b));
 }
 

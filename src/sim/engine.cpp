@@ -61,24 +61,77 @@ const std::vector<double>& quantize_key_levels(
 FullRebuildEngine::FullRebuildEngine(const SimConfig& config)
     : config_(config) {
   make_interval_pool(config_.threads, pool_);
+  if (config_.radio != RadioKind::kUnitDisk) {
+    if (config_.link_model != LinkModel::kUnitDisk) {
+      throw std::invalid_argument(
+          "FullRebuildEngine: a non-unit-disk radio composes only with "
+          "unit-disk links");
+    }
+    radio_.emplace(config_.radio, config_.radio_params, config_.radius);
+  }
+  const bool wants_stability = config_.custom_key
+                                   ? uses_stability(*config_.custom_key)
+                                   : uses_stability(config_.rule_set);
+  if (wants_stability) {
+    tracker_.emplace(static_cast<std::size_t>(config_.n_hosts),
+                     config_.stability_beta, config_.stability_quantum);
+  }
 }
 
 void FullRebuildEngine::update(const std::vector<Vec2>& positions,
                                const std::vector<double>& levels) {
   with_pool_accounting(pool_, [&] {
+    std::optional<Graph> links;
     {
       const obs::PhaseTimer timer(metrics_, obs::Phase::kLinkBuild);
-      graph_.emplace(build_links(positions, config_.radius,
-                                 config_.link_model));
+      links.emplace(radio_
+                        ? build_radio_links(positions, config_.radius, *radio_)
+                        : build_links(positions, config_.radius,
+                                      config_.link_model));
     }
+    if (tracker_) {
+      if (graph_) {
+        // Two-pointer diff of each node's sorted row against last interval:
+        // every endpoint of every changed edge accrues exactly one count —
+        // the same accounting the incremental engines get from counting both
+        // endpoints of their delta edges, so the EWMA streams (and hence the
+        // SEL keys) agree bit-for-bit across engines.
+        const auto n = static_cast<NodeId>(positions.size());
+        for (NodeId v = 0; v < n; ++v) {
+          const auto old_row = graph_->neighbors(v);
+          const auto new_row = links->neighbors(v);
+          std::size_t i = 0;
+          std::size_t j = 0;
+          while (i < old_row.size() || j < new_row.size()) {
+            if (j == new_row.size() ||
+                (i < old_row.size() && old_row[i] < new_row[j])) {
+              tracker_->count(v);
+              ++i;
+            } else if (i == old_row.size() || new_row[j] < old_row[i]) {
+              tracker_->count(v);
+              ++j;
+            } else {
+              ++i;
+              ++j;
+            }
+          }
+        }
+      }
+      tracker_->commit();
+    }
+    graph_ = std::move(*links);
     const Graph& g = *graph_;
     const auto& keys =
         quantize_key_levels(levels, config_.energy_key_quantum, key_scratch_);
+    const std::vector<double> no_stability;
+    const std::vector<double>& stability =
+        tracker_ ? tracker_->stability() : no_stability;
     const ExecContext ctx{pool_ ? &*pool_ : nullptr, &workspace_, metrics_};
     if (config_.custom_key && config_.use_rule_k) {
       cds_ = compute_cds_rule_k(g, *config_.custom_key, keys,
                                 config_.cds_options.strategy,
-                                config_.cds_options.clique_policy, ctx);
+                                config_.cds_options.clique_policy, ctx,
+                                stability);
       if (metrics_ != nullptr) {
         metrics_->add(obs::Counter::kFullRefreshes);
         metrics_->add(obs::Counter::kNodesTouched,
@@ -89,9 +142,11 @@ void FullRebuildEngine::update(const std::vector<Vec2>& positions,
       rule_config.rule2_form = config_.custom_rule2_form;
       rule_config.strategy = config_.cds_options.strategy;
       cds_ = compute_cds_custom(g, *config_.custom_key, rule_config, keys,
-                                config_.cds_options.clique_policy, ctx);
+                                config_.cds_options.clique_policy, ctx,
+                                stability);
     } else {
-      cds_ = compute_cds(g, config_.rule_set, keys, config_.cds_options, ctx);
+      cds_ = compute_cds(g, config_.rule_set, keys, config_.cds_options, ctx,
+                         stability);
     }
   });
 }
@@ -111,6 +166,13 @@ IncrementalEngine::IncrementalEngine(const SimConfig& config)
         "strategy, no custom key, unit-disk links)");
   }
   make_interval_pool(config_.threads, pool_);
+  if (config_.radio != RadioKind::kUnitDisk) {
+    radio_.emplace(config_.radio, config_.radio_params, config_.radius);
+  }
+  if (uses_stability(config_.rule_set)) {
+    tracker_.emplace(static_cast<std::size_t>(config_.n_hosts),
+                     config_.stability_beta, config_.stability_quantum);
+  }
 }
 
 void IncrementalEngine::initialize(const std::vector<Vec2>& positions,
@@ -127,14 +189,25 @@ void IncrementalEngine::initialize(const std::vector<Vec2>& positions,
       grid_->query_into(positions[static_cast<std::size_t>(u)], config_.radius,
                         u, nbrs_);
       for (const NodeId v : nbrs_) {
-        if (v > u) links->add_edge(u, v);
+        if (v > u &&
+            (!radio_ ||
+             radio_->link(u, v,
+                          distance2(positions[static_cast<std::size_t>(u)],
+                                    positions[static_cast<std::size_t>(v)])))) {
+          links->add_edge(u, v);
+        }
       }
     }
   }
+  // The first interval has no link history: commit once on zero counts so
+  // the EWMA cadence matches the full-rebuild engine's (one commit per
+  // update), leaving every host maximally stable.
+  if (tracker_) tracker_->commit();
   cds_.emplace(std::move(*links), config_.rule_set,
                uses_energy(config_.rule_set) ? keys : std::vector<double>{},
                config_.cds_options,
-               ExecContext{pool_ ? &*pool_ : nullptr, &workspace_, metrics_});
+               ExecContext{pool_ ? &*pool_ : nullptr, &workspace_, metrics_},
+               tracker_ ? tracker_->stability() : std::vector<double>{});
 }
 
 void IncrementalEngine::extract_delta(const std::vector<Vec2>& positions) {
@@ -156,6 +229,22 @@ void IncrementalEngine::extract_delta(const std::vector<Vec2>& positions) {
   for (const NodeId v : movers_) {
     grid_->query_into(prev_positions_[static_cast<std::size_t>(v)],
                       config_.radius, v, nbrs_);
+    // The stored rows are radio-filtered, so the candidate list must be
+    // too, or the diff would re-add edges the channel vetoes. Safe pairwise
+    // because the radio's fade is a pure hash of (seed, pair): re-evaluating
+    // one mover's links cannot disturb anyone else's.
+    if (radio_) {
+      nbrs_.erase(
+          std::remove_if(
+              nbrs_.begin(), nbrs_.end(),
+              [&](NodeId u) {
+                return !radio_->link(
+                    v, u,
+                    distance2(prev_positions_[static_cast<std::size_t>(v)],
+                              prev_positions_[static_cast<std::size_t>(u)]));
+              }),
+          nbrs_.end());
+    }
     // Two-pointer diff of old vs new sorted neighbor lists. A pair whose
     // endpoints both moved shows up in both diffs; keep it only for the
     // smaller endpoint.
@@ -198,20 +287,45 @@ void IncrementalEngine::update(const std::vector<Vec2>& positions,
       metrics_->add(obs::Counter::kEdgesAdded, delta_.added.size());
       metrics_->add(obs::Counter::kEdgesRemoved, delta_.removed.size());
     }
-    cds_->advance(delta_, keys);
+    if (tracker_) {
+      // The deduped delta IS the symmetric difference of the two link sets,
+      // so counting both endpoints matches the full-rebuild row diffs.
+      for (const auto& [u, v] : delta_.added) {
+        tracker_->count(u);
+        tracker_->count(v);
+      }
+      for (const auto& [u, v] : delta_.removed) {
+        tracker_->count(u);
+        tracker_->count(v);
+      }
+      tracker_->commit();
+      cds_->advance(delta_, keys, tracker_->stability());
+    } else {
+      cds_->advance(delta_, keys);
+    }
   });
 }
 
 // ---- Cds22Engine -----------------------------------------------------------
 
-Cds22Engine::Cds22Engine(const SimConfig& config) : config_(config) {}
+Cds22Engine::Cds22Engine(const SimConfig& config) : config_(config) {
+  if (config_.radio != RadioKind::kUnitDisk) {
+    if (config_.link_model != LinkModel::kUnitDisk) {
+      throw std::invalid_argument(
+          "Cds22Engine: a non-unit-disk radio composes only with unit-disk "
+          "links");
+    }
+    radio_.emplace(config_.radio, config_.radio_params, config_.radius);
+  }
+}
 
 void Cds22Engine::update(const std::vector<Vec2>& positions,
                          const std::vector<double>& /*levels*/) {
   {
     const obs::PhaseTimer timer(metrics_, obs::Phase::kLinkBuild);
     graph_.emplace(
-        build_links(positions, config_.radius, config_.link_model));
+        radio_ ? build_radio_links(positions, config_.radius, *radio_)
+               : build_links(positions, config_.radius, config_.link_model));
   }
   // Keep the cached backbone while it still verifies as a plain CDS of the
   // current links. Deliberately *not* check_cds22: after a member crash the

@@ -25,7 +25,9 @@
 
 #include "core/cds.hpp"
 #include "core/incremental.hpp"
+#include "core/stability.hpp"
 #include "core/workspace.hpp"
+#include "net/radio.hpp"
 #include "net/udg.hpp"
 #include "net/vec2.hpp"
 #include "obs/metrics.hpp"
@@ -142,6 +144,12 @@ class FullRebuildEngine final : public LifetimeEngine {
   std::optional<Graph> graph_;
   CdsResult cds_;
   std::vector<double> key_scratch_;
+  /// Per-pair channel model; engaged when config.radio != unit-disk (it can
+  /// only veto unit-disk candidate edges, never add longer ones).
+  std::optional<RadioModel> radio_;
+  /// Per-host churn EWMA feeding the SEL key; engaged when the scheme (or
+  /// custom key) reads stability. Fed by diffing consecutive adjacency rows.
+  std::optional<StabilityTracker> tracker_;
   /// Intra-interval pool (config.threads != 1) + reusable pass scratch.
   std::optional<ThreadPool> pool_;
   CdsWorkspace workspace_;
@@ -183,6 +191,14 @@ class IncrementalEngine final : public LifetimeEngine {
   /// owns the previous interval's positions and must not move them.
   std::vector<Vec2> prev_positions_;
   std::optional<SpatialGrid> grid_;
+  /// Per-pair channel veto over the grid's unit-disk candidates (engaged
+  /// when config.radio != unit-disk) — the deterministic pair hash makes
+  /// the predicate re-evaluable edge by edge, which is exactly what delta
+  /// extraction needs.
+  std::optional<RadioModel> radio_;
+  /// Per-host churn EWMA feeding the SEL key; fed with both endpoints of
+  /// every delta edge (== the full-rebuild engine's row-diff counts).
+  std::optional<StabilityTracker> tracker_;
   /// Intra-interval pool (config.threads != 1) + reusable pass scratch;
   /// declared before cds_, which borrows both for its lifetime.
   std::optional<ThreadPool> pool_;
@@ -234,6 +250,9 @@ class Cds22Engine final : public LifetimeEngine {
  private:
   SimConfig config_;
   std::optional<Graph> graph_;
+  /// Per-pair channel veto (config.radio != unit-disk); the backbone is
+  /// maintained on whatever link graph the radio admits.
+  std::optional<RadioModel> radio_;
   DynBitset backbone_;
   bool have_backbone_ = false;
   bool full_22_ = false;

@@ -51,7 +51,9 @@ struct TheftSpec {
 
 /// Every functioning host inside [x0,x1]x[y0,y1] *at the start of interval
 /// `at`* goes down; the same hosts recover at interval `until` (0 = never).
-/// Membership is resolved once, at entry, from true positions.
+/// Membership is resolved once, at entry, from true positions. On a 3D
+/// field the rectangle is a z-column: membership ignores depth (a blackout
+/// models a ground-area outage, which takes down every altitude above it).
 struct BlackoutSpec {
   double x0 = 0.0;
   double y0 = 0.0;

@@ -15,12 +15,23 @@ LifetimeRun::LifetimeRun(const SimConfig& config, std::uint64_t seed,
                          IntervalObserver* observer, const FaultPlan* faults)
     : config_(config),
       rng_(seed),
-      field_(config.field_width, config.field_height, config.boundary),
+      field_(config.field_width, config.field_height, config.field_depth,
+             config.boundary),
       observer_(observer),
       batteries_(static_cast<std::size_t>(std::max(config.n_hosts, 1)),
                  config.initial_energy) {
   if (config_.n_hosts < 1) {
     throw std::invalid_argument("run_lifetime_trial: need at least one host");
+  }
+  if (config_.radio != RadioKind::kUnitDisk &&
+      config_.link_model != LinkModel::kUnitDisk) {
+    throw std::invalid_argument(
+        "run_lifetime_trial: a non-unit-disk radio prunes unit-disk "
+        "candidates and cannot compose with the gabriel/rng link models");
+  }
+  if (!(config_.stability_beta >= 0.0) || !(config_.stability_beta <= 1.0)) {
+    throw std::invalid_argument(
+        "run_lifetime_trial: stability_beta must be in [0, 1]");
   }
   if (auto placed =
           random_connected_placement(config_.n_hosts, field_, config_.radius,
@@ -130,6 +141,17 @@ bool LifetimeRun::step() {
   }
   gateway_sum_ += static_cast<double>(counts.gateways);
   marked_sum_ += static_cast<double>(counts.marked);
+
+  // CDS churn: backbone membership turned over since the previous interval
+  // (the stability ablation's headline metric). Judged on the engine's raw
+  // gateway set so the fault-free and degraded paths measure the same thing.
+  if (have_prev_gateways_ && prev_gateways_.size() == gateways.size()) {
+    churn_scratch_ = gateways;
+    churn_scratch_ ^= prev_gateways_;
+    churn_sum_ += static_cast<double>(churn_scratch_.count());
+  }
+  prev_gateways_ = gateways;
+  have_prev_gateways_ = true;
 
   // 4. Drain. Down hosts spend nothing (a crashed radio is off); gateway
   //    duty is judged against the active set.
@@ -258,12 +280,15 @@ TrialResult LifetimeRun::result() const {
   out.hit_cap = !attrition_stop_ && out.intervals >= config_.max_intervals;
   double gateways = gateway_sum_;
   double marked = marked_sum_;
+  double churn = churn_sum_;
   if (out.intervals > 0) {
     gateways /= static_cast<double>(out.intervals);
     marked /= static_cast<double>(out.intervals);
+    churn /= static_cast<double>(out.intervals);
   }
   out.avg_gateways = gateways;
   out.avg_marked = marked;
+  out.avg_cds_churn = churn;
   return out;
 }
 

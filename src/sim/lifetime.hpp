@@ -19,6 +19,7 @@
 #include "energy/traffic.hpp"
 #include "net/geometric.hpp"
 #include "net/mobility.hpp"
+#include "net/radio.hpp"
 #include "net/rng.hpp"
 #include "net/space.hpp"
 #include "net/topology.hpp"
@@ -72,12 +73,25 @@ struct SimConfig {
   int n_hosts = 50;
   double field_width = 100.0;
   double field_height = 100.0;
+  /// z extent of the field; 0 (default) keeps the paper's planar world.
+  /// With a positive depth, placement and every mobility model draw/move in
+  /// 3-D and link distances are full Euclidean.
+  double field_depth = 0.0;
   BoundaryPolicy boundary = BoundaryPolicy::kClamp;
   double radius = kPaperRadius;
 
   /// Which proximity graph links the hosts (paper: unit disk). The sparser
   /// Gabriel/RNG models keep the same connectivity with far fewer links.
   LinkModel link_model = LinkModel::kUnitDisk;
+
+  /// Propagation model gating candidate links (see net/radio.hpp). Anything
+  /// other than kUnitDisk requires link_model == kUnitDisk: the radio prunes
+  /// unit-disk candidates per pair (and can only shrink range, so every
+  /// spatial-locality bound built on `radius` still holds), while the
+  /// Gabriel/RNG models are whole-neighborhood constructions that do not
+  /// compose with per-pair fading.
+  RadioKind radio = RadioKind::kUnitDisk;
+  RadioParams radio_params{};
 
   double initial_energy = 100.0;
   DrainModel drain_model = DrainModel::kLinearTotal;
@@ -111,6 +125,13 @@ struct SimConfig {
   /// (raw battery readings as keys). Battery accounting itself is always
   /// exact; only the priority keys see the quantized view.
   double energy_key_quantum = 1.0;
+
+  /// RuleSet::kSEL knobs: the EWMA memory of the per-host neighborhood
+  /// churn estimate (0 = latest interval only, 1 = frozen) and the bucket
+  /// width applied to the EWMA before it enters the key (<= 0 = raw values;
+  /// see core/stability.hpp). Ignored by the other schemes.
+  double stability_beta = 0.75;
+  double stability_quantum = 0.5;
 
   /// Per-interval recomputation engine (see SimEngine). Both engines
   /// produce bit-identical TrialResults wherever kIncremental is eligible;
@@ -152,6 +173,10 @@ struct TrialResult {
   long intervals = 0;        ///< completed update intervals
   double avg_gateways = 0.0; ///< mean |G'| per interval (Figure 10's metric)
   double avg_marked = 0.0;   ///< mean marking-process set size (NR size)
+  /// Mean CDS churn per interval: |G_t XOR G_{t-1}| (0 on the first
+  /// interval) — how much of the backbone membership turns over under
+  /// mobility. The stability-key ablation's headline metric.
+  double avg_cds_churn = 0.0;
   bool hit_cap = false;      ///< stopped by max_intervals, not by attrition
   bool initial_connected = true;  ///< whether placement retries succeeded
   int placement_attempts = 1;
@@ -229,6 +254,10 @@ class LifetimeRun {
 
   double gateway_sum_ = 0.0;
   double marked_sum_ = 0.0;
+  double churn_sum_ = 0.0;
+  DynBitset prev_gateways_;
+  DynBitset churn_scratch_;
+  bool have_prev_gateways_ = false;
   bool attrition_stop_ = false;
 };
 

@@ -26,12 +26,22 @@ void write_run_manifest(obs::JsonlSink& sink, const SimConfig& config,
     json.key("engine_config").value(to_string(config.engine));
     json.key("backbone").value(to_string(config.backbone));
     json.key("threads").value(config.threads);
+    json.key("tiles").value(config.tiles);
     json.key("n_hosts").value(config.n_hosts);
     json.key("field_width").value(config.field_width);
     json.key("field_height").value(config.field_height);
+    json.key("field_depth").value(config.field_depth);
     json.key("boundary").value(to_string(config.boundary));
     json.key("radius").value(config.radius);
     json.key("link_model").value(to_string(config.link_model));
+    json.key("radio").value(to_string(config.radio));
+    if (config.radio != RadioKind::kUnitDisk) {
+      json.key("sigma_db").value(config.radio_params.sigma_db);
+      json.key("path_loss_exp").value(config.radio_params.path_loss_exp);
+      json.key("link_prob").value(config.radio_params.link_prob);
+      json.key("fading_seed")
+          .value(static_cast<std::size_t>(config.radio_params.fading_seed));
+    }
     json.key("initial_energy").value(config.initial_energy);
     json.key("drain_model").value(to_string(config.drain_model));
     json.key("nongateway_drain").value(config.drain_params.nongateway_drain);
@@ -42,6 +52,33 @@ void write_run_manifest(obs::JsonlSink& sink, const SimConfig& config,
     json.key("stay_probability").value(config.stay_probability);
     json.key("jump_min").value(config.jump_min);
     json.key("jump_max").value(config.jump_max);
+    switch (config.mobility_kind) {
+      case MobilityKind::kRandomWalk:
+        json.key("step_min").value(config.mobility_params.step_min);
+        json.key("step_max").value(config.mobility_params.step_max);
+        break;
+      case MobilityKind::kRandomWaypoint:
+        json.key("speed_min").value(config.mobility_params.speed_min);
+        json.key("speed_max").value(config.mobility_params.speed_max);
+        json.key("pause_intervals")
+            .value(config.mobility_params.pause_intervals);
+        break;
+      case MobilityKind::kGaussMarkov:
+        json.key("mean_speed").value(config.mobility_params.mean_speed);
+        json.key("alpha").value(config.mobility_params.alpha);
+        json.key("speed_stddev").value(config.mobility_params.speed_stddev);
+        json.key("heading_stddev")
+            .value(config.mobility_params.heading_stddev);
+        break;
+      case MobilityKind::kPaperJump:
+      case MobilityKind::kStatic:
+        break;  // the three legacy keys above already cover paper-jump
+    }
+    if (config.rule_set == RuleSet::kSEL ||
+        config.custom_key == KeyKind::kStabilityEnergyId) {
+      json.key("stability_beta").value(config.stability_beta);
+      json.key("stability_quantum").value(config.stability_quantum);
+    }
     json.key("strategy").value(to_string(config.cds_options.strategy));
     json.key("clique_policy")
         .value(clique_policy_name(config.cds_options.clique_policy));

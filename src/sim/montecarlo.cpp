@@ -58,11 +58,13 @@ LifetimeSummary run_lifetime_trials(const SimConfig& config,
   Welford intervals;
   Welford gateways;
   Welford marked;
+  Welford churn;
   LifetimeSummary summary;
   for (const TrialResult& r : results) {
     intervals.add(static_cast<double>(r.intervals));
     gateways.add(r.avg_gateways);
     marked.add(r.avg_marked);
+    churn.add(r.avg_cds_churn);
     if (r.hit_cap) ++summary.capped_trials;
     if (!r.initial_connected) ++summary.disconnected_trials;
     FaultStats& fs = summary.faults;
@@ -86,6 +88,7 @@ LifetimeSummary run_lifetime_trials(const SimConfig& config,
   summary.intervals = Summary::of(intervals);
   summary.avg_gateways = Summary::of(gateways);
   summary.avg_marked = Summary::of(marked);
+  summary.avg_churn = Summary::of(churn);
   return summary;
 }
 

@@ -17,6 +17,9 @@ struct LifetimeSummary {
   Summary intervals;      ///< network lifetime (Figures 11-13)
   Summary avg_gateways;   ///< per-interval gateway count (Figure 10)
   Summary avg_marked;     ///< marking-process set size (Figure 10's NR)
+  /// Per-interval gateway-set churn (|G'_t XOR G'_{t-1}| averaged over the
+  /// trial) — the stability metric the SEL key is designed to lower.
+  Summary avg_churn;
   std::size_t capped_trials = 0;        ///< trials stopped by the cap
   std::size_t disconnected_trials = 0;  ///< trials starting disconnected
   /// Degraded-mode aggregates across trials: counts/ns sum; min_coverage is

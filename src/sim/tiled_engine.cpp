@@ -1,5 +1,6 @@
 #include "sim/tiled_engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace pacds {
@@ -12,6 +13,13 @@ TiledEngine::TiledEngine(const SimConfig& config)
         "strategy, no custom key, unit-disk links, no clique policy)");
   }
   make_interval_pool(config_.threads, pool_);
+  if (config_.radio != RadioKind::kUnitDisk) {
+    radio_.emplace(config_.radio, config_.radio_params, config_.radius);
+  }
+  if (uses_stability(config_.rule_set)) {
+    tracker_.emplace(static_cast<std::size_t>(config_.n_hosts),
+                     config_.stability_beta, config_.stability_quantum);
+  }
 }
 
 void TiledEngine::initialize(const std::vector<Vec2>& positions) {
@@ -25,7 +33,13 @@ void TiledEngine::initialize(const std::vector<Vec2>& positions) {
     grid_->query_into(positions[static_cast<std::size_t>(u)], config_.radius,
                       u, nbrs_);
     for (const NodeId v : nbrs_) {
-      if (v > u) graph_->add_edge(u, v);
+      if (v > u &&
+          (!radio_ ||
+           radio_->link(u, v,
+                        distance2(positions[static_cast<std::size_t>(u)],
+                                  positions[static_cast<std::size_t>(v)])))) {
+        graph_->add_edge(u, v);
+      }
     }
   }
   tiles_.reset(config_.field_width, config_.field_height, config_.radius,
@@ -67,6 +81,20 @@ void TiledEngine::extract_delta(const std::vector<Vec2>& positions) {
   for (const NodeId v : movers_) {
     grid_->query_into(prev_positions_[static_cast<std::size_t>(v)],
                       config_.radius, v, nbrs_);
+    // The stored rows are radio-filtered, so the candidate list must be
+    // too, or the diff would re-add edges the channel vetoes.
+    if (radio_) {
+      nbrs_.erase(
+          std::remove_if(
+              nbrs_.begin(), nbrs_.end(),
+              [&](NodeId u) {
+                return !radio_->link(
+                    v, u,
+                    distance2(prev_positions_[static_cast<std::size_t>(v)],
+                              prev_positions_[static_cast<std::size_t>(u)]));
+              }),
+          nbrs_.end());
+    }
     // Two-pointer diff of old vs new sorted neighbor lists. A pair whose
     // endpoints both moved shows up in both diffs; keep it only for the
     // smaller endpoint.
@@ -95,7 +123,8 @@ void TiledEngine::extract_delta(const std::vector<Vec2>& positions) {
 void TiledEngine::run_stages(const std::vector<double>& keys) {
   const bool needs_energy = uses_energy(config_.rule_set);
   const PriorityKey key(key_kind_of(config_.rule_set), *graph_,
-                        needs_energy ? &keys : nullptr);
+                        needs_energy ? &keys : nullptr,
+                        tracker_ ? &tracker_->stability() : nullptr);
   dirty_list_.clear();
   last_touched_ = 0;
   dirty_tiles_.for_each_set([&](std::size_t t) {
@@ -167,6 +196,12 @@ void TiledEngine::update(const std::vector<Vec2>& positions,
     if (!graph_) {
       initialize(positions);
       if (uses_energy(config_.rule_set)) prev_keys_ = keys;
+      if (tracker_) {
+        // First interval: commit on zero counts (no link history) so the
+        // EWMA cadence is one commit per update, as in the other engines.
+        tracker_->commit();
+        prev_stab_ = tracker_->stability();
+      }
       if (metrics_ != nullptr) metrics_->add(obs::Counter::kFullRefreshes);
       run_stages(keys);
       return;
@@ -181,6 +216,32 @@ void TiledEngine::update(const std::vector<Vec2>& positions,
     }
     for (const auto& [u, v] : delta_.removed) graph_->remove_edge(u, v);
     for (const auto& [u, v] : delta_.added) graph_->add_edge(u, v);
+    if (tracker_) {
+      // Both endpoints of every (deduped) delta edge — the same counts the
+      // full-rebuild engine derives from row diffs.
+      for (const auto& [u, v] : delta_.added) {
+        tracker_->count(u);
+        tracker_->count(v);
+      }
+      for (const auto& [u, v] : delta_.removed) {
+        tracker_->count(u);
+        tracker_->count(v);
+      }
+      tracker_->commit();
+      // Stability-bucket changes dirty 2r around the host exactly like the
+      // energy-key diff below (same marked-node filter, same locality
+      // argument). This pass is what catches EWMA *decay*: a long-quiet
+      // host's bucket can drop with no topology change anywhere near it,
+      // so mover dirt alone would miss the key flip.
+      const std::vector<double>& stab = tracker_->stability();
+      const double dirt = 2.0 * tiles_.radius();
+      for (std::size_t i = 0; i < stab.size(); ++i) {
+        if (stab[i] != prev_stab_[i] && marked_.test(i)) {
+          tiles_.mark_dirty_around(prev_positions_[i], dirt, dirty_tiles_);
+        }
+      }
+      prev_stab_ = stab;
+    }
     if (uses_energy(config_.rule_set)) {
       // A key change re-decides rules out to 2r around the host: key(i) is
       // read only by deciders within r (Rule 1 compares v against neighbor

@@ -64,6 +64,13 @@ class TiledEngine final : public LifetimeEngine {
   SimConfig config_;
   std::vector<Vec2> prev_positions_;
   std::optional<SpatialGrid> grid_;
+  /// Per-pair channel veto over the grid's unit-disk candidates (engaged
+  /// when config.radio != unit-disk). Links only ever get shorter, so the
+  /// 3r/2r tile dirt radii stay valid supersets.
+  std::optional<RadioModel> radio_;
+  /// Per-host churn EWMA feeding the SEL key; fed with both endpoints of
+  /// every delta edge (== the full-rebuild engine's row-diff counts).
+  std::optional<StabilityTracker> tracker_;
   std::optional<ThreadPool> pool_;
   std::optional<Graph> graph_;
 
@@ -87,6 +94,10 @@ class TiledEngine final : public LifetimeEngine {
   std::vector<NodeId> nbrs_;
   DynBitset moved_;
   std::vector<double> prev_keys_;
+  /// Last interval's quantized stability buckets (kSEL only): the diff
+  /// drives 2r key-dirt exactly like prev_keys_, and is what catches
+  /// decay-driven bucket drops at hosts with no nearby topology change.
+  std::vector<double> prev_stab_;
   std::vector<double> key_scratch_;
 };
 

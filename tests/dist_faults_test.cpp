@@ -15,6 +15,7 @@
 #include "core/verify.hpp"
 #include "dist/channel.hpp"
 #include "dist/protocol.hpp"
+#include "net/radio.hpp"
 #include "net/rng.hpp"
 #include "net/space.hpp"
 #include "net/topology.hpp"
@@ -119,6 +120,65 @@ TEST(DistFaultsTest, DuplicationAndDelayAreHarmless) {
     EXPECT_EQ(faulty.protocol.gateways, reliable.gateways);
     EXPECT_EQ(faulty.valid_cds, check_cds(g, reliable.gateways).ok());
   }
+}
+
+TEST(DistFaultsTest, RadioFadesDegradeTheChannelButNotTheResult) {
+  // A faded radio compounds each link's drop rate:
+  // 1 - (1 - channel.drop) * (1 - arq_drop(u, v)). Deeply faded pairs
+  // retransmit more, but once complete the gateway set still equals the
+  // reliable run's.
+  const Graph g = random_graph(8);
+  const std::vector<double> energy = ramp_energy(g.num_nodes());
+  dist::ChannelFaultConfig channel;
+  channel.drop = 0.1;
+  RadioParams params;
+  params.fading_seed = 21;
+  const RadioModel radio(RadioKind::kShadowing, params, kPaperRadius);
+  const dist::FaultyProtocolResult faded = dist::run_faulty_protocol(
+      g, RuleSet::kEL1, channel, dist::RetryPolicy{}, 7, energy, &radio);
+  ASSERT_TRUE(faded.complete);
+  EXPECT_EQ(faded.status_disagreements, 0u);
+  const dist::ProtocolResult reliable =
+      dist::run_protocol_scheme(g, RuleSet::kEL1, energy);
+  EXPECT_EQ(faded.protocol.gateways, reliable.gateways);
+  // The compound rate strictly exceeds the plain channel's on every faded
+  // link, so the faded run loses at least as many frames (same RNG stream,
+  // each draw compared against a larger threshold).
+  const dist::FaultyProtocolResult plain = dist::run_faulty_protocol(
+      g, RuleSet::kEL1, channel, dist::RetryPolicy{}, 7, energy);
+  EXPECT_GE(faded.dropped_frames, plain.dropped_frames);
+  EXPECT_GT(faded.dropped_frames, 0u);
+}
+
+TEST(DistFaultsTest, UnitDiskRadioIsExactlyThePlainChannel) {
+  // RadioKind::kUnitDisk contributes arq_drop == 0 everywhere, so passing
+  // it must reproduce the null-radio run draw for draw.
+  const Graph g = random_graph(12);
+  const std::vector<double> energy = ramp_energy(g.num_nodes());
+  dist::ChannelFaultConfig channel;
+  channel.drop = 0.2;
+  const RadioModel radio(RadioKind::kUnitDisk, {}, kPaperRadius);
+  const dist::FaultyProtocolResult with_radio = dist::run_faulty_protocol(
+      g, RuleSet::kEL2, channel, dist::RetryPolicy{}, 19, energy, &radio);
+  const dist::FaultyProtocolResult without = dist::run_faulty_protocol(
+      g, RuleSet::kEL2, channel, dist::RetryPolicy{}, 19, energy);
+  EXPECT_EQ(with_radio.protocol.gateways, without.protocol.gateways);
+  EXPECT_EQ(with_radio.protocol.total_msgs(), without.protocol.total_msgs());
+  EXPECT_EQ(with_radio.retransmissions, without.retransmissions);
+  EXPECT_EQ(with_radio.dropped_frames, without.dropped_frames);
+}
+
+TEST(DistFaultsTest, SelSchemeRunsAsEnergyIdOnSnapshots) {
+  // Snapshots carry no churn history, so the SEL scheme's distributed form
+  // is (energy, id) — it must agree with the centralized SEL computation
+  // under empty stability.
+  const Graph g = random_graph(15);
+  const std::vector<double> energy = ramp_energy(g.num_nodes());
+  const dist::ProtocolResult sel =
+      dist::run_protocol_scheme(g, RuleSet::kSEL, energy);
+  const CdsResult central = compute_cds(g, RuleSet::kSEL, energy,
+                                        {.strategy = Strategy::kSimultaneous});
+  EXPECT_EQ(sel.gateways, central.gateways);
 }
 
 TEST(DistFaultsTest, DeterministicInTheSeed) {

@@ -79,7 +79,7 @@ INSTANTIATE_TEST_SUITE_P(
     SchemesMobilitiesSeeds, EngineEquivalenceTest,
     ::testing::Combine(::testing::Values(RuleSet::kNR, RuleSet::kID,
                                          RuleSet::kND, RuleSet::kEL1,
-                                         RuleSet::kEL2),
+                                         RuleSet::kEL2, RuleSet::kSEL),
                        ::testing::Values(MobilityKind::kPaperJump,
                                          MobilityKind::kRandomWaypoint),
                        ::testing::Values(7u, 4242u)),
@@ -132,6 +132,66 @@ TEST(EngineEquivalenceTest, ConstantTotalDrainModel) {
   config.energy_key_quantum = 10.0;
   config.initial_energy = 80.0;
   expect_engines_agree(config, 3u);
+}
+
+// ---- Scenario pack: radios, 3-D fields, stability keys ---------------------
+
+TEST(EngineEquivalenceTest, ShadowingRadioConfigs) {
+  // Per-pair fades make the link set a proper subset of the unit disk; the
+  // incremental engine must apply the identical veto inside its delta
+  // extraction.
+  SimConfig config = base_config();
+  config.rule_set = RuleSet::kEL2;
+  config.radio = RadioKind::kShadowing;
+  config.radio_params.sigma_db = 4.0;
+  config.radio_params.fading_seed = 99;
+  config.connect_retries = 5;  // faded graphs may simply stay disconnected
+  expect_engines_agree(config, 17u);
+}
+
+TEST(EngineEquivalenceTest, ProbabilisticRadioConfigs) {
+  SimConfig config = base_config();
+  config.rule_set = RuleSet::kND;
+  config.radio = RadioKind::kProbabilistic;
+  config.radio_params.link_prob = 0.8;
+  config.radio_params.fading_seed = 7;
+  config.connect_retries = 5;
+  expect_engines_agree(config, 23u);
+}
+
+TEST(EngineEquivalenceTest, ThreeDFieldConfigs) {
+  SimConfig config = base_config();
+  config.rule_set = RuleSet::kEL1;
+  config.field_depth = 50.0;
+  config.radius = 35.0;  // keep the sparser 3-D placement connectable
+  config.connect_retries = 20;
+  expect_engines_agree(config, 31u);
+}
+
+TEST(EngineEquivalenceTest, StabilityKeyWithThreeDShadowing) {
+  // The full stack at once: SEL stability tracking (commit cadence and churn
+  // counts must match between row-diff and delta-endpoint accounting), a 3-D
+  // field, and a faded radio.
+  SimConfig config = base_config();
+  config.rule_set = RuleSet::kSEL;
+  config.field_depth = 40.0;
+  config.radius = 35.0;
+  config.radio = RadioKind::kShadowing;
+  config.radio_params.sigma_db = 3.0;
+  config.radio_params.fading_seed = 5;
+  config.stability_beta = 0.5;
+  config.stability_quantum = 0.5;
+  config.connect_retries = 5;
+  expect_engines_agree(config, 41u);
+}
+
+TEST(EngineEquivalenceTest, StabilityQuantumVariants) {
+  for (const double quantum : {0.0, 2.0}) {
+    SimConfig config = base_config();
+    config.rule_set = RuleSet::kSEL;
+    config.stability_quantum = quantum;
+    expect_engines_agree(config, 43u);
+  }
 }
 
 // ---- Per-interval gateway sets (direct engine drive) -----------------------

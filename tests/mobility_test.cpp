@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numbers>
 #include <stdexcept>
 
 namespace pacds {
@@ -262,6 +263,57 @@ TEST(MobilityFactoryTest, ParamsForwarded) {
   std::vector<Vec2> pts{{10.0, 10.0}};
   model->step(pts, field, rng);
   EXPECT_EQ(pts[0], Vec2(10.0, 10.0));
+}
+
+// The model folds its heading into [0, 2π) each step so long runs never
+// feed sin/cos a huge argument. Folding is pure 2π-periodicity, so the
+// trajectory must match an unfolded reference recurrence draw for draw.
+// (The heading fold once collapsed the *mean* term too, which bent every
+// long trajectory — this reference comparison pins the fix.)
+TEST(GaussMarkovTest, FoldedHeadingMatchesUnfoldedReferenceTrajectory) {
+  constexpr double kMeanSpeed = 3.0;
+  constexpr double kAlpha = 0.8;
+  constexpr double kSpeedStddev = 1.0;
+  constexpr double kHeadingStddev = 0.5;
+  constexpr int kIntervals = 500;
+  constexpr double kTau = 2.0 * std::numbers::pi;
+
+  // Huge clamped field so no boundary folding perturbs either trajectory.
+  const Field field(1e6, 1e6, BoundaryPolicy::kClamp);
+  const auto model = make_mobility(
+      MobilityKind::kGaussMarkov,
+      {.mean_speed = kMeanSpeed, .alpha = kAlpha,
+       .speed_stddev = kSpeedStddev, .heading_stddev = kHeadingStddev});
+  std::vector<Vec2> pts{{5e5, 5e5}};
+
+  // Unfolded reference: the same AR(1) recurrences on the same RNG stream,
+  // with the heading accumulating without bound.
+  Xoshiro256 rng(2024);
+  Xoshiro256 ref_rng(2024);
+  const auto normal = [&ref_rng]() {
+    const double u1 = 1.0 - ref_rng.uniform01();
+    const double u2 = ref_rng.uniform01();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTau * u2);
+  };
+  const double memory = std::sqrt(1.0 - kAlpha * kAlpha);
+  Vec2 ref_pos{5e5, 5e5};
+  double speed = kMeanSpeed;
+  double heading = 0.0;
+  bool initialized = false;
+  for (int t = 0; t < kIntervals; ++t) {
+    model->step(pts, field, rng);
+    if (!initialized) {
+      heading = ref_rng.uniform(0.0, kTau);
+      initialized = true;
+    }
+    speed = std::max(0.0, kAlpha * speed + (1.0 - kAlpha) * kMeanSpeed +
+                              memory * kSpeedStddev * normal());
+    heading += memory * kHeadingStddev * normal();  // never folded
+    ref_pos = ref_pos +
+              Vec2{std::cos(heading), std::sin(heading)} * speed;
+    ASSERT_NEAR(pts[0].x, ref_pos.x, 1e-6) << "interval " << t;
+    ASSERT_NEAR(pts[0].y, ref_pos.y, 1e-6) << "interval " << t;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,130 @@
+// Tests for the radio/propagation models (net/radio): deterministic
+// per-pair fading, symmetry, downward truncation (the nominal radius stays
+// a hard upper bound on link length — the contract the spatial grid and the
+// tile halos are built on), and the ARQ drop surface the dist layer reads.
+
+#include "net/radio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/rng.hpp"
+#include "net/udg.hpp"
+#include "net/vec2.hpp"
+
+namespace pacds {
+namespace {
+
+std::vector<Vec2> random_points(int n, double extent, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, extent), rng.uniform(0.0, extent)});
+  }
+  return pts;
+}
+
+TEST(RadioModelTest, UnitDiskIsExactlyTheNominalGraph) {
+  const auto pts = random_points(60, 100.0, 1);
+  const double radius = 30.0;
+  const RadioModel radio(RadioKind::kUnitDisk, {}, radius);
+  const Graph nominal = build_udg(pts, radius);
+  const Graph gated = build_radio_links(pts, radius, radio);
+  ASSERT_EQ(nominal.num_edges(), gated.num_edges());
+  for (NodeId u = 0; u < nominal.num_nodes(); ++u) {
+    for (const NodeId v : nominal.neighbors(u)) {
+      EXPECT_TRUE(gated.has_edge(u, v));
+    }
+  }
+  EXPECT_DOUBLE_EQ(radio.arq_drop(3, 7), 0.0);
+}
+
+TEST(RadioModelTest, FadedGraphsAreSubgraphsOfTheUnitDisk) {
+  const auto pts = random_points(60, 100.0, 2);
+  const double radius = 30.0;
+  const Graph nominal = build_udg(pts, radius);
+  for (const RadioKind kind :
+       {RadioKind::kShadowing, RadioKind::kProbabilistic}) {
+    RadioParams params;
+    params.fading_seed = 77;
+    const RadioModel radio(kind, params, radius);
+    const Graph gated = build_radio_links(pts, radius, radio);
+    EXPECT_LE(gated.num_edges(), nominal.num_edges()) << to_string(kind);
+    for (NodeId u = 0; u < gated.num_nodes(); ++u) {
+      for (const NodeId v : gated.neighbors(u)) {
+        EXPECT_TRUE(nominal.has_edge(u, v))
+            << to_string(kind) << ": radio added edge " << u << "-" << v;
+      }
+    }
+  }
+}
+
+TEST(RadioModelTest, LinkIsDeterministicAndSymmetric) {
+  RadioParams params;
+  params.fading_seed = 5;
+  const RadioModel a(RadioKind::kShadowing, params, 25.0);
+  const RadioModel b(RadioKind::kShadowing, params, 25.0);  // fresh instance
+  for (NodeId u = 0; u < 40; ++u) {
+    for (NodeId v = u + 1; v < 40; ++v) {
+      const double d2 = 400.0;  // 20 units, inside the nominal radius
+      EXPECT_EQ(a.link(u, v, d2), a.link(v, u, d2)) << u << "-" << v;
+      EXPECT_EQ(a.link(u, v, d2), b.link(u, v, d2)) << u << "-" << v;
+      EXPECT_DOUBLE_EQ(a.arq_drop(u, v), a.arq_drop(v, u)) << u << "-" << v;
+      EXPECT_DOUBLE_EQ(a.arq_drop(u, v), b.arq_drop(u, v)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(RadioModelTest, DifferentSeedsFadeDifferently) {
+  const auto pts = random_points(80, 100.0, 3);
+  RadioParams params;
+  params.fading_seed = 1;
+  const RadioModel one(RadioKind::kProbabilistic, params, 30.0);
+  params.fading_seed = 2;
+  const RadioModel two(RadioKind::kProbabilistic, params, 30.0);
+  const Graph g1 = build_radio_links(pts, 30.0, one);
+  const Graph g2 = build_radio_links(pts, 30.0, two);
+  bool differs = false;
+  for (NodeId u = 0; u < g1.num_nodes() && !differs; ++u) {
+    for (const NodeId v : g1.neighbors(u)) {
+      if (!g2.has_edge(u, v)) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs) << "seeds 1 and 2 produced identical fading";
+}
+
+TEST(RadioModelTest, ZeroDistancePairsStayLinkedUnderShadowing) {
+  // The truncated fade scales the radius by a factor in (0, 1]; a pair at
+  // (essentially) zero distance survives every fade.
+  RadioParams params;
+  params.sigma_db = 8.0;
+  params.fading_seed = 9;
+  const RadioModel radio(RadioKind::kShadowing, params, 25.0);
+  for (NodeId u = 0; u < 50; ++u) {
+    EXPECT_TRUE(radio.link(u, u + 1, 0.0)) << u;
+  }
+}
+
+TEST(RadioModelTest, ArqDropIsBoundedForEveryKind) {
+  for (const RadioKind kind :
+       {RadioKind::kShadowing, RadioKind::kProbabilistic}) {
+    RadioParams params;
+    params.fading_seed = 13;
+    const RadioModel radio(kind, params, 25.0);
+    for (NodeId u = 0; u < 30; ++u) {
+      for (NodeId v = u + 1; v < 30; ++v) {
+        const double drop = radio.arq_drop(u, v);
+        EXPECT_GE(drop, 0.0) << to_string(kind);
+        EXPECT_LE(drop, 0.5) << to_string(kind);  // kArqDropCap
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pacds

@@ -1,0 +1,99 @@
+// Tests for the SEL stability tracker (core/stability): EWMA arithmetic,
+// quantization, the beta extremes, and the SEL key's collapse to EL1 when
+// every churn estimate is equal (the "no history yet" regime both the dist
+// protocol and fresh engines start in).
+
+#include "core/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cds.hpp"
+#include "core/graph.hpp"
+
+namespace pacds {
+namespace {
+
+TEST(StabilityTrackerTest, AllZeroBeforeFirstCommit) {
+  const StabilityTracker tracker(3, 0.75, 0.5);
+  EXPECT_EQ(tracker.stability(), std::vector<double>({0.0, 0.0, 0.0}));
+}
+
+TEST(StabilityTrackerTest, CommitFoldsCountsIntoEwma) {
+  StabilityTracker tracker(2, 0.75, 0.0);  // quantum 0: raw EWMA visible
+  tracker.count(0);
+  tracker.count(0);
+  tracker.count(1);
+  tracker.commit();
+  // ewma = 0.75 * 0 + 0.25 * count
+  EXPECT_DOUBLE_EQ(tracker.stability()[0], 0.5);
+  EXPECT_DOUBLE_EQ(tracker.stability()[1], 0.25);
+  tracker.commit();  // quiet interval: decay only
+  EXPECT_DOUBLE_EQ(tracker.stability()[0], 0.375);
+  EXPECT_DOUBLE_EQ(tracker.stability()[1], 0.1875);
+}
+
+TEST(StabilityTrackerTest, QuantizationBuckets) {
+  StabilityTracker tracker(1, 0.0, 0.5);  // beta 0: latest interval only
+  for (int i = 0; i < 3; ++i) tracker.count(0);
+  tracker.commit();  // ewma = 3.0 -> floor(3.0 / 0.5) = 6 buckets
+  EXPECT_DOUBLE_EQ(tracker.stability()[0], 6.0);
+  tracker.commit();  // ewma = 0 -> bucket 0
+  EXPECT_DOUBLE_EQ(tracker.stability()[0], 0.0);
+}
+
+TEST(StabilityTrackerTest, BetaOneFreezesTheEstimate) {
+  StabilityTracker tracker(1, 1.0, 0.0);
+  tracker.count(0);
+  tracker.commit();
+  EXPECT_DOUBLE_EQ(tracker.stability()[0], 0.0);  // (1-beta) weight is 0
+  tracker.commit();
+  EXPECT_DOUBLE_EQ(tracker.stability()[0], 0.0);
+}
+
+// With no stability history (empty vector), every host's churn estimate is
+// equal, so the SEL key must order exactly like EL1's (energy, id) — the
+// dist snapshot protocol relies on this collapse.
+TEST(StabilityTrackerTest, SelWithoutHistoryEqualsEl1) {
+  // A 6-cycle with a chord: enough structure for the rules to prune.
+  const Graph g = Graph::from_edges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {1, 4}});
+  const std::vector<double> energy{3.0, 1.0, 4.0, 1.0, 5.0, 2.0};
+  const CdsResult sel = compute_cds(g, RuleSet::kSEL, energy);
+  const CdsResult el1 = compute_cds(g, RuleSet::kEL1, energy);
+  EXPECT_EQ(sel.gateways, el1.gateways);
+  EXPECT_EQ(sel.marked_only, el1.marked_only);
+}
+
+// And with all-equal (but non-empty) stability the same collapse holds.
+TEST(StabilityTrackerTest, SelWithUniformStabilityEqualsEl1) {
+  const Graph g = Graph::from_edges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {1, 4}});
+  const std::vector<double> energy{3.0, 1.0, 4.0, 1.0, 5.0, 2.0};
+  const std::vector<double> uniform(6, 2.0);
+  const CdsResult sel = compute_cds(g, RuleSet::kSEL, energy, {}, {}, uniform);
+  const CdsResult el1 = compute_cds(g, RuleSet::kEL1, energy);
+  EXPECT_EQ(sel.gateways, el1.gateways);
+}
+
+// A high-churn host must yield gatewayhood to an equally-energized stable
+// one: stability dominates the key.
+TEST(StabilityTrackerTest, ChurnierHostYieldsFirst) {
+  // Path 0-1-2-3: both 1 and 2 are marked; Rule 1/2 pruning is driven by
+  // the key order between them.
+  const Graph g =
+      Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 2}, {1, 3}});
+  const std::vector<double> energy(4, 5.0);  // all-equal energy
+  std::vector<double> churn{0.0, 3.0, 0.0, 0.0};  // host 1 is flapping
+  const CdsResult sel =
+      compute_cds(g, RuleSet::kSEL, energy, {}, {}, churn);
+  churn = {0.0, 0.0, 3.0, 0.0};  // now host 2 is the flapper
+  const CdsResult flipped =
+      compute_cds(g, RuleSet::kSEL, energy, {}, {}, churn);
+  // The two runs must disagree exactly by preferring the stable host.
+  EXPECT_NE(sel.gateways, flipped.gateways);
+}
+
+}  // namespace
+}  // namespace pacds

@@ -84,7 +84,8 @@ INSTANTIATE_TEST_SUITE_P(
     TilesThreadsSchemesMobility, TiledEquivalenceTest,
     ::testing::Combine(::testing::Values(1, 4, 16), ::testing::Values(1, 8),
                        ::testing::Values(RuleSet::kID, RuleSet::kND,
-                                         RuleSet::kEL1, RuleSet::kEL2),
+                                         RuleSet::kEL1, RuleSet::kEL2,
+                                         RuleSet::kSEL),
                        ::testing::Values(0.5, 0.95)),
     [](const ::testing::TestParamInfo<TiledEquivalenceTest::ParamType>&
            param_info) {
@@ -99,6 +100,50 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+TEST(TiledEquivalenceTest, ShadowingRadioAcrossTileCounts) {
+  // The radio's per-pair veto runs inside the tiled delta extraction; the
+  // pruned link set must still respect every halo bound (fading only ever
+  // shrinks range below the nominal radius).
+  for (const int tiles : {1, 4, 16}) {
+    SimConfig config = base_config();
+    config.tiles = tiles;
+    config.rule_set = RuleSet::kEL2;
+    config.radio = RadioKind::kShadowing;
+    config.radio_params.sigma_db = 4.0;
+    config.radio_params.fading_seed = 11;
+    config.connect_retries = 5;  // faded graphs may stay disconnected
+    expect_matches_flat(config, 29u);
+  }
+}
+
+TEST(TiledEquivalenceTest, ThreeDFieldKeepsXyTilingSound) {
+  // A deep field funnels whole z-columns into single xy tiles; dirt tests
+  // and halos must stay supersets (xy distance lower-bounds 3-D distance).
+  SimConfig config = base_config();
+  config.field_depth = 60.0;
+  config.radius = 35.0;
+  config.rule_set = RuleSet::kEL2;
+  config.tiles = 4;
+  config.connect_retries = 20;
+  expect_matches_flat(config, 37u);
+}
+
+TEST(TiledEquivalenceTest, StabilityKeyDirtiesDecayingBuckets) {
+  // SEL's EWMA decays at quiet hosts, so a stability bucket can change with
+  // no topology change anywhere nearby — the tiled engine's stability diff
+  // dirt must catch exactly those, across tile and thread counts.
+  for (const int threads : {1, 8}) {
+    SimConfig config = base_config();
+    config.rule_set = RuleSet::kSEL;
+    config.tiles = 16;
+    config.threads = threads;
+    config.stability_beta = 0.5;
+    config.stability_quantum = 0.25;
+    config.stay_probability = 0.9;  // mostly-quiet network: decay dominates
+    expect_matches_flat(config, 41u);
+  }
+}
 
 TEST(TiledEquivalenceTest, AutoTileCountAndNoRulesScheme) {
   SimConfig config = base_config();

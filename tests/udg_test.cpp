@@ -155,6 +155,64 @@ TEST(SpatialGridTest, MovedGridAgreesWithFreshGrid) {
   }
 }
 
+// ---- 3-D fields ------------------------------------------------------------
+
+std::vector<Vec2> random_3d_points(int n, double extent, double depth,
+                                   Xoshiro256& rng) {
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Vec2 p{rng.uniform(0.0, extent), rng.uniform(0.0, extent)};
+    p.z = rng.uniform(0.0, depth);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+TEST(SpatialGridTest, ThreeDQueryMatchesBruteForce) {
+  Xoshiro256 rng(2718);
+  const double radius = 25.0;
+  const auto pts = random_3d_points(120, 100.0, 60.0, rng);
+  const SpatialGrid grid(pts, radius);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::vector<NodeId> brute;
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (j != i && distance2(pts[i], pts[j]) <= radius * radius) {
+        brute.push_back(static_cast<NodeId>(j));
+      }
+    }
+    ASSERT_EQ(grid.query(pts[i], radius, static_cast<NodeId>(i)), brute)
+        << "node " << i;
+  }
+}
+
+TEST(UdgTest, ThreeDNaiveEqualsGrid) {
+  Xoshiro256 rng(3141);
+  for (const double radius : {10.0, 30.0}) {
+    const auto pts = random_3d_points(90, 100.0, 80.0, rng);
+    EXPECT_EQ(build_udg(pts, radius, UdgMethod::kNaive),
+              build_udg(pts, radius, UdgMethod::kGrid))
+        << "r=" << radius;
+  }
+}
+
+TEST(SpatialGridTest, MoveLiftingAPlanarGridIntoThreeD) {
+  // A grid that has only ever seen z == 0 skips the z cell ring; the first
+  // move that introduces depth must permanently widen the query ring, and
+  // queries must stay exact through the transition.
+  std::vector<Vec2> pts{{10.0, 10.0}, {12.0, 10.0}, {50.0, 50.0}};
+  SpatialGrid grid(pts, 7.0);
+  EXPECT_EQ(grid.query(pts[0], 5.0, 0), (std::vector<NodeId>{1}));
+  const Vec2 old_pos = pts[1];
+  pts[1].z = 4.0;  // lift host 1 off the plane, same cell footprint in xy
+  grid.move(1, old_pos, pts[1]);
+  EXPECT_EQ(grid.query(pts[0], 5.0, 0), (std::vector<NodeId>{1}));
+  pts[1].z = 6.0;  // now out of the closed ball around host 0
+  grid.move(1, {12.0, 10.0, 4.0}, pts[1]);
+  EXPECT_EQ(grid.query(pts[0], 5.0, 0), std::vector<NodeId>{});
+  EXPECT_EQ(grid.query(pts[1], 7.0, 1), (std::vector<NodeId>{0}));
+}
+
 // Agreement of naive and grid builders over random dense/sparse instances.
 class UdgAgreementTest
     : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "net/space.hpp"
+#include "net/udg.hpp"
 #include "net/vec2.hpp"
 
 namespace pacds {
@@ -104,6 +105,20 @@ TEST(FieldTest, MovedPointsStayInField) {
       EXPECT_TRUE(f.contains(pos)) << to_string(p) << " step " << i;
     }
   }
+}
+
+TEST(FieldTest, WrapFoldsPositionsButRadioStaysEuclidean) {
+  // kWrap only folds *positions* modulo the field size — it does not make
+  // the field a torus for the radio. Two hosts hugging opposite edges are a
+  // full field width apart and must not link, even though their wrapped
+  // images would touch on a torus.
+  const Field f(100.0, 100.0, BoundaryPolicy::kWrap);
+  const Vec2 west = f.move({2.0, 50.0}, {-3.0, 0.0});   // wraps to x = 99
+  EXPECT_DOUBLE_EQ(west.x, 99.0);
+  const std::vector<Vec2> positions{{1.0, 50.0}, west};
+  EXPECT_DOUBLE_EQ(distance(positions[0], positions[1]), 98.0);
+  const Graph g = build_udg(positions, 10.0);
+  EXPECT_FALSE(g.has_edge(0, 1));
 }
 
 TEST(FieldTest, PolicyToString) {
